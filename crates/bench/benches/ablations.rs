@@ -1,0 +1,95 @@
+//! Ablation performance benchmarks: how design choices change the cost
+//! of the pipeline. (The *quality* ablations — detection accuracy as
+//! parameters sweep — live in `src/bin/ablations.rs`, since they report
+//! accuracy rather than time.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use encore::pipeline::{GenerationConfig, TaskGenerator};
+use netsim::http::ContentType;
+use websim::har::{Har, HarEntry};
+
+fn corpus_har(images: usize) -> Har {
+    Har {
+        page_url: "http://t.org/p.html".into(),
+        entries: (0..images)
+            .map(|i| HarEntry {
+                url: format!("http://t.org/img{i}.png"),
+                status: 200,
+                content_type: ContentType::Image,
+                body_bytes: (200 + i * 173 % 8_000) as u64,
+                cacheable: i % 3 != 0,
+                nosniff: false,
+                time: sim_core::SimDuration::from_millis(40),
+                ok: true,
+            })
+            .collect(),
+        page_ok: true,
+    }
+}
+
+/// Task-generation cost as the image-size cap sweeps (the Figure 4
+/// 1 KB-vs-5 KB trade-off): larger caps admit more resources and emit
+/// more tasks.
+fn bench_image_cap_sweep(c: &mut Criterion) {
+    let har = corpus_har(200);
+    let mut group = c.benchmark_group("taskgen_image_cap");
+    for cap in [500u64, 1_000, 5_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut generator = TaskGenerator::new(GenerationConfig {
+                    max_image_bytes: cap,
+                    ..GenerationConfig::default()
+                });
+                black_box(generator.generate(&har, |_| true))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Inference cost as the per-cell minimum sample size sweeps.
+fn bench_detector_min_measurements(c: &mut Criterion) {
+    use encore::collection::{StoredMeasurement, Submission, SubmissionPhase};
+    use encore::tasks::{MeasurementId, TaskOutcome, TaskType};
+    use encore::{DetectorConfig, FilteringDetector, GeoDb};
+    use netsim::geo::country;
+    use netsim::ip::IpAllocator;
+    use sim_core::SimTime;
+
+    let mut alloc = IpAllocator::new();
+    let records: Vec<StoredMeasurement> = (0..20_000)
+        .map(|i| {
+            let cc = ["US", "CN", "PK", "DE"][i % 4];
+            StoredMeasurement {
+                submission: Submission {
+                    measurement_id: MeasurementId(i as u64),
+                    phase: SubmissionPhase::Result,
+                    outcome: Some(TaskOutcome::Success),
+                    elapsed_ms: 100,
+                    task_type: TaskType::Image,
+                    target_url: format!("http://s{}.example/favicon.ico", i % 50),
+                    user_agent: "Chrome".into(),
+                },
+                client_ip: alloc.allocate(country(cc)),
+                referer: None,
+                received_at: SimTime::ZERO,
+            }
+        })
+        .collect();
+    let geo = GeoDb::from_allocator(&alloc);
+
+    let mut group = c.benchmark_group("detector_min_measurements");
+    for min in [1u64, 5, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(min), &min, |b, &min| {
+            let detector = FilteringDetector::new(DetectorConfig {
+                min_measurements: min,
+                ..DetectorConfig::default()
+            });
+            b.iter(|| black_box(detector.detect(&records, &geo)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_image_cap_sweep, bench_detector_min_measurements);
+criterion_main!(benches);

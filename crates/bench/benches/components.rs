@@ -1,0 +1,158 @@
+//! Component performance benchmarks (Criterion).
+//!
+//! Not a paper table — these keep the simulator itself honest: event
+//! queue throughput, the binomial test, browser loads, HAR capture, task
+//! generation, end-to-end visits, and inference over large record sets.
+
+use browser::{BrowserClient, Engine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use encore::collection::{StoredMeasurement, Submission, SubmissionPhase};
+use encore::pipeline::{GenerationConfig, TaskGenerator};
+use encore::tasks::{MeasurementId, TaskOutcome, TaskType};
+use encore::{DetectorConfig, FilteringDetector, GeoDb};
+use netsim::geo::{country, IspClass, World};
+use netsim::http::{ContentType, HttpRequest, HttpResponse};
+use netsim::ip::IpAllocator;
+use netsim::network::{ConstHandler, Network};
+use sim_core::{binomial_sf, EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    c.bench_function("binomial_cdf_n1000", |b| {
+        b.iter(|| black_box(binomial_sf(1_000, 0.7, 650)))
+    });
+}
+
+fn bench_network_fetch(c: &mut Criterion) {
+    let mut net = Network::new(World::builtin());
+    net.add_server(
+        "bench.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    let client = net.add_client(country("DE"), IspClass::Residential);
+    let mut rng = SimRng::new(1);
+    let req = HttpRequest::get("http://bench.example/favicon.ico");
+    c.bench_function("network_fetch", |b| {
+        b.iter(|| black_box(net.fetch(&client, &req, SimTime::ZERO, &mut rng)))
+    });
+}
+
+fn bench_browser_image_load(c: &mut Criterion) {
+    let mut net = Network::new(World::builtin());
+    net.add_server(
+        "bench.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    let root = SimRng::new(2);
+    let mut client = BrowserClient::new(
+        &mut net,
+        country("DE"),
+        IspClass::Residential,
+        Engine::Chrome,
+        &root,
+    );
+    let mut i = 0u64;
+    c.bench_function("browser_image_load_cold", |b| {
+        b.iter(|| {
+            i += 1;
+            // Unique URL each iteration: always a cold load.
+            let url = format!("http://bench.example/i{i}.png");
+            black_box(client.load_image(&mut net, &url, SimTime::ZERO))
+        })
+    });
+}
+
+fn bench_task_generation(c: &mut Criterion) {
+    use websim::har::{Har, HarEntry};
+    let har = Har {
+        page_url: "http://t.org/p.html".into(),
+        entries: (0..60)
+            .map(|i| HarEntry {
+                url: format!("http://t.org/img{i}.png"),
+                status: 200,
+                content_type: ContentType::Image,
+                body_bytes: 500 + i * 37,
+                cacheable: i % 3 != 0,
+                nosniff: false,
+                time: sim_core::SimDuration::from_millis(40),
+                ok: true,
+            })
+            .collect(),
+        page_ok: true,
+    };
+    c.bench_function("task_generation_60_entry_har", |b| {
+        b.iter(|| {
+            let mut generator = TaskGenerator::new(GenerationConfig {
+                max_image_bytes: 5_000,
+                ..GenerationConfig::default()
+            });
+            black_box(generator.generate(&har, |_| true))
+        })
+    });
+}
+
+fn make_records(n: usize) -> (Vec<StoredMeasurement>, GeoDb) {
+    let mut alloc = IpAllocator::new();
+    let countries = ["US", "CN", "IN", "PK", "DE", "BR", "IR", "GB"];
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let cc = countries[i % countries.len()];
+        let ip = alloc.allocate(country(cc));
+        records.push(StoredMeasurement {
+            submission: Submission {
+                measurement_id: MeasurementId(i as u64),
+                phase: SubmissionPhase::Result,
+                outcome: Some(if cc == "PK" && i % 2 == 0 {
+                    TaskOutcome::Failure
+                } else {
+                    TaskOutcome::Success
+                }),
+                elapsed_ms: 120,
+                task_type: TaskType::Image,
+                target_url: format!("http://site{}.example/favicon.ico", i % 20),
+                user_agent: "Chrome".into(),
+            },
+            client_ip: ip,
+            referer: None,
+            received_at: SimTime::ZERO,
+        });
+    }
+    let geo = GeoDb::from_allocator(&alloc);
+    (records, geo)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (records, geo) = make_records(100_000);
+    let detector = FilteringDetector::new(DetectorConfig::default());
+    c.bench_function("inference_100k_records", |b| {
+        b.iter(|| black_box(detector.detect(&records, &geo)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_binomial,
+    bench_network_fetch,
+    bench_browser_image_load,
+    bench_task_generation,
+    bench_inference,
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Generate the researcher-facing Markdown report (§3.1's "report them
+//! to a central authority") from a fresh world-scale run — the artifact
+//! a deployed Encore would publish, in the spirit of ONI country
+//! profiles but grounded in continuous measurement.
+
+use bench::{seed, write_results};
+use censor::registry::{install_world_censors, SAFE_TARGETS};
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::reports::{country_reports, render_markdown};
+use encore::system::EncoreSystem;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+use encore::{FilteringDetector, GeoDb};
+use netsim::geo::{country, World};
+use netsim::http::{ContentType, HttpResponse};
+use netsim::network::{ConstHandler, Network};
+use population::{run_deployment, Audience, DeploymentConfig};
+use sim_core::{SimDuration, SimRng};
+
+fn main() {
+    let world = World::with_long_tail(170);
+    let mut net = Network::new(world.clone());
+    for d in SAFE_TARGETS {
+        net.add_server(
+            d,
+            country("US"),
+            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 500))),
+        );
+    }
+    install_world_censors(&mut net);
+
+    let tasks: Vec<MeasurementTask> = SAFE_TARGETS
+        .iter()
+        .enumerate()
+        .map(|(i, d)| MeasurementTask {
+            id: MeasurementId(i as u64),
+            spec: TaskSpec::Image {
+                url: format!("http://{d}/favicon.ico"),
+            },
+        })
+        .collect();
+    let origins: Vec<OriginSite> = (0..8)
+        .map(|i| OriginSite::academic(format!("origin-{i}.example")).with_popularity(2.0))
+        .collect();
+    let mut sys = EncoreSystem::deploy(
+        &mut net,
+        tasks,
+        SchedulingStrategy::RoundRobin,
+        origins,
+        country("US"),
+    );
+    let mut rng = SimRng::new(seed());
+    let config = DeploymentConfig {
+        duration: SimDuration::from_days(21),
+        visits_per_day_per_weight: 30.0,
+        ..DeploymentConfig::default()
+    };
+    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+
+    let geo = GeoDb::from_allocator(&net.allocator);
+    let reports = country_reports(&sys.collection.records(), &geo, &FilteringDetector::default());
+    let markdown = render_markdown(&reports);
+
+    // Print the flagged countries in full; elide the long healthy tail.
+    for line in markdown.lines() {
+        println!("{line}");
+        if line.starts_with('#') && markdown.lines().count() > 400 {
+            continue;
+        }
+    }
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/report.md", &markdown);
+        eprintln!("[written \"results/report.md\"]");
+    }
+    write_results("report", &reports);
+}

@@ -1,0 +1,141 @@
+//! Longitudinal extension experiment — censorship onset and lifting.
+//!
+//! Not a numbered figure in the paper, but its core motivation (§1):
+//! censorship "varies over time in response to changing social or
+//! political conditions (e.g., a national election)" and measuring it
+//! requires *continuous* collection. We simulate a 30-day deployment in
+//! which Turkey switches on a Twitter block at day 10 and lifts it at
+//! day 20 (as happened in March 2014), and show the windowed detector
+//! localising both transitions to the correct day.
+
+use bench::{print_table, seed, write_results};
+use censor::national::NationalCensor;
+use censor::policy::{CensorPolicy, Mechanism};
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::system::EncoreSystem;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+use encore::{FilteringDetector, GeoDb};
+use netsim::geo::{country, World};
+use netsim::http::{ContentType, HttpResponse};
+use netsim::network::{ConstHandler, Network};
+use population::{run_deployment, Audience, DeploymentConfig};
+use serde::Serialize;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+#[derive(Serialize)]
+struct Timeline {
+    days: Vec<(u64, usize, bool)>, // (day, measurements, TR flagged)
+    onset_day: Option<u64>,
+    lift_day: Option<u64>,
+}
+
+fn main() {
+    let world = World::builtin();
+    let mut net = Network::new(world.clone());
+    net.add_server(
+        "twitter.com",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 500))),
+    );
+
+    // The March-2014-style block: on at day 10, lifted at day 20.
+    let policy =
+        CensorPolicy::named("tr-election-block").block_domain("twitter.com", Mechanism::DnsNxDomain);
+    let censor = NationalCensor::new(country("TR"), policy)
+        .active_from(SimTime::from_secs(10 * 86_400))
+        .active_until(SimTime::from_secs(20 * 86_400));
+    net.add_middlebox(Box::new(censor));
+
+    let tasks = vec![MeasurementTask {
+        id: MeasurementId(0),
+        spec: TaskSpec::Image {
+            url: "http://twitter.com/favicon.ico".into(),
+        },
+    }];
+    let origins = vec![
+        OriginSite::academic("origin-a.example").with_popularity(5.0),
+        OriginSite::academic("origin-b.example").with_popularity(5.0),
+    ];
+    let mut sys = EncoreSystem::deploy(
+        &mut net,
+        tasks,
+        SchedulingStrategy::RoundRobin,
+        origins,
+        country("US"),
+    );
+
+    let mut rng = SimRng::new(seed());
+    let audience = Audience::world(&world);
+    let config = DeploymentConfig {
+        duration: SimDuration::from_days(30),
+        visits_per_day_per_weight: 60.0,
+        ..DeploymentConfig::default()
+    };
+    let log = run_deployment(&mut net, &mut sys, &audience, &config, &mut rng);
+
+    let geo = GeoDb::from_allocator(&net.allocator);
+    let detector = FilteringDetector::default();
+    let reports =
+        detector.detect_windows(&sys.collection.records(), &geo, SimDuration::from_days(1));
+
+    let mut days = Vec::new();
+    let mut onset = None;
+    let mut lift = None;
+    let mut prev_flagged = false;
+    for r in &reports {
+        let flagged = r
+            .detections
+            .iter()
+            .any(|d| d.country == country("TR") && d.domain == "twitter.com");
+        if flagged && !prev_flagged && onset.is_none() {
+            onset = Some(r.window);
+        }
+        if !flagged && prev_flagged && onset.is_some() && lift.is_none() {
+            lift = Some(r.window);
+        }
+        prev_flagged = flagged;
+        days.push((r.window, r.measurements, flagged));
+    }
+
+    println!("=== timeline: Turkey blocks twitter.com on day 10, lifts on day 20 ===");
+    println!("({} visits; one detector window per day)\n", log.len());
+    print_table(
+        &["day", "measurements", "TR flagged"],
+        &days
+            .iter()
+            .map(|(d, m, f)| {
+                vec![
+                    d.to_string(),
+                    m.to_string(),
+                    if *f { "FILTERED".into() } else { "-".to_string() },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    print_table(
+        &["event", "ground truth", "detected"],
+        &[
+            vec![
+                "block onset".into(),
+                "day 10".into(),
+                onset.map(|d| format!("day {d}")).unwrap_or("missed".into()),
+            ],
+            vec![
+                "block lifted".into(),
+                "day 20".into(),
+                lift.map(|d| format!("day {d}")).unwrap_or("missed".into()),
+            ],
+        ],
+    );
+
+    write_results(
+        "timeline",
+        &Timeline {
+            days,
+            onset_day: onset,
+            lift_day: lift,
+        },
+    );
+}

@@ -1,0 +1,200 @@
+//! Shared experiment-harness plumbing: world construction, result
+//! tables, and JSON output.
+//!
+//! Every experiment binary in `src/bin/` regenerates one table or figure
+//! from the paper (see DESIGN.md's per-experiment index). Binaries print
+//! a human-readable table to stdout *and* write the same data as JSON
+//! under `results/`, so EXPERIMENTS.md can be regenerated and diffed.
+
+use browser::{BrowserClient, Engine};
+use censor::registry::SAFE_TARGETS;
+use encore::pipeline::{GenerationConfig, PatternExpander, TargetFetcher, TaskGenerator};
+use encore::tasks::MeasurementTask;
+use netsim::geo::{country, IspClass, World};
+use netsim::network::Network;
+use serde::Serialize;
+use sim_core::{SimRng, SimTime};
+use websim::generator::{social_site, SyntheticWeb, WebConfig};
+use websim::har::Har;
+use websim::site::SiteHandler;
+use websim::{SearchIndex, UrlPattern};
+
+/// Default root seed for all experiments (override with `ENCORE_SEED`).
+pub const DEFAULT_SEED: u64 = 0x0E7C0_2015;
+
+/// Read the experiment seed from the environment or default.
+pub fn seed() -> u64 {
+    std::env::var("ENCORE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// A fully built paper-world: network + corpus + social sites + index.
+pub struct PaperWorld {
+    /// The network (with the corpus and social sites installed; censors
+    /// and testbed are installed by the experiments that need them).
+    pub net: Network,
+    /// The synthetic content corpus (the Herdict-style 178 domains).
+    pub web: SyntheticWeb,
+    /// Search index over the corpus plus the social sites.
+    pub index: SearchIndex,
+    /// Root RNG (forked per subsystem).
+    pub rng: SimRng,
+}
+
+impl PaperWorld {
+    /// Build the world used by the feasibility experiments: 170-country
+    /// world table, the 178-domain corpus, and the three §7.2 social
+    /// sites.
+    pub fn build(web_config: &WebConfig, seed: u64) -> PaperWorld {
+        let mut rng = SimRng::new(seed);
+        let world = World::with_long_tail(170);
+        let mut net = Network::new(world);
+
+        let web = SyntheticWeb::generate(web_config, &mut rng);
+        web.install(&mut net, &mut rng);
+        let mut index = SearchIndex::build(&web);
+
+        // The high-collateral social sites.
+        let mut social_rng = rng.fork("social-sites");
+        for domain in SAFE_TARGETS {
+            let site = std::rc::Rc::new(social_site(domain, &mut social_rng));
+            net.add_server(domain, country("US"), Box::new(SiteHandler::new(site.clone())));
+            index.add_domain(domain, site.pages_by_popularity());
+        }
+
+        PaperWorld {
+            net,
+            web,
+            index,
+            rng,
+        }
+    }
+
+    /// Run the full Figure 3 pipeline over the corpus: expand every
+    /// domain pattern, fetch HARs from an unfiltered US vantage, return
+    /// the HARs (the §6.1 corpus: "6,548 URLs from the 178 URL
+    /// patterns").
+    pub fn fetch_corpus_hars(&mut self) -> Vec<Har> {
+        let patterns: Vec<UrlPattern> = self
+            .web
+            .domains()
+            .into_iter()
+            .map(UrlPattern::Domain)
+            .collect();
+        let expander = PatternExpander::new(&self.index);
+        let urls = expander.expand_all(&patterns);
+        let fetcher_browser = BrowserClient::new(
+            &mut self.net,
+            country("US"),
+            IspClass::Academic,
+            Engine::Chrome,
+            &self.rng,
+        );
+        let mut fetcher = TargetFetcher::new(fetcher_browser);
+        fetcher.fetch_all(&mut self.net, &urls, SimTime::ZERO)
+    }
+
+    /// Generate the task pool from HARs with the given config.
+    pub fn generate_tasks(&self, hars: &[Har], config: GenerationConfig) -> Vec<MeasurementTask> {
+        let mut generator = TaskGenerator::new(config);
+        // The "manual verification" stand-in: a careful operator rejects
+        // pages with known side effects (ground truth consulted the way a
+        // human reviewer would inspect the page).
+        let web = &self.web;
+        generator.generate_all(hars, |url| {
+            let Some(host) = netsim::http::host_of(url) else {
+                return false;
+            };
+            let path = netsim::http::path_of(url);
+            match web.site(&host) {
+                Some(site) => site.page(&path).is_none_or(|p| !p.side_effects),
+                None => false, // unknown page: a reviewer would reject it
+            }
+        })
+    }
+}
+
+/// Write an experiment's JSON artifact under `results/`.
+pub fn write_results<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, json);
+        eprintln!("[written {path:?}]");
+    }
+}
+
+/// Render a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format a CDF series as `(x, F)` rows.
+pub fn cdf_rows(series: &[(f64, f64)]) -> Vec<Vec<String>> {
+    series
+        .iter()
+        .map(|(x, f)| vec![format!("{x:.0}"), format!("{f:.3}")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_world_builds_and_produces_hars() {
+        let mut pw = PaperWorld::build(&WebConfig::small(), 7);
+        assert_eq!(pw.web.sites.len(), WebConfig::small().num_domains);
+        let hars = pw.fetch_corpus_hars();
+        assert!(!hars.is_empty());
+        let ok = hars.iter().filter(|h| h.page_ok).count();
+        assert!(ok * 10 > hars.len() * 9, "most corpus pages load");
+    }
+
+    #[test]
+    fn task_generation_from_corpus() {
+        let mut pw = PaperWorld::build(&WebConfig::small(), 7);
+        let hars = pw.fetch_corpus_hars();
+        let tasks = pw.generate_tasks(
+            &hars,
+            GenerationConfig {
+                max_image_bytes: 5_000,
+                ..GenerationConfig::default()
+            },
+        );
+        assert!(!tasks.is_empty());
+    }
+
+    #[test]
+    fn seed_default() {
+        // Unless the env var is set in the test environment, expect the
+        // default.
+        if std::env::var("ENCORE_SEED").is_err() {
+            assert_eq!(seed(), DEFAULT_SEED);
+        }
+    }
+}

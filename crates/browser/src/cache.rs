@@ -1,0 +1,181 @@
+//! The browser HTTP cache.
+//!
+//! The inline-frame task (paper §4.3.2) infers whether a page loaded by
+//! timing a subsequent image fetch: "If rendering this image is fast
+//! (e.g., less than a few milliseconds) we assume that the image was
+//! cached from the previous fetch". That inference is only as good as the
+//! cache model, so we model an LRU cache keyed by URL, storing enough of
+//! the response to replay it, with session-scoped entries (Encore tasks
+//! run within one page view; TTL subtleties don't matter at that scale,
+//! but capacity eviction does).
+
+use netsim::http::HttpResponse;
+use std::collections::HashMap;
+
+/// A bounded LRU cache of successful, cacheable responses.
+#[derive(Debug, Clone)]
+pub struct BrowserCache {
+    entries: HashMap<String, (HttpResponse, u64)>,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default entry capacity. Real 2014 browser caches held tens of
+/// thousands of objects; what matters here is that it comfortably exceeds
+/// one page's resource count.
+pub const DEFAULT_CAPACITY: usize = 4_096;
+
+impl Default for BrowserCache {
+    fn default() -> Self {
+        BrowserCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl BrowserCache {
+    /// Create a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> BrowserCache {
+        BrowserCache {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Store a response if its headers permit caching.
+    pub fn store(&mut self, url: &str, resp: &HttpResponse) {
+        if !resp.is_cacheable() {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(url) {
+            // Evict the least recently used entry. HashMap iteration order
+            // is non-deterministic, so pick the minimum (tick, key) pair —
+            // key as tie-break keeps eviction deterministic.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(k, (_, t))| (*t, (*k).clone()))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(url.to_string(), (resp.clone(), self.tick));
+    }
+
+    /// Look up a URL, refreshing its recency. Records hit/miss stats.
+    pub fn lookup(&mut self, url: &str) -> Option<HttpResponse> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(url) {
+            Some((resp, t)) => {
+                *t = tick;
+                self.hits += 1;
+                Some(resp.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or stats (tests, diagnostics).
+    pub fn contains(&self, url: &str) -> bool {
+        self.entries.contains_key(url)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clear everything (a fresh browsing session).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::http::ContentType;
+
+    fn img() -> HttpResponse {
+        HttpResponse::ok(ContentType::Image, 500)
+    }
+
+    #[test]
+    fn stores_and_returns_cacheable() {
+        let mut c = BrowserCache::default();
+        c.store("http://x/a.png", &img());
+        assert!(c.contains("http://x/a.png"));
+        assert_eq!(c.lookup("http://x/a.png").unwrap().body_bytes, 500);
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn refuses_non_cacheable() {
+        let mut c = BrowserCache::default();
+        c.store("http://x/a.png", &img().no_store());
+        assert!(c.is_empty());
+        let mut nf = img();
+        nf.status = netsim::http::StatusCode::NOT_FOUND;
+        c.store("http://x/404", &nf);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn miss_recorded() {
+        let mut c = BrowserCache::default();
+        assert!(c.lookup("http://x/missing").is_none());
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = BrowserCache::new(2);
+        c.store("http://x/1", &img());
+        c.store("http://x/2", &img());
+        // Touch 1 so 2 becomes LRU.
+        c.lookup("http://x/1");
+        c.store("http://x/3", &img());
+        assert!(c.contains("http://x/1"));
+        assert!(!c.contains("http://x/2"));
+        assert!(c.contains("http://x/3"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn restore_existing_does_not_evict() {
+        let mut c = BrowserCache::new(2);
+        c.store("http://x/1", &img());
+        c.store("http://x/2", &img());
+        c.store("http://x/1", &img()); // update in place
+        assert_eq!(c.len(), 2);
+        assert!(c.contains("http://x/2"));
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut c = BrowserCache::default();
+        c.store("http://x/1", &img());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

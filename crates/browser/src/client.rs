@@ -1,0 +1,141 @@
+//! A browser at a vantage point.
+//!
+//! A [`BrowserClient`] ties together a network host (country, ISP,
+//! address), an engine, an HTTP cache, and a device-speed factor. Device
+//! speed models client-side render cost variance — the paper's §5.3 list
+//! of non-censorship failure causes includes "high client system load",
+//! and Figure 7's cached-load distribution has a tail produced by slow
+//! devices.
+
+use crate::cache::BrowserCache;
+use crate::engine::Engine;
+use netsim::geo::{CountryCode, IspClass};
+use netsim::host::Host;
+use netsim::network::Network;
+use sim_core::dist::{LogNormal, Sample};
+use sim_core::{SimDuration, SimRng};
+
+/// A simulated browser client.
+pub struct BrowserClient {
+    /// Network identity (address, country, ISP).
+    pub host: Host,
+    /// Browser engine.
+    pub engine: Engine,
+    /// The HTTP cache.
+    pub cache: BrowserCache,
+    /// Render-cost multiplier (1.0 = median 2014 device; larger is
+    /// slower).
+    pub device_speed: f64,
+    /// The client's private randomness stream.
+    pub rng: SimRng,
+}
+
+impl BrowserClient {
+    /// Create a client attached to `network` in `country`.
+    pub fn new(
+        network: &mut Network,
+        country: CountryCode,
+        isp: IspClass,
+        engine: Engine,
+        root_rng: &SimRng,
+    ) -> BrowserClient {
+        let host = network.add_client(country, isp);
+        let rng = root_rng.fork_indexed("browser-client", host.id.0);
+        let mut client = BrowserClient {
+            host,
+            engine,
+            cache: BrowserCache::default(),
+            device_speed: 1.0,
+            rng,
+        };
+        // Log-normal device speed: median 1×, some clients 3×+ slower.
+        client.device_speed = LogNormal::new(0.0, 0.45).sample(&mut client.rng).clamp(0.3, 6.0);
+        client
+    }
+
+    /// Time to decode/render `bytes` of fetched content on this device.
+    /// Used for both cache hits (where it dominates) and network loads
+    /// (where it adds a small tail).
+    pub fn render_time(&mut self, bytes: u64) -> SimDuration {
+        let jitter = LogNormal::new(0.0, 0.35).sample(&mut self.rng);
+        let base_ms = 1.5 + bytes as f64 / 1_000_000.0 * 25.0;
+        SimDuration::from_millis_f64(base_ms * self.device_speed * jitter)
+    }
+
+    /// Time for a cache lookup plus render — the total latency of a
+    /// cached resource load (Figure 7's "cached" distribution).
+    pub fn cached_load_time(&mut self, bytes: u64) -> SimDuration {
+        SimDuration::from_millis_f64(0.3) + self.render_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::{country, World};
+
+    fn client() -> BrowserClient {
+        let mut n = Network::ideal(World::builtin());
+        let root = SimRng::new(7);
+        BrowserClient::new(
+            &mut n,
+            country("PK"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        )
+    }
+
+    #[test]
+    fn client_carries_host_identity() {
+        let c = client();
+        assert_eq!(c.host.country, country("PK"));
+        assert_eq!(c.engine, Engine::Chrome);
+    }
+
+    #[test]
+    fn device_speed_within_bounds() {
+        let c = client();
+        assert!((0.3..=6.0).contains(&c.device_speed));
+    }
+
+    #[test]
+    fn render_time_grows_with_bytes() {
+        let mut c = client();
+        let small: f64 = (0..50)
+            .map(|_| c.render_time(500).as_millis_f64())
+            .sum::<f64>()
+            / 50.0;
+        let large: f64 = (0..50)
+            .map(|_| c.render_time(2_000_000).as_millis_f64())
+            .sum::<f64>()
+            / 50.0;
+        assert!(large > small * 2.0, "small={small} large={large}");
+    }
+
+    #[test]
+    fn cached_loads_are_fast() {
+        let mut c = client();
+        // A favicon-sized cached load is typically well under 50 ms
+        // (Figure 7: "cached images typically load within tens of
+        // milliseconds").
+        let avg: f64 = (0..100)
+            .map(|_| c.cached_load_time(400).as_millis_f64())
+            .sum::<f64>()
+            / 100.0;
+        assert!(avg < 50.0, "avg cached load = {avg}ms");
+    }
+
+    #[test]
+    fn distinct_clients_have_distinct_streams() {
+        let mut n = Network::ideal(World::builtin());
+        let root = SimRng::new(7);
+        let mut a = BrowserClient::new(&mut n, country("US"), IspClass::Residential, Engine::Chrome, &root);
+        let mut b = BrowserClient::new(&mut n, country("US"), IspClass::Residential, Engine::Chrome, &root);
+        // Same construction parameters, different host ids → different
+        // randomness (device speeds or render draws diverge).
+        let ra: Vec<u64> = (0..4).map(|_| a.render_time(1_000).as_micros()).collect();
+        let rb: Vec<u64> = (0..4).map(|_| b.render_time(1_000).as_micros()).collect();
+        assert_ne!(ra, rb);
+    }
+}

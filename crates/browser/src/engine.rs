@@ -1,0 +1,127 @@
+//! Browser engines and their security-relevant differences.
+//!
+//! Encore tailors measurement tasks to the client's browser (paper §5.3:
+//! "we should only schedule the script task type … on clients running
+//! Chrome"). The behavioural differences that matter:
+//!
+//! * **Chrome** invokes a `<script>`'s `onload` whenever the fetch
+//!   returned HTTP 200 — even for non-JavaScript bodies — provided
+//!   `X-Content-Type-Options: nosniff` prevents execution (§4.3.2). This
+//!   turns the script tag into a generic reachability probe, Chrome-only.
+//! * Other engines fire `onerror` when the fetched body fails to parse as
+//!   JavaScript, and dangerously *execute* it when it does (or when MIME
+//!   sniffing mistakes it for JavaScript) — which is why Encore restricts
+//!   the script task to Chrome.
+//! * All 2014-era engines fire `onload`/`onerror` correctly for images
+//!   and apply cross-origin stylesheets (the CSS-XSS bugs were fixed,
+//!   §4.3.1).
+
+use serde::{Deserialize, Serialize};
+use sim_core::dist::Empirical;
+use std::fmt;
+
+/// A browser engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// Google Chrome (Blink).
+    Chrome,
+    /// Mozilla Firefox (Gecko).
+    Firefox,
+    /// Apple Safari (WebKit).
+    Safari,
+    /// Internet Explorer (Trident).
+    InternetExplorer,
+}
+
+impl Engine {
+    /// All engines in a fixed order.
+    pub const ALL: [Engine; 4] = [
+        Engine::Chrome,
+        Engine::Firefox,
+        Engine::Safari,
+        Engine::InternetExplorer,
+    ];
+
+    /// Whether `<script>` `onload` fires purely on HTTP 200 (Chrome's
+    /// behaviour, the basis of the Chrome-only script task).
+    pub fn script_onload_on_http_200(self) -> bool {
+        matches!(self, Engine::Chrome)
+    }
+
+    /// Whether the engine honours `X-Content-Type-Options: nosniff`
+    /// (2014: Chrome and IE did; Firefox shipped it later, Safari later
+    /// still).
+    pub fn respects_nosniff(self) -> bool {
+        matches!(self, Engine::Chrome | Engine::InternetExplorer)
+    }
+
+    /// Global market share circa 2014, used when sampling client
+    /// populations.
+    pub fn market_share(self) -> f64 {
+        match self {
+            Engine::Chrome => 0.45,
+            Engine::Firefox => 0.18,
+            Engine::Safari => 0.13,
+            Engine::InternetExplorer => 0.24,
+        }
+    }
+
+    /// An [`Empirical`] distribution over engines weighted by market
+    /// share.
+    pub fn market_distribution() -> Empirical<Engine> {
+        Empirical::new(
+            Engine::ALL
+                .into_iter()
+                .map(|e| (e, e.market_share()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Chrome => "Chrome",
+            Engine::Firefox => "Firefox",
+            Engine::Safari => "Safari",
+            Engine::InternetExplorer => "IE",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimRng;
+
+    #[test]
+    fn only_chrome_has_the_script_side_channel() {
+        assert!(Engine::Chrome.script_onload_on_http_200());
+        for e in [Engine::Firefox, Engine::Safari, Engine::InternetExplorer] {
+            assert!(!e.script_onload_on_http_200(), "{e}");
+        }
+    }
+
+    #[test]
+    fn market_shares_sum_to_one() {
+        let total: f64 = Engine::ALL.iter().map(|e| e.market_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn market_distribution_samples_all_engines() {
+        let d = Engine::market_distribution();
+        let mut rng = SimRng::new(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1_000 {
+            seen.insert(*d.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn chrome_respects_nosniff() {
+        assert!(Engine::Chrome.respects_nosniff());
+        assert!(!Engine::Safari.respects_nosniff());
+    }
+}

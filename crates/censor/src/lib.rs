@@ -1,0 +1,36 @@
+//! # censor — censorship models for the Encore reproduction
+//!
+//! Paper §3.1's adversary can "reject, block, or modify any stage of a Web
+//! connection in order to filter Web access for subsets of clients",
+//! operating a blacklist while being "unwilling to filter all Web traffic".
+//! This crate models that adversary:
+//!
+//! * [`policy`] — blacklist rules: *what* is filtered (domains, URL
+//!   prefixes, exact URLs, keywords, IPs) and *how* (DNS NXDOMAIN/redirect/
+//!   drop, IP drop, TCP RST, HTTP drop/reset/block-page/redirect, and
+//!   probabilistic throttling — the "subtle" filtering the paper says
+//!   Encore struggles to see).
+//! * [`national`] — [`national::NationalCensor`], a [`netsim::Middlebox`]
+//!   that applies a policy to all clients in one country.
+//! * [`registry`] — ready-made policies reproducing the ground truth the
+//!   paper verifies against in §7.2: YouTube filtered in Pakistan, Iran and
+//!   China; Twitter and Facebook in China and Iran.
+//! * [`testbed`] — the §7.1 "Web censorship testbed, which has DNS,
+//!   firewall, and Web server configurations that emulate seven varieties
+//!   of DNS, IP, and HTTP filtering", used to validate measurement-task
+//!   soundness.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fingerprint;
+pub mod national;
+pub mod policy;
+pub mod registry;
+pub mod testbed;
+
+pub use fingerprint::EncoreFingerprinter;
+pub use national::NationalCensor;
+pub use policy::{BlockTarget, CensorPolicy, Mechanism, Rule};
+pub use registry::{ground_truth, install_world_censors, GroundTruth};
+pub use testbed::{FilterVariety, Testbed, TESTBED_DOMAIN};

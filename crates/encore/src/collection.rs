@@ -1,0 +1,460 @@
+//! The collection server (paper §5.5).
+//!
+//! "After clients run a measurement task, they submit the result of the
+//! task for analysis … by issuing an AJAX request containing the results
+//! directly to our collection server." Appendix A shows the wire format:
+//! a GET-style request with `cmh-id` / `cmh-result` query parameters; the
+//! client also submits an `init` phase "as soon as the client loads the
+//! page … even if they don't submit a final result".
+//!
+//! The server records, with each submission, the client's source address
+//! (for geolocation), the `Referer` (unless the origin site strips it —
+//! "3/4 of measurements come from sites that elect to strip the Referer
+//! header"), and a user-agent tag used to exclude crawler traffic (§7.1:
+//! "after excluding erroneously contributed measurements (e.g., from Web
+//! crawlers)").
+
+use crate::tasks::{MeasurementId, TaskOutcome, TaskType};
+use netsim::geo::CountryCode;
+use netsim::http::{ContentType, HttpRequest, HttpResponse};
+use netsim::network::{HttpHandler, Network};
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Which of the two submissions this is (Appendix A: an `init` beacon
+/// before the measurement, then the result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmissionPhase {
+    /// "Indicates which clients attempted to run the measurement."
+    Init,
+    /// The measurement outcome.
+    Result,
+}
+
+/// A client-side submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Measurement ID linking init and result.
+    pub measurement_id: MeasurementId,
+    /// Init or result.
+    pub phase: SubmissionPhase,
+    /// Task outcome (None for init).
+    pub outcome: Option<TaskOutcome>,
+    /// Elapsed task time in milliseconds (0 for init).
+    pub elapsed_ms: u64,
+    /// Task mechanism.
+    pub task_type: TaskType,
+    /// The measured URL.
+    pub target_url: String,
+    /// Browser user agent family (crawlers announce themselves).
+    pub user_agent: String,
+}
+
+/// Minimal percent-encoding for query values.
+fn pct_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`pct_encode`]. Malformed escapes pass through verbatim.
+/// Operates on raw bytes: slicing by byte offset must never split a
+/// multi-byte character.
+fn pct_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse the query-string portion of a URL into a map.
+fn parse_query(url: &str) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    if let Some(q) = url.split('?').nth(1) {
+        for pair in q.split('&') {
+            if let Some((k, v)) = pair.split_once('=') {
+                map.insert(pct_decode(k), pct_decode(v));
+            }
+        }
+    }
+    map
+}
+
+impl Submission {
+    /// Encode as the submit URL's query parameters (Appendix A wire
+    /// format).
+    pub fn to_query(&self) -> String {
+        let result = match (self.phase, self.outcome) {
+            (SubmissionPhase::Init, _) => "init".to_string(),
+            (SubmissionPhase::Result, Some(TaskOutcome::Success)) => "success".to_string(),
+            (SubmissionPhase::Result, Some(TaskOutcome::Failure)) => "failure".to_string(),
+            (SubmissionPhase::Result, None) => "unknown".to_string(),
+        };
+        format!(
+            "cmh-id={}&cmh-result={}&cmh-elapsed={}&cmh-type={}&cmh-target={}&cmh-ua={}",
+            pct_encode(&self.measurement_id.to_string()),
+            result,
+            self.elapsed_ms,
+            self.task_type,
+            pct_encode(&self.target_url),
+            pct_encode(&self.user_agent),
+        )
+    }
+
+    /// Decode from a submit URL. Returns `None` on malformed input (the
+    /// server drops such requests).
+    pub fn from_url(url: &str) -> Option<Submission> {
+        let q = parse_query(url);
+        let id_str = q.get("cmh-id")?;
+        let id_hex = id_str.strip_prefix("m-")?;
+        let measurement_id = MeasurementId(u64::from_str_radix(id_hex, 16).ok()?);
+        let (phase, outcome) = match q.get("cmh-result")?.as_str() {
+            "init" => (SubmissionPhase::Init, None),
+            "success" => (SubmissionPhase::Result, Some(TaskOutcome::Success)),
+            "failure" => (SubmissionPhase::Result, Some(TaskOutcome::Failure)),
+            _ => return None,
+        };
+        let task_type = match q.get("cmh-type")?.as_str() {
+            "image" => TaskType::Image,
+            "stylesheet" => TaskType::Stylesheet,
+            "iframe" => TaskType::Iframe,
+            "script" => TaskType::Script,
+            _ => return None,
+        };
+        Some(Submission {
+            measurement_id,
+            phase,
+            outcome,
+            elapsed_ms: q.get("cmh-elapsed")?.parse().ok()?,
+            task_type,
+            target_url: q.get("cmh-target")?.clone(),
+            user_agent: q.get("cmh-ua").cloned().unwrap_or_default(),
+        })
+    }
+}
+
+/// A submission as stored server-side, enriched with connection metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredMeasurement {
+    /// The submission body.
+    pub submission: Submission,
+    /// Source address of the connection.
+    pub client_ip: Ipv4Addr,
+    /// `Referer` header, if the origin site did not strip it.
+    pub referer: Option<String>,
+    /// Server receive time.
+    pub received_at: SimTime,
+}
+
+impl StoredMeasurement {
+    /// Whether this record came from automated traffic (the §6.2 campus
+    /// security scanner, search-engine crawlers, …).
+    pub fn is_crawler(&self) -> bool {
+        let ua = self.submission.user_agent.to_ascii_lowercase();
+        ua.contains("bot") || ua.contains("crawler") || ua.contains("scanner")
+    }
+
+    /// Target domain of the measurement.
+    pub fn target_domain(&self) -> Option<String> {
+        netsim::http::host_of(&self.submission.target_url)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    records: Vec<StoredMeasurement>,
+    malformed: u64,
+}
+
+/// The collection server: an HTTP endpoint accumulating submissions.
+#[derive(Clone)]
+pub struct CollectionServer {
+    /// DNS name clients submit to.
+    pub domain: String,
+    store: Rc<RefCell<Store>>,
+}
+
+struct CollectorHandler {
+    store: Rc<RefCell<Store>>,
+}
+
+impl HttpHandler for CollectorHandler {
+    fn handle(&self, req: &HttpRequest, client_ip: Ipv4Addr, now: SimTime) -> HttpResponse {
+        if !req.path().starts_with("/submit") {
+            return HttpResponse::not_found();
+        }
+        match Submission::from_url(&req.url) {
+            Some(submission) => {
+                self.store.borrow_mut().records.push(StoredMeasurement {
+                    submission,
+                    client_ip,
+                    referer: req.referer.clone(),
+                    received_at: now,
+                });
+                // Tiny CORS-permissive 204-ish response.
+                let mut resp = HttpResponse::ok(ContentType::Other, 2).no_store();
+                resp.extra_headers
+                    .insert("Access-Control-Allow-Origin".into(), "*".into());
+                resp
+            }
+            None => {
+                self.store.borrow_mut().malformed += 1;
+                HttpResponse::not_found()
+            }
+        }
+    }
+}
+
+impl CollectionServer {
+    /// Create a collection service for `domain`.
+    pub fn new(domain: impl Into<String>) -> CollectionServer {
+        CollectionServer {
+            domain: domain.into(),
+            store: Rc::new(RefCell::new(Store::default())),
+        }
+    }
+
+    /// Register the endpoint in the network (hosted in `country`).
+    pub fn install(&self, net: &mut Network, country: CountryCode) {
+        net.add_server(
+            &self.domain,
+            country,
+            Box::new(CollectorHandler {
+                store: Rc::clone(&self.store),
+            }),
+        );
+    }
+
+    /// Register an additional mirror domain sharing the same store (§8:
+    /// "collection of the results could be distributed across servers
+    /// hosted in different domains").
+    pub fn install_mirror(&self, net: &mut Network, mirror_domain: &str, country: CountryCode) {
+        net.add_server(
+            mirror_domain,
+            country,
+            Box::new(CollectorHandler {
+                store: Rc::clone(&self.store),
+            }),
+        );
+    }
+
+    /// The submit URL for a submission (against the primary domain).
+    pub fn submit_url(&self, sub: &Submission) -> String {
+        format!("http://{}/submit?{}", self.domain, sub.to_query())
+    }
+
+    /// The submit URL against an arbitrary (mirror) domain.
+    pub fn submit_url_via(&self, domain: &str, sub: &Submission) -> String {
+        format!("http://{domain}/submit?{}", sub.to_query())
+    }
+
+    /// Snapshot of all stored records.
+    pub fn records(&self) -> Vec<StoredMeasurement> {
+        self.store.borrow().records.clone()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.store.borrow().records.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of malformed submissions dropped.
+    pub fn malformed(&self) -> u64 {
+        self.store.borrow().malformed
+    }
+
+    /// Distinct client IPs seen (the paper reports "88,260 distinct
+    /// IPs").
+    pub fn distinct_ips(&self) -> usize {
+        let mut ips: Vec<_> = self
+            .store
+            .borrow()
+            .records
+            .iter()
+            .map(|r| r.client_ip)
+            .collect();
+        ips.sort();
+        ips.dedup();
+        ips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::{country, IspClass, World};
+    use sim_core::SimRng;
+
+    fn submission() -> Submission {
+        Submission {
+            measurement_id: MeasurementId(0xAB),
+            phase: SubmissionPhase::Result,
+            outcome: Some(TaskOutcome::Failure),
+            elapsed_ms: 1_234,
+            task_type: TaskType::Image,
+            target_url: "http://youtube.com/favicon.ico".into(),
+            user_agent: "Chrome".into(),
+        }
+    }
+
+    #[test]
+    fn submission_roundtrips_through_url() {
+        let s = submission();
+        let url = format!("http://collector.example/submit?{}", s.to_query());
+        let back = Submission::from_url(&url).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn init_phase_roundtrips() {
+        let s = Submission {
+            phase: SubmissionPhase::Init,
+            outcome: None,
+            elapsed_ms: 0,
+            ..submission()
+        };
+        let url = format!("http://c/submit?{}", s.to_query());
+        assert_eq!(Submission::from_url(&url).unwrap().phase, SubmissionPhase::Init);
+    }
+
+    #[test]
+    fn malformed_submissions_rejected() {
+        assert!(Submission::from_url("http://c/submit?cmh-id=garbage").is_none());
+        assert!(Submission::from_url("http://c/submit").is_none());
+        assert!(
+            Submission::from_url("http://c/submit?cmh-id=m-00ff&cmh-result=banana").is_none()
+        );
+    }
+
+    #[test]
+    fn pct_encoding_roundtrip() {
+        let s = "http://a.com/x?q=1&r=%20";
+        assert_eq!(pct_decode(&pct_encode(s)), s);
+        assert_eq!(pct_encode("a b"), "a%20b");
+    }
+
+    #[test]
+    fn server_stores_submissions_over_the_network() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.encore-repro.net");
+        server.install(&mut net, country("US"));
+        let client = net.add_client(country("PK"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+
+        let url = server.submit_url(&submission());
+        let req = HttpRequest::get(&url).with_referer("http://origin.example/");
+        let out = net.fetch(&client, &req, SimTime::from_secs(10), &mut rng);
+        assert!(out.result.is_ok());
+
+        assert_eq!(server.len(), 1);
+        let rec = &server.records()[0];
+        assert_eq!(rec.client_ip, client.ip);
+        assert_eq!(rec.referer.as_deref(), Some("http://origin.example/"));
+        assert_eq!(rec.received_at, SimTime::from_secs(10));
+        assert_eq!(rec.submission.outcome, Some(TaskOutcome::Failure));
+        assert_eq!(rec.target_domain().as_deref(), Some("youtube.com"));
+    }
+
+    #[test]
+    fn server_counts_malformed() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.example");
+        server.install(&mut net, country("US"));
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        net.fetch(
+            &client,
+            &HttpRequest::get("http://collector.example/submit?junk=1"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(server.len(), 0);
+        assert_eq!(server.malformed(), 1);
+    }
+
+    #[test]
+    fn mirror_shares_the_store() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.example");
+        server.install(&mut net, country("US"));
+        server.install_mirror(&mut net, "mirror.example", country("DE"));
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let url = server.submit_url_via("mirror.example", &submission());
+        net.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn crawler_detection() {
+        let rec = StoredMeasurement {
+            submission: Submission {
+                user_agent: "SecurityScanner/2.0".into(),
+                ..submission()
+            },
+            client_ip: Ipv4Addr::new(100, 0, 0, 9),
+            referer: None,
+            received_at: SimTime::ZERO,
+        };
+        assert!(rec.is_crawler());
+        let human = StoredMeasurement {
+            submission: submission(),
+            client_ip: Ipv4Addr::new(100, 0, 0, 9),
+            referer: None,
+            received_at: SimTime::ZERO,
+        };
+        assert!(!human.is_crawler());
+    }
+
+    #[test]
+    fn distinct_ip_counting() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.example");
+        server.install(&mut net, country("US"));
+        let mut rng = SimRng::new(1);
+        for _ in 0..3 {
+            let c = net.add_client(country("US"), IspClass::Residential);
+            let url = server.submit_url(&submission());
+            net.fetch(&c, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+            // Same client submits twice.
+            net.fetch(&c, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+        }
+        assert_eq!(server.len(), 6);
+        assert_eq!(server.distinct_ips(), 3);
+    }
+}

@@ -1,0 +1,575 @@
+//! The filtering-detection algorithm (paper §7.2).
+//!
+//! > "We model each measurement success as a Bernoulli random variable
+//! > with parameter p = 0.7; we assume that, in the absence of filtering,
+//! > clients should successfully load resources at least 70% of the time.
+//! > … For each resource and region, we count both the total number of
+//! > measurements n_r and the number of successful measurements x_r and
+//! > run a one-sided hypothesis test for a binomial distribution; we
+//! > consider a resource as filtered in region r if x_r fails this test
+//! > at 0.05 significance … yet does not fail the same test in other
+//! > regions."
+//!
+//! The cross-region control is what separates *filtering* from *outage*:
+//! a site that is down fails everywhere and is flagged nowhere.
+
+use crate::collection::{StoredMeasurement, SubmissionPhase};
+use crate::geo::GeoDb;
+use crate::tasks::TaskOutcome;
+use netsim::geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use sim_core::OneSidedBinomialTest;
+use std::collections::BTreeMap;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// The hypothesis test (paper: p = 0.7, α = 0.05).
+    pub test: OneSidedBinomialTest,
+    /// Minimum measurements per (resource, region) cell before the test
+    /// is attempted — guards against one unlucky client condemning a
+    /// region.
+    pub min_measurements: u64,
+    /// Drop submissions from crawlers/scanners (§7.1).
+    pub exclude_crawlers: bool,
+    /// Cap on result measurements counted from a single client address
+    /// per (resource, region) cell. This is the poisoning mitigation of
+    /// §8 ("attackers may attempt to submit poisoned measurement results
+    /// to alter the conclusions that Encore draws"): an attacker must
+    /// control many addresses, not just flood from one. `None` disables
+    /// the cap.
+    pub max_per_ip: Option<u64>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            test: OneSidedBinomialTest::default(),
+            min_measurements: 5,
+            exclude_crawlers: true,
+            max_per_ip: Some(10),
+        }
+    }
+}
+
+/// One (resource, region) cell of the measurement matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cell {
+    /// Total result-phase measurements.
+    pub n: u64,
+    /// Successful measurements.
+    pub x: u64,
+}
+
+impl Cell {
+    /// Observed success rate (1.0 for an empty cell).
+    pub fn success_rate(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.x as f64 / self.n as f64
+        }
+    }
+}
+
+/// A positive detection: `domain` appears filtered in `country`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The filtered resource's domain.
+    pub domain: String,
+    /// The region where it fails.
+    pub country: CountryCode,
+    /// Measurements in that region.
+    pub n: u64,
+    /// Successes in that region.
+    pub x: u64,
+    /// The test's p-value.
+    pub p_value: f64,
+}
+
+/// The detector.
+#[derive(Debug, Clone, Default)]
+pub struct FilteringDetector {
+    /// Configuration.
+    pub config: DetectorConfig,
+}
+
+impl FilteringDetector {
+    /// Detector with explicit configuration.
+    pub fn new(config: DetectorConfig) -> FilteringDetector {
+        FilteringDetector { config }
+    }
+
+    /// Build the (domain, country) measurement matrix from raw records.
+    pub fn build_matrix(
+        &self,
+        records: &[StoredMeasurement],
+        geo: &GeoDb,
+    ) -> BTreeMap<(String, CountryCode), Cell> {
+        let mut matrix: BTreeMap<(String, CountryCode), Cell> = BTreeMap::new();
+        let mut per_ip: BTreeMap<(String, std::net::Ipv4Addr), u64> = BTreeMap::new();
+        for rec in records {
+            if rec.submission.phase != SubmissionPhase::Result {
+                continue;
+            }
+            if self.config.exclude_crawlers && rec.is_crawler() {
+                continue;
+            }
+            let Some(outcome) = rec.submission.outcome else {
+                continue;
+            };
+            let Some(domain) = rec.target_domain() else {
+                continue;
+            };
+            let Some(country) = geo.lookup(rec.client_ip) else {
+                continue;
+            };
+            if let Some(cap) = self.config.max_per_ip {
+                let seen = per_ip.entry((domain.clone(), rec.client_ip)).or_insert(0);
+                if *seen >= cap {
+                    continue; // poisoning mitigation: flooding one IP stops counting
+                }
+                *seen += 1;
+            }
+            let cell = matrix.entry((domain, country)).or_default();
+            cell.n += 1;
+            if outcome == TaskOutcome::Success {
+                cell.x += 1;
+            }
+        }
+        matrix
+    }
+
+    /// Run the §7.2 detection rule over the matrix.
+    pub fn detect(&self, records: &[StoredMeasurement], geo: &GeoDb) -> Vec<Detection> {
+        let matrix = self.build_matrix(records, geo);
+
+        // Group cells by domain.
+        let mut by_domain: BTreeMap<String, Vec<(CountryCode, Cell)>> = BTreeMap::new();
+        for ((domain, country), cell) in &matrix {
+            by_domain
+                .entry(domain.clone())
+                .or_default()
+                .push((*country, *cell));
+        }
+
+        let mut detections = Vec::new();
+        for (domain, cells) in by_domain {
+            // Which regions (with enough data) fail the test?
+            let mut failing = Vec::new();
+            let mut passing_regions = 0usize;
+            for &(country, cell) in &cells {
+                if cell.n < self.config.min_measurements {
+                    continue;
+                }
+                if self.config.test.rejects(cell.n, cell.x) {
+                    failing.push((country, cell));
+                } else if cell.success_rate() >= self.config.test.p {
+                    // Refinement over the paper's literal rule: a region
+                    // only counts as a healthy control when its success
+                    // rate actually clears the null prior. Otherwise a
+                    // global partial outage (~50% success everywhere)
+                    // would be "passed" by small regions that merely lack
+                    // the sample size to reach significance, and every
+                    // large region would be falsely flagged.
+                    passing_regions += 1;
+                }
+            }
+            // The cross-region control: a resource failing *everywhere*
+            // is an outage, not filtering. Require at least one healthy
+            // region.
+            if passing_regions == 0 {
+                continue;
+            }
+            for (country, cell) in failing {
+                detections.push(Detection {
+                    domain: domain.clone(),
+                    country,
+                    n: cell.n,
+                    x: cell.x,
+                    p_value: self.config.test.p_value(cell.n, cell.x),
+                });
+            }
+        }
+        detections
+    }
+}
+
+/// One window of a longitudinal analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window index (0-based).
+    pub window: u64,
+    /// Window start time.
+    pub start: sim_core::SimTime,
+    /// Result measurements falling in the window.
+    pub measurements: usize,
+    /// Detections within the window.
+    pub detections: Vec<Detection>,
+}
+
+impl FilteringDetector {
+    /// Longitudinal detection: slice the record stream into fixed
+    /// windows and run the detector per window. This is what turns
+    /// Encore from a snapshot into the continuous monitor the paper
+    /// argues for (§1: censorship "varies over time in response to
+    /// changing social or political conditions (e.g., a national
+    /// election)") — the onset and lifting of a block appear as
+    /// detections entering and leaving consecutive windows.
+    pub fn detect_windows(
+        &self,
+        records: &[StoredMeasurement],
+        geo: &GeoDb,
+        window: sim_core::SimDuration,
+    ) -> Vec<WindowReport> {
+        assert!(window.as_micros() > 0, "window must be positive");
+        let mut by_window: BTreeMap<u64, Vec<StoredMeasurement>> = BTreeMap::new();
+        for rec in records {
+            let w = rec.received_at.as_micros() / window.as_micros();
+            by_window.entry(w).or_default().push(rec.clone());
+        }
+        by_window
+            .into_iter()
+            .map(|(w, recs)| WindowReport {
+                window: w,
+                start: sim_core::SimTime::from_micros(w * window.as_micros()),
+                measurements: recs
+                    .iter()
+                    .filter(|r| r.submission.phase == SubmissionPhase::Result)
+                    .count(),
+                detections: self.detect(&recs, geo),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Submission;
+    use crate::tasks::{MeasurementId, TaskType};
+    use netsim::geo::country;
+    use netsim::ip::IpAllocator;
+    use sim_core::SimTime;
+
+    struct Fixture {
+        alloc: IpAllocator,
+        records: Vec<StoredMeasurement>,
+        next_id: u64,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Fixture {
+                alloc: IpAllocator::new(),
+                records: Vec::new(),
+                next_id: 0,
+            }
+        }
+
+        fn add(&mut self, domain: &str, cc: &str, outcome: TaskOutcome) {
+            self.add_ua(domain, cc, outcome, "Chrome");
+        }
+
+        fn add_at(&mut self, domain: &str, cc: &str, outcome: TaskOutcome, at: SimTime) {
+            self.add(domain, cc, outcome);
+            self.records.last_mut().unwrap().received_at = at;
+        }
+
+        fn add_ua(&mut self, domain: &str, cc: &str, outcome: TaskOutcome, ua: &str) {
+            let ip = self.alloc.allocate(country(cc));
+            self.next_id += 1;
+            self.records.push(StoredMeasurement {
+                submission: Submission {
+                    measurement_id: MeasurementId(self.next_id),
+                    phase: SubmissionPhase::Result,
+                    outcome: Some(outcome),
+                    elapsed_ms: 100,
+                    task_type: TaskType::Image,
+                    target_url: format!("http://{domain}/favicon.ico"),
+                    user_agent: ua.into(),
+                },
+                client_ip: ip,
+                referer: None,
+                received_at: SimTime::ZERO,
+            });
+        }
+
+        fn geo(&self) -> GeoDb {
+            GeoDb::from_allocator(&self.alloc)
+        }
+    }
+
+    fn detector() -> FilteringDetector {
+        FilteringDetector::default()
+    }
+
+    #[test]
+    fn detects_regional_blocking() {
+        let mut f = Fixture::new();
+        // 20 failures in Pakistan, 30 successes in the US.
+        for _ in 0..20 {
+            f.add("youtube.com", "PK", TaskOutcome::Failure);
+        }
+        for _ in 0..30 {
+            f.add("youtube.com", "US", TaskOutcome::Success);
+        }
+        let d = detector().detect(&f.records, &f.geo());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].country, country("PK"));
+        assert_eq!(d[0].domain, "youtube.com");
+        assert!(d[0].p_value < 0.001);
+    }
+
+    #[test]
+    fn outage_everywhere_is_not_filtering() {
+        let mut f = Fixture::new();
+        for cc in ["PK", "US", "DE"] {
+            for _ in 0..20 {
+                f.add("down.com", cc, TaskOutcome::Failure);
+            }
+        }
+        assert!(detector().detect(&f.records, &f.geo()).is_empty());
+    }
+
+    #[test]
+    fn sporadic_failures_tolerated() {
+        let mut f = Fixture::new();
+        // India: 75% success — below perfection but above the p=0.7 null.
+        for i in 0..40 {
+            f.add(
+                "fine.com",
+                "IN",
+                if i % 4 == 0 {
+                    TaskOutcome::Failure
+                } else {
+                    TaskOutcome::Success
+                },
+            );
+        }
+        for _ in 0..40 {
+            f.add("fine.com", "US", TaskOutcome::Success);
+        }
+        assert!(detector().detect(&f.records, &f.geo()).is_empty());
+    }
+
+    #[test]
+    fn small_samples_never_flag() {
+        let mut f = Fixture::new();
+        // 3 failures in PK: below min_measurements.
+        for _ in 0..3 {
+            f.add("youtube.com", "PK", TaskOutcome::Failure);
+        }
+        for _ in 0..30 {
+            f.add("youtube.com", "US", TaskOutcome::Success);
+        }
+        assert!(detector().detect(&f.records, &f.geo()).is_empty());
+    }
+
+    #[test]
+    fn crawler_traffic_excluded() {
+        let mut f = Fixture::new();
+        // All "failures" in DE come from a scanner.
+        for _ in 0..20 {
+            f.add_ua("x.com", "DE", TaskOutcome::Failure, "SecurityScanner");
+        }
+        for _ in 0..20 {
+            f.add("x.com", "US", TaskOutcome::Success);
+        }
+        assert!(detector().detect(&f.records, &f.geo()).is_empty());
+        // With exclusion disabled the false detection appears.
+        let lax = FilteringDetector::new(DetectorConfig {
+            exclude_crawlers: false,
+            ..DetectorConfig::default()
+        });
+        assert_eq!(lax.detect(&f.records, &f.geo()).len(), 1);
+    }
+
+    #[test]
+    fn init_phase_records_ignored() {
+        let mut f = Fixture::new();
+        for _ in 0..20 {
+            f.add("y.com", "PK", TaskOutcome::Failure);
+        }
+        for _ in 0..20 {
+            f.add("y.com", "US", TaskOutcome::Success);
+        }
+        // Turn all PK records into init-phase: no results → no detection.
+        for r in &mut f.records {
+            if f.alloc.country_of(r.client_ip) == Some(country("PK")) {
+                r.submission.phase = SubmissionPhase::Init;
+                r.submission.outcome = None;
+            }
+        }
+        assert!(detector().detect(&f.records, &f.geo()).is_empty());
+    }
+
+    #[test]
+    fn matrix_counts_are_correct() {
+        let mut f = Fixture::new();
+        for _ in 0..7 {
+            f.add("a.com", "CN", TaskOutcome::Failure);
+        }
+        for _ in 0..3 {
+            f.add("a.com", "CN", TaskOutcome::Success);
+        }
+        let m = detector().build_matrix(&f.records, &f.geo());
+        let cell = m[&("a.com".to_string(), country("CN"))];
+        assert_eq!(cell.n, 10);
+        assert_eq!(cell.x, 3);
+        assert!((cell.success_rate() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_throttling_needs_more_evidence_than_hard_blocking() {
+        // With 50% success (throttling), the detector needs more samples
+        // than with 0% success (hard block) — quantifying the paper's
+        // point that subtle filtering is harder to see.
+        let t = OneSidedBinomialTest::default();
+        // Hard block: significant at n = 3.
+        assert!(t.rejects(3, 0));
+        // 50% success: n = 3 (x≈1) is not significant…
+        assert!(!t.rejects(3, 1));
+        assert!(!t.rejects(6, 3));
+        // …but n = 30 (x = 15) is.
+        assert!(t.rejects(30, 15));
+    }
+
+    #[test]
+    fn windowed_detection_sees_censorship_onset() {
+        use sim_core::SimDuration;
+        let mut f = Fixture::new();
+        let day = SimDuration::from_days(1);
+        // Days 0–4: everything fine everywhere. Days 5–9: Turkey blocks.
+        for d in 0..10u64 {
+            let at = SimTime::from_secs(d * 86_400 + 100);
+            for _ in 0..12 {
+                let tr_outcome = if d >= 5 {
+                    TaskOutcome::Failure
+                } else {
+                    TaskOutcome::Success
+                };
+                f.add_at("twitter.com", "TR", tr_outcome, at);
+                f.add_at("twitter.com", "US", TaskOutcome::Success, at);
+            }
+        }
+        let reports = FilteringDetector::default().detect_windows(&f.records, &f.geo(), day);
+        assert_eq!(reports.len(), 10);
+        for r in &reports {
+            let flagged = r
+                .detections
+                .iter()
+                .any(|d| d.country == country("TR") && d.domain == "twitter.com");
+            if r.window < 5 {
+                assert!(!flagged, "window {} falsely flagged", r.window);
+            } else {
+                assert!(flagged, "window {} missed the block", r.window);
+            }
+            assert_eq!(r.measurements, 24);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn windowed_detection_rejects_zero_window() {
+        let f = Fixture::new();
+        let _ = FilteringDetector::default().detect_windows(
+            &f.records,
+            &f.geo(),
+            sim_core::SimDuration::ZERO,
+        );
+    }
+
+    #[test]
+    fn single_ip_flood_cannot_poison_detection() {
+        let mut f = Fixture::new();
+        // Healthy baseline in two countries.
+        for cc in ["US", "DE"] {
+            for _ in 0..30 {
+                f.add("victim.com", cc, TaskOutcome::Success);
+            }
+        }
+        // One attacker address in BR floods 500 failure reports.
+        let attacker_ip = f.alloc.allocate(country("BR"));
+        for i in 0..500u64 {
+            f.records.push(StoredMeasurement {
+                submission: Submission {
+                    measurement_id: MeasurementId(100_000 + i),
+                    phase: SubmissionPhase::Result,
+                    outcome: Some(TaskOutcome::Failure),
+                    elapsed_ms: 100,
+                    task_type: TaskType::Image,
+                    target_url: "http://victim.com/favicon.ico".into(),
+                    user_agent: "Chrome".into(),
+                },
+                client_ip: attacker_ip,
+                referer: None,
+                received_at: SimTime::ZERO,
+            });
+        }
+        // With the per-IP cap (default 10): 10 failures in BR is still a
+        // significant cell… so also require min_measurements > cap to
+        // show the combined defence, or observe the cap shrink n.
+        let capped = FilteringDetector::new(DetectorConfig {
+            max_per_ip: Some(10),
+            min_measurements: 20,
+            ..DetectorConfig::default()
+        });
+        assert!(capped.detect(&f.records, &f.geo()).is_empty());
+        // Without the cap the flood forges a "detection".
+        let uncapped = FilteringDetector::new(DetectorConfig {
+            max_per_ip: None,
+            min_measurements: 20,
+            ..DetectorConfig::default()
+        });
+        let forged = uncapped.detect(&f.records, &f.geo());
+        assert_eq!(forged.len(), 1);
+        assert_eq!(forged[0].country, country("BR"));
+    }
+
+    #[test]
+    fn per_ip_cap_counts_first_k_only() {
+        let mut f = Fixture::new();
+        let ip = f.alloc.allocate(country("CN"));
+        for i in 0..30u64 {
+            f.records.push(StoredMeasurement {
+                submission: Submission {
+                    measurement_id: MeasurementId(i),
+                    phase: SubmissionPhase::Result,
+                    outcome: Some(TaskOutcome::Success),
+                    elapsed_ms: 1,
+                    task_type: TaskType::Image,
+                    target_url: "http://a.com/favicon.ico".into(),
+                    user_agent: "Chrome".into(),
+                },
+                client_ip: ip,
+                referer: None,
+                received_at: SimTime::ZERO,
+            });
+        }
+        let det = FilteringDetector::new(DetectorConfig {
+            max_per_ip: Some(7),
+            ..DetectorConfig::default()
+        });
+        let m = det.build_matrix(&f.records, &f.geo());
+        assert_eq!(m[&("a.com".to_string(), country("CN"))].n, 7);
+    }
+
+    #[test]
+    fn multiple_regions_can_be_flagged() {
+        let mut f = Fixture::new();
+        for cc in ["CN", "IR"] {
+            for _ in 0..20 {
+                f.add("twitter.com", cc, TaskOutcome::Failure);
+            }
+        }
+        for _ in 0..30 {
+            f.add("twitter.com", "US", TaskOutcome::Success);
+        }
+        let d = detector().detect(&f.records, &f.geo());
+        let countries: Vec<_> = d.iter().map(|x| x.country).collect();
+        assert!(countries.contains(&country("CN")));
+        assert!(countries.contains(&country("IR")));
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the Encore system crate.
+
+use browser::Engine;
+use encore::coordination::{ClientProfile, CoordinationServer, SchedulingStrategy};
+use encore::delivery::render_task_js;
+use encore::targets::EthicsStage;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec, IFRAME_CACHE_THRESHOLD};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+fn arb_spec() -> impl Strategy<Value = TaskSpec> {
+    let url = "http://[a-z]{1,10}\\.(com|org)/[a-z0-9/._-]{0,30}";
+    prop_oneof![
+        url.prop_map(|u| TaskSpec::Image { url: u }),
+        url.prop_map(|u| TaskSpec::Stylesheet { url: u }),
+        url.prop_map(|u| TaskSpec::Script { url: u }),
+        (url, url).prop_map(|(p, i)| TaskSpec::Iframe {
+            page_url: p,
+            probe_image_url: i,
+            threshold: IFRAME_CACHE_THRESHOLD,
+        }),
+    ]
+}
+
+proptest! {
+    /// The Table 2 stages are strictly nested: anything the final stage
+    /// permits, earlier stages permit too.
+    #[test]
+    fn ethics_stages_are_nested(spec in arb_spec()) {
+        let task = MeasurementTask {
+            id: MeasurementId(0),
+            spec,
+        };
+        if EthicsStage::FaviconsFewSites.permits(&task) {
+            prop_assert!(EthicsStage::FaviconsOnly.permits(&task));
+        }
+        if EthicsStage::FaviconsOnly.permits(&task) {
+            prop_assert!(EthicsStage::Unrestricted.permits(&task));
+        }
+    }
+
+    /// The scheduler never hands a client an incompatible task, under
+    /// any strategy, engine, pool or timing.
+    #[test]
+    fn scheduler_respects_engine_constraints(
+        specs in proptest::collection::vec(arb_spec(), 1..12),
+        engine_idx in 0usize..4,
+        strategy_idx in 0usize..3,
+        times in proptest::collection::vec(0u64..100_000, 1..30),
+        seed in any::<u64>(),
+    ) {
+        let tasks: Vec<MeasurementTask> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| MeasurementTask {
+                id: MeasurementId(i as u64),
+                spec,
+            })
+            .collect();
+        let strategy = [
+            SchedulingStrategy::Random,
+            SchedulingStrategy::RoundRobin,
+            SchedulingStrategy::CoordinatedBursts {
+                window: SimDuration::from_secs(60),
+            },
+        ][strategy_idx];
+        let engine = Engine::ALL[engine_idx];
+        let mut server = CoordinationServer::new(tasks, strategy);
+        let mut rng = SimRng::new(seed);
+        let profile = ClientProfile { engine };
+        for t in times {
+            if let Some(task) = server.next_task(profile, SimTime::from_millis(t), &mut rng) {
+                prop_assert!(task.spec.compatible_with(engine));
+            }
+        }
+    }
+
+    /// Assignment IDs are unique across any sequence of requests.
+    #[test]
+    fn scheduler_ids_unique(
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let tasks = vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://t.com/favicon.ico".into(),
+            },
+        }];
+        let mut server = CoordinationServer::new(tasks, SchedulingStrategy::Random);
+        let mut rng = SimRng::new(seed);
+        let mut ids = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let t = server
+                .next_task(ClientProfile { engine: Engine::Chrome }, SimTime::ZERO, &mut rng)
+                .unwrap();
+            prop_assert!(ids.insert(t.id), "duplicate id {:?}", t.id);
+        }
+    }
+
+    /// The rendered JavaScript always embeds the measurement ID, the
+    /// target URL, the init beacon, and both event handlers.
+    #[test]
+    fn task_js_always_complete(spec in arb_spec(), id in 0u64..u64::MAX) {
+        let task = MeasurementTask {
+            id: MeasurementId(id),
+            spec,
+        };
+        let js = render_task_js(&task, "collector.example");
+        prop_assert!(js.contains(&task.id.to_string()));
+        prop_assert!(js.contains(task.spec.target_url()));
+        prop_assert!(js.contains("init"));
+        prop_assert!(js.contains("failure"));
+        prop_assert!(js.contains("success"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The DNS subsystem.
+//!
+//! Zones map DNS names to addresses; clients resolve through a caching
+//! resolver in their own country (which is where DNS-based censorship
+//! interposes — paper §3.1: "the DNS request may result in blocking or
+//! redirection").
+
+use crate::geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Result payload of a successful resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsAnswer {
+    /// Resolved address.
+    pub ip: Ipv4Addr,
+    /// Time-to-live for caching.
+    pub ttl: SimDuration,
+}
+
+/// Outcome of a resolution attempt as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsOutcome {
+    /// Name resolved.
+    Resolved(DnsAnswer),
+    /// Authoritative "no such domain".
+    NxDomain,
+    /// The query or its answer was dropped; the client times out.
+    Timeout,
+}
+
+/// Default TTL for records without an explicit one.
+pub const DEFAULT_TTL: SimDuration = SimDuration::from_secs(300);
+
+/// The global DNS database plus per-country resolver caches.
+///
+/// The cache model matters for Encore: a client that has already resolved
+/// `censored.com` recently will skip the DNS stage, so DNS-level censorship
+/// is only observable on a cold cache. We model one shared cache per
+/// (country, name) — a reasonable stand-in for ISP resolver caches.
+#[derive(Debug, Default)]
+pub struct DnsSystem {
+    records: BTreeMap<String, DnsAnswer>,
+    /// (country, name) → (answer, expires-at).
+    cache: BTreeMap<(CountryCode, String), (DnsAnswer, SimTime)>,
+    /// Statistics: total queries and cache hits.
+    queries: u64,
+    cache_hits: u64,
+}
+
+impl DnsSystem {
+    /// Empty DNS database.
+    pub fn new() -> DnsSystem {
+        DnsSystem::default()
+    }
+
+    /// Register (or replace) an A record with the default TTL.
+    pub fn register(&mut self, name: &str, ip: Ipv4Addr) {
+        self.register_with_ttl(name, ip, DEFAULT_TTL);
+    }
+
+    /// Register (or replace) an A record with an explicit TTL.
+    pub fn register_with_ttl(&mut self, name: &str, ip: Ipv4Addr, ttl: SimDuration) {
+        self.records
+            .insert(name.to_ascii_lowercase(), DnsAnswer { ip, ttl });
+    }
+
+    /// Remove a record (site going offline — §7.2 lists this among
+    /// non-censorship failure causes).
+    pub fn unregister(&mut self, name: &str) {
+        self.records.remove(&name.to_ascii_lowercase());
+    }
+
+    /// Authoritative lookup, bypassing caches (used by middleboxes that
+    /// need ground truth, and by tests).
+    pub fn authoritative(&self, name: &str) -> Option<DnsAnswer> {
+        self.records.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Resolve `name` from `country`'s resolver at time `now`, consulting
+    /// the resolver cache. Returns the outcome and whether it was served
+    /// from cache.
+    pub fn resolve(
+        &mut self,
+        country: CountryCode,
+        name: &str,
+        now: SimTime,
+    ) -> (DnsOutcome, bool) {
+        self.queries += 1;
+        let key = (country, name.to_ascii_lowercase());
+        if let Some(&(answer, expires)) = self.cache.get(&key) {
+            if now < expires {
+                self.cache_hits += 1;
+                return (DnsOutcome::Resolved(answer), true);
+            }
+        }
+        match self.records.get(&key.1) {
+            Some(&answer) => {
+                self.cache.insert(key, (answer, now + answer.ttl));
+                (DnsOutcome::Resolved(answer), false)
+            }
+            None => (DnsOutcome::NxDomain, false),
+        }
+    }
+
+    /// Insert a (possibly forged) answer into a country's resolver cache —
+    /// this is how DNS-poisoning censorship persists (e.g. the Great
+    /// Firewall's forged answers get cached by local resolvers).
+    pub fn poison_cache(
+        &mut self,
+        country: CountryCode,
+        name: &str,
+        answer: DnsAnswer,
+        now: SimTime,
+    ) {
+        self.cache.insert(
+            (country, name.to_ascii_lowercase()),
+            (answer, now + answer.ttl),
+        );
+    }
+
+    /// Drop all cached entries (e.g. between experiment repetitions).
+    pub fn flush_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    /// `(total queries, cache hits)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.queries, self.cache_hits)
+    }
+
+    /// Number of registered records.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::country;
+
+    fn ip(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(100, 0, 0, n)
+    }
+
+    #[test]
+    fn resolves_registered_name() {
+        let mut d = DnsSystem::new();
+        d.register("example.com", ip(1));
+        let (o, cached) = d.resolve(country("US"), "example.com", SimTime::ZERO);
+        assert!(!cached);
+        match o {
+            DnsOutcome::Resolved(a) => assert_eq!(a.ip, ip(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_nxdomain() {
+        let mut d = DnsSystem::new();
+        let (o, _) = d.resolve(country("US"), "nope.invalid", SimTime::ZERO);
+        assert_eq!(o, DnsOutcome::NxDomain);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut d = DnsSystem::new();
+        d.register("Example.COM", ip(1));
+        let (o, _) = d.resolve(country("US"), "EXAMPLE.com", SimTime::ZERO);
+        assert!(matches!(o, DnsOutcome::Resolved(_)));
+    }
+
+    #[test]
+    fn second_resolution_hits_cache() {
+        let mut d = DnsSystem::new();
+        d.register("example.com", ip(1));
+        let t = SimTime::ZERO;
+        let (_, c1) = d.resolve(country("US"), "example.com", t);
+        let (_, c2) = d.resolve(country("US"), "example.com", t + SimDuration::from_secs(1));
+        assert!(!c1);
+        assert!(c2);
+        assert_eq!(d.stats(), (2, 1));
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let mut d = DnsSystem::new();
+        d.register_with_ttl("example.com", ip(1), SimDuration::from_secs(10));
+        d.resolve(country("US"), "example.com", SimTime::ZERO);
+        let (_, cached) = d.resolve(country("US"), "example.com", SimTime::from_secs(11));
+        assert!(!cached);
+    }
+
+    #[test]
+    fn caches_are_per_country() {
+        let mut d = DnsSystem::new();
+        d.register("example.com", ip(1));
+        d.resolve(country("US"), "example.com", SimTime::ZERO);
+        let (_, cached) = d.resolve(country("CN"), "example.com", SimTime::ZERO);
+        assert!(!cached, "CN must not share US's cache");
+    }
+
+    #[test]
+    fn poisoned_cache_overrides_until_ttl() {
+        let mut d = DnsSystem::new();
+        d.register("example.com", ip(1));
+        let forged = DnsAnswer {
+            ip: ip(99),
+            ttl: SimDuration::from_secs(60),
+        };
+        d.poison_cache(country("CN"), "example.com", forged, SimTime::ZERO);
+        let (o, cached) = d.resolve(country("CN"), "example.com", SimTime::from_secs(1));
+        assert!(cached);
+        assert_eq!(o, DnsOutcome::Resolved(forged));
+        // After expiry the true record reappears.
+        let (o2, _) = d.resolve(country("CN"), "example.com", SimTime::from_secs(120));
+        match o2 {
+            DnsOutcome::Resolved(a) => assert_eq!(a.ip, ip(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregister_makes_nxdomain_after_cache_expiry() {
+        let mut d = DnsSystem::new();
+        d.register_with_ttl("gone.com", ip(1), SimDuration::from_secs(5));
+        d.resolve(country("US"), "gone.com", SimTime::ZERO);
+        d.unregister("gone.com");
+        // Still cached.
+        let (o, _) = d.resolve(country("US"), "gone.com", SimTime::from_secs(1));
+        assert!(matches!(o, DnsOutcome::Resolved(_)));
+        // Expired: now NXDOMAIN.
+        let (o, _) = d.resolve(country("US"), "gone.com", SimTime::from_secs(10));
+        assert_eq!(o, DnsOutcome::NxDomain);
+    }
+
+    #[test]
+    fn flush_caches_forces_fresh_lookup() {
+        let mut d = DnsSystem::new();
+        d.register("example.com", ip(1));
+        d.resolve(country("US"), "example.com", SimTime::ZERO);
+        d.flush_caches();
+        let (_, cached) = d.resolve(country("US"), "example.com", SimTime::ZERO);
+        assert!(!cached);
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulated hosts: the clients (vantage points) and servers of the world.
+
+use crate::geo::{CountryCode, IspClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Opaque host identifier (dense, allocation-ordered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u64);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A host attached to the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Identifier.
+    pub id: HostId,
+    /// Its (single) IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Country the host is physically in.
+    pub country: CountryCode,
+    /// Access-network class.
+    pub isp: IspClass,
+}
+
+impl Host {
+    /// Construct a host.
+    pub fn new(id: HostId, ip: Ipv4Addr, country: CountryCode, isp: IspClass) -> Host {
+        Host { id, ip, country, isp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::country;
+
+    #[test]
+    fn host_display() {
+        assert_eq!(HostId(7).to_string(), "h7");
+    }
+
+    #[test]
+    fn host_construction() {
+        let h = Host::new(
+            HostId(1),
+            Ipv4Addr::new(100, 0, 0, 2),
+            country("PK"),
+            IspClass::Residential,
+        );
+        assert_eq!(h.country.as_str(), "PK");
+        assert_eq!(h.isp, IspClass::Residential);
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic IPv4 address allocation.
+//!
+//! Each country receives disjoint /16 blocks; every allocated host address
+//! is unique. The mapping is deterministic, which gives the `encore::geo`
+//! GeoIP database (the stand-in for MaxMind, paper §7) ground truth to be
+//! derived from — including the ability to inject a configurable error
+//! rate to model real-world geolocation imprecision.
+
+use crate::geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 network in CIDR form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    /// Network address (host bits zero).
+    pub base: Ipv4Addr,
+    /// Prefix length (0–32).
+    pub prefix: u8,
+}
+
+impl Ipv4Net {
+    /// Construct, masking the base to the prefix.
+    pub fn new(base: Ipv4Addr, prefix: u8) -> Ipv4Net {
+        assert!(prefix <= 32, "prefix must be at most 32");
+        let mask = Self::mask(prefix);
+        Ipv4Net {
+            base: Ipv4Addr::from(u32::from(base) & mask),
+            prefix,
+        }
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// Whether `ip` falls inside this network.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.prefix)) == u32::from(self.base)
+    }
+
+    /// Number of addresses in the network.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// The `n`-th address in the network (0-based). Returns `None` past the
+    /// end.
+    pub fn nth(&self, n: u64) -> Option<Ipv4Addr> {
+        if n >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.base) + n as u32))
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix)
+    }
+}
+
+/// Deterministic allocator: one or more /16 blocks per country, plus a
+/// reserved block for infrastructure (servers, block pages).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IpAllocator {
+    /// Country → (block, next host index).
+    blocks: BTreeMap<CountryCode, Vec<(Ipv4Net, u64)>>,
+    /// Next /16 to hand out, as the second octet pair of 10.x/100.x space.
+    next_block: u32,
+    /// Ground truth: allocated ranges per country, for GeoIP derivation.
+    assignments: Vec<(Ipv4Net, CountryCode)>,
+}
+
+impl IpAllocator {
+    /// Create an empty allocator.
+    pub fn new() -> IpAllocator {
+        IpAllocator::default()
+    }
+
+    /// Allocate a fresh host address in `country`'s space.
+    pub fn allocate(&mut self, country: CountryCode) -> Ipv4Addr {
+        loop {
+            let blocks = self.blocks.entry(country).or_default();
+            if let Some((net, next)) = blocks.last_mut() {
+                // Skip network (.0.0) and the first address so hosts start
+                // at .0.2, and never run past the block.
+                if *next < net.size() - 1 {
+                    let ip = net.nth(*next).expect("index in range");
+                    *next += 1;
+                    return ip;
+                }
+            }
+            // Need a new /16 for this country.
+            let idx = self.next_block;
+            self.next_block += 1;
+            // Carve from 100.64.0.0/10-style space upward: 100.(64+hi).(x).y
+            // — we just spread across 100.0.0.0/8 and 101.0.0.0/8 etc. to
+            // stay clearly outside special-purpose ranges used elsewhere.
+            let hi = 100 + (idx / 256) as u8;
+            let lo = (idx % 256) as u8;
+            let net = Ipv4Net::new(Ipv4Addr::new(hi, lo, 0, 0), 16);
+            self.assignments.push((net, country));
+            self.blocks.entry(country).or_default().push((net, 2));
+        }
+    }
+
+    /// Ground-truth country of an address, if it was allocated by us.
+    pub fn country_of(&self, ip: Ipv4Addr) -> Option<CountryCode> {
+        self.assignments
+            .iter()
+            .find(|(net, _)| net.contains(ip))
+            .map(|&(_, c)| c)
+    }
+
+    /// All `(network, country)` assignments made so far, in allocation
+    /// order (deterministic).
+    pub fn assignments(&self) -> &[(Ipv4Net, CountryCode)] {
+        &self.assignments
+    }
+
+    /// Total number of /16 blocks handed out.
+    pub fn block_count(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::country;
+
+    #[test]
+    fn net_masks_base() {
+        let n = Ipv4Net::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(n.base, Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(n.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn net_contains() {
+        let n = Ipv4Net::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+        assert!(n.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!n.contains(Ipv4Addr::new(10, 2, 0, 0)));
+    }
+
+    #[test]
+    fn net_nth_bounds() {
+        let n = Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 30);
+        assert_eq!(n.size(), 4);
+        assert_eq!(n.nth(0), Some(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(n.nth(3), Some(Ipv4Addr::new(10, 0, 0, 3)));
+        assert_eq!(n.nth(4), None);
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let n = Ipv4Net::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(n.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(n.size(), 1 << 32);
+    }
+
+    #[test]
+    fn allocation_is_unique_and_geolocatable() {
+        let mut a = IpAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            let ip = a.allocate(country("PK"));
+            assert!(seen.insert(ip), "duplicate {ip}");
+            assert_eq!(a.country_of(ip), Some(country("PK")));
+        }
+        for _ in 0..1_000 {
+            let ip = a.allocate(country("CN"));
+            assert!(seen.insert(ip), "duplicate {ip}");
+            assert_eq!(a.country_of(ip), Some(country("CN")));
+        }
+    }
+
+    #[test]
+    fn countries_get_disjoint_blocks() {
+        let mut a = IpAllocator::new();
+        a.allocate(country("US"));
+        a.allocate(country("CN"));
+        let nets: Vec<_> = a.assignments().iter().map(|&(n, _)| n).collect();
+        assert_eq!(nets.len(), 2);
+        assert!(!nets[0].contains(nets[1].base));
+        assert!(!nets[1].contains(nets[0].base));
+    }
+
+    #[test]
+    fn allocator_grows_new_blocks_when_exhausted() {
+        let mut a = IpAllocator::new();
+        // Exhaust most of a /16: allocate 70,000 > 65,534 hosts.
+        for _ in 0..70_000 {
+            a.allocate(country("IN"));
+        }
+        assert!(a.block_count() >= 2);
+    }
+
+    #[test]
+    fn unknown_ip_has_no_country() {
+        let a = IpAllocator::new();
+        assert_eq!(a.country_of(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let run = || {
+            let mut a = IpAllocator::new();
+            (0..10).map(|_| a.allocate(country("BR"))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

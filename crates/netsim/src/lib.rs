@@ -1,0 +1,56 @@
+//! # netsim — simulated Internet substrate for the Encore reproduction
+//!
+//! Encore (SIGCOMM 2015) measures Web filtering from real browsers across
+//! the real Internet. This crate is the simulated stand-in: a deterministic
+//! model of geography, addressing, DNS, TCP, HTTP, and path quality, with
+//! explicit interception points where censor middleboxes (the `censor`
+//! crate) can reject, drop, redirect, or rewrite traffic — exactly the
+//! threat model of paper §3.1:
+//!
+//! > "Web filtering typically takes place when the client performs an
+//! > initial DNS lookup …, when the client attempts to establish a TCP
+//! > connection …, or in response to a specific HTTP request or response."
+//!
+//! The crate therefore models precisely those three stages. A fetch through
+//! [`Network::fetch`] walks DNS → TCP → HTTP, consulting every registered
+//! [`Middlebox`] at each stage, accumulating a timing breakdown that the
+//! browser emulator turns into `onload`/`onerror` timing (Figure 7 depends
+//! on this detail).
+//!
+//! ## Module map
+//!
+//! * [`geo`] — countries, regions, ISP classes, the built-in world table.
+//! * [`ip`] — deterministic per-country IPv4 allocation.
+//! * [`host`] — simulated hosts (clients and servers).
+//! * [`dns`] — the DNS system: zones, resolution, caching resolver.
+//! * [`tcp`] — TCP connection attempt outcomes.
+//! * [`http`] — HTTP request/response/header model.
+//! * [`path`] — RTT/loss/bandwidth between hosts.
+//! * [`fault`] — fault injection in the smoltcp idiom.
+//! * [`middlebox`] — the interception trait implemented by censors.
+//! * [`network`] — the composed network and its fetch pipeline.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dns;
+pub mod fault;
+pub mod geo;
+pub mod host;
+pub mod http;
+pub mod ip;
+pub mod middlebox;
+pub mod network;
+pub mod path;
+pub mod tcp;
+
+pub use dns::{DnsAnswer, DnsOutcome, DnsSystem};
+pub use fault::FaultInjector;
+pub use geo::{Country, CountryCode, IspClass, Region, World};
+pub use host::{Host, HostId};
+pub use http::{ContentType, EmbedKind, Embedded, HttpRequest, HttpResponse, Method, StatusCode};
+pub use ip::{IpAllocator, Ipv4Net};
+pub use middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
+pub use network::{FailureStage, FetchError, FetchOutcome, FetchTimings, HttpHandler, Network};
+pub use path::{PathModel, PathQuality};
+pub use tcp::{TcpAttempt, TcpOutcome};

@@ -1,0 +1,145 @@
+//! Interception points for on-path middleboxes (censors).
+//!
+//! Paper §3.1's threat model gives the adversary three hooks: the DNS
+//! lookup, the TCP handshake, and the HTTP exchange. A [`Middlebox`]
+//! implements any subset of those hooks; the [`crate::Network`] consults
+//! every applicable middlebox at each stage of a fetch and the first
+//! non-`Pass` action wins (middleboxes closer to the head of the list are
+//! "closer to the client").
+//!
+//! The `censor` crate provides the actual censorship policies; this module
+//! only defines the mechanism, keeping the network substrate ignorant of
+//! censorship semantics.
+
+use crate::host::Host;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::tcp::TcpAttempt;
+use sim_core::SimTime;
+use std::net::Ipv4Addr;
+
+/// Context handed to every interception hook.
+#[derive(Debug, Clone, Copy)]
+pub struct StageContext<'a> {
+    /// The client whose traffic is being inspected.
+    pub client: &'a Host,
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+/// Decision at the DNS stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsAction {
+    /// No interference.
+    Pass,
+    /// Forge an authoritative NXDOMAIN.
+    NxDomain,
+    /// Forge an answer pointing at `0` — e.g. a block-page server or an
+    /// unroutable sinkhole address.
+    Redirect(Ipv4Addr),
+    /// Silently drop the query (client times out).
+    Drop,
+}
+
+/// Decision at the TCP stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpAction {
+    /// No interference.
+    Pass,
+    /// Inject a RST (fast, observable failure).
+    Reset,
+    /// Silently drop SYNs (slow timeout).
+    Drop,
+}
+
+/// Decision at the HTTP request or response stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpAction {
+    /// No interference.
+    Pass,
+    /// Silently drop the request/response (client times out).
+    Drop,
+    /// Reset the connection.
+    Reset,
+    /// Serve a block page in place of the real response.
+    BlockPage,
+    /// 302-redirect the client to a block-page URL.
+    RedirectTo(String),
+}
+
+/// An on-path middlebox. All hooks default to `Pass`, so implementations
+/// override only the stages they interfere with.
+pub trait Middlebox {
+    /// Diagnostic name (appears in traces).
+    fn name(&self) -> &str;
+
+    /// Whether this middlebox sits on `client`'s path (e.g. a national
+    /// censor applies to clients in its country).
+    fn applies_to(&self, client: &Host) -> bool;
+
+    /// Inspect a DNS query for `name`.
+    fn on_dns(&self, _name: &str, _ctx: &StageContext<'_>) -> DnsAction {
+        DnsAction::Pass
+    }
+
+    /// Inspect a TCP connection attempt.
+    fn on_tcp(&self, _attempt: &TcpAttempt, _ctx: &StageContext<'_>) -> TcpAction {
+        TcpAction::Pass
+    }
+
+    /// Inspect an outgoing HTTP request.
+    fn on_http_request(&self, _req: &HttpRequest, _ctx: &StageContext<'_>) -> HttpAction {
+        HttpAction::Pass
+    }
+
+    /// Inspect an HTTP response on its way back to the client. Keyword
+    /// censors look at `resp.keywords` here.
+    fn on_http_response(
+        &self,
+        _req: &HttpRequest,
+        _resp: &HttpResponse,
+        _ctx: &StageContext<'_>,
+    ) -> HttpAction {
+        HttpAction::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{country, IspClass};
+    use crate::host::HostId;
+
+    struct Noop;
+    impl Middlebox for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn applies_to(&self, _client: &Host) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn default_hooks_pass() {
+        let mb = Noop;
+        let client = Host::new(
+            HostId(0),
+            Ipv4Addr::new(100, 0, 0, 2),
+            country("US"),
+            IspClass::Residential,
+        );
+        let ctx = StageContext {
+            client: &client,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(mb.on_dns("example.com", &ctx), DnsAction::Pass);
+        assert_eq!(
+            mb.on_tcp(&TcpAttempt::http(Ipv4Addr::new(1, 1, 1, 1)), &ctx),
+            TcpAction::Pass
+        );
+        let req = HttpRequest::get("http://example.com/");
+        assert_eq!(mb.on_http_request(&req, &ctx), HttpAction::Pass);
+        let resp = HttpResponse::ok(crate::http::ContentType::Html, 10);
+        assert_eq!(mb.on_http_response(&req, &resp, &ctx), HttpAction::Pass);
+    }
+}

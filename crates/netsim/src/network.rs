@@ -1,0 +1,904 @@
+//! The composed network: hosts, servers, middleboxes, and the fetch
+//! pipeline.
+//!
+//! [`Network::fetch`] is the single entry point the browser emulator uses
+//! for every HTTP exchange. It walks the three stages of paper §3.1 — DNS,
+//! TCP, HTTP — consulting every applicable [`Middlebox`] at each stage and
+//! accumulating a timing breakdown. The returned [`FetchOutcome`] is
+//! everything a browser can observe: either a response (possibly a censor's
+//! block page — the *browser* decides whether that makes an `img` fire
+//! `onerror`) or a failure with its stage and elapsed time.
+
+use crate::dns::{DnsOutcome, DnsSystem};
+use crate::fault::{FaultDecision, FaultInjector};
+use crate::geo::{Country, CountryCode, IspClass, World};
+use crate::host::{Host, HostId};
+use crate::http::{HttpRequest, HttpResponse};
+use crate::ip::IpAllocator;
+use crate::middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
+use crate::path::{PathModel, PathQuality};
+use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT, DNS_TIMEOUT, HTTP_TIMEOUT};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimRng, SimTime, Trace, TraceLevel};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Something that answers HTTP requests (sites, collectors, block-page
+/// servers). Implemented by the `websim` and `encore` crates.
+///
+/// Handlers see the client's source address (`client_ip`), as a real
+/// server would — Encore's collection server geolocates submissions from
+/// exactly this information (paper §7: "We use a standard IP geolocation
+/// database to determine client locations").
+pub trait HttpHandler {
+    /// Produce the response for `req` sent from `client_ip`.
+    fn handle(&self, req: &HttpRequest, client_ip: Ipv4Addr, now: SimTime) -> HttpResponse;
+}
+
+/// A trivially constant handler, useful in tests.
+pub struct ConstHandler(pub HttpResponse);
+
+impl HttpHandler for ConstHandler {
+    fn handle(&self, _req: &HttpRequest, _client_ip: Ipv4Addr, _now: SimTime) -> HttpResponse {
+        self.0.clone()
+    }
+}
+
+/// Stage at which a fetch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureStage {
+    /// During name resolution.
+    Dns,
+    /// During connection establishment.
+    Tcp,
+    /// After the connection, during the HTTP exchange.
+    Http,
+}
+
+/// Why a fetch failed, as observable by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchError {
+    /// URL could not be parsed.
+    BadUrl,
+    /// DNS said the name does not exist.
+    DnsNxDomain,
+    /// DNS query went unanswered.
+    DnsTimeout,
+    /// Connection reset during handshake or exchange.
+    ConnectionReset,
+    /// Connect attempt timed out (silent drops or unroutable address).
+    ConnectTimeout,
+    /// Established, but no response arrived in time.
+    ResponseTimeout,
+    /// Response arrived but was garbled in transit.
+    CorruptResponse,
+}
+
+impl FetchError {
+    /// The stage this error belongs to.
+    pub fn stage(self) -> FailureStage {
+        match self {
+            FetchError::BadUrl | FetchError::DnsNxDomain | FetchError::DnsTimeout => {
+                FailureStage::Dns
+            }
+            FetchError::ConnectTimeout => FailureStage::Tcp,
+            FetchError::ConnectionReset => FailureStage::Tcp,
+            FetchError::ResponseTimeout | FetchError::CorruptResponse => FailureStage::Http,
+        }
+    }
+}
+
+/// Timing breakdown of a fetch (all durations are cumulative elapsed wall
+/// time in simulation units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FetchTimings {
+    /// Time spent on DNS.
+    pub dns: SimDuration,
+    /// Time spent establishing the connection.
+    pub connect: SimDuration,
+    /// Time from request sent to first byte of response.
+    pub ttfb: SimDuration,
+    /// Body transfer time.
+    pub transfer: SimDuration,
+}
+
+impl FetchTimings {
+    /// Total elapsed time.
+    pub fn total(&self) -> SimDuration {
+        self.dns + self.connect + self.ttfb + self.transfer
+    }
+}
+
+/// Everything a client observes from one fetch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchOutcome {
+    /// The response, or the failure.
+    pub result: Result<HttpResponse, FetchError>,
+    /// Timing breakdown (meaningful for failures too: a timeout's elapsed
+    /// time is the timeout duration — that asymmetry between RST and drop
+    /// censorship is measurable).
+    pub timings: FetchTimings,
+    /// The address the request was (or would have been) sent to.
+    pub server_ip: Option<Ipv4Addr>,
+}
+
+impl FetchOutcome {
+    fn fail(err: FetchError, timings: FetchTimings, server_ip: Option<Ipv4Addr>) -> FetchOutcome {
+        FetchOutcome {
+            result: Err(err),
+            timings,
+            server_ip,
+        }
+    }
+
+    /// Whether the fetch produced any HTTP response at all.
+    pub fn is_response(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+struct ServerEntry {
+    host: Host,
+    handler: Box<dyn HttpHandler>,
+}
+
+/// The simulated Internet: world, DNS, servers, middleboxes, path model.
+pub struct Network {
+    /// Country table.
+    pub world: World,
+    /// DNS database + resolver caches.
+    pub dns: DnsSystem,
+    /// Address allocator (ground truth for GeoIP).
+    pub allocator: IpAllocator,
+    /// Path quality model.
+    pub path_model: PathModel,
+    /// Global fault injector (applies to every fetch).
+    pub fault: FaultInjector,
+    /// Event trace.
+    pub trace: Trace,
+    servers: BTreeMap<Ipv4Addr, ServerEntry>,
+    middleboxes: Vec<Box<dyn Middlebox>>,
+    next_host_id: u64,
+}
+
+impl Network {
+    /// A network over the built-in world with default models.
+    pub fn new(world: World) -> Network {
+        Network {
+            world,
+            dns: DnsSystem::new(),
+            allocator: IpAllocator::new(),
+            path_model: PathModel::default(),
+            fault: FaultInjector::none(),
+            trace: Trace::default(),
+            servers: BTreeMap::new(),
+            middleboxes: Vec::new(),
+            next_host_id: 0,
+        }
+    }
+
+    /// A network with no jitter/loss — exact timings for unit tests.
+    pub fn ideal(world: World) -> Network {
+        let mut n = Network::new(world);
+        n.path_model = PathModel::ideal();
+        n
+    }
+
+    fn next_id(&mut self) -> HostId {
+        let id = HostId(self.next_host_id);
+        self.next_host_id += 1;
+        id
+    }
+
+    /// Attach a client host in `country` on the given access network.
+    pub fn add_client(&mut self, country: CountryCode, isp: IspClass) -> Host {
+        let ip = self.allocator.allocate(country);
+        let id = self.next_id();
+        Host::new(id, ip, country, isp)
+    }
+
+    /// Attach a server: allocates an address in `country`, registers
+    /// `dns_name`, and installs the handler. Returns the server host.
+    pub fn add_server(
+        &mut self,
+        dns_name: &str,
+        country: CountryCode,
+        handler: Box<dyn HttpHandler>,
+    ) -> Host {
+        let ip = self.allocator.allocate(country);
+        let id = self.next_id();
+        let host = Host::new(id, ip, country, IspClass::Datacenter);
+        self.dns.register(dns_name, ip);
+        self.servers.insert(ip, ServerEntry {
+            host: host.clone(),
+            handler,
+        });
+        host
+    }
+
+    /// Install an additional DNS alias for an existing server address.
+    pub fn add_dns_alias(&mut self, dns_name: &str, ip: Ipv4Addr) {
+        self.dns.register(dns_name, ip);
+    }
+
+    /// Install a middlebox. Order matters: earlier middleboxes are closer
+    /// to the client and win ties.
+    pub fn add_middlebox(&mut self, mb: Box<dyn Middlebox>) {
+        self.middleboxes.push(mb);
+    }
+
+    /// Remove all middleboxes (between experiment phases).
+    pub fn clear_middleboxes(&mut self) {
+        self.middleboxes.clear();
+    }
+
+    /// Number of registered servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The country record for a host (falls back to a default if the world
+    /// table is missing the code — only possible with hand-built worlds).
+    fn country_of(&self, code: CountryCode) -> Country {
+        self.world
+            .get(code)
+            .cloned()
+            .unwrap_or_else(|| Country {
+                code,
+                name: format!("Unknown-{code}"),
+                region: crate::geo::Region::Europe,
+                access_latency_ms: 50.0,
+                transient_failure_rate: 0.02,
+                population_weight: 0.1,
+                known_filtering: false,
+            })
+    }
+
+    /// Path quality between a client and a server address (or a default
+    /// long path when the address is not ours / unroutable).
+    fn quality_to(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
+        let cc = self.country_of(client.country);
+        let server_country = self
+            .servers
+            .get(&server_ip)
+            .map(|e| e.host.country)
+            .or_else(|| self.allocator.country_of(server_ip))
+            .unwrap_or(client.country);
+        let sc = self.country_of(server_country);
+        self.path_model.quality(client, &cc, &sc)
+    }
+
+    /// Perform one HTTP fetch from `client` at time `now`.
+    ///
+    /// This is the full §3.1 pipeline. The five failure timings matter:
+    ///
+    /// * forged NXDOMAIN — fast (1 local RTT);
+    /// * dropped DNS — slow ([`DNS_TIMEOUT`]);
+    /// * RST — fast (1 RTT);
+    /// * dropped SYN / unroutable sinkhole — slow ([`CONNECT_TIMEOUT`]);
+    /// * dropped HTTP — slow ([`HTTP_TIMEOUT`]).
+    pub fn fetch(
+        &mut self,
+        client: &Host,
+        req: &HttpRequest,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> FetchOutcome {
+        let mut timings = FetchTimings::default();
+
+        let Some(host_name) = req.host() else {
+            return FetchOutcome::fail(FetchError::BadUrl, timings, None);
+        };
+
+        // Global fault injection (smoltcp-style device wrapper).
+        let mut corrupt_body = false;
+        match self.fault.decide(now, rng) {
+            FaultDecision::Pass => {}
+            FaultDecision::Drop => {
+                timings.connect = CONNECT_TIMEOUT;
+                self.trace.record(now, TraceLevel::Debug, "fault", "fetch dropped by injector");
+                return FetchOutcome::fail(FetchError::ConnectTimeout, timings, None);
+            }
+            FaultDecision::Corrupt => corrupt_body = true,
+            FaultDecision::Delay(d) => timings.dns += d,
+        }
+
+        let ctx = StageContext { client, now };
+
+        // ---------------- Stage 1: DNS ----------------
+        // Local resolver RTT is a fraction of the access latency.
+        let cc = self.country_of(client.country);
+        let resolver_rtt = SimDuration::from_millis_f64(cc.access_latency_ms * 0.6);
+
+        let mut censor_dns = DnsAction::Pass;
+        for mb in &self.middleboxes {
+            if mb.applies_to(client) {
+                match mb.on_dns(&host_name, &ctx) {
+                    DnsAction::Pass => continue,
+                    act => {
+                        self.trace.record(
+                            now,
+                            TraceLevel::Info,
+                            "censor",
+                            format!("{} interferes with DNS for {host_name}: {act:?}", mb.name()),
+                        );
+                        censor_dns = act;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let server_ip: Ipv4Addr = match censor_dns {
+            DnsAction::NxDomain => {
+                timings.dns += resolver_rtt;
+                return FetchOutcome::fail(FetchError::DnsNxDomain, timings, None);
+            }
+            DnsAction::Drop => {
+                timings.dns += DNS_TIMEOUT;
+                return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
+            }
+            DnsAction::Redirect(ip) => {
+                timings.dns += resolver_rtt;
+                ip
+            }
+            DnsAction::Pass => {
+                // Transient DNS failure (client-side unreliability).
+                let q_local = self.quality_to(client, client.ip);
+                if self.path_model.stage_fails(&q_local, rng) {
+                    timings.dns += DNS_TIMEOUT;
+                    self.trace
+                        .record(now, TraceLevel::Debug, "dns", "transient dns failure");
+                    return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
+                }
+                let (outcome, cached) = self.dns.resolve(client.country, &host_name, now);
+                timings.dns += if cached {
+                    SimDuration::from_millis(1)
+                } else {
+                    resolver_rtt
+                };
+                match outcome {
+                    DnsOutcome::Resolved(a) => a.ip,
+                    DnsOutcome::NxDomain => {
+                        return FetchOutcome::fail(FetchError::DnsNxDomain, timings, None);
+                    }
+                    DnsOutcome::Timeout => {
+                        timings.dns += DNS_TIMEOUT;
+                        return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
+                    }
+                }
+            }
+        };
+
+        let quality = self.quality_to(client, server_ip);
+        let attempt = TcpAttempt::http(server_ip);
+
+        // ---------------- Stage 2: TCP ----------------
+        let mut censor_tcp = TcpAction::Pass;
+        for mb in &self.middleboxes {
+            if mb.applies_to(client) {
+                match mb.on_tcp(&attempt, &ctx) {
+                    TcpAction::Pass => continue,
+                    act => {
+                        self.trace.record(
+                            now,
+                            TraceLevel::Info,
+                            "censor",
+                            format!("{} interferes with TCP to {server_ip}: {act:?}", mb.name()),
+                        );
+                        censor_tcp = act;
+                        break;
+                    }
+                }
+            }
+        }
+
+        match censor_tcp {
+            TcpAction::Reset => {
+                timings.connect += self.path_model.sample_rtt(&quality, rng);
+                return FetchOutcome::fail(
+                    FetchError::ConnectionReset,
+                    timings,
+                    Some(server_ip),
+                );
+            }
+            TcpAction::Drop => {
+                timings.connect += CONNECT_TIMEOUT;
+                return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
+            }
+            TcpAction::Pass => {}
+        }
+
+        // Unroutable / no server listening (e.g. DNS redirect to a
+        // sinkhole): connect times out.
+        if !self.servers.contains_key(&server_ip) {
+            timings.connect += CONNECT_TIMEOUT;
+            self.trace.record(
+                now,
+                TraceLevel::Debug,
+                "tcp",
+                format!("no server at {server_ip}; connect timeout"),
+            );
+            return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
+        }
+
+        if self.path_model.stage_fails(&quality, rng) {
+            timings.connect += CONNECT_TIMEOUT;
+            self.trace
+                .record(now, TraceLevel::Debug, "tcp", "transient connect failure");
+            return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
+        }
+        timings.connect += self.path_model.sample_rtt(&quality, rng);
+
+        // ---------------- Stage 3: HTTP ----------------
+        let mut censor_req = HttpAction::Pass;
+        for mb in &self.middleboxes {
+            if mb.applies_to(client) {
+                match mb.on_http_request(req, &ctx) {
+                    HttpAction::Pass => continue,
+                    act => {
+                        self.trace.record(
+                            now,
+                            TraceLevel::Info,
+                            "censor",
+                            format!("{} interferes with HTTP request {}: {act:?}", mb.name(), req.url),
+                        );
+                        censor_req = act;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let rtt = self.path_model.sample_rtt(&quality, rng);
+        match censor_req {
+            HttpAction::Drop => {
+                timings.ttfb += HTTP_TIMEOUT;
+                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+            }
+            HttpAction::Reset => {
+                timings.ttfb += rtt;
+                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
+            }
+            HttpAction::BlockPage => {
+                timings.ttfb += rtt;
+                let resp = HttpResponse::block_page();
+                timings.transfer += self.path_model.transfer_time(&quality, resp.body_bytes);
+                return FetchOutcome {
+                    result: Ok(resp),
+                    timings,
+                    server_ip: Some(server_ip),
+                };
+            }
+            HttpAction::RedirectTo(loc) => {
+                timings.ttfb += rtt;
+                return FetchOutcome {
+                    result: Ok(HttpResponse::redirect(loc)),
+                    timings,
+                    server_ip: Some(server_ip),
+                };
+            }
+            HttpAction::Pass => {}
+        }
+
+        // The real server answers.
+        if self.path_model.stage_fails(&quality, rng) {
+            timings.ttfb += HTTP_TIMEOUT;
+            self.trace
+                .record(now, TraceLevel::Debug, "http", "transient response failure");
+            return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+        }
+        let entry = self.servers.get(&server_ip).expect("checked above");
+        let mut resp = entry.handler.handle(req, client.ip, now);
+        timings.ttfb += rtt;
+
+        // Response-side censorship (keyword filters inspect content here).
+        let mut censor_resp = HttpAction::Pass;
+        for mb in &self.middleboxes {
+            if mb.applies_to(client) {
+                match mb.on_http_response(req, &resp, &ctx) {
+                    HttpAction::Pass => continue,
+                    act => {
+                        self.trace.record(
+                            now,
+                            TraceLevel::Info,
+                            "censor",
+                            format!("{} interferes with HTTP response for {}: {act:?}", mb.name(), req.url),
+                        );
+                        censor_resp = act;
+                        break;
+                    }
+                }
+            }
+        }
+        match censor_resp {
+            HttpAction::Drop => {
+                timings.ttfb += HTTP_TIMEOUT;
+                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+            }
+            HttpAction::Reset => {
+                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
+            }
+            HttpAction::BlockPage => {
+                resp = HttpResponse::block_page();
+            }
+            HttpAction::RedirectTo(loc) => {
+                resp = HttpResponse::redirect(loc);
+            }
+            HttpAction::Pass => {}
+        }
+
+        timings.transfer += self.path_model.transfer_time(&quality, resp.body_bytes);
+
+        if corrupt_body {
+            self.trace
+                .record(now, TraceLevel::Debug, "fault", "response corrupted by injector");
+            return FetchOutcome::fail(FetchError::CorruptResponse, timings, Some(server_ip));
+        }
+
+        self.trace.record(
+            now,
+            TraceLevel::Trace,
+            "http",
+            format!("{} {} -> {} ({} bytes)", req.method, req.url, resp.status, resp.body_bytes),
+        );
+        FetchOutcome {
+            result: Ok(resp),
+            timings,
+            server_ip: Some(server_ip),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::country;
+    use crate::http::ContentType;
+
+    fn network() -> Network {
+        Network::ideal(World::builtin())
+    }
+
+    fn img_handler(bytes: u64) -> Box<ConstHandler> {
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, bytes)))
+    }
+
+    #[test]
+    fn successful_fetch_returns_response_and_timings() {
+        let mut n = network();
+        n.add_server("example.com", country("US"), img_handler(400));
+        let client = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(
+            &client,
+            &HttpRequest::get("http://example.com/favicon.ico"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let resp = out.result.expect("should succeed");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(out.timings.dns > SimDuration::ZERO);
+        assert!(out.timings.connect > SimDuration::ZERO);
+        assert!(out.timings.total() < SimDuration::from_secs(2));
+    }
+
+    use crate::http::StatusCode;
+
+    #[test]
+    fn unknown_domain_is_nxdomain() {
+        let mut n = network();
+        let client = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(
+            &client,
+            &HttpRequest::get("http://no-such-host.example/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(out.result, Err(FetchError::DnsNxDomain));
+        assert_eq!(out.result.unwrap_err().stage(), FailureStage::Dns);
+    }
+
+    #[test]
+    fn bad_url_fails_fast() {
+        let mut n = network();
+        let client = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(&client, &HttpRequest::get("not a url"), SimTime::ZERO, &mut rng);
+        assert_eq!(out.result, Err(FetchError::BadUrl));
+        assert_eq!(out.timings.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dns_cache_makes_second_fetch_faster() {
+        let mut n = network();
+        n.add_server("example.com", country("US"), img_handler(400));
+        let client = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let req = HttpRequest::get("http://example.com/a.png");
+        let t1 = n.fetch(&client, &req, SimTime::ZERO, &mut rng).timings.dns;
+        let t2 = n
+            .fetch(&client, &req, SimTime::from_secs(1), &mut rng)
+            .timings
+            .dns;
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn dangling_dns_record_times_out_at_connect() {
+        let mut n = network();
+        // DNS resolves, but nothing listens at the address.
+        n.add_dns_alias("ghost.example", Ipv4Addr::new(100, 99, 0, 1));
+        let client = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(
+            &client,
+            &HttpRequest::get("http://ghost.example/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(out.result, Err(FetchError::ConnectTimeout));
+        assert_eq!(out.timings.connect, CONNECT_TIMEOUT);
+    }
+
+    struct DnsBlocker;
+    impl Middlebox for DnsBlocker {
+        fn name(&self) -> &str {
+            "dns-blocker"
+        }
+        fn applies_to(&self, client: &Host) -> bool {
+            client.country == country("PK")
+        }
+        fn on_dns(&self, name: &str, _ctx: &StageContext<'_>) -> DnsAction {
+            if name == "censored.com" {
+                DnsAction::NxDomain
+            } else {
+                DnsAction::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn middlebox_blocks_only_applicable_clients() {
+        let mut n = network();
+        n.add_server("censored.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(DnsBlocker));
+        let pk = n.add_client(country("PK"), IspClass::Residential);
+        let us = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let req = HttpRequest::get("http://censored.com/x.png");
+        let blocked = n.fetch(&pk, &req, SimTime::ZERO, &mut rng);
+        assert_eq!(blocked.result, Err(FetchError::DnsNxDomain));
+        let ok = n.fetch(&us, &req, SimTime::ZERO, &mut rng);
+        assert!(ok.result.is_ok());
+    }
+
+    #[test]
+    fn middlebox_scope_is_per_domain() {
+        let mut n = network();
+        n.add_server("censored.com", country("US"), img_handler(400));
+        n.add_server("fine.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(DnsBlocker));
+        let pk = n.add_client(country("PK"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let ok = n.fetch(&pk, &HttpRequest::get("http://fine.com/y.png"), SimTime::ZERO, &mut rng);
+        assert!(ok.result.is_ok());
+    }
+
+    struct RstInjector;
+    impl Middlebox for RstInjector {
+        fn name(&self) -> &str {
+            "rst"
+        }
+        fn applies_to(&self, _c: &Host) -> bool {
+            true
+        }
+        fn on_tcp(&self, _a: &TcpAttempt, _ctx: &StageContext<'_>) -> TcpAction {
+            TcpAction::Reset
+        }
+    }
+
+    struct SynDropper;
+    impl Middlebox for SynDropper {
+        fn name(&self) -> &str {
+            "syndrop"
+        }
+        fn applies_to(&self, _c: &Host) -> bool {
+            true
+        }
+        fn on_tcp(&self, _a: &TcpAttempt, _ctx: &StageContext<'_>) -> TcpAction {
+            TcpAction::Drop
+        }
+    }
+
+    #[test]
+    fn rst_fails_fast_drop_fails_slow() {
+        let mut rng = SimRng::new(1);
+        let req = HttpRequest::get("http://example.com/");
+
+        let mut n1 = network();
+        n1.add_server("example.com", country("US"), img_handler(400));
+        n1.add_middlebox(Box::new(RstInjector));
+        let c1 = n1.add_client(country("US"), IspClass::Residential);
+        let rst = n1.fetch(&c1, &req, SimTime::ZERO, &mut rng);
+
+        let mut n2 = network();
+        n2.add_server("example.com", country("US"), img_handler(400));
+        n2.add_middlebox(Box::new(SynDropper));
+        let c2 = n2.add_client(country("US"), IspClass::Residential);
+        let drop = n2.fetch(&c2, &req, SimTime::ZERO, &mut rng);
+
+        assert_eq!(rst.result, Err(FetchError::ConnectionReset));
+        assert_eq!(drop.result, Err(FetchError::ConnectTimeout));
+        // The observable asymmetry (paper: timing side channel).
+        assert!(rst.timings.total() * 10 < drop.timings.total());
+    }
+
+    struct BlockPager;
+    impl Middlebox for BlockPager {
+        fn name(&self) -> &str {
+            "blockpage"
+        }
+        fn applies_to(&self, _c: &Host) -> bool {
+            true
+        }
+        fn on_http_request(&self, req: &HttpRequest, _ctx: &StageContext<'_>) -> HttpAction {
+            if req.url.contains("banned") {
+                HttpAction::BlockPage
+            } else {
+                HttpAction::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn block_page_replaces_response() {
+        let mut n = network();
+        n.add_server("example.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(BlockPager));
+        let c = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(
+            &c,
+            &HttpRequest::get("http://example.com/banned.png"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let resp = out.result.unwrap();
+        // A block page is an HTML 200 — NOT an image. The browser's img
+        // loader will fire onerror on this.
+        assert_eq!(resp.content_type, ContentType::Html);
+        assert!(resp.keywords.contains(&"blocked".to_string()));
+    }
+
+    struct KeywordCensor;
+    impl Middlebox for KeywordCensor {
+        fn name(&self) -> &str {
+            "keyword"
+        }
+        fn applies_to(&self, _c: &Host) -> bool {
+            true
+        }
+        fn on_http_response(
+            &self,
+            _req: &HttpRequest,
+            resp: &HttpResponse,
+            _ctx: &StageContext<'_>,
+        ) -> HttpAction {
+            if resp.keywords.iter().any(|k| k == "forbidden-topic") {
+                HttpAction::Reset
+            } else {
+                HttpAction::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn response_keyword_censorship_resets() {
+        let mut n = network();
+        let resp = HttpResponse::ok(ContentType::Html, 10_000)
+            .with_keywords(vec!["forbidden-topic".to_string()]);
+        n.add_server("news.example", country("US"), Box::new(ConstHandler(resp)));
+        n.add_middlebox(Box::new(KeywordCensor));
+        let c = n.add_client(country("CN"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(
+            &c,
+            &HttpRequest::get("http://news.example/article"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(out.result, Err(FetchError::ConnectionReset));
+        assert_eq!(out.result.unwrap_err().stage(), FailureStage::Tcp);
+    }
+
+    #[test]
+    fn dns_redirect_to_sinkhole_times_out() {
+        struct Redirector;
+        impl Middlebox for Redirector {
+            fn name(&self) -> &str {
+                "redir"
+            }
+            fn applies_to(&self, _c: &Host) -> bool {
+                true
+            }
+            fn on_dns(&self, _n: &str, _ctx: &StageContext<'_>) -> DnsAction {
+                DnsAction::Redirect(Ipv4Addr::new(100, 66, 6, 6))
+            }
+        }
+        let mut n = network();
+        n.add_server("example.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(Redirector));
+        let c = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        assert_eq!(out.result, Err(FetchError::ConnectTimeout));
+        assert_eq!(out.server_ip, Some(Ipv4Addr::new(100, 66, 6, 6)));
+    }
+
+    #[test]
+    fn fault_injector_drop_produces_timeout() {
+        let mut n = network();
+        n.fault = FaultInjector::none().with_drop_chance(1.0);
+        n.add_server("example.com", country("US"), img_handler(400));
+        let c = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        assert_eq!(out.result, Err(FetchError::ConnectTimeout));
+    }
+
+    #[test]
+    fn fault_injector_corrupt_invalidates_response() {
+        let mut n = network();
+        n.fault = FaultInjector::none().with_corrupt_chance(1.0);
+        n.add_server("example.com", country("US"), img_handler(400));
+        let c = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        assert_eq!(out.result, Err(FetchError::CorruptResponse));
+    }
+
+    #[test]
+    fn larger_bodies_take_longer() {
+        let mut n = network();
+        n.add_server("small.example", country("US"), img_handler(500));
+        n.add_server("large.example", country("US"), img_handler(500_000));
+        let c = n.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let small = n
+            .fetch(&c, &HttpRequest::get("http://small.example/"), SimTime::ZERO, &mut rng)
+            .timings
+            .transfer;
+        let large = n
+            .fetch(&c, &HttpRequest::get("http://large.example/"), SimTime::ZERO, &mut rng)
+            .timings
+            .transfer;
+        assert!(large > small * 100);
+    }
+
+    #[test]
+    fn fetch_is_deterministic_given_seed() {
+        let run = || {
+            let mut n = network();
+            n.path_model = PathModel::default(); // jitter on
+            n.add_server("example.com", country("BR"), img_handler(1_234));
+            let c = n.add_client(country("JP"), IspClass::Mobile);
+            let mut rng = SimRng::new(99);
+            let out = n.fetch(&c, &HttpRequest::get("http://example.com/i.png"), SimTime::ZERO, &mut rng);
+            out.timings.total().as_micros()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_records_censor_interference() {
+        let mut n = network();
+        n.add_server("censored.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(DnsBlocker));
+        let pk = n.add_client(country("PK"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        n.fetch(&pk, &HttpRequest::get("http://censored.com/"), SimTime::ZERO, &mut rng);
+        assert!(n.trace.contains("dns-blocker"));
+    }
+}

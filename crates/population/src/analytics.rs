@@ -1,0 +1,172 @@
+//! Visit analytics — the §6.2 demographic report.
+//!
+//! The paper's pilot evidence that ordinary web traffic suffices for
+//! censorship measurement: 1,171 monthly visits to one academic page,
+//! a long tail of countries, 16% of visitors in filtering countries,
+//! and dwell times long enough for measurement tasks.
+
+use crate::driver::VisitRecord;
+use netsim::geo::CountryCode;
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+use std::collections::BTreeMap;
+
+/// Aggregated analytics over a visit log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analytics {
+    /// Total visits.
+    pub total_visits: usize,
+    /// Visits per country, descending.
+    pub by_country: Vec<(CountryCode, usize)>,
+    /// Visits that were automated traffic.
+    pub crawler_visits: usize,
+    /// Visits that attempted at least one measurement task.
+    pub attempted_measurement: usize,
+    /// Fraction of human visits dwelling longer than 10 seconds.
+    pub frac_over_10s: f64,
+    /// Fraction of human visits dwelling longer than 60 seconds.
+    pub frac_over_60s: f64,
+}
+
+impl Analytics {
+    /// Compute analytics from a visit log.
+    pub fn from_visits(visits: &[VisitRecord]) -> Analytics {
+        let mut by_country: BTreeMap<CountryCode, usize> = BTreeMap::new();
+        let mut crawler_visits = 0;
+        let mut attempted = 0;
+        let mut humans = 0usize;
+        let mut over10 = 0usize;
+        let mut over60 = 0usize;
+        for v in visits {
+            *by_country.entry(v.country).or_default() += 1;
+            if v.is_crawler {
+                crawler_visits += 1;
+            } else {
+                humans += 1;
+                if v.dwell > SimDuration::from_secs(10) {
+                    over10 += 1;
+                }
+                if v.dwell > SimDuration::from_secs(60) {
+                    over60 += 1;
+                }
+            }
+            if !v.outcome.executed.is_empty() {
+                attempted += 1;
+            }
+        }
+        let mut by_country: Vec<_> = by_country.into_iter().collect();
+        by_country.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Analytics {
+            total_visits: visits.len(),
+            by_country,
+            crawler_visits,
+            attempted_measurement: attempted,
+            frac_over_10s: if humans == 0 { 0.0 } else { over10 as f64 / humans as f64 },
+            frac_over_60s: if humans == 0 { 0.0 } else { over60 as f64 / humans as f64 },
+        }
+    }
+
+    /// Number of countries with more than `threshold` visits.
+    pub fn countries_with_more_than(&self, threshold: usize) -> usize {
+        self.by_country.iter().filter(|(_, n)| *n > threshold).count()
+    }
+
+    /// Fraction of all visits from the given set of countries.
+    pub fn fraction_from(&self, countries: &[CountryCode]) -> f64 {
+        if self.total_visits == 0 {
+            return 0.0;
+        }
+        let n: usize = self
+            .by_country
+            .iter()
+            .filter(|(c, _)| countries.contains(c))
+            .map(|(_, n)| n)
+            .sum();
+        n as f64 / self.total_visits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore::system::VisitOutcome;
+    use netsim::geo::country;
+    use sim_core::SimTime;
+
+    fn visit(cc: &str, dwell_s: u64, crawler: bool, ran_task: bool) -> VisitRecord {
+        let mut outcome = VisitOutcome {
+            origin_loaded: true,
+            got_task: ran_task,
+            executed: Vec::new(),
+            inits_delivered: 0,
+            results_delivered: 0,
+        };
+        if ran_task {
+            outcome.executed.push((
+                encore::tasks::MeasurementTask {
+                    id: encore::tasks::MeasurementId(1),
+                    spec: encore::tasks::TaskSpec::Image {
+                        url: "http://t/favicon.ico".into(),
+                    },
+                },
+                encore::tasks::TaskExecution {
+                    outcome: encore::tasks::TaskOutcome::Success,
+                    elapsed: SimDuration::from_millis(200),
+                    executed_untrusted_code: false,
+                },
+            ));
+        }
+        VisitRecord {
+            at: SimTime::ZERO,
+            origin_index: 0,
+            country: country(cc),
+            dwell: SimDuration::from_secs(dwell_s),
+            is_crawler: crawler,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_counts() {
+        let visits = vec![
+            visit("US", 5, false, false),
+            visit("US", 30, false, true),
+            visit("PK", 120, false, true),
+            visit("US", 2, true, false),
+        ];
+        let a = Analytics::from_visits(&visits);
+        assert_eq!(a.total_visits, 4);
+        assert_eq!(a.crawler_visits, 1);
+        assert_eq!(a.attempted_measurement, 2);
+        assert_eq!(a.by_country[0], (country("US"), 3));
+        // Humans: 3; over 10s: 2; over 60s: 1.
+        assert!((a.frac_over_10s - 2.0 / 3.0).abs() < 1e-9);
+        assert!((a.frac_over_60s - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn country_threshold_counting() {
+        let mut visits = Vec::new();
+        for _ in 0..20 {
+            visits.push(visit("US", 30, false, true));
+        }
+        for cc in ["PK", "CN", "IN"] {
+            for _ in 0..11 {
+                visits.push(visit(cc, 30, false, true));
+            }
+        }
+        visits.push(visit("DE", 30, false, true));
+        let a = Analytics::from_visits(&visits);
+        assert_eq!(a.countries_with_more_than(10), 4);
+        let frac = a.fraction_from(&[country("PK"), country("CN"), country("IN")]);
+        assert!((frac - 33.0 / 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let a = Analytics::from_visits(&[]);
+        assert_eq!(a.total_visits, 0);
+        assert_eq!(a.frac_over_10s, 0.0);
+        assert_eq!(a.fraction_from(&[country("US")]), 0.0);
+    }
+}

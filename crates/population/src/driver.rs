@@ -1,0 +1,282 @@
+//! The deployment driver: Poisson visit arrivals over simulated months.
+//!
+//! Each arrival samples a visitor from the origin's audience, creates a
+//! browser client at that vantage point, and runs the full Figure 2 visit
+//! flow. The driver is how the §6.2 pilot (one academic page, one month)
+//! and the §7 study (many origins, seven months, 141,626 measurements)
+//! are both expressed.
+
+use crate::audience::Audience;
+use browser::BrowserClient;
+use encore::delivery::OriginSite;
+use encore::system::{EncoreSystem, VisitOutcome};
+use netsim::geo::CountryCode;
+use netsim::network::Network;
+use serde::{Deserialize, Serialize};
+use sim_core::dist::{Exponential, Sample};
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Simulated time span.
+    pub duration: SimDuration,
+    /// Mean visits per day per unit of origin popularity weight.
+    pub visits_per_day_per_weight: f64,
+    /// Probability a visit comes from a returning client (same IP, warm
+    /// cache) rather than a fresh one.
+    pub repeat_visitor_rate: f64,
+    /// Cap on retained returning clients (bounds memory).
+    pub returning_pool: usize,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            duration: SimDuration::from_days(28),
+            visits_per_day_per_weight: 40.0,
+            repeat_visitor_rate: 0.2,
+            returning_pool: 256,
+        }
+    }
+}
+
+/// One visit's record (the driver's analogue of a Google-Analytics row
+/// plus Encore's own outcome).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitRecord {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Which origin was visited (index into the system's origin list).
+    pub origin_index: usize,
+    /// Visitor country (ground truth, for analytics — the *detector*
+    /// only ever sees GeoIP'd addresses).
+    pub country: CountryCode,
+    /// Dwell time.
+    pub dwell: SimDuration,
+    /// Automated traffic?
+    pub is_crawler: bool,
+    /// What Encore observed during the visit.
+    pub outcome: VisitOutcome,
+}
+
+/// Run a deployment: Poisson arrivals at every origin site over the
+/// configured span. Returns the visit log (chronological).
+pub fn run_deployment(
+    net: &mut Network,
+    system: &mut EncoreSystem,
+    audience: &Audience,
+    config: &DeploymentConfig,
+    rng: &mut SimRng,
+) -> Vec<VisitRecord> {
+    let mut arrivals_rng = rng.fork("deployment-arrivals");
+    let mut visitor_rng = rng.fork("deployment-visitors");
+
+    // Generate arrival times per origin, then merge chronologically.
+    let origins: Vec<OriginSite> = system.origins.clone();
+    let mut schedule: Vec<(SimTime, usize)> = Vec::new();
+    for (idx, origin) in origins.iter().enumerate() {
+        let rate_per_day = config.visits_per_day_per_weight * origin.popularity_weight;
+        if rate_per_day <= 0.0 {
+            continue;
+        }
+        let mean_gap_secs = 86_400.0 / rate_per_day;
+        let gap = Exponential::from_mean(mean_gap_secs);
+        let mut t = SimTime::ZERO;
+        loop {
+            let dt = SimDuration::from_millis_f64(gap.sample(&mut arrivals_rng) * 1_000.0);
+            t = t + dt;
+            if t.since(SimTime::ZERO) >= config.duration {
+                break;
+            }
+            schedule.push((t, idx));
+        }
+    }
+    schedule.sort_by_key(|&(t, idx)| (t, idx));
+
+    let mut returning: Vec<BrowserClient> = Vec::new();
+    let mut log = Vec::with_capacity(schedule.len());
+
+    for (at, origin_index) in schedule {
+        let visitor = audience.sample(&mut visitor_rng);
+        let origin = &origins[origin_index];
+
+        // Returning visitor with a warm cache, or a fresh client.
+        let reuse = !returning.is_empty()
+            && visitor_rng.chance(config.repeat_visitor_rate);
+        let mut client = if reuse {
+            let idx = visitor_rng.index(returning.len());
+            returning.swap_remove(idx)
+        } else {
+            BrowserClient::new(net, visitor.country, visitor.isp, visitor.engine, &visitor_rng)
+        };
+
+        let ua = if visitor.is_crawler {
+            "CampusSecurityScanner/1.0 (bot)".to_string()
+        } else {
+            client.engine.to_string()
+        };
+        // Most automated clients never execute JavaScript, so they load
+        // the origin page but attempt no measurement; a minority are
+        // headless browsers that do (the "erroneously contributed
+        // measurements" of §7.1).
+        let effective_dwell = if visitor.is_crawler && !visitor_rng.chance(0.25) {
+            SimDuration::ZERO
+        } else {
+            visitor.dwell
+        };
+        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
+
+        log.push(VisitRecord {
+            at,
+            origin_index,
+            country: client.host.country,
+            dwell: visitor.dwell,
+            is_crawler: visitor.is_crawler,
+            outcome,
+        });
+
+        if returning.len() < config.returning_pool {
+            returning.push(client);
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore::coordination::SchedulingStrategy;
+    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+    use netsim::geo::{country, World};
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::ConstHandler;
+
+    fn small_deployment() -> (Network, EncoreSystem) {
+        let mut net = Network::ideal(World::builtin());
+        net.add_server(
+            "target.example",
+            country("US"),
+            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+        );
+        let tasks = vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }];
+        let origin = OriginSite::academic("prof.example");
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            vec![origin],
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    fn week_config() -> DeploymentConfig {
+        DeploymentConfig {
+            duration: SimDuration::from_days(7),
+            visits_per_day_per_weight: 30.0,
+            ..DeploymentConfig::default()
+        }
+    }
+
+    #[test]
+    fn deployment_produces_visits_and_measurements() {
+        let (mut net, mut sys) = small_deployment();
+        let mut rng = SimRng::new(0x715);
+        let log = run_deployment(
+            &mut net,
+            &mut sys,
+            &Audience::academic(),
+            &week_config(),
+            &mut rng,
+        );
+        // ~30/day for 7 days ≈ 210 visits.
+        assert!((140..300).contains(&log.len()), "visits = {}", log.len());
+        // Some visits executed tasks and submitted results.
+        let measured = log
+            .iter()
+            .filter(|v| !v.outcome.executed.is_empty())
+            .count();
+        assert!(measured > 30, "measured = {measured}");
+        assert!(sys.collection.len() > 60, "collector has {}", sys.collection.len());
+    }
+
+    #[test]
+    fn visit_log_is_chronological() {
+        let (mut net, mut sys) = small_deployment();
+        let mut rng = SimRng::new(0x716);
+        let log = run_deployment(
+            &mut net,
+            &mut sys,
+            &Audience::academic(),
+            &week_config(),
+            &mut rng,
+        );
+        for w in log.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let run = |seed: u64| {
+            let (mut net, mut sys) = small_deployment();
+            let mut rng = SimRng::new(seed);
+            let log = run_deployment(
+                &mut net,
+                &mut sys,
+                &Audience::academic(),
+                &week_config(),
+                &mut rng,
+            );
+            (log.len(), sys.collection.len())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn bounced_visits_run_no_tasks() {
+        let (mut net, mut sys) = small_deployment();
+        let mut rng = SimRng::new(0x717);
+        let log = run_deployment(
+            &mut net,
+            &mut sys,
+            &Audience::academic(),
+            &week_config(),
+            &mut rng,
+        );
+        for v in &log {
+            if v.dwell < SimDuration::from_secs(2) {
+                assert!(v.outcome.executed.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_origin_gets_no_visits() {
+        let mut net = Network::ideal(World::builtin());
+        let origin = OriginSite::academic("ghost.example").with_popularity(0.0);
+        let mut sys = EncoreSystem::deploy(
+            &mut net,
+            vec![],
+            SchedulingStrategy::Random,
+            vec![origin],
+            country("US"),
+        );
+        let mut rng = SimRng::new(1);
+        let log = run_deployment(
+            &mut net,
+            &mut sys,
+            &Audience::academic(),
+            &week_config(),
+            &mut rng,
+        );
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # population — client populations and deployment simulation
+//!
+//! Encore's vantage points are "the set of users who happen to visit a
+//! Web site that has installed an Encore script" (paper §6.3). This crate
+//! models that population and drives whole deployments:
+//!
+//! * [`audience`] — who visits an origin site: country mix, browser mix,
+//!   access-network mix, dwell times, crawler fraction. Two calibrated
+//!   audiences are provided: the §6.2 academic-homepage audience and a
+//!   world audience for the §7 seven-month run.
+//! * [`driver`] — Poisson visit arrivals over a time span; each visit
+//!   instantiates a browser client and runs the full Figure 2 flow
+//!   through [`encore::EncoreSystem`].
+//! * [`analytics`] — the Google-Analytics-style report of §6.2.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytics;
+pub mod audience;
+pub mod driver;
+
+pub use analytics::Analytics;
+pub use audience::Audience;
+pub use driver::{run_deployment, DeploymentConfig, VisitRecord};

@@ -1,0 +1,43 @@
+//! Property tests for the population models.
+
+use netsim::geo::World;
+use population::Audience;
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimRng};
+
+proptest! {
+    #[test]
+    fn dwell_samples_are_positive_and_bounded(seed in any::<u64>()) {
+        let a = Audience::academic();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let d = a.sample_dwell(&mut rng);
+            prop_assert!(d > SimDuration::ZERO);
+            // Nobody stays on an academic homepage for a week.
+            prop_assert!(d < SimDuration::from_days(1), "dwell = {d}");
+        }
+    }
+
+    #[test]
+    fn visitors_always_come_from_known_countries(seed in any::<u64>()) {
+        let world = World::with_long_tail(170);
+        let a = Audience::world(&world);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let v = a.sample(&mut rng);
+            prop_assert!(world.get(v.country).is_some(), "unknown country {}", v.country);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic(seed in any::<u64>()) {
+        let a = Audience::academic();
+        let mut r1 = SimRng::new(seed);
+        let mut r2 = SimRng::new(seed);
+        for _ in 0..20 {
+            let v1 = a.sample(&mut r1);
+            let v2 = a.sample(&mut r2);
+            prop_assert_eq!(v1, v2);
+        }
+    }
+}

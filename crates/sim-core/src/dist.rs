@@ -1,0 +1,308 @@
+//! Sampling distributions used across the simulation.
+//!
+//! Implemented locally (on top of [`SimRng`]) so the workspace needs no
+//! distribution crate. Each distribution documents where the workspace uses
+//! it:
+//!
+//! * [`LogNormal`] — web object sizes and page weights (Figures 4–6 shapes),
+//!   RTT jitter. Web content sizes are famously heavy-tailed and log-normal
+//!   bodies are the standard first-order model.
+//! * [`Pareto`] — page-size tails (Figure 5's "very long tail") and dwell
+//!   times (§6.2).
+//! * [`Exponential`] — visit inter-arrival times (Poisson arrivals).
+//! * [`Zipf`] — popularity of sites/pages across clients.
+//! * [`Empirical`] — weighted discrete choice (country mixes, browser
+//!   market share).
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` that can be sampled with a [`SimRng`].
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (of `ln x`).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal. Must be non-negative.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct a log-normal with the given *median* and a shape parameter
+    /// sigma. The median of a log-normal is `exp(mu)`, which is a far more
+    /// intuitive handle when calibrating to a CDF plot.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `xm > 0` and shape `alpha > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Scale (minimum value).
+    pub xm: f64,
+    /// Tail index; smaller means heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct a Pareto distribution.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0, "xm and alpha must be positive");
+        Pareto { xm, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse transform: x = xm / U^(1/alpha), U in (0, 1].
+        let u = 1.0 - rng.unit();
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; must be positive.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Construct from a rate.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Construct from a mean (`1/lambda`).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.unit();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling uses the precomputed CDF (O(log n) per draw), which is fine at
+/// the corpus sizes this workspace generates (thousands of items).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct a Zipf distribution over `n >= 1` ranks with exponent
+    /// `s >= 0` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `[0, n)` (zero-based; rank 0 is the most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true by
+    /// construction, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// An empirical (weighted discrete) distribution over `T`.
+#[derive(Debug, Clone)]
+pub struct Empirical<T> {
+    items: Vec<T>,
+    weights: Vec<f64>,
+}
+
+impl<T> Empirical<T> {
+    /// Build from `(item, weight)` pairs. Weights must be non-negative and
+    /// at least one must be positive.
+    pub fn new(pairs: Vec<(T, f64)>) -> Self {
+        assert!(
+            pairs.iter().any(|(_, w)| *w > 0.0),
+            "at least one weight must be positive"
+        );
+        let (items, weights) = pairs.into_iter().unzip();
+        Empirical { items, weights }
+    }
+
+    /// Draw a reference to one item.
+    pub fn sample<'a>(&'a self, rng: &mut SimRng) -> &'a T {
+        let idx = rng
+            .pick_weighted(&self.weights)
+            .expect("Empirical invariant: positive total weight");
+        &self.items[idx]
+    }
+
+    /// All items with their weights.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.items.iter().zip(self.weights.iter().copied())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xE7C0_4E5E)
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::from_median(100.0, 1.0);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((80.0..125.0).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn lognormal_always_positive() {
+        let d = LogNormal::new(0.0, 3.0);
+        let mut r = rng();
+        assert!((0..5_000).all(|_| d.sample(&mut r) > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(10.0, 2.0);
+        let mut r = rng();
+        assert!((0..5_000).all(|_| d.sample(&mut r) >= 10.0));
+    }
+
+    #[test]
+    fn pareto_mean_close_to_theory() {
+        // Mean = alpha*xm/(alpha-1) = 2*10/1 = 20 for alpha=2, xm=10.
+        let d = Pareto::new(10.0, 2.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((18.0..22.5).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close_to_theory() {
+        let d = Exponential::from_mean(5.0);
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((4.8..5.2).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let d = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[d.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let d = Zipf::new(4, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[d.sample_rank(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let d = Zipf::new(1, 1.5);
+        let mut r = rng();
+        assert_eq!(d.sample_rank(&mut r), 0);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empirical_zero_weight_never_drawn() {
+        let d = Empirical::new(vec![("never", 0.0), ("always", 1.0)]);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert_eq!(*d.sample(&mut r), "always");
+        }
+    }
+
+    #[test]
+    fn empirical_proportions() {
+        let d = Empirical::new(vec![("a", 1.0), ("b", 4.0)]);
+        let mut r = rng();
+        let hits_b = (0..10_000).filter(|_| *d.sample(&mut r) == "b").count();
+        assert!((7_600..8_400).contains(&hits_b), "hits_b = {hits_b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empirical_rejects_all_zero() {
+        let _ = Empirical::new(vec![("a", 0.0)]);
+    }
+}

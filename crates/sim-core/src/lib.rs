@@ -1,0 +1,47 @@
+//! # sim-core — deterministic simulation kernel for the Encore reproduction
+//!
+//! Every other crate in this workspace is built on top of this kernel. It
+//! provides:
+//!
+//! * [`time`] — a simulated clock ([`SimTime`]) and duration type
+//!   ([`SimDuration`]) with microsecond resolution. The library never reads
+//!   the wall clock; all timing comes from the simulation.
+//! * [`queue`] — a deterministic discrete-event queue ([`EventQueue`]):
+//!   events that fire at the same instant are delivered in insertion order,
+//!   so two runs with the same seed are byte-identical.
+//! * [`rng`] — a seedable random-number source ([`SimRng`]) with labelled
+//!   forking, so independent subsystems draw from independent streams and
+//!   adding randomness to one subsystem never perturbs another.
+//! * [`dist`] — the handful of distributions the simulation needs
+//!   (log-normal, Pareto, exponential, Zipf, empirical), implemented locally
+//!   so the only external randomness dependency is `rand`'s core RNG.
+//! * [`stats`] — descriptive statistics (CDFs, percentiles, box plots) and
+//!   the one-sided binomial hypothesis test that Encore's inference engine
+//!   (paper §7.2) is built on.
+//! * [`trace`] — a lightweight, deterministic event trace in the smoltcp
+//!   idiom: every interesting wire/browser event can be recorded and
+//!   asserted on in tests.
+//!
+//! ## Determinism contract
+//!
+//! Given the same root seed, every simulation in this workspace produces the
+//! same results, independent of platform, thread scheduling (everything is
+//! single-threaded), or hash-map iteration order (we sort or use `BTreeMap`
+//! at every decision point).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{binomial_sf, Cdf, FiveNumber, OneSidedBinomialTest, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceLevel};

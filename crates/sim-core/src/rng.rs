@@ -1,0 +1,296 @@
+//! Seedable, forkable randomness.
+//!
+//! All randomness in the workspace flows from a single root seed through
+//! [`SimRng`]. Subsystems obtain *forked* child generators via
+//! [`SimRng::fork`], keyed by a string label: the child stream depends only
+//! on `(root seed, label)`, so adding random draws to one subsystem never
+//! shifts the stream seen by another. This is the property that keeps the
+//! experiment harness reproducible as the codebase grows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// FNV-1a 64-bit hash, used to mix fork labels into seeds. A cryptographic
+/// hash is unnecessary: we only need stable, well-spread derivation.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic random number generator with labelled forking.
+pub struct SimRng {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a root seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fork a child generator whose stream depends only on this generator's
+    /// seed and `label` — not on how many values have been drawn so far.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let child = self.seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        SimRng::new(child)
+    }
+
+    /// Fork a child generator keyed by a label and an index (e.g. one stream
+    /// per simulated client).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child = self.seed
+            ^ fnv1a(label.as_bytes()).rotate_left(17)
+            ^ fnv1a(&index.to_le_bytes()).rotate_left(31);
+        SimRng::new(child)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "range_f64 requires lo < hi");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index according to non-negative weights. Returns `None` if
+    /// all weights are zero or the slice is empty.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = self.rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                x -= w;
+                if x <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (reservoir sampling). If
+    /// `k >= n`, returns all indices in order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            return (0..n).collect();
+        }
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir.sort_unstable();
+        reservoir
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.rng.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_independent_of_draw_position() {
+        let root = SimRng::new(7);
+        let mut before = root.fork("net");
+        let mut consumed = SimRng::new(7);
+        for _ in 0..10 {
+            consumed.next_u64();
+        }
+        let mut after = consumed.fork("net");
+        for _ in 0..16 {
+            assert_eq!(before.next_u64(), after.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_labels_give_distinct_streams() {
+        let root = SimRng::new(7);
+        let mut a = root.fork("dns");
+        let mut b = root.fork("tcp");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_indexed_distinct_per_index() {
+        let root = SimRng::new(7);
+        let mut a = root.fork_indexed("client", 0);
+        let mut b = root.fork_indexed("client", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_roughly_matches_probability() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = SimRng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut r = SimRng::new(17);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[r.pick_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((2.5..3.6).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pick_weighted_all_zero_is_none() {
+        let mut r = SimRng::new(19);
+        assert_eq!(r.pick_weighted(&[0.0, 0.0]), None);
+        assert_eq!(r.pick_weighted(&[]), None);
+        assert_eq!(r.pick_weighted(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = SimRng::new(23);
+        let s = r.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n_returns_all() {
+        let mut r = SimRng::new(23);
+        assert_eq!(r.sample_indices(3, 5), vec![0, 1, 2]);
+        assert_eq!(r.sample_indices(3, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(29);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,228 @@
+//! Deterministic event tracing.
+//!
+//! In the smoltcp idiom, every interesting event on the simulated wire (DNS
+//! query, TCP RST, HTTP response, censor action, browser callback) can be
+//! recorded into a [`Trace`]. Tests assert on traces; the experiment
+//! binaries can dump them for debugging. Tracing is bounded (ring buffer)
+//! so month-long simulations do not accumulate unbounded memory.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity/verbosity of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// High-volume wire-level detail (every packet-equivalent event).
+    Trace,
+    /// Normal protocol events (connections, requests, task outcomes).
+    Debug,
+    /// Notable events (censor interference, detection decisions).
+    Info,
+    /// Abnormal events (malformed input, dropped submissions).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Trace => "TRACE",
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened in simulated time.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Subsystem tag, e.g. `"dns"`, `"tcp"`, `"censor"`, `"browser"`.
+    pub subsystem: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.at, self.level, self.subsystem, self.message
+        )
+    }
+}
+
+/// A bounded in-memory event trace.
+#[derive(Debug)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    min_level: TraceLevel,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536, TraceLevel::Debug)
+    }
+}
+
+impl Trace {
+    /// Create a trace retaining at most `capacity` events at or above
+    /// `min_level`.
+    pub fn new(capacity: usize, min_level: TraceLevel) -> Trace {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4_096)),
+            capacity: capacity.max(1),
+            min_level,
+            dropped: 0,
+        }
+    }
+
+    /// A trace that records nothing (for hot benchmark paths).
+    pub fn disabled() -> Trace {
+        Trace::new(1, TraceLevel::Warn)
+    }
+
+    /// Record an event (dropped silently if below `min_level`; oldest
+    /// events are evicted past capacity).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            level,
+            subsystem,
+            message: message.into(),
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events for one subsystem.
+    pub fn for_subsystem<'a>(
+        &'a self,
+        subsystem: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.subsystem == subsystem)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether any retained event's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.events.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Clear all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters_by_level() {
+        let mut t = Trace::new(10, TraceLevel::Debug);
+        t.record(SimTime::ZERO, TraceLevel::Trace, "dns", "too verbose");
+        t.record(SimTime::ZERO, TraceLevel::Info, "censor", "rst injected");
+        assert_eq!(t.len(), 1);
+        assert!(t.contains("rst injected"));
+        assert!(!t.contains("too verbose"));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3, TraceLevel::Debug);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), TraceLevel::Debug, "x", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn subsystem_filtering() {
+        let mut t = Trace::default();
+        t.record(SimTime::ZERO, TraceLevel::Debug, "dns", "q1");
+        t.record(SimTime::ZERO, TraceLevel::Debug, "tcp", "syn");
+        t.record(SimTime::ZERO, TraceLevel::Debug, "dns", "q2");
+        assert_eq!(t.for_subsystem("dns").count(), 2);
+        assert_eq!(t.for_subsystem("tcp").count(), 1);
+        assert_eq!(t.for_subsystem("http").count(), 0);
+    }
+
+    #[test]
+    fn display_formats_event() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1_500),
+            level: TraceLevel::Warn,
+            subsystem: "censor",
+            message: "blockpage".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("WARN"));
+        assert!(s.contains("censor"));
+        assert!(s.contains("blockpage"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new(1, TraceLevel::Debug);
+        t.record(SimTime::ZERO, TraceLevel::Debug, "a", "1");
+        t.record(SimTime::ZERO, TraceLevel::Debug, "a", "2");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_trace_keeps_warnings_only() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceLevel::Info, "a", "info");
+        assert!(t.is_empty());
+        t.record(SimTime::ZERO, TraceLevel::Warn, "a", "warn");
+        assert_eq!(t.len(), 1);
+    }
+}

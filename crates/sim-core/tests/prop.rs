@@ -1,0 +1,135 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+use sim_core::dist::{Empirical, Exponential, LogNormal, Pareto, Sample, Zipf};
+use sim_core::{Cdf, EventQueue, FiveNumber, SimDuration, SimRng, SimTime, Summary};
+
+proptest! {
+    // ---- time ----
+
+    #[test]
+    fn time_add_then_subtract_roundtrips(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(base);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    #[test]
+    fn duration_display_never_panics(us in 0u64..u64::MAX / 2) {
+        let _ = SimDuration::from_micros(us).to_string();
+        let _ = SimTime::from_micros(us).to_string();
+    }
+
+    #[test]
+    fn since_is_antisymmetric_saturating(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
+        let fwd = tb.since(ta);
+        let back = ta.since(tb);
+        // One direction is the true gap, the other saturates at zero.
+        prop_assert!(fwd == SimDuration::ZERO || back == SimDuration::ZERO);
+        prop_assert_eq!(fwd.as_micros() + back.as_micros(), a.abs_diff(b));
+    }
+
+    // ---- rng ----
+
+    #[test]
+    fn forks_are_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::new(seed).fork(&label);
+        let mut b = SimRng::new(seed).fork(&label);
+        prop_assert_eq!(a.unit(), b.unit());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in proptest::collection::vec(0u32..100, 0..50)) {
+        let mut rng = SimRng::new(seed);
+        let mut shuffled = xs.clone();
+        rng.shuffle(&mut shuffled);
+        shuffled.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(shuffled, xs);
+    }
+
+    #[test]
+    fn sample_indices_sorted_distinct(seed in any::<u64>(), n in 1usize..200, k in 0usize..200) {
+        let mut rng = SimRng::new(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        for w in s.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    // ---- distributions ----
+
+    #[test]
+    fn distributions_stay_in_support(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        prop_assert!(LogNormal::new(2.0, 1.0).sample(&mut rng) > 0.0);
+        prop_assert!(Pareto::new(5.0, 1.5).sample(&mut rng) >= 5.0);
+        prop_assert!(Exponential::from_mean(3.0).sample(&mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn zipf_ranks_in_range(seed in any::<u64>(), n in 1usize..500, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            prop_assert!(z.sample_rank(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn empirical_only_returns_positive_weight_items(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..5.0, 1..10),
+    ) {
+        prop_assume!(weights.iter().any(|w| *w > 0.0));
+        let pairs: Vec<(usize, f64)> = weights.iter().cloned().enumerate().collect();
+        let dist = Empirical::new(pairs);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let &idx = dist.sample(&mut rng);
+            prop_assert!(weights[idx] > 0.0, "drew zero-weight item {idx}");
+        }
+    }
+
+    // ---- stats ----
+
+    #[test]
+    fn five_number_is_ordered(xs in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        let f = FiveNumber::of(&xs).unwrap();
+        prop_assert!(f.min <= f.q1 && f.q1 <= f.median && f.median <= f.q3 && f.q3 <= f.max);
+        prop_assert!(f.min <= f.mean && f.mean <= f.max);
+    }
+
+    #[test]
+    fn summary_and_cdf_agree_on_extremes(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        let cdf = Cdf::new(xs);
+        prop_assert_eq!(s.min, cdf.quantile(0.0).unwrap());
+        prop_assert_eq!(s.max, cdf.quantile(1.0).unwrap());
+        prop_assert_eq!(s.n, cdf.len());
+    }
+
+    // ---- event queue ----
+
+    #[test]
+    fn queue_preserves_insertion_order_at_equal_times(
+        times in proptest::collection::vec(0u64..10, 1..100),
+    ) {
+        // Many collisions guaranteed by the tiny time range.
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lat, lidx)) = last {
+                prop_assert!(at > lat || (at == lat && idx > lidx));
+            }
+            last = Some((at, idx));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The webmaster's view: what installing Encore on your site actually
+//! involves, and what your visitors' browsers end up doing.
+//!
+//! Walks through §5.4/§6.3: the one-line snippet, the measurement-task
+//! JavaScript the coordination server would serve, the byte overhead per
+//! visit, and the full task-generation pipeline (Figure 3) that turns a
+//! target list into tasks.
+//!
+//! ```sh
+//! cargo run --example webmaster
+//! ```
+
+use encore_repro::browser::{BrowserClient, Engine};
+use encore_repro::encore::delivery::{render_snippet, render_task_js, InstallMethod, OriginSite};
+use encore_repro::encore::pipeline::{
+    GenerationConfig, PatternExpander, TargetFetcher, TaskGenerator,
+};
+use encore_repro::encore::targets::TargetList;
+use encore_repro::netsim::geo::{country, IspClass, World};
+use encore_repro::netsim::network::Network;
+use encore_repro::sim_core::{SimRng, SimTime};
+use encore_repro::websim::generator::{SyntheticWeb, WebConfig};
+use encore_repro::websim::SearchIndex;
+
+fn main() {
+    // --- 1. What you add to your page -----------------------------------
+    let snippet = render_snippet("coordinator.encore-repro.net");
+    println!("Add this one line to your page ({} bytes):\n  {snippet}\n", snippet.len());
+    println!("Prefer not to let clients contact Encore directly? Use the");
+    println!("server-side install (a WordPress-plugin-style proxy):");
+    let robust = OriginSite::academic("my-blog.example")
+        .with_install(InstallMethod::ServerSideInline)
+        .with_referer_stripping();
+    println!("  {:?}\n", robust.install_method);
+
+    // --- 2. What the coordination server sends your visitors ------------
+    // Build a small web corpus and run the Figure 3 pipeline over it.
+    let mut rng = SimRng::new(1);
+    let web = SyntheticWeb::generate(&WebConfig::small(), &mut rng);
+    let mut net = Network::new(World::builtin());
+    web.install(&mut net, &mut rng);
+    let index = SearchIndex::build(&web);
+
+    let targets = TargetList::herdict_style(&web.domains()[..4].to_vec());
+    println!(
+        "target list: {} patterns from {:?}",
+        targets.len(),
+        targets.source
+    );
+
+    let expander = PatternExpander::new(&index);
+    let urls = expander.expand_all(&targets.patterns);
+    println!("pattern expander: {} URLs (<=50 per domain)", urls.len());
+
+    let root = SimRng::new(2);
+    let browser = BrowserClient::new(&mut net, country("US"), IspClass::Academic, Engine::Chrome, &root);
+    let mut fetcher = TargetFetcher::new(browser);
+    let hars = fetcher.fetch_all(&mut net, &urls, SimTime::ZERO);
+    println!("target fetcher: {} HARs recorded", hars.len());
+
+    let mut generator = TaskGenerator::new(GenerationConfig {
+        max_image_bytes: 5_000,
+        ..GenerationConfig::default()
+    });
+    let tasks = generator.generate_all(&hars, |_| true);
+    println!("task generator: {} measurement tasks\n", tasks.len());
+
+    // --- 3. The JavaScript one of those tasks compiles to ---------------
+    if let Some(task) = tasks.first() {
+        let js = render_task_js(task, "collector.encore-repro.net");
+        println!(
+            "a generated {} task ({} bytes of JS):\n{js}\n",
+            task.spec.task_type(),
+            js.len()
+        );
+    }
+
+    // --- 4. What it costs your visitors ---------------------------------
+    let mut by_type = std::collections::BTreeMap::new();
+    for t in &tasks {
+        *by_type.entry(t.spec.task_type().to_string()).or_insert(0usize) += 1;
+    }
+    println!("task mix: {by_type:?}");
+    println!("per-visit overhead: one coordination fetch (~3 KB of JS),");
+    println!("one cross-origin resource (typically a <1 KB favicon), and");
+    println!("two beacon GETs to the collector — invisible next to a");
+    println!("typical half-megabyte page load.");
+}

@@ -1,0 +1,206 @@
+//! Integration tests for the Table 2 ethics staging and the §8
+//! adversary-resistance mechanisms.
+
+use encore_repro::browser::{BrowserClient, Engine};
+use encore_repro::censor::national::NationalCensor;
+use encore_repro::censor::policy::{CensorPolicy, Mechanism};
+use encore_repro::encore::coordination::SchedulingStrategy;
+use encore_repro::encore::delivery::{InstallMethod, OriginSite};
+use encore_repro::encore::pipeline::{GenerationConfig, TaskGenerator};
+use encore_repro::encore::system::EncoreSystem;
+use encore_repro::encore::targets::EthicsStage;
+use encore_repro::encore::tasks::{MeasurementId, MeasurementTask, TaskSpec, TaskType};
+use encore_repro::netsim::geo::{country, IspClass, World};
+use encore_repro::netsim::http::{ContentType, HttpResponse};
+use encore_repro::netsim::network::{ConstHandler, Network};
+use encore_repro::sim_core::{SimDuration, SimRng, SimTime};
+use encore_repro::websim::har::{Har, HarEntry};
+
+fn corpus_hars() -> Vec<Har> {
+    // Two sites: a social target and an obscure activist site, each with
+    // a favicon, a photo, a stylesheet and a nosniff script.
+    ["youtube.com", "activist-blog.org"]
+        .iter()
+        .map(|domain| Har {
+            page_url: format!("http://{domain}/page.html"),
+            entries: vec![
+                HarEntry {
+                    url: format!("http://{domain}/page.html"),
+                    status: 200,
+                    content_type: ContentType::Html,
+                    body_bytes: 30_000,
+                    cacheable: false,
+                    nosniff: false,
+                    time: SimDuration::from_millis(60),
+                    ok: true,
+                },
+                HarEntry {
+                    url: format!("http://{domain}/favicon.ico"),
+                    status: 200,
+                    content_type: ContentType::Image,
+                    body_bytes: 420,
+                    cacheable: true,
+                    nosniff: false,
+                    time: SimDuration::from_millis(40),
+                    ok: true,
+                },
+                HarEntry {
+                    url: format!("http://{domain}/photo.png"),
+                    status: 200,
+                    content_type: ContentType::Image,
+                    body_bytes: 900,
+                    cacheable: true,
+                    nosniff: false,
+                    time: SimDuration::from_millis(40),
+                    ok: true,
+                },
+                HarEntry {
+                    url: format!("http://{domain}/style.css"),
+                    status: 200,
+                    content_type: ContentType::Stylesheet,
+                    body_bytes: 2_000,
+                    cacheable: true,
+                    nosniff: false,
+                    time: SimDuration::from_millis(40),
+                    ok: true,
+                },
+                HarEntry {
+                    url: format!("http://{domain}/lib.js"),
+                    status: 200,
+                    content_type: ContentType::Script,
+                    body_bytes: 20_000,
+                    cacheable: true,
+                    nosniff: true,
+                    time: SimDuration::from_millis(40),
+                    ok: true,
+                },
+            ],
+            page_ok: true,
+        })
+        .collect()
+}
+
+#[test]
+fn ethics_stages_progressively_restrict_the_pool() {
+    let hars = corpus_hars();
+    let mut generator = TaskGenerator::new(GenerationConfig {
+        max_image_bytes: 1_000,
+        ..GenerationConfig::default()
+    });
+    let all = generator.generate_all(&hars, |_| true);
+
+    let unrestricted = EthicsStage::Unrestricted.filter(all.clone());
+    let favicons = EthicsStage::FaviconsOnly.filter(all.clone());
+    let final_stage = EthicsStage::FaviconsFewSites.filter(all.clone());
+
+    assert!(unrestricted.len() > favicons.len());
+    assert!(favicons.len() > final_stage.len());
+
+    // Favicon stage: only image tasks on /favicon.ico, but on any site.
+    assert!(favicons.iter().all(|t| {
+        t.spec.task_type() == TaskType::Image && t.spec.target_url().ends_with("/favicon.ico")
+    }));
+    assert!(favicons
+        .iter()
+        .any(|t| t.spec.target_url().contains("activist-blog.org")));
+
+    // Final stage: favicons on the high-collateral trio only.
+    assert_eq!(final_stage.len(), 1);
+    assert_eq!(
+        final_stage[0].spec.target_url(),
+        "http://youtube.com/favicon.ico"
+    );
+}
+
+#[test]
+fn inline_install_keeps_measuring_when_coordinator_is_blocked() {
+    let mut net = Network::ideal(World::builtin());
+    net.add_server(
+        "target.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    let policy = CensorPolicy::named("anti-encore")
+        .block_domain("coordinator.encore-repro.net", Mechanism::IpDrop);
+    let mut censor = NationalCensor::new(country("IR"), policy);
+    // The censor resolves Encore's infrastructure addresses *after*
+    // deployment, like a real blacklist compiler would…
+    let tag = OriginSite::academic("tag.example");
+    let inline = OriginSite::academic("inline.example").with_install(InstallMethod::ServerSideInline);
+    let mut sys = EncoreSystem::deploy(
+        &mut net,
+        vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }],
+        SchedulingStrategy::RoundRobin,
+        vec![tag.clone(), inline.clone()],
+        country("US"),
+    );
+    censor.resolve_ip_rules(&net.dns);
+    net.add_middlebox(Box::new(censor));
+
+    let root = SimRng::new(0xE7);
+    let mut run = |origin: &OriginSite| {
+        let mut c =
+            BrowserClient::new(&mut net, country("IR"), IspClass::Residential, Engine::Chrome, &root);
+        sys.run_visit(
+            &mut net,
+            &mut c,
+            origin,
+            SimDuration::from_secs(30),
+            SimTime::ZERO,
+            "Chrome",
+        )
+    };
+    let tag_outcome = run(&tag);
+    let inline_outcome = run(&inline);
+    assert!(!tag_outcome.got_task, "IP-dropped coordinator must block tag installs");
+    assert!(inline_outcome.got_task, "inline install is unaffected");
+    assert_eq!(inline_outcome.results_delivered, 1);
+}
+
+#[test]
+fn mirror_restores_collection_under_blocking() {
+    let mut net = Network::ideal(World::builtin());
+    net.add_server(
+        "target.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    let policy = CensorPolicy::named("anti-collector")
+        .block_domain("collector.encore-repro.net", Mechanism::DnsDrop);
+    net.add_middlebox(Box::new(NationalCensor::new(country("CN"), policy)));
+
+    let origin = OriginSite::academic("origin.example");
+    let mut sys = EncoreSystem::deploy(
+        &mut net,
+        vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }],
+        SchedulingStrategy::RoundRobin,
+        vec![origin.clone()],
+        country("US"),
+    );
+
+    let root = SimRng::new(0x111);
+    let visit = |sys: &mut EncoreSystem, net: &mut Network| {
+        let mut c =
+            BrowserClient::new(net, country("CN"), IspClass::Residential, Engine::Chrome, &root);
+        sys.run_visit(net, &mut c, &origin, SimDuration::from_secs(30), SimTime::ZERO, "Chrome")
+    };
+
+    let before = visit(&mut sys, &mut net);
+    assert_eq!(before.results_delivered, 0, "collector blocked");
+    assert!(!before.executed.is_empty(), "measurement still ran");
+
+    sys.add_collector_mirror(&mut net, "mirror.aws-like.example", country("SG"));
+    let after = visit(&mut sys, &mut net);
+    assert_eq!(after.results_delivered, 1, "mirror failover");
+    assert!(sys.collection.len() >= 2, "mirror shares the store");
+}
