@@ -91,5 +91,9 @@ fn bench_detector_min_measurements(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_image_cap_sweep, bench_detector_min_measurements);
+criterion_group!(
+    benches,
+    bench_image_cap_sweep,
+    bench_detector_min_measurements
+);
 criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Fetch-path throughput: cold-session vs warm-session, plus the batched
+//! multi-client driver at production scale.
+//!
+//! * `fetch/cold_session` — a fresh `FetchSession` per request (the legacy
+//!   `Network::fetch` behaviour): full DNS + TCP + middlebox matching
+//!   every time.
+//! * `fetch/warm_session` — one persistent session: compiled censor
+//!   pipeline, DNS host cache, keep-alive connection. The acceptance
+//!   target is ≥2× over cold on repeated fetches to one origin.
+//! * `batched_driver/100k_visits` — `population::run_visit_batch` pushing
+//!   100 000 simulated visits (each a full Figure-2 flow) through one
+//!   Encore deployment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::system::EncoreSystem;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+use netsim::geo::{country, IspClass, World};
+use netsim::http::{ContentType, HttpRequest, HttpResponse};
+use netsim::network::{ConstHandler, Network};
+use netsim::session::FetchSession;
+use population::{run_visit_batch, Audience, BatchConfig};
+use sim_core::{SimRng, SimTime};
+
+fn fetch_network() -> Network {
+    let mut net = Network::new(World::builtin());
+    net.add_server(
+        "bench.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    // A realistic censor population so middlebox matching has real cost.
+    censor::registry::install_world_censors(&mut net);
+    net
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let req = HttpRequest::get("http://bench.example/favicon.ico");
+    let mut group = c.benchmark_group("fetch");
+
+    {
+        let mut net = fetch_network();
+        let client = net.add_client(country("DE"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        group.bench_function("cold_session", |b| {
+            b.iter(|| {
+                // A fresh session per request — everything from scratch.
+                let mut session = FetchSession::new(client.clone());
+                black_box(session.fetch(&mut net, &req, SimTime::ZERO, &mut rng))
+            })
+        });
+    }
+
+    {
+        let mut net = fetch_network();
+        let client = net.add_client(country("DE"), IspClass::Residential);
+        let mut session = FetchSession::new(client);
+        let mut rng = SimRng::new(1);
+        // Times advance within the keep-alive window so reuse stays live.
+        let mut tick = 0u64;
+        group.bench_function("warm_session", |b| {
+            b.iter(|| {
+                tick += 1;
+                let now = SimTime::from_millis(tick % 50_000);
+                black_box(session.fetch(&mut net, &req, now, &mut rng))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_batched_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_driver");
+    group.bench_function("100k_visits", |b| {
+        b.iter(|| {
+            let mut net = Network::new(World::builtin());
+            net.add_server(
+                "target.example",
+                country("US"),
+                Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+            );
+            let tasks = vec![MeasurementTask {
+                id: MeasurementId(0),
+                spec: TaskSpec::Image {
+                    url: "http://target.example/favicon.ico".into(),
+                },
+            }];
+            let mut sys = EncoreSystem::deploy(
+                &mut net,
+                tasks,
+                SchedulingStrategy::RoundRobin,
+                vec![OriginSite::academic("prof.example")],
+                country("US"),
+            );
+            let mut rng = SimRng::new(0xBEEF);
+            let config = BatchConfig {
+                visits: 100_000,
+                ..BatchConfig::default()
+            };
+            let report =
+                run_visit_batch(&mut net, &mut sys, &Audience::academic(), &config, &mut rng);
+            assert_eq!(report.visits, 100_000);
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_batched_driver);
+criterion_main!(benches);

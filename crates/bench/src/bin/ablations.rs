@@ -81,7 +81,10 @@ fn sweep_image_cap(results: &mut Ablations) {
         ]);
         results.image_cap.push((cap, coverage, avg_bytes));
     }
-    print_table(&["cap (bytes)", "measurable domains", "avg task bytes"], &rows);
+    print_table(
+        &["cap (bytes)", "measurable domains", "avg task bytes"],
+        &rows,
+    );
     println!();
 }
 
@@ -97,7 +100,11 @@ fn sweep_detector_p(results: &mut Ablations) {
     for p in [0.5, 0.6, 0.7, 0.8, 0.9, 0.95] {
         let test = OneSidedBinomialTest::new(p, 0.05);
         let fp = if test.rejects(n, honest_x) { 1.0 } else { 0.0 };
-        let catches = if test.rejects(n, throttled_x) { 1.0 } else { 0.0 };
+        let catches = if test.rejects(n, throttled_x) {
+            1.0
+        } else {
+            0.0
+        };
         rows.push(vec![
             format!("{p:.2}"),
             if fp > 0.0 { "FALSE POSITIVE" } else { "ok" }.to_string(),
@@ -181,7 +188,11 @@ fn sweep_iframe_threshold(results: &mut Ablations) {
         results.iframe_threshold.push((thr_ms, ok_rate, false_rate));
     }
     print_table(
-        &["threshold (ms)", "control success", "page-blocked false-success"],
+        &[
+            "threshold (ms)",
+            "control success",
+            "page-blocked false-success",
+        ],
         &rows,
     );
     println!("too tight → control loads misread as failures; too loose → the");
@@ -200,13 +211,21 @@ fn sweep_geo_error(results: &mut Ablations) {
         let mut alloc = IpAllocator::new();
         let mut records = Vec::new();
         let mut id = 0u64;
-        let add = |alloc: &mut IpAllocator, records: &mut Vec<StoredMeasurement>, cc: &str, ok: bool, id: &mut u64| {
+        let add = |alloc: &mut IpAllocator,
+                   records: &mut Vec<StoredMeasurement>,
+                   cc: &str,
+                   ok: bool,
+                   id: &mut u64| {
             *id += 1;
             records.push(StoredMeasurement {
                 submission: Submission {
                     measurement_id: MeasurementId(*id),
                     phase: SubmissionPhase::Result,
-                    outcome: Some(if ok { TaskOutcome::Success } else { TaskOutcome::Failure }),
+                    outcome: Some(if ok {
+                        TaskOutcome::Success
+                    } else {
+                        TaskOutcome::Failure
+                    }),
                     elapsed_ms: 100,
                     task_type: TaskType::Image,
                     target_url: "http://youtube.com/favicon.ico".into(),
@@ -232,7 +251,10 @@ fn sweep_geo_error(results: &mut Ablations) {
             ..DetectorConfig::default()
         })
         .detect(&records, &geo);
-        let pk_found = detections.iter().filter(|d| d.country == country("PK")).count();
+        let pk_found = detections
+            .iter()
+            .filter(|d| d.country == country("PK"))
+            .count();
         rows.push(vec![
             format!("{:.0}%", err * 100.0),
             detections.len().to_string(),

@@ -65,7 +65,13 @@ fn main() {
     let log = run_deployment(&mut net, &mut sys, &Audience::academic(), &config, &mut rng);
     let analytics = Analytics::from_visits(&log);
 
-    let filtering = [country("IN"), country("CN"), country("PK"), country("GB"), country("KR")];
+    let filtering = [
+        country("IN"),
+        country("CN"),
+        country("PK"),
+        country("GB"),
+        country("KR"),
+    ];
     let result = Demographics {
         total_visits: analytics.total_visits,
         attempted_measurement: analytics.attempted_measurement,

@@ -20,8 +20,8 @@ use censor::registry::{ground_truth, install_world_censors, SAFE_TARGETS};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
 use encore::system::EncoreSystem;
-use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore::targets::EthicsStage;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore::{DetectorConfig, FilteringDetector, GeoDb};
 use netsim::geo::{country, World};
 use netsim::network::{ConstHandler, Network};
@@ -71,7 +71,9 @@ fn main() {
             },
         })
         .collect();
-    assert!(tasks.iter().all(|t| EthicsStage::FaviconsFewSites.permits(t)));
+    assert!(tasks
+        .iter()
+        .all(|t| EthicsStage::FaviconsFewSites.permits(t)));
 
     // "At least 17 volunteers have deployed Encore on their sites" — a
     // mix of small and mid-size origins.
@@ -178,11 +180,18 @@ fn main() {
                 d.n.to_string(),
                 d.x.to_string(),
                 format!("{:.2e}", d.p_value),
-                if hit(d) { "ground truth".into() } else { "FALSE".into() },
+                if hit(d) {
+                    "ground truth".into()
+                } else {
+                    "FALSE".into()
+                },
             ]
         })
         .collect();
-    print_table(&["domain", "country", "n", "successes", "p-value", "verdict"], &rows);
+    print_table(
+        &["domain", "country", "n", "successes", "p-value", "verdict"],
+        &rows,
+    );
 
     println!();
     print_table(

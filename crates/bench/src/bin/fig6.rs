@@ -87,8 +87,14 @@ fn main() {
     for (i, &x) in xs.iter().enumerate() {
         rows.push(vec![
             format!("{x:.0}"),
-            format!("{:.3}", result.cdf_le_100kb.get(i).map(|p| p.1).unwrap_or(1.0)),
-            format!("{:.3}", result.cdf_le_500kb.get(i).map(|p| p.1).unwrap_or(1.0)),
+            format!(
+                "{:.3}",
+                result.cdf_le_100kb.get(i).map(|p| p.1).unwrap_or(1.0)
+            ),
+            format!(
+                "{:.3}",
+                result.cdf_le_500kb.get(i).map(|p| p.1).unwrap_or(1.0)
+            ),
             format!("{:.3}", result.cdf_all[i].1),
         ]);
     }

@@ -47,8 +47,13 @@ fn main() {
 
     for i in 0..n_clients {
         let visitor = audience.sample(&mut sample_rng);
-        let mut client =
-            BrowserClient::new(&mut net, visitor.country, visitor.isp, Engine::Chrome, &root);
+        let mut client = BrowserClient::new(
+            &mut net,
+            visitor.country,
+            visitor.isp,
+            Engine::Chrome,
+            &root,
+        );
         let t = SimTime::from_secs(i as u64 * 10);
         // Unique URL per client so the shared server never interferes;
         // each browser cache starts cold.

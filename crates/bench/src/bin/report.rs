@@ -55,10 +55,20 @@ fn main() {
         visits_per_day_per_weight: 30.0,
         ..DeploymentConfig::default()
     };
-    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
 
     let geo = GeoDb::from_allocator(&net.allocator);
-    let reports = country_reports(&sys.collection.records(), &geo, &FilteringDetector::default());
+    let reports = country_reports(
+        &sys.collection.records(),
+        &geo,
+        &FilteringDetector::default(),
+    );
     let markdown = render_markdown(&reports);
 
     // Print the flagged countries in full; elide the long healthy tail.

@@ -159,14 +159,18 @@ fn main() {
         }
     }
 
-    let rate = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let rate = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     let india_fp = rate(india_images.1, india_images.0);
     let us_fp = rate(us_images.1, us_images.0);
 
     println!("=== §7.1 soundness: four task types vs the 7-variety testbed ===");
-    println!(
-        "result measurements collected: {results} (paper: 8,573 for explicit types)\n"
-    );
+    println!("result measurements collected: {results} (paper: 8,573 for explicit types)\n");
     let mut rows = Vec::new();
     for (tt, r) in &by_task {
         rows.push(vec![
@@ -178,7 +182,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["task", "filtered n", "missed", "control n", "false positives"],
+        &[
+            "task",
+            "filtered n",
+            "missed",
+            "control n",
+            "false positives",
+        ],
         &rows,
     );
     println!();
@@ -192,8 +202,14 @@ fn main() {
                     "image misses {:.2}%",
                     100.0
                         * rate(
-                            by_task.get(&TaskType::Image).map(|r| r.missed_detections).unwrap_or(0),
-                            by_task.get(&TaskType::Image).map(|r| r.n_filtered).unwrap_or(0)
+                            by_task
+                                .get(&TaskType::Image)
+                                .map(|r| r.missed_detections)
+                                .unwrap_or(0),
+                            by_task
+                                .get(&TaskType::Image)
+                                .map(|r| r.n_filtered)
+                                .unwrap_or(0)
                         )
                 ),
             ],

@@ -139,7 +139,10 @@ fn main() {
         }
     }
     let mut headers: Vec<&str> = vec!["task", "engine"];
-    let slugs: Vec<String> = FilterVariety::ALL.iter().map(|v| v.slug().to_string()).collect();
+    let slugs: Vec<String> = FilterVariety::ALL
+        .iter()
+        .map(|v| v.slug().to_string())
+        .collect();
     headers.extend(slugs.iter().map(|s| s.as_str()));
     print_table(&headers, &rows);
 
@@ -164,7 +167,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["task", "engine", "control ok", "varieties detected", "verdict"],
+        &[
+            "task",
+            "engine",
+            "control ok",
+            "varieties detected",
+            "verdict",
+        ],
         &summary_rows,
     );
 

@@ -40,8 +40,8 @@ fn main() {
     );
 
     // The March-2014-style block: on at day 10, lifted at day 20.
-    let policy =
-        CensorPolicy::named("tr-election-block").block_domain("twitter.com", Mechanism::DnsNxDomain);
+    let policy = CensorPolicy::named("tr-election-block")
+        .block_domain("twitter.com", Mechanism::DnsNxDomain);
     let censor = NationalCensor::new(country("TR"), policy)
         .active_from(SimTime::from_secs(10 * 86_400))
         .active_until(SimTime::from_secs(20 * 86_400));
@@ -108,7 +108,11 @@ fn main() {
                 vec![
                     d.to_string(),
                     m.to_string(),
-                    if *f { "FILTERED".into() } else { "-".to_string() },
+                    if *f {
+                        "FILTERED".into()
+                    } else {
+                        "-".to_string()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),

@@ -20,7 +20,7 @@ use websim::site::SiteHandler;
 use websim::{SearchIndex, UrlPattern};
 
 /// Default root seed for all experiments (override with `ENCORE_SEED`).
-pub const DEFAULT_SEED: u64 = 0x0E7C0_2015;
+pub const DEFAULT_SEED: u64 = 0x0000_E7C0_2015;
 
 /// Read the experiment seed from the environment or default.
 pub fn seed() -> u64 {
@@ -60,7 +60,11 @@ impl PaperWorld {
         let mut social_rng = rng.fork("social-sites");
         for domain in SAFE_TARGETS {
             let site = std::rc::Rc::new(social_site(domain, &mut social_rng));
-            net.add_server(domain, country("US"), Box::new(SiteHandler::new(site.clone())));
+            net.add_server(
+                domain,
+                country("US"),
+                Box::new(SiteHandler::new(site.clone())),
+            );
             index.add_domain(domain, site.pages_by_popularity());
         }
 

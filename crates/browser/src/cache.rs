@@ -65,7 +65,8 @@ impl BrowserCache {
             }
         }
         self.tick += 1;
-        self.entries.insert(url.to_string(), (resp.clone(), self.tick));
+        self.entries
+            .insert(url.to_string(), (resp.clone(), self.tick));
     }
 
     /// Look up a URL, refreshing its recency. Records hit/miss stats.

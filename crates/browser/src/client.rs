@@ -11,9 +11,11 @@ use crate::cache::BrowserCache;
 use crate::engine::Engine;
 use netsim::geo::{CountryCode, IspClass};
 use netsim::host::Host;
-use netsim::network::Network;
+use netsim::network::{FetchOutcome, Network};
+use netsim::session::FetchSession;
+use netsim::HttpRequest;
 use sim_core::dist::{LogNormal, Sample};
-use sim_core::{SimDuration, SimRng};
+use sim_core::{SimDuration, SimRng, SimTime};
 
 /// A simulated browser client.
 pub struct BrowserClient {
@@ -23,6 +25,10 @@ pub struct BrowserClient {
     pub engine: Engine,
     /// The HTTP cache.
     pub cache: BrowserCache,
+    /// The transport session: compiled censor pipeline, DNS host cache,
+    /// keep-alive connection pool. All of this client's traffic flows
+    /// through it.
+    pub session: FetchSession,
     /// Render-cost multiplier (1.0 = median 2014 device; larger is
     /// slower).
     pub device_speed: f64,
@@ -42,6 +48,7 @@ impl BrowserClient {
         let host = network.add_client(country, isp);
         let rng = root_rng.fork_indexed("browser-client", host.id.0);
         let mut client = BrowserClient {
+            session: FetchSession::new(host.clone()),
             host,
             engine,
             cache: BrowserCache::default(),
@@ -49,8 +56,24 @@ impl BrowserClient {
             rng,
         };
         // Log-normal device speed: median 1×, some clients 3×+ slower.
-        client.device_speed = LogNormal::new(0.0, 0.45).sample(&mut client.rng).clamp(0.3, 6.0);
+        client.device_speed = LogNormal::new(0.0, 0.45)
+            .sample(&mut client.rng)
+            .clamp(0.3, 6.0);
         client
+    }
+
+    /// Issue one HTTP request through this client's transport session.
+    ///
+    /// This is the only way a browser client touches the network: DNS,
+    /// TCP, and HTTP stages (and the censors interposed on them) are
+    /// driven entirely by the session layer in `netsim`.
+    pub fn fetch_once(
+        &mut self,
+        net: &mut Network,
+        req: &HttpRequest,
+        now: SimTime,
+    ) -> FetchOutcome {
+        self.session.fetch(net, req, now, &mut self.rng)
     }
 
     /// Time to decode/render `bytes` of fetched content on this device.
@@ -130,8 +153,20 @@ mod tests {
     fn distinct_clients_have_distinct_streams() {
         let mut n = Network::ideal(World::builtin());
         let root = SimRng::new(7);
-        let mut a = BrowserClient::new(&mut n, country("US"), IspClass::Residential, Engine::Chrome, &root);
-        let mut b = BrowserClient::new(&mut n, country("US"), IspClass::Residential, Engine::Chrome, &root);
+        let mut a = BrowserClient::new(
+            &mut n,
+            country("US"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
+        let mut b = BrowserClient::new(
+            &mut n,
+            country("US"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
         // Same construction parameters, different host ids → different
         // randomness (device speeds or render draws diverge).
         let ra: Vec<u64> = (0..4).map(|_| a.render_time(1_000).as_micros()).collect();

@@ -21,6 +21,9 @@ impl BrowserClient {
     /// archive reflects a cold load (what a new visitor transfers).
     pub fn render_har(&mut self, net: &mut Network, url: &str, now: SimTime) -> Har {
         self.cache.clear();
+        // A HAR documents what a *new visitor* transfers: cold HTTP cache,
+        // cold DNS, cold connections.
+        self.session.reset();
         let mut har = Har {
             page_url: url.to_string(),
             entries: Vec::new(),
@@ -45,7 +48,7 @@ impl BrowserClient {
                 if page_ok {
                     for embed in resp.embeds.clone() {
                         let req = HttpRequest::get(&embed.url).with_referer(url);
-                        let out = net.fetch(&self.host, &req, now + elapsed, &mut self.rng);
+                        let out = self.fetch_once(net, &req, now + elapsed);
                         let entry = match out.result {
                             Ok(sub) => {
                                 let expected = match embed.kind {
@@ -115,8 +118,13 @@ mod tests {
         let mut n = Network::ideal(World::builtin());
         web.install(&mut n, &mut rng);
         let root = SimRng::new(1);
-        let fetcher =
-            BrowserClient::new(&mut n, country("US"), IspClass::Datacenter, Engine::Chrome, &root);
+        let fetcher = BrowserClient::new(
+            &mut n,
+            country("US"),
+            IspClass::Datacenter,
+            Engine::Chrome,
+            &root,
+        );
         (n, web, fetcher)
     }
 

@@ -67,7 +67,11 @@ impl BrowserClient {
         url: &str,
         referer: Option<&str>,
         now: SimTime,
-    ) -> (Result<HttpResponse, netsim::network::FetchError>, SimDuration, String) {
+    ) -> (
+        Result<HttpResponse, netsim::network::FetchError>,
+        SimDuration,
+        String,
+    ) {
         let mut elapsed = SimDuration::ZERO;
         let mut current = url.to_string();
         for _ in 0..=MAX_REDIRECTS {
@@ -75,15 +79,13 @@ impl BrowserClient {
             if let Some(r) = referer {
                 req = req.with_referer(r);
             }
-            let out = net.fetch(&self.host, &req, now + elapsed, &mut self.rng);
+            let out = self.fetch_once(net, &req, now + elapsed);
             elapsed += out.timings.total();
             match out.result {
-                Ok(resp) if resp.status.is_redirect() => {
-                    match &resp.location {
-                        Some(loc) => current = loc.clone(),
-                        None => return (Ok(resp), elapsed, current),
-                    }
-                }
+                Ok(resp) if resp.status.is_redirect() => match &resp.location {
+                    Some(loc) => current = loc.clone(),
+                    None => return (Ok(resp), elapsed, current),
+                },
                 other => return (other, elapsed, current),
             }
         }
@@ -102,7 +104,11 @@ impl BrowserClient {
         if let Some(cached) = self.cache.lookup(url) {
             let ok = cached.content_type == ContentType::Image && cached.valid_body;
             return ResourceLoad {
-                event: if ok { LoadEvent::OnLoad } else { LoadEvent::OnError },
+                event: if ok {
+                    LoadEvent::OnLoad
+                } else {
+                    LoadEvent::OnError
+                },
                 elapsed: self.cached_load_time(cached.body_bytes),
                 from_cache: true,
                 executed_untrusted: false,
@@ -149,7 +155,11 @@ impl BrowserClient {
                 && cached.valid_body
                 && cached.body_bytes > 0;
             return ResourceLoad {
-                event: if ok { LoadEvent::OnLoad } else { LoadEvent::OnError },
+                event: if ok {
+                    LoadEvent::OnLoad
+                } else {
+                    LoadEvent::OnError
+                },
                 elapsed: self.cached_load_time(cached.body_bytes),
                 from_cache: true,
                 executed_untrusted: false,
@@ -166,7 +176,11 @@ impl BrowserClient {
                     self.cache.store(url, &resp);
                 }
                 ResourceLoad {
-                    event: if applied { LoadEvent::OnLoad } else { LoadEvent::OnError },
+                    event: if applied {
+                        LoadEvent::OnLoad
+                    } else {
+                        LoadEvent::OnError
+                    },
                     elapsed: net_time + self.render_time(resp.body_bytes.min(4_096)),
                     from_cache: false,
                     executed_untrusted: false,
@@ -204,7 +218,11 @@ impl BrowserClient {
                     // content"), and nosniff keeps non-JS inert — so no
                     // unsandboxed untrusted execution occurs on Chrome.
                     (
-                        if is_200 { LoadEvent::OnLoad } else { LoadEvent::OnError },
+                        if is_200 {
+                            LoadEvent::OnLoad
+                        } else {
+                            LoadEvent::OnError
+                        },
                         false,
                     )
                 } else if nosniff_blocks {
@@ -300,7 +318,10 @@ mod tests {
         let r = c.load_image(&mut n, "http://t.com/favicon.ico", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnLoad);
         assert!(!r.from_cache);
-        assert!(r.elapsed > SimDuration::from_millis(10), "network time included");
+        assert!(
+            r.elapsed > SimDuration::from_millis(10),
+            "network time included"
+        );
     }
 
     #[test]
@@ -360,7 +381,11 @@ mod tests {
     #[test]
     fn non_cacheable_image_not_cached() {
         let (mut n, mut c) = setup(Engine::Chrome);
-        add(&mut n, "t.com", HttpResponse::ok(ContentType::Image, 400).no_store());
+        add(
+            &mut n,
+            "t.com",
+            HttpResponse::ok(ContentType::Image, 400).no_store(),
+        );
         c.load_image(&mut n, "http://t.com/i.png", SimTime::ZERO);
         let again = c.load_image(&mut n, "http://t.com/i.png", SimTime::from_secs(1));
         assert!(!again.from_cache);
@@ -369,7 +394,11 @@ mod tests {
     #[test]
     fn stylesheet_applied_detection() {
         let (mut n, mut c) = setup(Engine::Safari);
-        add(&mut n, "t.com", HttpResponse::ok(ContentType::Stylesheet, 2_000));
+        add(
+            &mut n,
+            "t.com",
+            HttpResponse::ok(ContentType::Stylesheet, 2_000),
+        );
         let r = c.load_stylesheet(&mut n, "http://t.com/s.css", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnLoad);
     }
@@ -378,7 +407,11 @@ mod tests {
     fn empty_stylesheet_is_undetectable() {
         // Table 1: "Only non-empty style sheets".
         let (mut n, mut c) = setup(Engine::Safari);
-        add(&mut n, "t.com", HttpResponse::ok(ContentType::Stylesheet, 0));
+        add(
+            &mut n,
+            "t.com",
+            HttpResponse::ok(ContentType::Stylesheet, 0),
+        );
         let r = c.load_stylesheet(&mut n, "http://t.com/s.css", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnError);
     }
@@ -417,7 +450,11 @@ mod tests {
     #[test]
     fn firefox_script_executes_valid_js() {
         let (mut n, mut c) = setup(Engine::Firefox);
-        add(&mut n, "t.com", HttpResponse::ok(ContentType::Script, 30_000));
+        add(
+            &mut n,
+            "t.com",
+            HttpResponse::ok(ContentType::Script, 30_000),
+        );
         let r = c.load_script(&mut n, "http://t.com/lib.js", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnLoad);
         assert!(r.executed_untrusted, "non-Chrome executed remote JS");
@@ -449,8 +486,13 @@ mod tests {
     fn iframe_populates_cache_with_embeds() {
         let mut n = Network::ideal(World::builtin());
         let root = SimRng::new(0xB0B);
-        let mut c =
-            BrowserClient::new(&mut n, country("US"), IspClass::Residential, Engine::Chrome, &root);
+        let mut c = BrowserClient::new(
+            &mut n,
+            country("US"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
         // Page with an embedded cacheable image.
         let page = HttpResponse::ok(ContentType::Html, 30_000)
             .no_store()
@@ -460,7 +502,12 @@ mod tests {
             }]);
         struct PageHandler(HttpResponse);
         impl netsim::network::HttpHandler for PageHandler {
-            fn handle(&self, req: &HttpRequest, _ip: std::net::Ipv4Addr, _now: SimTime) -> HttpResponse {
+            fn handle(
+                &self,
+                req: &HttpRequest,
+                _ip: std::net::Ipv4Addr,
+                _now: SimTime,
+            ) -> HttpResponse {
                 if req.path() == "/page.html" {
                     self.0.clone()
                 } else if req.path() == "/inner.png" {
@@ -491,8 +538,16 @@ mod tests {
     #[test]
     fn redirects_are_followed() {
         let (mut n, mut c) = setup(Engine::Chrome);
-        add(&mut n, "real.com", HttpResponse::ok(ContentType::Image, 500));
-        add(&mut n, "alias.com", HttpResponse::redirect("http://real.com/i.png"));
+        add(
+            &mut n,
+            "real.com",
+            HttpResponse::ok(ContentType::Image, 500),
+        );
+        add(
+            &mut n,
+            "alias.com",
+            HttpResponse::redirect("http://real.com/i.png"),
+        );
         let r = c.load_image(&mut n, "http://alias.com/old.png", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnLoad);
     }
@@ -500,7 +555,11 @@ mod tests {
     #[test]
     fn redirect_loop_errors_out() {
         let (mut n, mut c) = setup(Engine::Chrome);
-        add(&mut n, "loop.com", HttpResponse::redirect("http://loop.com/again"));
+        add(
+            &mut n,
+            "loop.com",
+            HttpResponse::redirect("http://loop.com/again"),
+        );
         let r = c.load_image(&mut n, "http://loop.com/start", SimTime::ZERO);
         assert_eq!(r.event, LoadEvent::OnError);
     }

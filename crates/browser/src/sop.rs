@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn same_origin_requires_all_three_components() {
-        assert!(Origin::same_origin(
-            "http://a.com/x",
-            "http://a.com/y?z"
-        ));
+        assert!(Origin::same_origin("http://a.com/x", "http://a.com/y?z"));
         assert!(!Origin::same_origin("http://a.com/", "https://a.com/"));
         assert!(!Origin::same_origin("http://a.com/", "http://b.com/"));
         assert!(!Origin::same_origin("http://a.com/", "http://a.com:8080/"));

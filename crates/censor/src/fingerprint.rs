@@ -84,9 +84,7 @@ impl Middlebox for EncoreFingerprinter {
         if self.is_coordinator(&host) {
             // Note the client; let the request through (suppressing the
             // *reports* distorts data more quietly than blocking tasks).
-            self.seen
-                .borrow_mut()
-                .insert(ctx.client.ip, ctx.now);
+            self.seen.borrow_mut().insert(ctx.client.ip, ctx.now);
             return HttpAction::Pass;
         }
         if self.is_collector(&host) {
@@ -137,9 +135,20 @@ mod tests {
         (net, sys, origin)
     }
 
-    fn visit(net: &mut Network, sys: &mut EncoreSystem, origin: &OriginSite, cc: &str) -> encore::system::VisitOutcome {
+    fn visit(
+        net: &mut Network,
+        sys: &mut EncoreSystem,
+        origin: &OriginSite,
+        cc: &str,
+    ) -> encore::system::VisitOutcome {
         let root = SimRng::new(0xF1);
-        let mut c = BrowserClient::new(net, country(cc), IspClass::Residential, Engine::Chrome, &root);
+        let mut c = BrowserClient::new(
+            net,
+            country(cc),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
         sys.run_visit(
             net,
             &mut c,

@@ -221,8 +221,7 @@ mod tests {
     fn censor_applies_only_to_its_country() {
         let mut n = Network::ideal(World::builtin());
         img_server(&mut n, "youtube.com");
-        let policy =
-            CensorPolicy::named("pta").block_domain("youtube.com", Mechanism::DnsNxDomain);
+        let policy = CensorPolicy::named("pta").block_domain("youtube.com", Mechanism::DnsNxDomain);
         n.add_middlebox(Box::new(NationalCensor::new(country("PK"), policy)));
         let pk = n.add_client(country("PK"), IspClass::Residential);
         let us = n.add_client(country("US"), IspClass::Residential);
@@ -292,8 +291,7 @@ mod tests {
     fn http_block_page_mechanism() {
         let mut n = Network::ideal(World::builtin());
         img_server(&mut n, "banned.com");
-        let policy =
-            CensorPolicy::named("bp").block_domain("banned.com", Mechanism::HttpBlockPage);
+        let policy = CensorPolicy::named("bp").block_domain("banned.com", Mechanism::HttpBlockPage);
         n.add_middlebox(Box::new(NationalCensor::new(country("SA"), policy)));
         let sa = n.add_client(country("SA"), IspClass::Residential);
         let mut rng = SimRng::new(1);
@@ -349,8 +347,8 @@ mod tests {
         use sim_core::SimTime;
         let mut n = Network::ideal(World::builtin());
         img_server(&mut n, "social.example");
-        let policy =
-            CensorPolicy::named("election-block").block_domain("social.example", Mechanism::DnsNxDomain);
+        let policy = CensorPolicy::named("election-block")
+            .block_domain("social.example", Mechanism::DnsNxDomain);
         let censor = NationalCensor::new(country("TR"), policy)
             .active_from(SimTime::from_secs(1_000))
             .active_until(SimTime::from_secs(2_000));
@@ -362,7 +360,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let req = HttpRequest::get("http://social.example/favicon.ico");
         // Before the election: reachable.
-        assert!(n.fetch(&tr, &req, SimTime::from_secs(10), &mut rng).result.is_ok());
+        assert!(n
+            .fetch(&tr, &req, SimTime::from_secs(10), &mut rng)
+            .result
+            .is_ok());
         // During the block: filtered. (DNS may be resolver-cached from
         // the earlier fetch; wait past the TTL.)
         n.dns.flush_caches();
@@ -381,13 +382,11 @@ mod tests {
     #[test]
     fn keyword_response_censorship_through_network() {
         let mut n = Network::ideal(World::builtin());
-        let resp = HttpResponse::ok(ContentType::Html, 5_000)
-            .with_keywords(vec!["protest".to_string()]);
+        let resp =
+            HttpResponse::ok(ContentType::Html, 5_000).with_keywords(vec!["protest".to_string()]);
         n.add_server("news.com", country("US"), Box::new(ConstHandler(resp)));
-        let policy = CensorPolicy::named("kw").with_rule(
-            BlockTarget::Keyword("protest".into()),
-            Mechanism::HttpReset,
-        );
+        let policy = CensorPolicy::named("kw")
+            .with_rule(BlockTarget::Keyword("protest".into()), Mechanism::HttpReset);
         n.add_middlebox(Box::new(NationalCensor::new(country("CN"), policy)));
         let cn = n.add_client(country("CN"), IspClass::Residential);
         let mut rng = SimRng::new(1);

@@ -267,8 +267,7 @@ mod tests {
     fn keyword_matches_url_and_content() {
         let t = BlockTarget::Keyword("falungong".into());
         assert!(t.matches_url("http://example.com/falungong-news"));
-        let resp =
-            HttpResponse::ok(ContentType::Html, 100).with_keywords(vec!["FalunGong".into()]);
+        let resp = HttpResponse::ok(ContentType::Html, 100).with_keywords(vec!["FalunGong".into()]);
         assert!(t.matches_content(&resp));
         let clean = HttpResponse::ok(ContentType::Html, 100);
         assert!(!t.matches_content(&clean));

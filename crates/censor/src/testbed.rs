@@ -61,7 +61,9 @@ impl FilterVariety {
 
     /// The seven actual filtering varieties (everything but the control).
     pub fn filtering() -> impl Iterator<Item = FilterVariety> {
-        Self::ALL.into_iter().filter(|v| *v != FilterVariety::Control)
+        Self::ALL
+            .into_iter()
+            .filter(|v| *v != FilterVariety::Control)
     }
 
     /// Host-name label for this variety.
@@ -102,7 +104,12 @@ impl FilterVariety {
 pub struct TestbedHandler;
 
 impl HttpHandler for TestbedHandler {
-    fn handle(&self, req: &HttpRequest, _client_ip: std::net::Ipv4Addr, _now: SimTime) -> HttpResponse {
+    fn handle(
+        &self,
+        req: &HttpRequest,
+        _client_ip: std::net::Ipv4Addr,
+        _now: SimTime,
+    ) -> HttpResponse {
         match req.path().as_str() {
             // A favicon-sized image — the paper's canonical image-task
             // target ("typically 16×16 pixels").
@@ -333,7 +340,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         for (url, ctype) in [
             (tb.favicon_url(FilterVariety::Control), ContentType::Image),
-            (tb.style_url(FilterVariety::Control), ContentType::Stylesheet),
+            (
+                tb.style_url(FilterVariety::Control),
+                ContentType::Stylesheet,
+            ),
             (tb.script_url(FilterVariety::Control), ContentType::Script),
             (tb.page_url(FilterVariety::Control), ContentType::Html),
         ] {
@@ -408,7 +418,10 @@ mod tests {
         let url = format!("http://{}/nope", FilterVariety::Control.hostname());
         let _ = tb;
         let out = n.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
-        assert_eq!(out.result.unwrap().status, netsim::http::StatusCode::NOT_FOUND);
+        assert_eq!(
+            out.result.unwrap().status,
+            netsim::http::StatusCode::NOT_FOUND
+        );
     }
 
     #[test]

@@ -349,16 +349,17 @@ mod tests {
             ..submission()
         };
         let url = format!("http://c/submit?{}", s.to_query());
-        assert_eq!(Submission::from_url(&url).unwrap().phase, SubmissionPhase::Init);
+        assert_eq!(
+            Submission::from_url(&url).unwrap().phase,
+            SubmissionPhase::Init
+        );
     }
 
     #[test]
     fn malformed_submissions_rejected() {
         assert!(Submission::from_url("http://c/submit?cmh-id=garbage").is_none());
         assert!(Submission::from_url("http://c/submit").is_none());
-        assert!(
-            Submission::from_url("http://c/submit?cmh-id=m-00ff&cmh-result=banana").is_none()
-        );
+        assert!(Submission::from_url("http://c/submit?cmh-id=m-00ff&cmh-result=banana").is_none());
     }
 
     #[test]

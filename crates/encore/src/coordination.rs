@@ -154,17 +154,26 @@ mod tests {
             spec,
         };
         vec![
-            mk(0, TaskSpec::Image {
-                url: "http://a.com/favicon.ico".into(),
-            }),
-            mk(1, TaskSpec::Script {
-                url: "http://b.com/lib.js".into(),
-            }),
-            mk(2, TaskSpec::Iframe {
-                page_url: "http://c.com/p".into(),
-                probe_image_url: "http://c.com/i.png".into(),
-                threshold: IFRAME_CACHE_THRESHOLD,
-            }),
+            mk(
+                0,
+                TaskSpec::Image {
+                    url: "http://a.com/favicon.ico".into(),
+                },
+            ),
+            mk(
+                1,
+                TaskSpec::Script {
+                    url: "http://b.com/lib.js".into(),
+                },
+            ),
+            mk(
+                2,
+                TaskSpec::Iframe {
+                    page_url: "http://c.com/p".into(),
+                    probe_image_url: "http://c.com/i.png".into(),
+                    threshold: IFRAME_CACHE_THRESHOLD,
+                },
+            ),
         ]
     }
 

@@ -243,8 +243,8 @@ impl TaskGenerator {
         // Iframe task for the page itself.
         if self.config.allow_iframe_tasks && !self.seen.contains(&har.page_url) {
             let analysis = self.analyze(har);
-            let small_enough = analysis.total_bytes <= self.config.max_page_bytes
-                && !analysis.has_large_object;
+            let small_enough =
+                analysis.total_bytes <= self.config.max_page_bytes && !analysis.has_large_object;
             // Prefer a page-specific cacheable image (not the sitewide
             // favicon/logo, which other pages may already have cached —
             // the "Facebook thumbs-up" pitfall of §4.3.2).
@@ -304,7 +304,13 @@ mod tests {
     use websim::generator::{SyntheticWeb, WebConfig};
     use websim::har::HarEntry;
 
-    fn har_entry(url: &str, ct: ContentType, bytes: u64, cacheable: bool, nosniff: bool) -> HarEntry {
+    fn har_entry(
+        url: &str,
+        ct: ContentType,
+        bytes: u64,
+        cacheable: bool,
+        nosniff: bool,
+    ) -> HarEntry {
         HarEntry {
             url: url.into(),
             status: 200,
@@ -321,12 +327,48 @@ mod tests {
         Har {
             page_url: "http://target.org/page.html".into(),
             entries: vec![
-                har_entry("http://target.org/page.html", ContentType::Html, 30_000, false, false),
-                har_entry("http://target.org/favicon.ico", ContentType::Image, 400, true, false),
-                har_entry("http://target.org/photo.png", ContentType::Image, 3_000, true, false),
-                har_entry("http://target.org/style.css", ContentType::Stylesheet, 2_000, true, false),
-                har_entry("http://target.org/app.js", ContentType::Script, 20_000, true, true),
-                har_entry("http://cdn.example/like.png", ContentType::Image, 700, true, false),
+                har_entry(
+                    "http://target.org/page.html",
+                    ContentType::Html,
+                    30_000,
+                    false,
+                    false,
+                ),
+                har_entry(
+                    "http://target.org/favicon.ico",
+                    ContentType::Image,
+                    400,
+                    true,
+                    false,
+                ),
+                har_entry(
+                    "http://target.org/photo.png",
+                    ContentType::Image,
+                    3_000,
+                    true,
+                    false,
+                ),
+                har_entry(
+                    "http://target.org/style.css",
+                    ContentType::Stylesheet,
+                    2_000,
+                    true,
+                    false,
+                ),
+                har_entry(
+                    "http://target.org/app.js",
+                    ContentType::Script,
+                    20_000,
+                    true,
+                    true,
+                ),
+                har_entry(
+                    "http://cdn.example/like.png",
+                    ContentType::Image,
+                    700,
+                    true,
+                    false,
+                ),
             ],
             page_ok: true,
         }
@@ -392,30 +434,29 @@ mod tests {
         }
         let mut generator = TaskGenerator::new(GenerationConfig::default());
         let tasks = generator.generate(&har, |_| true);
-        assert!(tasks
-            .iter()
-            .all(|t| t.spec.task_type() != TaskType::Script));
+        assert!(tasks.iter().all(|t| t.spec.task_type() != TaskType::Script));
     }
 
     #[test]
     fn heavy_pages_get_no_iframe_task() {
         let mut har = small_page_har();
-        har.entries
-            .push(har_entry("http://target.org/video.bin", ContentType::Other, 900_000, false, false));
+        har.entries.push(har_entry(
+            "http://target.org/video.bin",
+            ContentType::Other,
+            900_000,
+            false,
+            false,
+        ));
         let mut generator = TaskGenerator::new(GenerationConfig::default());
         let tasks = generator.generate(&har, |_| true);
-        assert!(tasks
-            .iter()
-            .all(|t| t.spec.task_type() != TaskType::Iframe));
+        assert!(tasks.iter().all(|t| t.spec.task_type() != TaskType::Iframe));
     }
 
     #[test]
     fn manual_verification_gates_iframe_tasks() {
         let mut generator = TaskGenerator::new(GenerationConfig::default());
         let tasks = generator.generate(&small_page_har(), |_| false);
-        assert!(tasks
-            .iter()
-            .all(|t| t.spec.task_type() != TaskType::Iframe));
+        assert!(tasks.iter().all(|t| t.spec.task_type() != TaskType::Iframe));
     }
 
     #[test]
@@ -427,7 +468,9 @@ mod tests {
             .find(|t| t.spec.task_type() == TaskType::Iframe)
             .expect("iframe task");
         match &iframe.spec {
-            TaskSpec::Iframe { probe_image_url, .. } => {
+            TaskSpec::Iframe {
+                probe_image_url, ..
+            } => {
                 assert_eq!(probe_image_url, "http://target.org/photo.png");
             }
             _ => unreachable!(),
@@ -486,11 +529,7 @@ mod tests {
         let index = SearchIndex::build(&web);
         let expander = PatternExpander::new(&index);
 
-        let patterns: Vec<UrlPattern> = web
-            .domains()
-            .into_iter()
-            .map(UrlPattern::Domain)
-            .collect();
+        let patterns: Vec<UrlPattern> = web.domains().into_iter().map(UrlPattern::Domain).collect();
         let urls = expander.expand_all(&patterns);
         assert!(!urls.is_empty());
         assert!(urls.len() <= patterns.len() * 50);

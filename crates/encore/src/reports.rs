@@ -187,13 +187,21 @@ mod tests {
         let mut alloc = IpAllocator::new();
         let mut records = Vec::new();
         let mut id = 0u64;
-        let mut add = |alloc: &mut IpAllocator, records: &mut Vec<StoredMeasurement>, domain: &str, cc: &str, ok: bool| {
+        let mut add = |alloc: &mut IpAllocator,
+                       records: &mut Vec<StoredMeasurement>,
+                       domain: &str,
+                       cc: &str,
+                       ok: bool| {
             id += 1;
             records.push(StoredMeasurement {
                 submission: Submission {
                     measurement_id: MeasurementId(id),
                     phase: SubmissionPhase::Result,
-                    outcome: Some(if ok { TaskOutcome::Success } else { TaskOutcome::Failure }),
+                    outcome: Some(if ok {
+                        TaskOutcome::Success
+                    } else {
+                        TaskOutcome::Failure
+                    }),
                     elapsed_ms: 100,
                     task_type: TaskType::Image,
                     target_url: format!("http://{domain}/favicon.ico"),
@@ -221,9 +229,17 @@ mod tests {
         assert_eq!(pk.measurements, 40);
         assert_eq!(pk.distinct_ips, 40);
         assert_eq!(pk.flagged_domains(), vec!["youtube.com"]);
-        let yt = pk.domains.iter().find(|d| d.domain == "youtube.com").unwrap();
+        let yt = pk
+            .domains
+            .iter()
+            .find(|d| d.domain == "youtube.com")
+            .unwrap();
         assert_eq!(yt.success_rate(), 0.0);
-        let wiki = pk.domains.iter().find(|d| d.domain == "wikipedia.org").unwrap();
+        let wiki = pk
+            .domains
+            .iter()
+            .find(|d| d.domain == "wikipedia.org")
+            .unwrap();
         assert!(!wiki.flagged);
         assert_eq!(wiki.success_rate(), 1.0);
         let us = reports.iter().find(|r| r.country == country("US")).unwrap();

@@ -254,7 +254,7 @@ impl EncoreSystem {
             if let Some(r) = referer {
                 req = req.with_referer(r);
             }
-            let out = net.fetch(&client.host, &req, now, &mut client.rng);
+            let out = client.fetch_once(net, &req, now);
             if out.result.is_ok_and(|r| r.status.is_success()) {
                 return true;
             }
@@ -306,7 +306,13 @@ mod tests {
 
     fn client(net: &mut Network, cc: &str) -> BrowserClient {
         let root = SimRng::new(0x51);
-        BrowserClient::new(net, country(cc), IspClass::Residential, Engine::Chrome, &root)
+        BrowserClient::new(
+            net,
+            country(cc),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        )
     }
 
     #[test]
@@ -455,8 +461,8 @@ mod tests {
         let policy = CensorPolicy::named("anti-encore")
             .block_domain("coordinator.encore-repro.net", Mechanism::DnsNxDomain);
         net.add_middlebox(Box::new(NationalCensor::new(country("PK"), policy)));
-        let origin = OriginSite::academic("robust.example")
-            .with_install(InstallMethod::ServerSideInline);
+        let origin =
+            OriginSite::academic("robust.example").with_install(InstallMethod::ServerSideInline);
         let mut sys = EncoreSystem::deploy(
             &mut net,
             target_tasks(),
@@ -498,11 +504,7 @@ mod tests {
             SimTime::ZERO,
             "Chrome",
         );
-        assert!(sys
-            .collection
-            .records()
-            .iter()
-            .all(|r| r.referer.is_none()));
+        assert!(sys.collection.records().iter().all(|r| r.referer.is_none()));
     }
 
     #[test]

@@ -118,9 +118,9 @@ impl TaskSpec {
     /// The URL whose reachability this task measures.
     pub fn target_url(&self) -> &str {
         match self {
-            TaskSpec::Image { url }
-            | TaskSpec::Stylesheet { url }
-            | TaskSpec::Script { url } => url,
+            TaskSpec::Image { url } | TaskSpec::Stylesheet { url } | TaskSpec::Script { url } => {
+                url
+            }
             TaskSpec::Iframe { page_url, .. } => page_url,
         }
     }
@@ -354,10 +354,7 @@ mod tests {
         let (mut n, tb, mut c) = setup(Engine::Chrome);
         let t = task(TaskSpec::Iframe {
             page_url: tb.page_url(FilterVariety::Control),
-            probe_image_url: format!(
-                "http://{}/embedded.png",
-                FilterVariety::Control.hostname()
-            ),
+            probe_image_url: format!("http://{}/embedded.png", FilterVariety::Control.hostname()),
             threshold: IFRAME_CACHE_THRESHOLD,
         });
         let r = execute_task(&t, &mut c, &mut n, SimTime::ZERO);
@@ -366,7 +363,11 @@ mod tests {
 
     #[test]
     fn iframe_task_fails_when_page_blocked() {
-        for v in [FilterVariety::DnsNxDomain, FilterVariety::TcpReset, FilterVariety::HttpDrop] {
+        for v in [
+            FilterVariety::DnsNxDomain,
+            FilterVariety::TcpReset,
+            FilterVariety::HttpDrop,
+        ] {
             let (mut n, tb, mut c) = setup(Engine::Chrome);
             let t = task(TaskSpec::Iframe {
                 page_url: tb.page_url(v),

@@ -13,8 +13,39 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// ISO-3166-style two-letter country code (upper-case ASCII).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CountryCode([u8; 2]);
+
+// Hand-written codecs: a country code reads naturally as the string "US",
+// both as a value and as a map key.
+impl Serialize for CountryCode {
+    fn write_json(&self, out: &mut String) {
+        serde::json::push_string(out, self.as_str());
+    }
+}
+
+impl Deserialize for CountryCode {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::json::Error::new("expected country code string"))?;
+        <Self as serde::JsonKey>::from_json_key(s)
+    }
+}
+
+impl serde::JsonKey for CountryCode {
+    fn to_json_key(&self) -> String {
+        self.as_str().to_string()
+    }
+    fn from_json_key(s: &str) -> Result<Self, serde::json::Error> {
+        let bytes = s.as_bytes();
+        if bytes.len() == 2 && bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            Ok(CountryCode::new(s))
+        } else {
+            Err(serde::json::Error::new(format!("bad country code `{s}`")))
+        }
+    }
+}
 
 impl CountryCode {
     /// Construct from a two-letter code. Panics on malformed input —
@@ -144,15 +175,7 @@ pub struct World {
 
 /// Row format for the built-in table:
 /// (code, name, region, access ms, transient failure, pop weight, filtering)
-type CountryRow = (
-    &'static str,
-    &'static str,
-    Region,
-    f64,
-    f64,
-    f64,
-    bool,
-);
+type CountryRow = (&'static str, &'static str, Region, f64, f64, f64, bool);
 
 /// Countries named by the paper plus the rest of the top of the Internet
 /// population, with rough but plausible network-quality parameters.
@@ -160,13 +183,69 @@ type CountryRow = (
 /// reproduces the paper's "India contributed to a 5% false positive rate"
 /// observation.
 const BUILTIN: &[CountryRow] = &[
-    ("US", "United States", Region::NorthAmerica, 15.0, 0.010, 30.0, false),
-    ("CA", "Canada", Region::NorthAmerica, 18.0, 0.010, 3.0, false),
-    ("MX", "Mexico", Region::NorthAmerica, 35.0, 0.030, 3.0, false),
-    ("BR", "Brazil", Region::SouthAmerica, 40.0, 0.030, 6.0, false),
-    ("AR", "Argentina", Region::SouthAmerica, 45.0, 0.030, 2.0, false),
-    ("CO", "Colombia", Region::SouthAmerica, 48.0, 0.035, 1.5, false),
-    ("GB", "United Kingdom", Region::Europe, 14.0, 0.008, 6.0, true),
+    (
+        "US",
+        "United States",
+        Region::NorthAmerica,
+        15.0,
+        0.010,
+        30.0,
+        false,
+    ),
+    (
+        "CA",
+        "Canada",
+        Region::NorthAmerica,
+        18.0,
+        0.010,
+        3.0,
+        false,
+    ),
+    (
+        "MX",
+        "Mexico",
+        Region::NorthAmerica,
+        35.0,
+        0.030,
+        3.0,
+        false,
+    ),
+    (
+        "BR",
+        "Brazil",
+        Region::SouthAmerica,
+        40.0,
+        0.030,
+        6.0,
+        false,
+    ),
+    (
+        "AR",
+        "Argentina",
+        Region::SouthAmerica,
+        45.0,
+        0.030,
+        2.0,
+        false,
+    ),
+    (
+        "CO",
+        "Colombia",
+        Region::SouthAmerica,
+        48.0,
+        0.035,
+        1.5,
+        false,
+    ),
+    (
+        "GB",
+        "United Kingdom",
+        Region::Europe,
+        14.0,
+        0.008,
+        6.0,
+        true,
+    ),
     ("DE", "Germany", Region::Europe, 13.0, 0.008, 5.0, false),
     ("FR", "France", Region::Europe, 14.0, 0.009, 4.0, false),
     ("NL", "Netherlands", Region::Europe, 10.0, 0.007, 2.0, false),
@@ -178,30 +257,94 @@ const BUILTIN: &[CountryRow] = &[
     ("UA", "Ukraine", Region::Europe, 30.0, 0.022, 1.5, false),
     ("TR", "Turkey", Region::MiddleEast, 35.0, 0.025, 3.0, true),
     ("IR", "Iran", Region::MiddleEast, 60.0, 0.040, 3.0, true),
-    ("SA", "Saudi Arabia", Region::MiddleEast, 45.0, 0.025, 2.0, true),
-    ("AE", "United Arab Emirates", Region::MiddleEast, 35.0, 0.018, 1.0, true),
+    (
+        "SA",
+        "Saudi Arabia",
+        Region::MiddleEast,
+        45.0,
+        0.025,
+        2.0,
+        true,
+    ),
+    (
+        "AE",
+        "United Arab Emirates",
+        Region::MiddleEast,
+        35.0,
+        0.018,
+        1.0,
+        true,
+    ),
     ("EG", "Egypt", Region::MiddleEast, 55.0, 0.040, 3.0, true),
     ("IL", "Israel", Region::MiddleEast, 25.0, 0.012, 1.0, false),
     ("NG", "Nigeria", Region::Africa, 80.0, 0.070, 3.0, false),
-    ("ZA", "South Africa", Region::Africa, 60.0, 0.040, 1.5, false),
+    (
+        "ZA",
+        "South Africa",
+        Region::Africa,
+        60.0,
+        0.040,
+        1.5,
+        false,
+    ),
     ("KE", "Kenya", Region::Africa, 75.0, 0.060, 1.0, false),
     ("IN", "India", Region::SouthAsia, 65.0, 0.050, 18.0, true),
     ("PK", "Pakistan", Region::SouthAsia, 70.0, 0.045, 4.0, true),
-    ("BD", "Bangladesh", Region::SouthAsia, 75.0, 0.055, 3.0, true),
-    ("LK", "Sri Lanka", Region::SouthAsia, 60.0, 0.040, 0.5, false),
+    (
+        "BD",
+        "Bangladesh",
+        Region::SouthAsia,
+        75.0,
+        0.055,
+        3.0,
+        true,
+    ),
+    (
+        "LK",
+        "Sri Lanka",
+        Region::SouthAsia,
+        60.0,
+        0.040,
+        0.5,
+        false,
+    ),
     ("CN", "China", Region::EastAsia, 50.0, 0.030, 20.0, true),
     ("JP", "Japan", Region::EastAsia, 12.0, 0.006, 5.0, false),
-    ("KR", "South Korea", Region::EastAsia, 10.0, 0.006, 3.0, true),
+    (
+        "KR",
+        "South Korea",
+        Region::EastAsia,
+        10.0,
+        0.006,
+        3.0,
+        true,
+    ),
     ("TW", "Taiwan", Region::EastAsia, 15.0, 0.008, 1.5, false),
     ("HK", "Hong Kong", Region::EastAsia, 12.0, 0.008, 1.0, false),
     ("VN", "Vietnam", Region::Oceania, 55.0, 0.040, 3.0, true),
     ("TH", "Thailand", Region::Oceania, 45.0, 0.030, 2.5, true),
     ("ID", "Indonesia", Region::Oceania, 60.0, 0.045, 6.0, true),
     ("MY", "Malaysia", Region::Oceania, 40.0, 0.025, 1.5, true),
-    ("PH", "Philippines", Region::Oceania, 55.0, 0.045, 3.0, false),
+    (
+        "PH",
+        "Philippines",
+        Region::Oceania,
+        55.0,
+        0.045,
+        3.0,
+        false,
+    ),
     ("SG", "Singapore", Region::Oceania, 10.0, 0.005, 1.0, false),
     ("AU", "Australia", Region::Oceania, 25.0, 0.010, 2.0, false),
-    ("NZ", "New Zealand", Region::Oceania, 28.0, 0.010, 0.5, false),
+    (
+        "NZ",
+        "New Zealand",
+        Region::Oceania,
+        28.0,
+        0.010,
+        0.5,
+        false,
+    ),
 ];
 
 impl World {
@@ -296,7 +439,10 @@ impl World {
 
     /// Population weights aligned with [`World::codes`] order.
     pub fn population_weights(&self) -> Vec<f64> {
-        self.countries.values().map(|c| c.population_weight).collect()
+        self.countries
+            .values()
+            .map(|c| c.population_weight)
+            .collect()
     }
 }
 
@@ -330,7 +476,9 @@ mod tests {
     #[test]
     fn builtin_world_has_paper_countries() {
         let w = World::builtin();
-        for c in ["CN", "IN", "GB", "BR", "EG", "KR", "IR", "PK", "TR", "SA", "US"] {
+        for c in [
+            "CN", "IN", "GB", "BR", "EG", "KR", "IR", "PK", "TR", "SA", "US",
+        ] {
             assert!(w.get(country(c)).is_some(), "missing {c}");
         }
     }

@@ -31,7 +31,12 @@ pub struct Host {
 impl Host {
     /// Construct a host.
     pub fn new(id: HostId, ip: Ipv4Addr, country: CountryCode, isp: IspClass) -> Host {
-        Host { id, ip, country, isp }
+        Host {
+            id,
+            ip,
+            country,
+            isp,
+        }
     }
 }
 

@@ -328,10 +328,19 @@ mod tests {
 
     #[test]
     fn host_extraction() {
-        assert_eq!(host_of("http://example.com/a/b"), Some("example.com".into()));
+        assert_eq!(
+            host_of("http://example.com/a/b"),
+            Some("example.com".into())
+        );
         assert_eq!(host_of("https://EXAMPLE.com"), Some("example.com".into()));
-        assert_eq!(host_of("//cdn.example.com/x.png"), Some("cdn.example.com".into()));
-        assert_eq!(host_of("http://example.com:8080/x"), Some("example.com".into()));
+        assert_eq!(
+            host_of("//cdn.example.com/x.png"),
+            Some("cdn.example.com".into())
+        );
+        assert_eq!(
+            host_of("http://example.com:8080/x"),
+            Some("example.com".into())
+        );
         assert_eq!(host_of("example.com/x"), None);
         assert_eq!(host_of("http://"), None);
     }
@@ -345,8 +354,8 @@ mod tests {
 
     #[test]
     fn request_accessors() {
-        let r = HttpRequest::get("http://censored.com/favicon.ico")
-            .with_referer("http://example.com/");
+        let r =
+            HttpRequest::get("http://censored.com/favicon.ico").with_referer("http://example.com/");
         assert_eq!(r.host().as_deref(), Some("censored.com"));
         assert_eq!(r.path(), "/favicon.ico");
         assert_eq!(r.referer.as_deref(), Some("http://example.com/"));
@@ -381,7 +390,9 @@ mod tests {
     fn cacheability_requires_success() {
         assert!(HttpResponse::ok(ContentType::Image, 400).is_cacheable());
         assert!(!HttpResponse::not_found().is_cacheable());
-        assert!(!HttpResponse::ok(ContentType::Image, 400).no_store().is_cacheable());
+        assert!(!HttpResponse::ok(ContentType::Image, 400)
+            .no_store()
+            .is_cacheable());
     }
 
     #[test]

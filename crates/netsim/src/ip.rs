@@ -213,7 +213,9 @@ mod tests {
     fn allocation_is_deterministic() {
         let run = || {
             let mut a = IpAllocator::new();
-            (0..10).map(|_| a.allocate(country("BR"))).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| a.allocate(country("BR")))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

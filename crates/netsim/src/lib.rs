@@ -11,11 +11,16 @@
 //! > initial DNS lookup …, when the client attempts to establish a TCP
 //! > connection …, or in response to a specific HTTP request or response."
 //!
-//! The crate therefore models precisely those three stages. A fetch through
-//! [`Network::fetch`] walks DNS → TCP → HTTP, consulting every registered
-//! [`Middlebox`] at each stage, accumulating a timing breakdown that the
-//! browser emulator turns into `onload`/`onerror` timing (Figure 7 depends
-//! on this detail).
+//! The crate therefore models precisely those three stages. A fetch walks
+//! DNS → TCP → HTTP, consulting every applicable [`Middlebox`] at each
+//! stage and accumulating a timing breakdown that the browser emulator
+//! turns into `onload`/`onerror` timing (Figure 7 depends on this detail).
+//!
+//! The pipeline lives in the session layer: a [`FetchSession`] owns a
+//! compiled per-client middlebox pipeline, a TTL-honouring DNS host cache,
+//! and a keep-alive connection pool, so repeat fetches amortise everything
+//! a real browser amortises. [`Network::fetch`] remains as the one-shot
+//! (always-cold) convenience entry point.
 //!
 //! ## Module map
 //!
@@ -28,7 +33,9 @@
 //! * [`path`] — RTT/loss/bandwidth between hosts.
 //! * [`fault`] — fault injection in the smoltcp idiom.
 //! * [`middlebox`] — the interception trait implemented by censors.
-//! * [`network`] — the composed network and its fetch pipeline.
+//! * [`network`] — the composed network (hosts, servers, middleboxes).
+//! * [`session`] — the session-layer fetch engine (pipeline, caches,
+//!   keep-alive) that all traffic flows through.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,6 +49,7 @@ pub mod ip;
 pub mod middlebox;
 pub mod network;
 pub mod path;
+pub mod session;
 pub mod tcp;
 
 pub use dns::{DnsAnswer, DnsOutcome, DnsSystem};
@@ -53,4 +61,5 @@ pub use ip::{IpAllocator, Ipv4Net};
 pub use middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
 pub use network::{FailureStage, FetchError, FetchOutcome, FetchTimings, HttpHandler, Network};
 pub use path::{PathModel, PathQuality};
+pub use session::{FetchSession, SessionConfig, SessionStats};
 pub use tcp::{TcpAttempt, TcpOutcome};

@@ -74,6 +74,15 @@ pub trait Middlebox {
 
     /// Whether this middlebox sits on `client`'s path (e.g. a national
     /// censor applies to clients in its country).
+    ///
+    /// **Stability contract:** for a given `client`, the answer must stay
+    /// constant for as long as this middlebox is installed. The session
+    /// layer ([`crate::session::FetchSession`]) matches middleboxes once
+    /// per client and caches the result until the network's middlebox
+    /// *set* changes — an implementation whose answer varies with time or
+    /// internal state would be consulted against a stale pipeline.
+    /// Per-request variability belongs in the `on_*` hooks, which run on
+    /// every fetch.
     fn applies_to(&self, client: &Host) -> bool;
 
     /// Inspect a DNS query for `name`.

@@ -9,17 +9,17 @@
 //! block page — the *browser* decides whether that makes an `img` fire
 //! `onerror`) or a failure with its stage and elapsed time.
 
-use crate::dns::{DnsOutcome, DnsSystem};
-use crate::fault::{FaultDecision, FaultInjector};
+use crate::dns::DnsSystem;
+use crate::fault::FaultInjector;
 use crate::geo::{Country, CountryCode, IspClass, World};
 use crate::host::{Host, HostId};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::ip::IpAllocator;
-use crate::middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
+use crate::middlebox::Middlebox;
 use crate::path::{PathModel, PathQuality};
-use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT, DNS_TIMEOUT, HTTP_TIMEOUT};
+use crate::session::{FetchSession, SessionConfig};
 use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, SimRng, SimTime, Trace, TraceLevel};
+use sim_core::{SimDuration, SimRng, SimTime, Trace};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -123,7 +123,11 @@ pub struct FetchOutcome {
 }
 
 impl FetchOutcome {
-    fn fail(err: FetchError, timings: FetchTimings, server_ip: Option<Ipv4Addr>) -> FetchOutcome {
+    pub(crate) fn fail(
+        err: FetchError,
+        timings: FetchTimings,
+        server_ip: Option<Ipv4Addr>,
+    ) -> FetchOutcome {
         FetchOutcome {
             result: Err(err),
             timings,
@@ -158,6 +162,10 @@ pub struct Network {
     pub trace: Trace,
     servers: BTreeMap<Ipv4Addr, ServerEntry>,
     middleboxes: Vec<Box<dyn Middlebox>>,
+    /// Bumped whenever the middlebox set changes, so sessions know when
+    /// their compiled pipelines are stale. Starts at 1 (sessions start at
+    /// 0) so a fresh session always compiles once.
+    middlebox_generation: u64,
     next_host_id: u64,
 }
 
@@ -173,6 +181,7 @@ impl Network {
             trace: Trace::default(),
             servers: BTreeMap::new(),
             middleboxes: Vec::new(),
+            middlebox_generation: 1,
             next_host_id: 0,
         }
     }
@@ -209,10 +218,13 @@ impl Network {
         let id = self.next_id();
         let host = Host::new(id, ip, country, IspClass::Datacenter);
         self.dns.register(dns_name, ip);
-        self.servers.insert(ip, ServerEntry {
-            host: host.clone(),
-            handler,
-        });
+        self.servers.insert(
+            ip,
+            ServerEntry {
+                host: host.clone(),
+                handler,
+            },
+        );
         host
     }
 
@@ -225,11 +237,44 @@ impl Network {
     /// to the client and win ties.
     pub fn add_middlebox(&mut self, mb: Box<dyn Middlebox>) {
         self.middleboxes.push(mb);
+        self.middlebox_generation += 1;
     }
 
     /// Remove all middleboxes (between experiment phases).
     pub fn clear_middleboxes(&mut self) {
         self.middleboxes.clear();
+        self.middlebox_generation += 1;
+    }
+
+    /// The installed middleboxes, client-nearest first.
+    pub fn middleboxes(&self) -> &[Box<dyn Middlebox>] {
+        &self.middleboxes
+    }
+
+    /// Generation counter of the middlebox set (see
+    /// [`crate::session::FetchSession`]'s pipeline compilation).
+    pub fn middlebox_generation(&self) -> u64 {
+        self.middlebox_generation
+    }
+
+    /// Whether a server is listening at `ip`.
+    pub fn has_server(&self, ip: Ipv4Addr) -> bool {
+        self.servers.contains_key(&ip)
+    }
+
+    /// Dispatch a request to the server at `ip` (which must exist).
+    pub(crate) fn handle_request(
+        &self,
+        ip: Ipv4Addr,
+        req: &HttpRequest,
+        client_ip: Ipv4Addr,
+        now: SimTime,
+    ) -> HttpResponse {
+        self.servers
+            .get(&ip)
+            .expect("handle_request requires an existing server")
+            .handler
+            .handle(req, client_ip, now)
     }
 
     /// Number of registered servers.
@@ -239,44 +284,46 @@ impl Network {
 
     /// The country record for a host (falls back to a default if the world
     /// table is missing the code — only possible with hand-built worlds).
-    fn country_of(&self, code: CountryCode) -> Country {
-        self.world
-            .get(code)
-            .cloned()
-            .unwrap_or_else(|| Country {
-                code,
-                name: format!("Unknown-{code}"),
-                region: crate::geo::Region::Europe,
-                access_latency_ms: 50.0,
-                transient_failure_rate: 0.02,
-                population_weight: 0.1,
-                known_filtering: false,
-            })
+    pub(crate) fn country_record(&self, code: CountryCode) -> Country {
+        self.world.get(code).cloned().unwrap_or_else(|| Country {
+            code,
+            name: format!("Unknown-{code}"),
+            region: crate::geo::Region::Europe,
+            access_latency_ms: 50.0,
+            transient_failure_rate: 0.02,
+            population_weight: 0.1,
+            known_filtering: false,
+        })
     }
 
     /// Path quality between a client and a server address (or a default
     /// long path when the address is not ours / unroutable).
-    fn quality_to(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
-        let cc = self.country_of(client.country);
+    pub(crate) fn quality_between(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
+        let cc = self.country_record(client.country);
         let server_country = self
             .servers
             .get(&server_ip)
             .map(|e| e.host.country)
             .or_else(|| self.allocator.country_of(server_ip))
             .unwrap_or(client.country);
-        let sc = self.country_of(server_country);
+        let sc = self.country_record(server_country);
         self.path_model.quality(client, &cc, &sc)
     }
 
     /// Perform one HTTP fetch from `client` at time `now`.
     ///
-    /// This is the full §3.1 pipeline. The five failure timings matter:
+    /// This is the legacy one-shot entry point, kept for tests and simple
+    /// callers: it runs the full §3.1 pipeline through a throwaway
+    /// cold [`FetchSession`], so every request pays DNS + TCP + HTTP from
+    /// scratch. Callers issuing more than one request per client should
+    /// hold a [`FetchSession`] (the browser emulator does) and fetch
+    /// through it instead. The five failure timings matter:
     ///
     /// * forged NXDOMAIN — fast (1 local RTT);
-    /// * dropped DNS — slow ([`DNS_TIMEOUT`]);
+    /// * dropped DNS — slow ([`crate::tcp::DNS_TIMEOUT`]);
     /// * RST — fast (1 RTT);
-    /// * dropped SYN / unroutable sinkhole — slow ([`CONNECT_TIMEOUT`]);
-    /// * dropped HTTP — slow ([`HTTP_TIMEOUT`]).
+    /// * dropped SYN / unroutable sinkhole — slow ([`crate::tcp::CONNECT_TIMEOUT`]);
+    /// * dropped HTTP — slow ([`crate::tcp::HTTP_TIMEOUT`]).
     pub fn fetch(
         &mut self,
         client: &Host,
@@ -284,269 +331,8 @@ impl Network {
         now: SimTime,
         rng: &mut SimRng,
     ) -> FetchOutcome {
-        let mut timings = FetchTimings::default();
-
-        let Some(host_name) = req.host() else {
-            return FetchOutcome::fail(FetchError::BadUrl, timings, None);
-        };
-
-        // Global fault injection (smoltcp-style device wrapper).
-        let mut corrupt_body = false;
-        match self.fault.decide(now, rng) {
-            FaultDecision::Pass => {}
-            FaultDecision::Drop => {
-                timings.connect = CONNECT_TIMEOUT;
-                self.trace.record(now, TraceLevel::Debug, "fault", "fetch dropped by injector");
-                return FetchOutcome::fail(FetchError::ConnectTimeout, timings, None);
-            }
-            FaultDecision::Corrupt => corrupt_body = true,
-            FaultDecision::Delay(d) => timings.dns += d,
-        }
-
-        let ctx = StageContext { client, now };
-
-        // ---------------- Stage 1: DNS ----------------
-        // Local resolver RTT is a fraction of the access latency.
-        let cc = self.country_of(client.country);
-        let resolver_rtt = SimDuration::from_millis_f64(cc.access_latency_ms * 0.6);
-
-        let mut censor_dns = DnsAction::Pass;
-        for mb in &self.middleboxes {
-            if mb.applies_to(client) {
-                match mb.on_dns(&host_name, &ctx) {
-                    DnsAction::Pass => continue,
-                    act => {
-                        self.trace.record(
-                            now,
-                            TraceLevel::Info,
-                            "censor",
-                            format!("{} interferes with DNS for {host_name}: {act:?}", mb.name()),
-                        );
-                        censor_dns = act;
-                        break;
-                    }
-                }
-            }
-        }
-
-        let server_ip: Ipv4Addr = match censor_dns {
-            DnsAction::NxDomain => {
-                timings.dns += resolver_rtt;
-                return FetchOutcome::fail(FetchError::DnsNxDomain, timings, None);
-            }
-            DnsAction::Drop => {
-                timings.dns += DNS_TIMEOUT;
-                return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
-            }
-            DnsAction::Redirect(ip) => {
-                timings.dns += resolver_rtt;
-                ip
-            }
-            DnsAction::Pass => {
-                // Transient DNS failure (client-side unreliability).
-                let q_local = self.quality_to(client, client.ip);
-                if self.path_model.stage_fails(&q_local, rng) {
-                    timings.dns += DNS_TIMEOUT;
-                    self.trace
-                        .record(now, TraceLevel::Debug, "dns", "transient dns failure");
-                    return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
-                }
-                let (outcome, cached) = self.dns.resolve(client.country, &host_name, now);
-                timings.dns += if cached {
-                    SimDuration::from_millis(1)
-                } else {
-                    resolver_rtt
-                };
-                match outcome {
-                    DnsOutcome::Resolved(a) => a.ip,
-                    DnsOutcome::NxDomain => {
-                        return FetchOutcome::fail(FetchError::DnsNxDomain, timings, None);
-                    }
-                    DnsOutcome::Timeout => {
-                        timings.dns += DNS_TIMEOUT;
-                        return FetchOutcome::fail(FetchError::DnsTimeout, timings, None);
-                    }
-                }
-            }
-        };
-
-        let quality = self.quality_to(client, server_ip);
-        let attempt = TcpAttempt::http(server_ip);
-
-        // ---------------- Stage 2: TCP ----------------
-        let mut censor_tcp = TcpAction::Pass;
-        for mb in &self.middleboxes {
-            if mb.applies_to(client) {
-                match mb.on_tcp(&attempt, &ctx) {
-                    TcpAction::Pass => continue,
-                    act => {
-                        self.trace.record(
-                            now,
-                            TraceLevel::Info,
-                            "censor",
-                            format!("{} interferes with TCP to {server_ip}: {act:?}", mb.name()),
-                        );
-                        censor_tcp = act;
-                        break;
-                    }
-                }
-            }
-        }
-
-        match censor_tcp {
-            TcpAction::Reset => {
-                timings.connect += self.path_model.sample_rtt(&quality, rng);
-                return FetchOutcome::fail(
-                    FetchError::ConnectionReset,
-                    timings,
-                    Some(server_ip),
-                );
-            }
-            TcpAction::Drop => {
-                timings.connect += CONNECT_TIMEOUT;
-                return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
-            }
-            TcpAction::Pass => {}
-        }
-
-        // Unroutable / no server listening (e.g. DNS redirect to a
-        // sinkhole): connect times out.
-        if !self.servers.contains_key(&server_ip) {
-            timings.connect += CONNECT_TIMEOUT;
-            self.trace.record(
-                now,
-                TraceLevel::Debug,
-                "tcp",
-                format!("no server at {server_ip}; connect timeout"),
-            );
-            return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
-        }
-
-        if self.path_model.stage_fails(&quality, rng) {
-            timings.connect += CONNECT_TIMEOUT;
-            self.trace
-                .record(now, TraceLevel::Debug, "tcp", "transient connect failure");
-            return FetchOutcome::fail(FetchError::ConnectTimeout, timings, Some(server_ip));
-        }
-        timings.connect += self.path_model.sample_rtt(&quality, rng);
-
-        // ---------------- Stage 3: HTTP ----------------
-        let mut censor_req = HttpAction::Pass;
-        for mb in &self.middleboxes {
-            if mb.applies_to(client) {
-                match mb.on_http_request(req, &ctx) {
-                    HttpAction::Pass => continue,
-                    act => {
-                        self.trace.record(
-                            now,
-                            TraceLevel::Info,
-                            "censor",
-                            format!("{} interferes with HTTP request {}: {act:?}", mb.name(), req.url),
-                        );
-                        censor_req = act;
-                        break;
-                    }
-                }
-            }
-        }
-
-        let rtt = self.path_model.sample_rtt(&quality, rng);
-        match censor_req {
-            HttpAction::Drop => {
-                timings.ttfb += HTTP_TIMEOUT;
-                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
-            }
-            HttpAction::Reset => {
-                timings.ttfb += rtt;
-                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
-            }
-            HttpAction::BlockPage => {
-                timings.ttfb += rtt;
-                let resp = HttpResponse::block_page();
-                timings.transfer += self.path_model.transfer_time(&quality, resp.body_bytes);
-                return FetchOutcome {
-                    result: Ok(resp),
-                    timings,
-                    server_ip: Some(server_ip),
-                };
-            }
-            HttpAction::RedirectTo(loc) => {
-                timings.ttfb += rtt;
-                return FetchOutcome {
-                    result: Ok(HttpResponse::redirect(loc)),
-                    timings,
-                    server_ip: Some(server_ip),
-                };
-            }
-            HttpAction::Pass => {}
-        }
-
-        // The real server answers.
-        if self.path_model.stage_fails(&quality, rng) {
-            timings.ttfb += HTTP_TIMEOUT;
-            self.trace
-                .record(now, TraceLevel::Debug, "http", "transient response failure");
-            return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
-        }
-        let entry = self.servers.get(&server_ip).expect("checked above");
-        let mut resp = entry.handler.handle(req, client.ip, now);
-        timings.ttfb += rtt;
-
-        // Response-side censorship (keyword filters inspect content here).
-        let mut censor_resp = HttpAction::Pass;
-        for mb in &self.middleboxes {
-            if mb.applies_to(client) {
-                match mb.on_http_response(req, &resp, &ctx) {
-                    HttpAction::Pass => continue,
-                    act => {
-                        self.trace.record(
-                            now,
-                            TraceLevel::Info,
-                            "censor",
-                            format!("{} interferes with HTTP response for {}: {act:?}", mb.name(), req.url),
-                        );
-                        censor_resp = act;
-                        break;
-                    }
-                }
-            }
-        }
-        match censor_resp {
-            HttpAction::Drop => {
-                timings.ttfb += HTTP_TIMEOUT;
-                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
-            }
-            HttpAction::Reset => {
-                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
-            }
-            HttpAction::BlockPage => {
-                resp = HttpResponse::block_page();
-            }
-            HttpAction::RedirectTo(loc) => {
-                resp = HttpResponse::redirect(loc);
-            }
-            HttpAction::Pass => {}
-        }
-
-        timings.transfer += self.path_model.transfer_time(&quality, resp.body_bytes);
-
-        if corrupt_body {
-            self.trace
-                .record(now, TraceLevel::Debug, "fault", "response corrupted by injector");
-            return FetchOutcome::fail(FetchError::CorruptResponse, timings, Some(server_ip));
-        }
-
-        self.trace.record(
-            now,
-            TraceLevel::Trace,
-            "http",
-            format!("{} {} -> {} ({} bytes)", req.method, req.url, resp.status, resp.body_bytes),
-        );
-        FetchOutcome {
-            result: Ok(resp),
-            timings,
-            server_ip: Some(server_ip),
-        }
+        let mut session = FetchSession::with_config(client.clone(), SessionConfig::cold());
+        session.fetch(self, req, now, rng)
     }
 }
 
@@ -555,6 +341,8 @@ mod tests {
     use super::*;
     use crate::geo::country;
     use crate::http::ContentType;
+    use crate::middlebox::{DnsAction, HttpAction, StageContext, TcpAction};
+    use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT};
 
     fn network() -> Network {
         Network::ideal(World::builtin())
@@ -605,7 +393,12 @@ mod tests {
         let mut n = network();
         let client = n.add_client(country("US"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        let out = n.fetch(&client, &HttpRequest::get("not a url"), SimTime::ZERO, &mut rng);
+        let out = n.fetch(
+            &client,
+            &HttpRequest::get("not a url"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.result, Err(FetchError::BadUrl));
         assert_eq!(out.timings.total(), SimDuration::ZERO);
     }
@@ -682,7 +475,12 @@ mod tests {
         n.add_middlebox(Box::new(DnsBlocker));
         let pk = n.add_client(country("PK"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        let ok = n.fetch(&pk, &HttpRequest::get("http://fine.com/y.png"), SimTime::ZERO, &mut rng);
+        let ok = n.fetch(
+            &pk,
+            &HttpRequest::get("http://fine.com/y.png"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(ok.result.is_ok());
     }
 
@@ -832,7 +630,12 @@ mod tests {
         n.add_middlebox(Box::new(Redirector));
         let c = n.add_client(country("US"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        let out = n.fetch(
+            &c,
+            &HttpRequest::get("http://example.com/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.result, Err(FetchError::ConnectTimeout));
         assert_eq!(out.server_ip, Some(Ipv4Addr::new(100, 66, 6, 6)));
     }
@@ -844,7 +647,12 @@ mod tests {
         n.add_server("example.com", country("US"), img_handler(400));
         let c = n.add_client(country("US"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        let out = n.fetch(
+            &c,
+            &HttpRequest::get("http://example.com/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.result, Err(FetchError::ConnectTimeout));
     }
 
@@ -855,7 +663,12 @@ mod tests {
         n.add_server("example.com", country("US"), img_handler(400));
         let c = n.add_client(country("US"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        let out = n.fetch(&c, &HttpRequest::get("http://example.com/"), SimTime::ZERO, &mut rng);
+        let out = n.fetch(
+            &c,
+            &HttpRequest::get("http://example.com/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.result, Err(FetchError::CorruptResponse));
     }
 
@@ -867,11 +680,21 @@ mod tests {
         let c = n.add_client(country("US"), IspClass::Residential);
         let mut rng = SimRng::new(1);
         let small = n
-            .fetch(&c, &HttpRequest::get("http://small.example/"), SimTime::ZERO, &mut rng)
+            .fetch(
+                &c,
+                &HttpRequest::get("http://small.example/"),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .timings
             .transfer;
         let large = n
-            .fetch(&c, &HttpRequest::get("http://large.example/"), SimTime::ZERO, &mut rng)
+            .fetch(
+                &c,
+                &HttpRequest::get("http://large.example/"),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .timings
             .transfer;
         assert!(large > small * 100);
@@ -885,7 +708,12 @@ mod tests {
             n.add_server("example.com", country("BR"), img_handler(1_234));
             let c = n.add_client(country("JP"), IspClass::Mobile);
             let mut rng = SimRng::new(99);
-            let out = n.fetch(&c, &HttpRequest::get("http://example.com/i.png"), SimTime::ZERO, &mut rng);
+            let out = n.fetch(
+                &c,
+                &HttpRequest::get("http://example.com/i.png"),
+                SimTime::ZERO,
+                &mut rng,
+            );
             out.timings.total().as_micros()
         };
         assert_eq!(run(), run());
@@ -898,7 +726,12 @@ mod tests {
         n.add_middlebox(Box::new(DnsBlocker));
         let pk = n.add_client(country("PK"), IspClass::Residential);
         let mut rng = SimRng::new(1);
-        n.fetch(&pk, &HttpRequest::get("http://censored.com/"), SimTime::ZERO, &mut rng);
+        n.fetch(
+            &pk,
+            &HttpRequest::get("http://censored.com/"),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(n.trace.contains("dns-blocker"));
     }
 }

@@ -21,10 +21,10 @@ use sim_core::{SimDuration, SimRng};
 /// heterogeneous.
 const BACKBONE_MS: [[f64; 8]; 8] = [
     // NA     SA     EU     ME     AF     SAs    EAs    Oc
-    [5.0, 75.0, 45.0, 70.0, 90.0, 110.0, 75.0, 90.0],  // NorthAmerica
+    [5.0, 75.0, 45.0, 70.0, 90.0, 110.0, 75.0, 90.0], // NorthAmerica
     [75.0, 10.0, 95.0, 120.0, 120.0, 160.0, 140.0, 150.0], // SouthAmerica
     [45.0, 95.0, 5.0, 30.0, 50.0, 65.0, 110.0, 120.0], // Europe
-    [70.0, 120.0, 30.0, 8.0, 45.0, 40.0, 85.0, 95.0],  // MiddleEast
+    [70.0, 120.0, 30.0, 8.0, 45.0, 40.0, 85.0, 95.0], // MiddleEast
     [90.0, 120.0, 50.0, 45.0, 15.0, 70.0, 120.0, 130.0], // Africa
     [110.0, 160.0, 65.0, 40.0, 70.0, 10.0, 55.0, 60.0], // SouthAsia
     [75.0, 140.0, 110.0, 85.0, 120.0, 55.0, 8.0, 40.0], // EastAsia
@@ -181,8 +181,10 @@ mod tests {
 
     #[test]
     fn intra_region_faster_than_inter() {
-        assert!(backbone_ms(Region::Europe, Region::Europe)
-            < backbone_ms(Region::Europe, Region::EastAsia));
+        assert!(
+            backbone_ms(Region::Europe, Region::Europe)
+                < backbone_ms(Region::Europe, Region::EastAsia)
+        );
     }
 
     #[test]

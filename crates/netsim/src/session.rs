@@ -1,0 +1,836 @@
+//! Session-oriented transport: the layered fetch engine.
+//!
+//! [`crate::Network::fetch`] models every visit as a fully cold start: each
+//! request re-resolves DNS, re-establishes TCP, and re-matches the entire
+//! middlebox chain. Real browsers do none of that — they keep per-origin
+//! connections alive, cache resolutions in-process, and sit behind a fixed
+//! on-path censor set for the lifetime of a browsing session. At Encore's
+//! target scale (millions of incidental visits) the cold-start model is
+//! also the simulator's hot path.
+//!
+//! A [`FetchSession`] is the session-layer answer. It belongs to one client
+//! and owns three pieces of amortised state:
+//!
+//! * a **compiled middlebox pipeline** — the subset of the network's
+//!   middleboxes whose [`applies_to`](crate::middlebox::Middlebox::applies_to) matches this client,
+//!   matched once per session (and re-validated only when the network's
+//!   middlebox set changes) instead of once per request per stage;
+//! * a **DNS host cache** — the browser/OS-level resolver cache, honouring
+//!   record TTLs, sitting in front of the shared per-country resolver
+//!   cache in [`crate::dns::DnsSystem`];
+//! * a **keep-alive connection pool** — per-destination established
+//!   connections with an idle timeout, so repeat fetches to an origin skip
+//!   the TCP stage entirely.
+//!
+//! The cold path through [`FetchSession::fetch`] is *exactly* the §3.1
+//! pipeline of the legacy entry point — same stages, same middlebox
+//! consultation order, same RNG draw sequence — so `Network::fetch` is now
+//! a thin wrapper that runs a single-shot session. Warm-path semantics
+//! are deliberately different, and deliberately faithful to real stacks:
+//! a cached resolution skips the transient-DNS-failure draw (no query is
+//! sent), and a kept-alive connection skips SYN-stage censorship (an
+//! established flow sees no new handshake — DNS- and TCP-stage censors are
+//! only observable on cold state, exactly the cache-interference effect
+//! the paper discusses for DNS).
+
+use crate::dns::DnsOutcome;
+use crate::fault::FaultDecision;
+use crate::host::Host;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::middlebox::{DnsAction, HttpAction, StageContext, TcpAction};
+use crate::network::{FetchError, FetchOutcome, FetchTimings, Network};
+use crate::path::PathQuality;
+use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT, DNS_TIMEOUT, HTTP_TIMEOUT};
+use sim_core::{SimDuration, SimRng, SimTime, TraceLevel};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Tuning knobs for a session's amortised state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// How long an idle kept-alive connection survives before the next
+    /// fetch must re-establish it. Zero disables connection reuse.
+    pub keep_alive: SimDuration,
+    /// Whether the session keeps a client-local DNS cache.
+    pub dns_cache: bool,
+    /// In-process DNS cache lookup cost (a hash probe, not a network
+    /// round trip).
+    pub dns_cache_hit_cost: SimDuration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            // Browsers keep idle HTTP/1.1 connections for roughly a
+            // minute; Apache-era servers often closed them sooner. 60 s
+            // is the conventional middle ground.
+            keep_alive: SimDuration::from_secs(60),
+            dns_cache: true,
+            dns_cache_hit_cost: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A configuration with all amortisation disabled: every fetch is a
+    /// cold start, byte-for-byte equivalent to the legacy pipeline.
+    pub fn cold() -> SessionConfig {
+        SessionConfig {
+            keep_alive: SimDuration::ZERO,
+            dns_cache: false,
+            dns_cache_hit_cost: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters describing how much work the session amortised away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total fetches issued through this session.
+    pub fetches: u64,
+    /// Fetches whose name resolution was served from the session cache.
+    pub dns_cache_hits: u64,
+    /// Fetches that reused a kept-alive connection.
+    pub connections_reused: u64,
+    /// Times the middlebox pipeline was (re)compiled.
+    pub pipeline_rebuilds: u64,
+}
+
+/// A client's transport session: compiled censor pipeline, DNS host cache,
+/// and keep-alive connection pool. See the module docs for semantics.
+pub struct FetchSession {
+    client: Host,
+    config: SessionConfig,
+    /// Indices into the network's middlebox list that apply to this
+    /// client, in network order. Valid while `pipeline_generation`
+    /// matches the network's.
+    pipeline: Vec<usize>,
+    pipeline_generation: u64,
+    /// name → (address, expires-at). The client-local resolver cache.
+    dns_cache: BTreeMap<String, (Ipv4Addr, SimTime)>,
+    /// destination → idle-expiry of an established connection.
+    connections: BTreeMap<Ipv4Addr, SimTime>,
+    /// destination → path quality (static per client/destination pair).
+    quality_cache: BTreeMap<Ipv4Addr, PathQuality>,
+    stats: SessionStats,
+}
+
+impl FetchSession {
+    /// Open a session for `client` with default amortisation.
+    pub fn new(client: Host) -> FetchSession {
+        FetchSession::with_config(client, SessionConfig::default())
+    }
+
+    /// Open a session with explicit configuration.
+    pub fn with_config(client: Host, config: SessionConfig) -> FetchSession {
+        FetchSession {
+            client,
+            config,
+            pipeline: Vec::new(),
+            // Network generations start at 1, so a fresh session always
+            // compiles its pipeline on first use.
+            pipeline_generation: 0,
+            dns_cache: BTreeMap::new(),
+            connections: BTreeMap::new(),
+            quality_cache: BTreeMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The client this session belongs to.
+    pub fn client(&self) -> &Host {
+        &self.client
+    }
+
+    /// Amortisation counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Drop all cached session state (the "new browsing session" reset:
+    /// cold DNS, cold connections; the pipeline stays, it only depends on
+    /// the network's middlebox set).
+    pub fn reset(&mut self) {
+        self.dns_cache.clear();
+        self.connections.clear();
+    }
+
+    /// Whether a kept-alive connection to `dst` is live at `now`.
+    pub fn has_connection(&self, dst: Ipv4Addr, now: SimTime) -> bool {
+        self.connections
+            .get(&dst)
+            .is_some_and(|&expiry| now < expiry)
+    }
+
+    /// Re-match the middlebox chain if the network's set changed since we
+    /// last compiled (or if this session has never compiled it).
+    fn refresh_pipeline(&mut self, net: &Network) {
+        if self.pipeline_generation == net.middlebox_generation() {
+            return;
+        }
+        self.pipeline.clear();
+        for (i, mb) in net.middleboxes().iter().enumerate() {
+            if mb.applies_to(&self.client) {
+                self.pipeline.push(i);
+            }
+        }
+        self.pipeline_generation = net.middlebox_generation();
+        self.stats.pipeline_rebuilds += 1;
+    }
+
+    /// Path quality to `server_ip`, computed once per destination. Quality
+    /// is a pure function of (client, destination country), so caching it
+    /// never changes outcomes — only skips recomputation.
+    fn quality_to(&mut self, net: &Network, server_ip: Ipv4Addr) -> PathQuality {
+        if let Some(&q) = self.quality_cache.get(&server_ip) {
+            return q;
+        }
+        let q = net.quality_between(&self.client, server_ip);
+        self.quality_cache.insert(server_ip, q);
+        q
+    }
+
+    /// Perform one HTTP fetch through this session at time `now`.
+    ///
+    /// This is the full §3.1 pipeline (DNS → TCP → HTTP) with the
+    /// session's amortisation applied. The five failure timings of the
+    /// legacy path are preserved:
+    ///
+    /// * forged NXDOMAIN — fast (1 local RTT);
+    /// * dropped DNS — slow ([`DNS_TIMEOUT`]);
+    /// * RST — fast (1 RTT);
+    /// * dropped SYN / unroutable sinkhole — slow ([`CONNECT_TIMEOUT`]);
+    /// * dropped HTTP — slow ([`HTTP_TIMEOUT`]).
+    pub fn fetch(
+        &mut self,
+        net: &mut Network,
+        req: &HttpRequest,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> FetchOutcome {
+        self.stats.fetches += 1;
+        let mut timings = FetchTimings::default();
+
+        let Some(host_name) = req.host() else {
+            return FetchOutcome::fail(FetchError::BadUrl, timings, None);
+        };
+
+        // Global fault injection (smoltcp-style device wrapper).
+        let mut corrupt_body = false;
+        match net.fault.decide(now, rng) {
+            FaultDecision::Pass => {}
+            FaultDecision::Drop => {
+                timings.connect = CONNECT_TIMEOUT;
+                net.trace
+                    .record(now, TraceLevel::Debug, "fault", "fetch dropped by injector");
+                return FetchOutcome::fail(FetchError::ConnectTimeout, timings, None);
+            }
+            FaultDecision::Corrupt => corrupt_body = true,
+            FaultDecision::Delay(d) => timings.dns += d,
+        }
+
+        self.refresh_pipeline(net);
+
+        // ---------------- Stage 1: DNS ----------------
+        let server_ip = match self.dns_stage(net, &host_name, now, rng, &mut timings) {
+            Ok(ip) => ip,
+            Err(outcome) => return outcome,
+        };
+
+        let quality = self.quality_to(net, server_ip);
+
+        // ---------------- Stage 2: TCP ----------------
+        let reused =
+            self.has_connection(server_ip, now) && self.config.keep_alive > SimDuration::ZERO;
+        if reused {
+            self.stats.connections_reused += 1;
+            // An established flow: no handshake, no SYN-stage censorship,
+            // no connect latency. (The connection must once have passed
+            // the full TCP stage to exist.)
+        } else if let Err(outcome) =
+            self.tcp_stage(net, server_ip, &quality, now, rng, &mut timings)
+        {
+            return outcome;
+        }
+
+        // ---------------- Stage 3: HTTP ----------------
+        let outcome = self.http_stage(
+            net,
+            req,
+            server_ip,
+            &quality,
+            corrupt_body,
+            now,
+            rng,
+            timings,
+        );
+
+        // Keep-alive bookkeeping: a completed exchange leaves the
+        // connection pooled; a reset or timeout kills it.
+        if self.config.keep_alive > SimDuration::ZERO {
+            let alive = match &outcome.result {
+                Ok(_) => true,
+                Err(FetchError::CorruptResponse) => true,
+                Err(_) => false,
+            };
+            if alive {
+                let idle_from = now + outcome.timings.total();
+                self.connections
+                    .insert(server_ip, idle_from + self.config.keep_alive);
+            } else {
+                self.connections.remove(&server_ip);
+            }
+        }
+        outcome
+    }
+
+    /// Name resolution with the session cache in front of the shared
+    /// per-country resolver. Returns the destination address or a
+    /// terminal outcome.
+    #[allow(clippy::result_large_err)] // Err is the terminal FetchOutcome, consumed immediately
+    fn dns_stage(
+        &mut self,
+        net: &mut Network,
+        host_name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        timings: &mut FetchTimings,
+    ) -> Result<Ipv4Addr, FetchOutcome> {
+        let ctx = StageContext {
+            client: &self.client,
+            now,
+        };
+        let cc = net.country_record(self.client.country);
+        let resolver_rtt = SimDuration::from_millis_f64(cc.access_latency_ms * 0.6);
+
+        // Censors inspect every query the client *would* send. The session
+        // cache sits behind the censor for the first resolution (the query
+        // that populates it necessarily crossed the censor), and a session
+        // hit skips the wire entirely — so the middlebox is consulted
+        // before the cache exactly as a forwarding resolver would be, and
+        // cache hits never consult it at all.
+        let key = host_name.to_ascii_lowercase();
+        if self.config.dns_cache {
+            if let Some(&(ip, expires)) = self.dns_cache.get(&key) {
+                if now < expires {
+                    self.stats.dns_cache_hits += 1;
+                    timings.dns += self.config.dns_cache_hit_cost;
+                    return Ok(ip);
+                }
+                self.dns_cache.remove(&key);
+            }
+        }
+
+        let mut censor_dns = DnsAction::Pass;
+        for &i in &self.pipeline {
+            let mb = &net.middleboxes()[i];
+            match mb.on_dns(host_name, &ctx) {
+                DnsAction::Pass => continue,
+                act => {
+                    net.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        "censor",
+                        format!("{} interferes with DNS for {host_name}: {act:?}", mb.name()),
+                    );
+                    censor_dns = act;
+                    break;
+                }
+            }
+        }
+
+        match censor_dns {
+            DnsAction::NxDomain => {
+                timings.dns += resolver_rtt;
+                Err(FetchOutcome::fail(FetchError::DnsNxDomain, *timings, None))
+            }
+            DnsAction::Drop => {
+                timings.dns += DNS_TIMEOUT;
+                Err(FetchOutcome::fail(FetchError::DnsTimeout, *timings, None))
+            }
+            DnsAction::Redirect(ip) => {
+                timings.dns += resolver_rtt;
+                // A forged answer is an answer: browsers cache it, which
+                // is how poisoned resolutions persist for a session.
+                if self.config.dns_cache {
+                    self.dns_cache
+                        .insert(key, (ip, now + crate::dns::DEFAULT_TTL));
+                }
+                Ok(ip)
+            }
+            DnsAction::Pass => {
+                // Transient DNS failure (client-side unreliability).
+                let q_local = self.quality_to(net, self.client.ip);
+                if net.path_model.stage_fails(&q_local, rng) {
+                    timings.dns += DNS_TIMEOUT;
+                    net.trace
+                        .record(now, TraceLevel::Debug, "dns", "transient dns failure");
+                    return Err(FetchOutcome::fail(FetchError::DnsTimeout, *timings, None));
+                }
+                let (outcome, cached) = net.dns.resolve(self.client.country, host_name, now);
+                timings.dns += if cached {
+                    SimDuration::from_millis(1)
+                } else {
+                    resolver_rtt
+                };
+                match outcome {
+                    DnsOutcome::Resolved(a) => {
+                        if self.config.dns_cache {
+                            self.dns_cache.insert(key, (a.ip, now + a.ttl));
+                        }
+                        Ok(a.ip)
+                    }
+                    DnsOutcome::NxDomain => {
+                        Err(FetchOutcome::fail(FetchError::DnsNxDomain, *timings, None))
+                    }
+                    DnsOutcome::Timeout => {
+                        timings.dns += DNS_TIMEOUT;
+                        Err(FetchOutcome::fail(FetchError::DnsTimeout, *timings, None))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Connection establishment. `Ok(())` leaves an established
+    /// connection; the pool entry is written by the caller once the HTTP
+    /// exchange settles.
+    #[allow(clippy::result_large_err)] // Err is the terminal FetchOutcome, consumed immediately
+    fn tcp_stage(
+        &mut self,
+        net: &mut Network,
+        server_ip: Ipv4Addr,
+        quality: &PathQuality,
+        now: SimTime,
+        rng: &mut SimRng,
+        timings: &mut FetchTimings,
+    ) -> Result<(), FetchOutcome> {
+        let ctx = StageContext {
+            client: &self.client,
+            now,
+        };
+        let attempt = TcpAttempt::http(server_ip);
+
+        let mut censor_tcp = TcpAction::Pass;
+        for &i in &self.pipeline {
+            let mb = &net.middleboxes()[i];
+            match mb.on_tcp(&attempt, &ctx) {
+                TcpAction::Pass => continue,
+                act => {
+                    net.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        "censor",
+                        format!("{} interferes with TCP to {server_ip}: {act:?}", mb.name()),
+                    );
+                    censor_tcp = act;
+                    break;
+                }
+            }
+        }
+
+        match censor_tcp {
+            TcpAction::Reset => {
+                timings.connect += net.path_model.sample_rtt(quality, rng);
+                return Err(FetchOutcome::fail(
+                    FetchError::ConnectionReset,
+                    *timings,
+                    Some(server_ip),
+                ));
+            }
+            TcpAction::Drop => {
+                timings.connect += CONNECT_TIMEOUT;
+                return Err(FetchOutcome::fail(
+                    FetchError::ConnectTimeout,
+                    *timings,
+                    Some(server_ip),
+                ));
+            }
+            TcpAction::Pass => {}
+        }
+
+        // Unroutable / no server listening (e.g. a DNS redirect to a
+        // sinkhole): connect times out.
+        if !net.has_server(server_ip) {
+            timings.connect += CONNECT_TIMEOUT;
+            net.trace.record(
+                now,
+                TraceLevel::Debug,
+                "tcp",
+                format!("no server at {server_ip}; connect timeout"),
+            );
+            return Err(FetchOutcome::fail(
+                FetchError::ConnectTimeout,
+                *timings,
+                Some(server_ip),
+            ));
+        }
+
+        if net.path_model.stage_fails(quality, rng) {
+            timings.connect += CONNECT_TIMEOUT;
+            net.trace
+                .record(now, TraceLevel::Debug, "tcp", "transient connect failure");
+            return Err(FetchOutcome::fail(
+                FetchError::ConnectTimeout,
+                *timings,
+                Some(server_ip),
+            ));
+        }
+        timings.connect += net.path_model.sample_rtt(quality, rng);
+        Ok(())
+    }
+
+    /// The HTTP exchange over an established connection.
+    #[allow(clippy::too_many_arguments)]
+    fn http_stage(
+        &mut self,
+        net: &mut Network,
+        req: &HttpRequest,
+        server_ip: Ipv4Addr,
+        quality: &PathQuality,
+        corrupt_body: bool,
+        now: SimTime,
+        rng: &mut SimRng,
+        mut timings: FetchTimings,
+    ) -> FetchOutcome {
+        let ctx = StageContext {
+            client: &self.client,
+            now,
+        };
+
+        let mut censor_req = HttpAction::Pass;
+        for &i in &self.pipeline {
+            let mb = &net.middleboxes()[i];
+            match mb.on_http_request(req, &ctx) {
+                HttpAction::Pass => continue,
+                act => {
+                    net.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        "censor",
+                        format!(
+                            "{} interferes with HTTP request {}: {act:?}",
+                            mb.name(),
+                            req.url
+                        ),
+                    );
+                    censor_req = act;
+                    break;
+                }
+            }
+        }
+
+        let rtt = net.path_model.sample_rtt(quality, rng);
+        match censor_req {
+            HttpAction::Drop => {
+                timings.ttfb += HTTP_TIMEOUT;
+                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+            }
+            HttpAction::Reset => {
+                timings.ttfb += rtt;
+                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
+            }
+            HttpAction::BlockPage => {
+                timings.ttfb += rtt;
+                let resp = HttpResponse::block_page();
+                timings.transfer += net.path_model.transfer_time(quality, resp.body_bytes);
+                return FetchOutcome {
+                    result: Ok(resp),
+                    timings,
+                    server_ip: Some(server_ip),
+                };
+            }
+            HttpAction::RedirectTo(loc) => {
+                timings.ttfb += rtt;
+                return FetchOutcome {
+                    result: Ok(HttpResponse::redirect(loc)),
+                    timings,
+                    server_ip: Some(server_ip),
+                };
+            }
+            HttpAction::Pass => {}
+        }
+
+        // The real server answers.
+        if net.path_model.stage_fails(quality, rng) {
+            timings.ttfb += HTTP_TIMEOUT;
+            net.trace
+                .record(now, TraceLevel::Debug, "http", "transient response failure");
+            return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+        }
+        let mut resp = net.handle_request(server_ip, req, self.client.ip, now);
+        timings.ttfb += rtt;
+
+        // Response-side censorship (keyword filters inspect content here).
+        let mut censor_resp = HttpAction::Pass;
+        for &i in &self.pipeline {
+            let mb = &net.middleboxes()[i];
+            match mb.on_http_response(req, &resp, &ctx) {
+                HttpAction::Pass => continue,
+                act => {
+                    net.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        "censor",
+                        format!(
+                            "{} interferes with HTTP response for {}: {act:?}",
+                            mb.name(),
+                            req.url
+                        ),
+                    );
+                    censor_resp = act;
+                    break;
+                }
+            }
+        }
+        match censor_resp {
+            HttpAction::Drop => {
+                timings.ttfb += HTTP_TIMEOUT;
+                return FetchOutcome::fail(FetchError::ResponseTimeout, timings, Some(server_ip));
+            }
+            HttpAction::Reset => {
+                return FetchOutcome::fail(FetchError::ConnectionReset, timings, Some(server_ip));
+            }
+            HttpAction::BlockPage => {
+                resp = HttpResponse::block_page();
+            }
+            HttpAction::RedirectTo(loc) => {
+                resp = HttpResponse::redirect(loc);
+            }
+            HttpAction::Pass => {}
+        }
+
+        timings.transfer += net.path_model.transfer_time(quality, resp.body_bytes);
+
+        if corrupt_body {
+            net.trace.record(
+                now,
+                TraceLevel::Debug,
+                "fault",
+                "response corrupted by injector",
+            );
+            return FetchOutcome::fail(FetchError::CorruptResponse, timings, Some(server_ip));
+        }
+
+        // The one per-success record: guard it, the format alone is
+        // measurable at session throughput.
+        if net.trace.enabled(TraceLevel::Trace) {
+            net.trace.record(
+                now,
+                TraceLevel::Trace,
+                "http",
+                format!(
+                    "{} {} -> {} ({} bytes)",
+                    req.method, req.url, resp.status, resp.body_bytes
+                ),
+            );
+        }
+        FetchOutcome {
+            result: Ok(resp),
+            timings,
+            server_ip: Some(server_ip),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{country, IspClass, World};
+    use crate::http::ContentType;
+    use crate::middlebox::Middlebox;
+    use crate::network::ConstHandler;
+
+    fn network() -> Network {
+        let mut n = Network::ideal(World::builtin());
+        n.add_server(
+            "origin.example",
+            country("US"),
+            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+        );
+        n
+    }
+
+    fn session(n: &mut Network) -> FetchSession {
+        let client = n.add_client(country("DE"), IspClass::Residential);
+        FetchSession::new(client)
+    }
+
+    #[test]
+    fn cold_session_matches_legacy_fetch_exactly() {
+        let req = HttpRequest::get("http://origin.example/favicon.ico");
+
+        // Legacy one-shot path.
+        let mut n1 = network();
+        let c1 = n1.add_client(country("DE"), IspClass::Residential);
+        let mut rng1 = SimRng::new(42);
+        let legacy = n1.fetch(&c1, &req, SimTime::ZERO, &mut rng1);
+
+        // Explicit cold session.
+        let mut n2 = network();
+        let c2 = n2.add_client(country("DE"), IspClass::Residential);
+        let mut s = FetchSession::with_config(c2, SessionConfig::cold());
+        let mut rng2 = SimRng::new(42);
+        let via_session = s.fetch(&mut n2, &req, SimTime::ZERO, &mut rng2);
+
+        assert_eq!(legacy, via_session);
+        // And the RNG streams stayed in lockstep.
+        assert_eq!(rng1.next_u64(), rng2.next_u64());
+    }
+
+    #[test]
+    fn warm_fetch_skips_dns_and_connect() {
+        let mut n = network();
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(7);
+        let req = HttpRequest::get("http://origin.example/favicon.ico");
+
+        let cold = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        let warm = s.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
+
+        assert!(cold.result.is_ok());
+        assert!(warm.result.is_ok());
+        assert!(warm.timings.dns < cold.timings.dns, "dns amortised");
+        assert_eq!(warm.timings.connect, SimDuration::ZERO, "keep-alive");
+        assert!(
+            warm.timings.total() * 2 < cold.timings.total(),
+            "warm {} vs cold {}",
+            warm.timings.total(),
+            cold.timings.total()
+        );
+        let stats = s.stats();
+        assert_eq!(stats.fetches, 2);
+        assert_eq!(stats.dns_cache_hits, 1);
+        assert_eq!(stats.connections_reused, 1);
+    }
+
+    #[test]
+    fn keep_alive_expires_after_idle_timeout() {
+        let mut n = network();
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(7);
+        let req = HttpRequest::get("http://origin.example/i.png");
+
+        s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        // Well past the keep-alive window: the connection is gone, but the
+        // DNS record (5-minute TTL) is still cached.
+        let later = SimTime::from_secs(200);
+        let out = s.fetch(&mut n, &req, later, &mut rng);
+        assert!(out.result.is_ok());
+        assert!(out.timings.connect > SimDuration::ZERO, "re-established");
+        assert_eq!(s.stats().connections_reused, 0);
+        assert_eq!(s.stats().dns_cache_hits, 1);
+    }
+
+    #[test]
+    fn dns_cache_respects_ttl() {
+        let mut n = network();
+        n.dns.register_with_ttl(
+            "short.example",
+            std::net::Ipv4Addr::new(100, 99, 1, 1),
+            SimDuration::from_secs(10),
+        );
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(3);
+        let req = HttpRequest::get("http://short.example/x");
+        s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        s.fetch(&mut n, &req, SimTime::from_secs(60), &mut rng);
+        assert_eq!(s.stats().dns_cache_hits, 0, "expired record not served");
+    }
+
+    struct FlipDnsBlocker;
+    impl Middlebox for FlipDnsBlocker {
+        fn name(&self) -> &str {
+            "flip"
+        }
+        fn applies_to(&self, client: &Host) -> bool {
+            client.country == country("DE")
+        }
+        fn on_dns(&self, _n: &str, _ctx: &StageContext<'_>) -> DnsAction {
+            DnsAction::NxDomain
+        }
+    }
+
+    #[test]
+    fn pipeline_recompiles_when_middleboxes_change() {
+        let mut n = network();
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(11);
+        let req = HttpRequest::get("http://origin.example/a.png");
+
+        let before = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        assert!(before.result.is_ok());
+
+        // A censor appears mid-session. The next *cold-DNS* fetch must see
+        // it; this fetch is warm, so it sails through on cached state —
+        // exactly the cache-interference effect of paper §3.1.
+        n.add_middlebox(Box::new(FlipDnsBlocker));
+        let warm = s.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
+        assert!(warm.result.is_ok(), "cached state bypasses the new censor");
+
+        // After the session's caches go cold, the censor bites.
+        s.reset();
+        let cold = s.fetch(&mut n, &req, SimTime::from_secs(2), &mut rng);
+        assert_eq!(cold.result, Err(FetchError::DnsNxDomain));
+        assert_eq!(s.stats().pipeline_rebuilds, 2);
+    }
+
+    #[test]
+    fn reset_connection_is_evicted_from_pool() {
+        struct ResetEveryResponse;
+        impl Middlebox for ResetEveryResponse {
+            fn name(&self) -> &str {
+                "rst-resp"
+            }
+            fn applies_to(&self, _c: &Host) -> bool {
+                true
+            }
+            fn on_http_response(
+                &self,
+                _req: &HttpRequest,
+                _resp: &HttpResponse,
+                _ctx: &StageContext<'_>,
+            ) -> HttpAction {
+                HttpAction::Reset
+            }
+        }
+        let mut n = network();
+        n.add_middlebox(Box::new(ResetEveryResponse));
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(13);
+        let req = HttpRequest::get("http://origin.example/x.png");
+        let first = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        assert_eq!(first.result, Err(FetchError::ConnectionReset));
+        // The torn-down connection must not be reused.
+        let second = s.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
+        assert!(second.timings.connect > SimDuration::ZERO);
+        assert_eq!(s.stats().connections_reused, 0);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let run = || {
+            let mut n = Network::new(World::builtin());
+            n.add_server(
+                "origin.example",
+                country("BR"),
+                Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 1_234))),
+            );
+            let client = n.add_client(country("JP"), IspClass::Mobile);
+            let mut s = FetchSession::new(client);
+            let mut rng = SimRng::new(99);
+            let mut total = SimDuration::ZERO;
+            for i in 0..10 {
+                let out = s.fetch(
+                    &mut n,
+                    &HttpRequest::get("http://origin.example/i.png"),
+                    SimTime::from_secs(i),
+                    &mut rng,
+                );
+                total += out.timings.total();
+            }
+            total.as_micros()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -61,14 +61,25 @@ impl Analytics {
             by_country,
             crawler_visits,
             attempted_measurement: attempted,
-            frac_over_10s: if humans == 0 { 0.0 } else { over10 as f64 / humans as f64 },
-            frac_over_60s: if humans == 0 { 0.0 } else { over60 as f64 / humans as f64 },
+            frac_over_10s: if humans == 0 {
+                0.0
+            } else {
+                over10 as f64 / humans as f64
+            },
+            frac_over_60s: if humans == 0 {
+                0.0
+            } else {
+                over60 as f64 / humans as f64
+            },
         }
     }
 
     /// Number of countries with more than `threshold` visits.
     pub fn countries_with_more_than(&self, threshold: usize) -> usize {
-        self.by_country.iter().filter(|(_, n)| *n > threshold).count()
+        self.by_country
+            .iter()
+            .filter(|(_, n)| *n > threshold)
+            .count()
     }
 
     /// Fraction of all visits from the given set of countries.

@@ -29,6 +29,32 @@ pub struct Visitor {
     pub is_crawler: bool,
 }
 
+impl Visitor {
+    /// The self-reported user agent: crawlers announce themselves, humans
+    /// report the browser actually driving the visit (which, for a
+    /// returning pooled client, may differ from this visitor's sampled
+    /// engine).
+    pub fn user_agent(&self, client_engine: Engine) -> String {
+        if self.is_crawler {
+            "CampusSecurityScanner/1.0 (bot)".to_string()
+        } else {
+            client_engine.to_string()
+        }
+    }
+
+    /// Dwell time as the Encore snippet experiences it. Most automated
+    /// clients never execute JavaScript, so they load the origin page but
+    /// attempt no measurement; a 25% minority are headless browsers that
+    /// do (the "erroneously contributed measurements" of §7.1).
+    pub fn effective_dwell(&self, rng: &mut SimRng) -> SimDuration {
+        if self.is_crawler && !rng.chance(0.25) {
+            SimDuration::ZERO
+        } else {
+            self.dwell
+        }
+    }
+}
+
 /// An origin site's audience.
 #[derive(Debug, Clone)]
 pub struct Audience {
@@ -205,7 +231,9 @@ mod tests {
     fn crawler_fraction_respected() {
         let a = Audience::academic();
         let mut rng = SimRng::new(4);
-        let crawlers = (0..10_000).filter(|_| a.sample(&mut rng).is_crawler).count();
+        let crawlers = (0..10_000)
+            .filter(|_| a.sample(&mut rng).is_crawler)
+            .count();
         assert!((900..1_500).contains(&crawlers), "crawlers = {crawlers}");
     }
 

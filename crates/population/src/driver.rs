@@ -85,7 +85,7 @@ pub fn run_deployment(
         let mut t = SimTime::ZERO;
         loop {
             let dt = SimDuration::from_millis_f64(gap.sample(&mut arrivals_rng) * 1_000.0);
-            t = t + dt;
+            t += dt;
             if t.since(SimTime::ZERO) >= config.duration {
                 break;
             }
@@ -102,29 +102,22 @@ pub fn run_deployment(
         let origin = &origins[origin_index];
 
         // Returning visitor with a warm cache, or a fresh client.
-        let reuse = !returning.is_empty()
-            && visitor_rng.chance(config.repeat_visitor_rate);
+        let reuse = !returning.is_empty() && visitor_rng.chance(config.repeat_visitor_rate);
         let mut client = if reuse {
             let idx = visitor_rng.index(returning.len());
             returning.swap_remove(idx)
         } else {
-            BrowserClient::new(net, visitor.country, visitor.isp, visitor.engine, &visitor_rng)
+            BrowserClient::new(
+                net,
+                visitor.country,
+                visitor.isp,
+                visitor.engine,
+                &visitor_rng,
+            )
         };
 
-        let ua = if visitor.is_crawler {
-            "CampusSecurityScanner/1.0 (bot)".to_string()
-        } else {
-            client.engine.to_string()
-        };
-        // Most automated clients never execute JavaScript, so they load
-        // the origin page but attempt no measurement; a minority are
-        // headless browsers that do (the "erroneously contributed
-        // measurements" of §7.1).
-        let effective_dwell = if visitor.is_crawler && !visitor_rng.chance(0.25) {
-            SimDuration::ZERO
-        } else {
-            visitor.dwell
-        };
+        let ua = visitor.user_agent(client.engine);
+        let effective_dwell = visitor.effective_dwell(&mut visitor_rng);
         let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
 
         log.push(VisitRecord {
@@ -203,7 +196,11 @@ mod tests {
             .filter(|v| !v.outcome.executed.is_empty())
             .count();
         assert!(measured > 30, "measured = {measured}");
-        assert!(sys.collection.len() > 60, "collector has {}", sys.collection.len());
+        assert!(
+            sys.collection.len() > 60,
+            "collector has {}",
+            sys.collection.len()
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`driver`] — Poisson visit arrivals over a time span; each visit
 //!   instantiates a browser client and runs the full Figure 2 flow
 //!   through [`encore::EncoreSystem`].
+//! * [`batch`] — the throughput-oriented batched driver: incremental
+//!   arrivals, a persistent client pool whose transport sessions stay
+//!   warm across visits, and flat-memory aggregate reporting.
 //! * [`analytics`] — the Google-Analytics-style report of §6.2.
 
 #![deny(missing_docs)]
@@ -18,8 +21,10 @@
 
 pub mod analytics;
 pub mod audience;
+pub mod batch;
 pub mod driver;
 
 pub use analytics::Analytics;
 pub use audience::Audience;
+pub use batch::{run_visit_batch, BatchConfig, BatchReport};
 pub use driver::{run_deployment, DeploymentConfig, VisitRecord};

@@ -6,9 +6,10 @@
 //! on `(root seed, label)`, so adding random draws to one subsystem never
 //! shifts the stream seen by another. This is the property that keeps the
 //! experiment harness reproducible as the codebase grows.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (seeded via splitmix64),
+//! so the workspace carries no external randomness dependency and the
+//! stream is identical on every platform.
 
 /// FNV-1a 64-bit hash, used to mix fork labels into seeds. A cryptographic
 /// hash is unnecessary: we only need stable, well-spread derivation.
@@ -21,19 +22,32 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Splitmix64 step — expands a seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic random number generator with labelled forking.
 pub struct SimRng {
     seed: u64,
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { seed, state }
     }
 
     /// The seed this generator was created from.
@@ -57,6 +71,35 @@ impl SimRng {
         SimRng::new(child)
     }
 
+    /// Next raw 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -65,37 +108,50 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.rng.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "range_u64 requires lo < hi");
-        self.rng.gen_range(lo..hi)
+        lo + self.uniform_below(hi - lo)
     }
 
     /// Uniform usize in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.rng.gen_range(0..n)
+        self.uniform_below(n as u64) as usize
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "range_f64 requires lo < hi");
-        self.rng.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Unbiased uniform draw in `[0, bound)` (Lemire's method).
+    fn uniform_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Standard normal draw (Box–Muller).
     pub fn standard_normal(&mut self) -> f64 {
         // Draw u1 in (0, 1] to avoid ln(0).
-        let u1: f64 = 1.0 - self.rng.gen::<f64>();
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -111,7 +167,7 @@ impl SimRng {
         if total <= 0.0 {
             return None;
         }
-        let mut x = self.rng.gen::<f64>() * total;
+        let mut x = self.unit() * total;
         for (i, &w) in weights.iter().enumerate() {
             if w.is_finite() && w > 0.0 {
                 x -= w;
@@ -121,15 +177,13 @@ impl SimRng {
             }
         }
         // Floating-point slack: return the last positive-weight index.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.uniform_below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -142,28 +196,13 @@ impl SimRng {
         }
         let mut reservoir: Vec<usize> = (0..k).collect();
         for i in k..n {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.uniform_below(i as u64 + 1) as usize;
             if j < k {
                 reservoir[j] = i;
             }
         }
         reservoir.sort_unstable();
         reservoir
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
     }
 }
 
@@ -292,5 +331,13 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::new(31);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -276,7 +276,10 @@ mod tests {
     fn from_millis_f64_clamps_and_rounds() {
         assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
         assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis_f64(f64::INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -36,8 +36,9 @@ impl fmt::Display for TraceLevel {
     }
 }
 
-/// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// One recorded event. (Serialise-only: the borrowed subsystem tag cannot
+/// be reconstructed from JSON, and nothing replays traces from disk.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct TraceEvent {
     /// When the event happened in simulated time.
     pub at: SimTime,
@@ -89,6 +90,14 @@ impl Trace {
     /// A trace that records nothing (for hot benchmark paths).
     pub fn disabled() -> Trace {
         Trace::new(1, TraceLevel::Warn)
+    }
+
+    /// Whether events at `level` would be retained. Hot paths should
+    /// check this before building an expensive message — `record` takes
+    /// an already-built string, so the format cost is paid even for
+    /// events the filter would drop.
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level >= self.min_level
     }
 
     /// Record an event (dropped silently if below `min_level`; oldest
@@ -173,7 +182,12 @@ mod tests {
     fn ring_buffer_evicts_oldest() {
         let mut t = Trace::new(3, TraceLevel::Debug);
         for i in 0..5 {
-            t.record(SimTime::from_secs(i), TraceLevel::Debug, "x", format!("e{i}"));
+            t.record(
+                SimTime::from_secs(i),
+                TraceLevel::Debug,
+                "x",
+                format!("e{i}"),
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);

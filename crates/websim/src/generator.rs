@@ -579,7 +579,10 @@ mod tests {
         }
         let cdf = Cdf::new(per_page);
         let any = 1.0 - cdf.fraction_at_most(0.0);
-        assert!((0.55..0.95).contains(&any), "pages with ≥1 cacheable image: {any}");
+        assert!(
+            (0.55..0.95).contains(&any),
+            "pages with ≥1 cacheable image: {any}"
+        );
         let five_plus = 1.0 - cdf.fraction_at_most(4.0);
         assert!(
             (0.25..0.75).contains(&five_plus),

@@ -87,9 +87,9 @@ impl Har {
     /// Entries on a different origin than the page itself.
     pub fn cross_origin_entries(&self) -> impl Iterator<Item = &HarEntry> {
         let page_host = netsim::http::host_of(&self.page_url);
-        self.entries.iter().filter(move |e| {
-            netsim::http::host_of(&e.url) != page_host
-        })
+        self.entries
+            .iter()
+            .filter(move |e| netsim::http::host_of(&e.url) != page_host)
     }
 }
 
@@ -114,9 +114,19 @@ mod tests {
         Har {
             page_url: "http://site.org/page/1.html".into(),
             entries: vec![
-                entry("http://site.org/page/1.html", ContentType::Html, 20_000, false),
+                entry(
+                    "http://site.org/page/1.html",
+                    ContentType::Html,
+                    20_000,
+                    false,
+                ),
                 entry("http://site.org/logo.png", ContentType::Image, 900, true),
-                entry("http://site.org/photo.jpg", ContentType::Image, 45_000, false),
+                entry(
+                    "http://site.org/photo.jpg",
+                    ContentType::Image,
+                    45_000,
+                    false,
+                ),
                 entry("http://cdn.example/like.png", ContentType::Image, 700, true),
                 entry("http://site.org/site.js", ContentType::Script, 60_000, true),
             ],

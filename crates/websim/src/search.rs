@@ -154,7 +154,10 @@ mod tests {
         let (_, mut idx) = index();
         idx.add_domain(
             "youtube.com",
-            vec!["http://youtube.com/watch1".into(), "http://youtube.com/watch2".into()],
+            vec![
+                "http://youtube.com/watch1".into(),
+                "http://youtube.com/watch2".into(),
+            ],
         );
         let r = idx.query(&UrlPattern::Domain("youtube.com".into()), 50);
         assert_eq!(r.len(), 2);

@@ -148,7 +148,12 @@ impl SiteHandler {
 }
 
 impl HttpHandler for SiteHandler {
-    fn handle(&self, req: &HttpRequest, _client_ip: std::net::Ipv4Addr, _now: SimTime) -> HttpResponse {
+    fn handle(
+        &self,
+        req: &HttpRequest,
+        _client_ip: std::net::Ipv4Addr,
+        _now: SimTime,
+    ) -> HttpResponse {
         let path = req.path();
         if let Some(page) = self.content.page(&path) {
             // Pages are dynamic HTML: not cacheable. The embed list rides
@@ -248,16 +253,32 @@ mod tests {
     fn handler_serves_pages_and_resources() {
         let s = Rc::new(demo_site());
         let h = SiteHandler::new(s);
-        let page = h.handle(&HttpRequest::get("http://demo.org/index.html"), std::net::Ipv4Addr::UNSPECIFIED, SimTime::ZERO);
+        let page = h.handle(
+            &HttpRequest::get("http://demo.org/index.html"),
+            std::net::Ipv4Addr::UNSPECIFIED,
+            SimTime::ZERO,
+        );
         assert_eq!(page.content_type, ContentType::Html);
         assert!(!page.is_cacheable(), "pages are dynamic");
-        let ico = h.handle(&HttpRequest::get("http://demo.org/favicon.ico"), std::net::Ipv4Addr::UNSPECIFIED, SimTime::ZERO);
+        let ico = h.handle(
+            &HttpRequest::get("http://demo.org/favicon.ico"),
+            std::net::Ipv4Addr::UNSPECIFIED,
+            SimTime::ZERO,
+        );
         assert_eq!(ico.content_type, ContentType::Image);
         assert!(ico.is_cacheable());
         assert_eq!(ico.body_bytes, 430);
-        let js = h.handle(&HttpRequest::get("http://demo.org/app.js"), std::net::Ipv4Addr::UNSPECIFIED, SimTime::ZERO);
+        let js = h.handle(
+            &HttpRequest::get("http://demo.org/app.js"),
+            std::net::Ipv4Addr::UNSPECIFIED,
+            SimTime::ZERO,
+        );
         assert!(js.nosniff);
-        let missing = h.handle(&HttpRequest::get("http://demo.org/nope"), std::net::Ipv4Addr::UNSPECIFIED, SimTime::ZERO);
+        let missing = h.handle(
+            &HttpRequest::get("http://demo.org/nope"),
+            std::net::Ipv4Addr::UNSPECIFIED,
+            SimTime::ZERO,
+        );
         assert_eq!(missing.status, netsim::http::StatusCode::NOT_FOUND);
     }
 }

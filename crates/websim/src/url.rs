@@ -35,7 +35,7 @@ impl UrlPattern {
             return UrlPattern::Domain(s.trim_end_matches('/').to_ascii_lowercase());
         }
         match (host_of(s), path_of(s).as_str()) {
-            (Some(host), "/") if !s.trim_end_matches('/').ends_with(&host) == false => {
+            (Some(host), "/") if s.trim_end_matches('/').ends_with(&host) => {
                 // `http://example.com` or `http://example.com/`: treat a
                 // bare origin as the whole domain.
                 UrlPattern::Domain(host)
@@ -160,7 +160,10 @@ mod tests {
             UrlPattern::parse("http://x.com/a/*").domain().as_deref(),
             Some("x.com")
         );
-        assert_eq!(UrlPattern::parse("x.com").domain().as_deref(), Some("x.com"));
+        assert_eq!(
+            UrlPattern::parse("x.com").domain().as_deref(),
+            Some("x.com")
+        );
         assert_eq!(
             UrlPattern::parse("http://y.org/p.html").domain().as_deref(),
             Some("y.org")

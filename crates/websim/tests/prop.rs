@@ -31,7 +31,7 @@ proptest! {
         let index = SearchIndex::build(&web);
         for d in web.domains() {
             let results = index.query(&UrlPattern::Domain(d.clone()), limit);
-            prop_assert!(results.len() <= limit.max(0));
+            prop_assert!(results.len() <= limit);
             for u in &results {
                 prop_assert!(UrlPattern::Domain(d.clone()).matches(u));
             }

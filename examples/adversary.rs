@@ -49,8 +49,13 @@ fn visit(
     cc: &str,
 ) -> encore_repro::encore::system::VisitOutcome {
     let root = SimRng::new(0xAD5E);
-    let mut client =
-        BrowserClient::new(net, country(cc), IspClass::Residential, Engine::Chrome, &root);
+    let mut client = BrowserClient::new(
+        net,
+        country(cc),
+        IspClass::Residential,
+        Engine::Chrome,
+        &root,
+    );
     sys.run_visit(
         net,
         &mut client,
@@ -96,7 +101,10 @@ fn main() {
     let mut net = network_with_target();
     let block_collector = CensorPolicy::named("anti-collector")
         .block_domain("collector.encore-repro.net", Mechanism::DnsNxDomain);
-    net.add_middlebox(Box::new(NationalCensor::new(country("PK"), block_collector)));
+    net.add_middlebox(Box::new(NationalCensor::new(
+        country("PK"),
+        block_collector,
+    )));
 
     let origin = OriginSite::academic("origin.example");
     let mut sys = EncoreSystem::deploy(
@@ -150,7 +158,12 @@ fn main() {
             user_agent: "Chrome".into(),
         };
         let url = sys.collection.submit_url(&forged);
-        net.fetch(&attacker, &HttpRequest::get(&url), SimTime::from_secs(1), &mut rng);
+        net.fetch(
+            &attacker,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(1),
+            &mut rng,
+        );
     }
     let geo = GeoDb::from_allocator(&net.allocator);
     let naive = FilteringDetector::new(DetectorConfig {

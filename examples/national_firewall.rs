@@ -11,8 +11,8 @@ use encore_repro::censor::registry::{ground_truth, install_world_censors, SAFE_T
 use encore_repro::encore::coordination::SchedulingStrategy;
 use encore_repro::encore::delivery::OriginSite;
 use encore_repro::encore::system::EncoreSystem;
-use encore_repro::encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore_repro::encore::targets::EthicsStage;
+use encore_repro::encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore_repro::encore::{FilteringDetector, GeoDb};
 use encore_repro::netsim::geo::{country, World};
 use encore_repro::netsim::http::{ContentType, HttpResponse};
@@ -50,8 +50,11 @@ fn main() {
 
     let origins: Vec<OriginSite> = (0..17)
         .map(|i| {
-            OriginSite::academic(format!("volunteer-{i}.example"))
-                .with_popularity(if i < 3 { 6.0 } else { 1.0 })
+            OriginSite::academic(format!("volunteer-{i}.example")).with_popularity(if i < 3 {
+                6.0
+            } else {
+                1.0
+            })
         })
         .collect();
 

@@ -32,8 +32,7 @@ fn main() {
     );
 
     // 2. A national censor: Pakistan forges NXDOMAIN for the target.
-    let policy =
-        CensorPolicy::named("pta").block_domain("blocked.example", Mechanism::DnsNxDomain);
+    let policy = CensorPolicy::named("pta").block_domain("blocked.example", Mechanism::DnsNxDomain);
     net.add_middlebox(Box::new(NationalCensor::new(country("PK"), policy)));
 
     // 3. Deploy Encore: one favicon measurement task, one origin site.

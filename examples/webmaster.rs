@@ -25,7 +25,10 @@ use encore_repro::websim::SearchIndex;
 fn main() {
     // --- 1. What you add to your page -----------------------------------
     let snippet = render_snippet("coordinator.encore-repro.net");
-    println!("Add this one line to your page ({} bytes):\n  {snippet}\n", snippet.len());
+    println!(
+        "Add this one line to your page ({} bytes):\n  {snippet}\n",
+        snippet.len()
+    );
     println!("Prefer not to let clients contact Encore directly? Use the");
     println!("server-side install (a WordPress-plugin-style proxy):");
     let robust = OriginSite::academic("my-blog.example")
@@ -41,7 +44,7 @@ fn main() {
     web.install(&mut net, &mut rng);
     let index = SearchIndex::build(&web);
 
-    let targets = TargetList::herdict_style(&web.domains()[..4].to_vec());
+    let targets = TargetList::herdict_style(&web.domains()[..4]);
     println!(
         "target list: {} patterns from {:?}",
         targets.len(),
@@ -53,7 +56,13 @@ fn main() {
     println!("pattern expander: {} URLs (<=50 per domain)", urls.len());
 
     let root = SimRng::new(2);
-    let browser = BrowserClient::new(&mut net, country("US"), IspClass::Academic, Engine::Chrome, &root);
+    let browser = BrowserClient::new(
+        &mut net,
+        country("US"),
+        IspClass::Academic,
+        Engine::Chrome,
+        &root,
+    );
     let mut fetcher = TargetFetcher::new(browser);
     let hars = fetcher.fetch_all(&mut net, &urls, SimTime::ZERO);
     println!("target fetcher: {} HARs recorded", hars.len());
@@ -78,7 +87,9 @@ fn main() {
     // --- 4. What it costs your visitors ---------------------------------
     let mut by_type = std::collections::BTreeMap::new();
     for t in &tasks {
-        *by_type.entry(t.spec.task_type().to_string()).or_insert(0usize) += 1;
+        *by_type
+            .entry(t.spec.task_type().to_string())
+            .or_insert(0usize) += 1;
     }
     println!("task mix: {by_type:?}");
     println!("per-visit overhead: one coordination fetch (~3 KB of JS),");

@@ -51,7 +51,13 @@ fn run(seed: u64) -> (String, Vec<String>) {
         visits_per_day_per_weight: 60.0,
         ..DeploymentConfig::default()
     };
-    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
 
     // Serialise everything observable.
     let records = serde_json::to_string(&sys.collection.records()).unwrap();

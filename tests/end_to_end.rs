@@ -43,16 +43,17 @@ fn pipeline_to_detection_end_to_end() {
     net.add_middlebox(Box::new(NationalCensor::new(country("IR"), policy)));
 
     // 3. The Figure 3 pipeline (run from an unfiltered US vantage).
-    let patterns: Vec<UrlPattern> = web
-        .domains()
-        .into_iter()
-        .map(UrlPattern::Domain)
-        .collect();
+    let patterns: Vec<UrlPattern> = web.domains().into_iter().map(UrlPattern::Domain).collect();
     let expander = PatternExpander::new(&index);
     let urls = expander.expand_all(&patterns);
     let root = SimRng::new(1);
-    let headless =
-        BrowserClient::new(&mut net, country("US"), IspClass::Academic, Engine::Chrome, &root);
+    let headless = BrowserClient::new(
+        &mut net,
+        country("US"),
+        IspClass::Academic,
+        Engine::Chrome,
+        &root,
+    );
     let mut fetcher = TargetFetcher::new(headless);
     let hars = fetcher.fetch_all(&mut net, &urls, SimTime::ZERO);
     let mut generator = TaskGenerator::new(GenerationConfig {
@@ -150,7 +151,13 @@ fn outage_is_not_reported_as_censorship_end_to_end() {
         visits_per_day_per_weight: 60.0,
         ..DeploymentConfig::default()
     };
-    let log = run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    let log = run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
     assert!(log.len() > 100);
 
     let geo = GeoDb::from_allocator(&net.allocator);

@@ -126,7 +126,8 @@ fn inline_install_keeps_measuring_when_coordinator_is_blocked() {
     // The censor resolves Encore's infrastructure addresses *after*
     // deployment, like a real blacklist compiler would…
     let tag = OriginSite::academic("tag.example");
-    let inline = OriginSite::academic("inline.example").with_install(InstallMethod::ServerSideInline);
+    let inline =
+        OriginSite::academic("inline.example").with_install(InstallMethod::ServerSideInline);
     let mut sys = EncoreSystem::deploy(
         &mut net,
         vec![MeasurementTask {
@@ -144,8 +145,13 @@ fn inline_install_keeps_measuring_when_coordinator_is_blocked() {
 
     let root = SimRng::new(0xE7);
     let mut run = |origin: &OriginSite| {
-        let mut c =
-            BrowserClient::new(&mut net, country("IR"), IspClass::Residential, Engine::Chrome, &root);
+        let mut c = BrowserClient::new(
+            &mut net,
+            country("IR"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
         sys.run_visit(
             &mut net,
             &mut c,
@@ -157,7 +163,10 @@ fn inline_install_keeps_measuring_when_coordinator_is_blocked() {
     };
     let tag_outcome = run(&tag);
     let inline_outcome = run(&inline);
-    assert!(!tag_outcome.got_task, "IP-dropped coordinator must block tag installs");
+    assert!(
+        !tag_outcome.got_task,
+        "IP-dropped coordinator must block tag installs"
+    );
     assert!(inline_outcome.got_task, "inline install is unaffected");
     assert_eq!(inline_outcome.results_delivered, 1);
 }
@@ -190,9 +199,21 @@ fn mirror_restores_collection_under_blocking() {
 
     let root = SimRng::new(0x111);
     let visit = |sys: &mut EncoreSystem, net: &mut Network| {
-        let mut c =
-            BrowserClient::new(net, country("CN"), IspClass::Residential, Engine::Chrome, &root);
-        sys.run_visit(net, &mut c, &origin, SimDuration::from_secs(30), SimTime::ZERO, "Chrome")
+        let mut c = BrowserClient::new(
+            net,
+            country("CN"),
+            IspClass::Residential,
+            Engine::Chrome,
+            &root,
+        );
+        sys.run_visit(
+            net,
+            &mut c,
+            &origin,
+            SimDuration::from_secs(30),
+            SimTime::ZERO,
+            "Chrome",
+        )
     };
 
     let before = visit(&mut sys, &mut net);

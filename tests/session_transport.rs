@@ -1,0 +1,195 @@
+//! Session-layer integration: the whole stack issues its traffic through
+//! `netsim`'s `FetchSession`, and the session semantics survive end-to-end
+//! through `encore::system`'s Figure-2 visit flow.
+
+use encore_repro::browser::{BrowserClient, Engine};
+use encore_repro::censor::national::NationalCensor;
+use encore_repro::censor::policy::{CensorPolicy, Mechanism};
+use encore_repro::encore::coordination::SchedulingStrategy;
+use encore_repro::encore::delivery::OriginSite;
+use encore_repro::encore::system::EncoreSystem;
+use encore_repro::encore::tasks::{MeasurementId, MeasurementTask, TaskOutcome, TaskSpec};
+use encore_repro::netsim::geo::{country, IspClass, World};
+use encore_repro::netsim::http::{ContentType, HttpRequest, HttpResponse};
+use encore_repro::netsim::network::{ConstHandler, Network};
+use encore_repro::netsim::session::{FetchSession, SessionConfig};
+use encore_repro::sim_core::{SimDuration, SimRng, SimTime};
+
+fn deployment(censored: bool) -> (Network, EncoreSystem, OriginSite) {
+    let mut net = Network::ideal(World::builtin());
+    net.add_server(
+        "target.example",
+        country("US"),
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+    );
+    if censored {
+        let policy =
+            CensorPolicy::named("blocker").block_domain("target.example", Mechanism::DnsNxDomain);
+        net.add_middlebox(Box::new(NationalCensor::new(country("PK"), policy)));
+    }
+    let tasks = vec![MeasurementTask {
+        id: MeasurementId(0),
+        spec: TaskSpec::Image {
+            url: "http://target.example/favicon.ico".into(),
+        },
+    }];
+    let origin = OriginSite::academic("prof.example");
+    let sys = EncoreSystem::deploy(
+        &mut net,
+        tasks,
+        SchedulingStrategy::RoundRobin,
+        vec![origin.clone()],
+        country("US"),
+    );
+    (net, sys, origin)
+}
+
+/// Same seed ⇒ identical fetch outcomes through an explicit cold
+/// `FetchSession` and through the legacy `Network::fetch` wrapper — the
+/// two paths are one pipeline.
+#[test]
+fn cold_session_and_legacy_fetch_agree_across_the_world() {
+    for cc in ["US", "CN", "PK", "BR", "JP", "IR"] {
+        let build = || {
+            let mut net = Network::new(World::builtin());
+            net.add_server(
+                "site.example",
+                country("DE"),
+                Box::new(ConstHandler(HttpResponse::ok(ContentType::Html, 9_000))),
+            );
+            let client = net.add_client(country(cc), IspClass::Mobile);
+            (net, client)
+        };
+        let req = HttpRequest::get("http://site.example/page");
+
+        let (mut n1, c1) = build();
+        let mut rng1 = SimRng::new(0xC0FFEE);
+        let legacy = n1.fetch(&c1, &req, SimTime::ZERO, &mut rng1);
+
+        let (mut n2, c2) = build();
+        let mut rng2 = SimRng::new(0xC0FFEE);
+        let mut session = FetchSession::with_config(c2, SessionConfig::cold());
+        let via_session = session.fetch(&mut n2, &req, SimTime::ZERO, &mut rng2);
+
+        assert_eq!(legacy, via_session, "divergence for client in {cc}");
+    }
+}
+
+/// A full Figure-2 visit in an uncensored country: the measurement
+/// succeeds, and the visit itself exercised the session layer (repeat
+/// fetches to Encore's own infrastructure were amortised).
+#[test]
+fn uncensored_visit_succeeds_and_warms_the_session() {
+    let (mut net, mut sys, origin) = deployment(false);
+    let root = SimRng::new(0x5E55);
+    let mut client = BrowserClient::new(
+        &mut net,
+        country("DE"),
+        IspClass::Residential,
+        Engine::Chrome,
+        &root,
+    );
+    let out = sys.run_visit(
+        &mut net,
+        &mut client,
+        &origin,
+        SimDuration::from_secs(30),
+        SimTime::ZERO,
+        "Chrome",
+    );
+    assert!(out.origin_loaded);
+    assert_eq!(out.executed.len(), 1);
+    assert_eq!(out.executed[0].1.outcome, TaskOutcome::Success);
+    assert_eq!(out.results_delivered, 1);
+
+    // The init beacon and the result submission hit the same collector:
+    // the second one must have reused session state.
+    let stats = client.session.stats();
+    assert!(
+        stats.fetches >= 4,
+        "visit flows through the session: {stats:?}"
+    );
+    assert!(
+        stats.dns_cache_hits >= 1,
+        "repeat collector fetch warm: {stats:?}"
+    );
+    assert!(stats.connections_reused >= 1, "keep-alive used: {stats:?}");
+}
+
+/// The same visit from behind a DNS-censoring country fails the
+/// measurement but still delivers the failure report — and the detector
+/// distinguishes the two countries.
+#[test]
+fn censored_vs_uncensored_visits_diverge_only_at_the_target() {
+    let (mut net, mut sys, origin) = deployment(true);
+    let root = SimRng::new(0x5E55);
+
+    let mut blocked = BrowserClient::new(
+        &mut net,
+        country("PK"),
+        IspClass::Residential,
+        Engine::Chrome,
+        &root,
+    );
+    let out_blocked = sys.run_visit(
+        &mut net,
+        &mut blocked,
+        &origin,
+        SimDuration::from_secs(30),
+        SimTime::ZERO,
+        "Chrome",
+    );
+
+    let mut free = BrowserClient::new(
+        &mut net,
+        country("DE"),
+        IspClass::Residential,
+        Engine::Chrome,
+        &root,
+    );
+    let out_free = sys.run_visit(
+        &mut net,
+        &mut free,
+        &origin,
+        SimDuration::from_secs(30),
+        SimTime::ZERO,
+        "Chrome",
+    );
+
+    // Both visits complete the flow; only the measurement differs.
+    assert!(out_blocked.origin_loaded && out_free.origin_loaded);
+    assert_eq!(out_blocked.executed[0].1.outcome, TaskOutcome::Failure);
+    assert_eq!(out_free.executed[0].1.outcome, TaskOutcome::Success);
+    assert_eq!(out_blocked.results_delivered, 1, "failure still reported");
+    assert_eq!(out_free.results_delivered, 1);
+}
+
+/// Whole-visit determinism through the session-backed stack: same seed,
+/// same collection records.
+#[test]
+fn session_backed_visits_are_deterministic() {
+    let run = |seed: u64| {
+        let (mut net, mut sys, origin) = deployment(true);
+        let root = SimRng::new(seed);
+        for cc in ["PK", "DE", "PK", "US"] {
+            let mut client = BrowserClient::new(
+                &mut net,
+                country(cc),
+                IspClass::Residential,
+                Engine::Chrome,
+                &root,
+            );
+            sys.run_visit(
+                &mut net,
+                &mut client,
+                &origin,
+                SimDuration::from_secs(90),
+                SimTime::from_secs(5),
+                "Chrome",
+            );
+        }
+        serde_json::to_string(&sys.collection.records()).unwrap()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

@@ -15,8 +15,13 @@ fn run_cell(task_type: TaskType, engine: Engine, variety: FilterVariety) -> Opti
     let mut net = Network::ideal(World::builtin());
     let tb = Testbed::install(&mut net);
     let root = SimRng::new(0x50F7);
-    let mut client =
-        BrowserClient::new(&mut net, country("NL"), IspClass::Residential, engine, &root);
+    let mut client = BrowserClient::new(
+        &mut net,
+        country("NL"),
+        IspClass::Residential,
+        engine,
+        &root,
+    );
     let spec = match task_type {
         TaskType::Image => TaskSpec::Image {
             url: tb.favicon_url(variety),
@@ -107,10 +112,20 @@ fn script_task_blind_spot_is_http_200_block_pages() {
     // A documented limitation, faithfully reproduced: Chrome's script
     // onload fires on *any* HTTP 200, so a censor that answers with a
     // 200-status block page is invisible to the script task…
-    let outcome = run_cell(TaskType::Script, Engine::Chrome, FilterVariety::HttpBlockPage).unwrap();
+    let outcome = run_cell(
+        TaskType::Script,
+        Engine::Chrome,
+        FilterVariety::HttpBlockPage,
+    )
+    .unwrap();
     assert_eq!(outcome, TaskOutcome::Success, "(expected blind spot)");
     // …while the image task sees straight through it.
-    let img = run_cell(TaskType::Image, Engine::Chrome, FilterVariety::HttpBlockPage).unwrap();
+    let img = run_cell(
+        TaskType::Image,
+        Engine::Chrome,
+        FilterVariety::HttpBlockPage,
+    )
+    .unwrap();
     assert_eq!(img, TaskOutcome::Failure);
     // And the script task still detects the six network-level varieties.
     for variety in FilterVariety::filtering().filter(|v| *v != FilterVariety::HttpBlockPage) {

@@ -63,7 +63,13 @@ fn detection_survives_smoltcp_stress_conditions() {
         visits_per_day_per_weight: 60.0,
         ..DeploymentConfig::default()
     };
-    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
 
     let geo = GeoDb::from_allocator(&net.allocator);
     // The default p = 0.7 null would flag *everything* at 30% ambient
@@ -118,7 +124,13 @@ fn mid_run_outage_never_flagged() {
         visits_per_day_per_weight: 50.0,
         ..DeploymentConfig::default()
     };
-    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
 
     // The site dies: DNS record withdrawn, caches flushed.
     net.dns.unregister("flaky-host.example");
@@ -127,7 +139,13 @@ fn mid_run_outage_never_flagged() {
     // Second half: global failure. (The driver restarts its schedule at
     // t=0; received_at ordering within each half is all the windowed
     // detector needs — we shift attention to detections only.)
-    run_deployment(&mut net, &mut sys, &Audience::world(&world), &config, &mut rng);
+    run_deployment(
+        &mut net,
+        &mut sys,
+        &Audience::world(&world),
+        &config,
+        &mut rng,
+    );
 
     let geo = GeoDb::from_allocator(&net.allocator);
     let detections = sys.detect(&geo, &FilteringDetector::default());
@@ -139,9 +157,7 @@ fn mid_run_outage_never_flagged() {
     let records = sys.collection.records();
     let failures = records
         .iter()
-        .filter(|r| {
-            r.submission.outcome == Some(encore_repro::encore::tasks::TaskOutcome::Failure)
-        })
+        .filter(|r| r.submission.outcome == Some(encore_repro::encore::tasks::TaskOutcome::Failure))
         .count();
     assert!(failures > 100, "expected mass failures, got {failures}");
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds without network access, so the real criterion is
+//! unavailable. This crate keeps the same API surface the benches use
+//! (`Criterion`, `black_box`, `criterion_group!`, `criterion_main!`,
+//! benchmark groups, `BenchmarkId`) and measures with a plain
+//! warmup-then-sample wall-clock loop, reporting mean ns/iter on stdout.
+//! No statistics, plots, or baselines — just honest timings.
+
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimiser.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Overridable for quick CI smoke runs.
+        let scale: f64 = std::env::var("CRITERION_TIME_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Criterion {
+            warmup: Duration::from_millis((150.0 * scale) as u64),
+            measurement: Duration::from_millis((400.0 * scale) as u64),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<GroupBenchId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Shrink sample counts (accepted for API compatibility; the harness
+    /// is time-budgeted, so this is a no-op).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] as group benchmark names.
+pub struct GroupBenchId(String);
+
+impl From<&str> for GroupBenchId {
+    fn from(s: &str) -> Self {
+        GroupBenchId(s.to_string())
+    }
+}
+
+impl From<BenchmarkId> for GroupBenchId {
+    fn from(id: BenchmarkId) -> Self {
+        GroupBenchId(id.label)
+    }
+}
+
+/// Measures one closure.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly for the configured budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: establish caches and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement || iters < 3 {
+            black_box(f());
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.result = Some((ns_per_iter, iters));
+    }
+}
+
+fn report(name: &str, result: Option<(f64, u64)>) {
+    match result {
+        Some((ns, iters)) => {
+            let (value, unit) = if ns >= 1e9 {
+                (ns / 1e9, "s")
+            } else if ns >= 1e6 {
+                (ns / 1e6, "ms")
+            } else if ns >= 1e3 {
+                (ns / 1e3, "µs")
+            } else {
+                (ns, "ns")
+            };
+            println!("{name:<48} time: {value:>10.3} {unit}/iter ({iters} iterations)");
+        }
+        None => println!("{name:<48} (no measurement recorded)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        std::env::set_var("CRITERION_TIME_SCALE", "0.01");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

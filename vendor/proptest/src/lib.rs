@@ -1,0 +1,794 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds without network access, so the real proptest is
+//! unavailable. This crate reimplements the subset its tests use as a
+//! deterministic generate-and-check harness: every strategy is a pure
+//! generator (no shrinking), and each `proptest!` test derives its RNG seed
+//! from the test's path, so failures reproduce exactly across runs.
+//!
+//! Supported surface: range / range-inclusive strategies over primitive
+//! numbers, regex-lite `&str` strategies, `any::<T>()`, `prop_map`, tuple
+//! strategies, `prop_oneof!`, `proptest::collection::vec`,
+//! `proptest::array::uniform4`, `proptest::bool::ANY`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, and `#![proptest_config(...)]`.
+
+use std::ops::{Range, RangeInclusive};
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic generator RNG (xorshift* core, splitmix seeding).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG; two instances with equal seeds yield equal streams.
+    pub fn new(seed: u64) -> TestRng {
+        // Splitmix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo < hi` required.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        let span = hi - lo;
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range_u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform usize in `[0, n)`; `n > 0` required.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+/// A value generator. Unlike real proptest there is no shrinking: a
+/// strategy is just a seeded function from RNG state to value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo + (rng.next_u64() % (span + 1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// -------------------------------------------------------------- any::<T>
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit() * 600.0) - 300.0;
+        let x = 10f64.powf(mag / 10.0);
+        if rng.bool() {
+            x
+        } else {
+            -x
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// The uniform boolean strategy.
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.bool()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec<T>` strategy with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.range_u64(self.size.start as u64, self.size.end as u64) as usize
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// `[T; 4]` strategy.
+    pub struct Uniform4<S>(S);
+
+    /// Four independent draws from `elem`.
+    pub fn uniform4<S: Strategy>(elem: S) -> Uniform4<S> {
+        Uniform4(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+// ---------------------------------------------------------------- string
+
+mod regex_lite {
+    //! A tiny regex *generator* (not matcher): parses the subset of regex
+    //! syntax the workspace's string strategies use and produces matching
+    //! strings. Supported: literals, `\x` escapes, `.`, character classes
+    //! with ranges (`[A-Za-z0-9_-]`), groups with alternation
+    //! (`(com|org|net)`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`,
+    //! `+` (the unbounded ones capped at 8 repetitions).
+
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternation(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "regex-lite: trailing input in pattern `{pattern}`"
+        );
+        if alts.len() == 1 {
+            alts.into_iter().next().unwrap()
+        } else {
+            vec![Node::Group(alts)]
+        }
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<Node>> {
+        let mut alts = vec![parse_concat(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_concat(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = parse_atom(chars, pos);
+            let node = parse_quantifier(chars, pos, atom);
+            nodes.push(node);
+        }
+        nodes
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        let c = chars[*pos];
+        match c {
+            '.' => {
+                *pos += 1;
+                Node::AnyChar
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped = chars[*pos];
+                *pos += 1;
+                Node::Literal(escaped)
+            }
+            '[' => {
+                *pos += 1;
+                assert!(
+                    chars[*pos] != '^',
+                    "regex-lite: negated classes unsupported"
+                );
+                let mut ranges = Vec::new();
+                while chars[*pos] != ']' {
+                    let lo = if chars[*pos] == '\\' {
+                        *pos += 1;
+                        let c = chars[*pos];
+                        *pos += 1;
+                        c
+                    } else {
+                        let c = chars[*pos];
+                        *pos += 1;
+                        c
+                    };
+                    if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        *pos += 1;
+                        let hi = chars[*pos];
+                        *pos += 1;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                *pos += 1; // ']'
+                Node::Class(ranges)
+            }
+            '(' => {
+                *pos += 1;
+                let alts = parse_alternation(chars, pos);
+                assert!(chars[*pos] == ')', "regex-lite: unclosed group");
+                *pos += 1;
+                Node::Group(alts)
+            }
+            other => {
+                *pos += 1;
+                Node::Literal(other)
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+        if *pos >= chars.len() {
+            return atom;
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            '{' => {
+                *pos += 1;
+                let mut lo = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    lo.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let lo: usize = lo.parse().expect("regex-lite: bad {m}");
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut hi = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        hi.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    hi.parse().expect("regex-lite: bad {m,n}")
+                } else {
+                    lo
+                };
+                assert!(chars[*pos] == '}', "regex-lite: unclosed quantifier");
+                *pos += 1;
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    pub fn generate(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            generate_one(node, rng, out);
+        }
+    }
+
+    fn generate_one(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::AnyChar => {
+                // Mostly printable ASCII, occasionally multibyte, so URL
+                // parsers etc. see non-trivial input without drowning in
+                // unicode noise.
+                if rng.index(16) == 0 {
+                    const EXOTIC: [char; 8] =
+                        ['é', '中', 'Ω', '😀', '\u{200b}', 'ß', 'я', '\u{7f}'];
+                    out.push(EXOTIC[rng.index(EXOTIC.len())]);
+                } else {
+                    out.push((0x20 + rng.index(0x5f) as u8) as char);
+                }
+            }
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut k = rng.range_u64(0, total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if k < span {
+                        out.push(char::from_u32(*lo as u32 + k as u32).unwrap());
+                        return;
+                    }
+                    k -= span;
+                }
+                unreachable!()
+            }
+            Node::Group(alts) => {
+                let pick = rng.index(alts.len());
+                generate(&alts[pick], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = if lo >= hi {
+                    *lo
+                } else {
+                    rng.range_u64(*lo as u64, *hi as u64 + 1) as usize
+                };
+                for _ in 0..n {
+                    generate_one(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_lite::parse(self);
+        let mut out = String::new();
+        regex_lite::generate(&nodes, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ------------------------------------------------------------ the runner
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps this workspace's heavier
+        // simulation-valued properties fast while still exploring widely.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not a failure.
+    Reject,
+    /// `prop_assert!`/`prop_assert_eq!` failed.
+    Fail(String),
+}
+
+/// FNV-1a, for deriving stable per-test seeds from the test path.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+            );
+            let mut __rejected: u32 = 0;
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                let __case_seed = __seed ^ ((__case as u64 + __rejected as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut __rng = $crate::TestRng::new(__case_seed);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => { __case += 1; }
+                    Err($crate::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        if __rejected > __config.cases * 16 {
+                            panic!(
+                                "proptest: too many prop_assume! rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed (seed {:#x}): {}",
+                            __case, stringify!($name), __case_seed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&x));
+            let y = (0u8..=255).generate(&mut rng);
+            let _ = y;
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_domain_shape() {
+        let mut rng = TestRng::new(7);
+        let strat = "[a-z][a-z0-9-]{0,15}\\.(com|org|net)";
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(
+                s.ends_with(".com") || s.ends_with(".org") || s.ends_with(".net"),
+                "bad domain {s}"
+            );
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn regex_grouped_repeat() {
+        let mut rng = TestRng::new(9);
+        let strat = "[A-Za-z][A-Za-z0-9-]{0,20}(\\.[A-Za-z]{2,6}){1,2}";
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.contains('.'), "no dot in {s}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respected(xs in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            (0u32..10).prop_map(|x| x as u64),
+            (100u32..110).prop_map(|x| x as u64),
+        ]) {
+            prop_assert!(v < 10 || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! Offline stand-in for `serde`, specialised to JSON.
+//!
+//! This workspace must build without network access, so the real serde is
+//! unavailable. The codebase only ever serialises to / deserialises from
+//! JSON (via `serde_json::{to_string, to_string_pretty, from_str}`), so the
+//! generic `Serializer`/`Deserializer` machinery is replaced by two small
+//! traits: [`Serialize`] writes compact JSON into a `String`, and
+//! [`Deserialize`] reads from a parsed [`json::Value`] tree. The derive
+//! macros (see `vendor/serde_derive`) emit serde-compatible shapes:
+//! structs as objects, newtypes transparently, enums externally tagged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialise `self` as compact JSON appended to `out`.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Reconstruct `Self` from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Build `Self` from `v`, or explain why it has the wrong shape.
+    fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+pub mod json {
+    //! The JSON data model, parser, and printer behind the two traits.
+
+    use std::fmt;
+
+    /// A parse or shape error.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// An error carrying `msg`.
+        pub fn new(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "json error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A parsed JSON document. Numbers keep their raw token so integer
+    /// precision is never lost through an f64 round-trip.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A number, as its original token text.
+        Num(String),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object (insertion-ordered).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a JSON string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if any.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The array payload, if any.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The object payload, if any.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// A single-key object viewed as `(tag, inner)` — the externally
+        /// tagged enum encoding.
+        pub fn as_tagged(&self) -> Option<(&str, &Value)> {
+            match self {
+                Value::Obj(o) if o.len() == 1 => Some((o[0].0.as_str(), &o[0].1)),
+                _ => None,
+            }
+        }
+
+        /// The raw number token, if this is a number.
+        pub fn num_token(&self) -> Option<&str> {
+            match self {
+                Value::Num(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up `name` in an object and deserialise it.
+    pub fn field<T: crate::Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(Error::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Append a JSON string literal (with escaping).
+    pub fn push_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Append an object key and its separating colon.
+    pub fn push_key(out: &mut String, key: &str) {
+        push_string(out, key);
+        out.push(':');
+    }
+
+    // ------------------------------------------------------------- parser
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "expected '{}' at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.parse_object(),
+                Some(b'[') => self.parse_array(),
+                Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+                Some(b't') => self.parse_lit("true", Value::Bool(true)),
+                Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+                Some(b'n') => self.parse_lit("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.parse_number(),
+                other => Err(Error::new(format!(
+                    "unexpected input {other:?} at byte {}",
+                    self.pos
+                ))),
+            }
+        }
+
+        fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(Error::new(format!("bad literal at byte {}", self.pos)))
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9' => self.pos += 1,
+                    _ => break,
+                }
+            }
+            let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::new("invalid utf8 in number"))?;
+            // Validate it parses as a float at minimum.
+            tok.parse::<f64>()
+                .map_err(|_| Error::new(format!("bad number token `{tok}`")))?;
+            Ok(Value::Num(tok.to_string()))
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                let rest = &self.bytes[self.pos..];
+                let text =
+                    std::str::from_utf8(rest).map_err(|_| Error::new("invalid utf8 in string"))?;
+                let mut chars = text.char_indices();
+                match chars.next() {
+                    None => return Err(Error::new("unterminated string")),
+                    Some((_, '"')) => {
+                        self.pos += 1;
+                        return Ok(s);
+                    }
+                    Some((_, '\\')) => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| Error::new("short \\u escape"))?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| Error::new("bad \\u escape"))?;
+                                // Surrogate pairs are not produced by our
+                                // printer; reject them on input.
+                                let c = char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("bad \\u codepoint"))?;
+                                s.push(c);
+                                self.pos += 4;
+                            }
+                            other => return Err(Error::new(format!("bad escape {other:?}"))),
+                        }
+                        self.pos += 1;
+                    }
+                    Some((i, c)) => {
+                        s.push(c);
+                        self.pos += c.len_utf8() + i;
+                    }
+                }
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.parse_value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(Error::new(format!("expected ',' or ']', got {other:?}"))),
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.parse_value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    other => {
+                        return Err(Error::new(format!("expected ',' or '}}', got {other:?}")))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new("trailing garbage after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Pretty-print a parsed value with two-space indentation.
+    pub fn pretty(v: &Value) -> String {
+        let mut out = String::new();
+        pretty_into(v, 0, &mut out);
+        out
+    }
+
+    fn pretty_into(v: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(t) => out.push_str(t),
+            Value::Str(s) => push_string(out, s),
+            Value::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Value::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    pretty_into(item, indent + 1, out);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(entries) if entries.is_empty() => out.push_str("{}"),
+            Value::Obj(entries) => {
+                out.push_str("{\n");
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    push_string(out, k);
+                    out.push_str(": ");
+                    pretty_into(val, indent + 1, out);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ primitive impls
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let tok = v.num_token().ok_or_else(|| {
+                    json::Error::new(concat!("expected number for ", stringify!($t)))
+                })?;
+                tok.parse::<$t>().map_err(|_| {
+                    json::Error::new(format!(
+                        "number `{tok}` out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    // Keep the token a valid JSON number and round-trippable
+                    // as a float.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                if matches!(v, json::Value::Null) {
+                    return Ok(<$t>::NAN);
+                }
+                let tok = v.num_token().ok_or_else(|| {
+                    json::Error::new(concat!("expected number for ", stringify!($t)))
+                })?;
+                tok.parse::<$t>()
+                    .map_err(|_| json::Error::new(format!("bad float `{tok}`")))
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool().ok_or_else(|| json::Error::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        json::push_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        json::push_string(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        json::push_string(out, &self.to_string());
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| json::Error::new("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(json::Error::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.write_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| json::Error::new("expected array"))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($( ($len:literal: $($t:ident . $idx:tt),+) )*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| json::Error::new("expected array"))?;
+                if arr.len() != $len {
+                    return Err(json::Error::new(concat!(
+                        "expected ", $len, "-element array"
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+    (5: A.0, B.1, C.2, D.3, E.4)
+    (6: A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        match self {
+            Ok(v) => {
+                json::push_key(out, "Ok");
+                v.write_json(out);
+            }
+            Err(e) => {
+                json::push_key(out, "Err");
+                e.write_json(out);
+            }
+        }
+        out.push('}');
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v.as_tagged() {
+            Some(("Ok", inner)) => Ok(Ok(T::from_value(inner)?)),
+            Some(("Err", inner)) => Ok(Err(E::from_value(inner)?)),
+            _ => Err(json::Error::new("expected {\"Ok\": ..} or {\"Err\": ..}")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| json::Error::new(format!("expected array of length {N}")))
+    }
+}
+
+/// A type usable as a JSON object key. JSON keys are always strings, so
+/// map keys need a string codec independent of their value encoding.
+pub trait JsonKey: Sized {
+    /// Render as an object key.
+    fn to_json_key(&self) -> String;
+    /// Parse back from an object key.
+    fn from_json_key(s: &str) -> Result<Self, json::Error>;
+}
+
+impl JsonKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+    fn from_json_key(s: &str) -> Result<Self, json::Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_keys {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_json_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_json_key(s: &str) -> Result<Self, json::Error> {
+                s.parse().map_err(|_| {
+                    json::Error::new(format!("bad integer key `{s}`"))
+                })
+            }
+        }
+    )*};
+}
+
+int_keys!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(out, &k.to_json_key());
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| json::Error::new("expected object"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((K::from_json_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn write_json(&self, out: &mut String) {
+        json::push_string(out, &self.to_string());
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| json::Error::new("expected ip string"))?;
+        s.parse()
+            .map_err(|_| json::Error::new(format!("bad ipv4 address `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut out = String::new();
+        42u64.write_json(&mut out);
+        assert_eq!(out, "42");
+        let v = json::parse("42").unwrap();
+        assert_eq!(u64::from_value(&v).unwrap(), 42);
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        let s = "he said \"hi\\\"\n\tok".to_string();
+        let mut out = String::new();
+        s.write_json(&mut out);
+        let v = json::parse(&out).unwrap();
+        assert_eq!(String::from_value(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn u64_max_precision_preserved() {
+        let x = u64::MAX;
+        let mut out = String::new();
+        x.write_json(&mut out);
+        let v = json::parse(&out).unwrap();
+        assert_eq!(u64::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn nested_containers() {
+        let x: Vec<Option<(u32, String)>> = vec![None, Some((7, "x".into()))];
+        let mut out = String::new();
+        x.write_json(&mut out);
+        let v = json::parse(&out).unwrap();
+        let back: Vec<Option<(u32, String)>> = Vec::from_value(&v).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pretty_printer_is_valid_json() {
+        let v = json::parse("{\"a\":[1,2],\"b\":{\"c\":null}}").unwrap();
+        let p = json::pretty(&v);
+        assert_eq!(json::parse(&p).unwrap(), v);
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched. This proc-macro crate derives the JSON-only `Serialize` /
+//! `Deserialize` traits defined by the sibling `vendor/serde` crate. It
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (newtype = transparent, n-tuple = JSON array),
+//! * enums with unit, tuple, and struct variants (externally tagged, as
+//!   real serde would emit them).
+//!
+//! Generics are intentionally unsupported — no derived type in this
+//! workspace is generic, and keeping the parser simple keeps it auditable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Does an attribute token group (the `[...]` part) say `serde(skip)`?
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+
+    // Walk past attributes and visibility to the item keyword and name.
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next(); // the [...] group
+            }
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        let _ = iter.next(); // pub(crate) etc.
+                    }
+                } else if s == "struct" || s == "enum" {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => name = n.to_string(),
+                        other => panic!("expected item name, got {other:?}"),
+                    }
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+
+    // Reject generics; find the body.
+    let mut body: Option<proc_macro::Group> = None;
+    let mut is_tuple = false;
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("vendor serde_derive does not support generic types ({name})")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g);
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                body = Some(g);
+                is_tuple = true;
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {}
+        }
+    }
+
+    if kind == "struct" {
+        let shape = match body {
+            None => Shape::Unit,
+            Some(g) if is_tuple => Shape::Tuple(count_tuple_fields(g.stream())),
+            Some(g) => Shape::Named(parse_named_fields(g.stream())),
+        };
+        Item::Struct { name, shape }
+    } else {
+        let g = body.expect("enum must have a body");
+        Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        }
+    }
+}
+
+/// Split a token stream at top-level commas (angle-bracket depth aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    let mut pending_skip = false;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if attr_is_serde_skip(&g) {
+                        pending_skip = true;
+                    }
+                }
+            }
+            TokenTree::Ident(i) if i.to_string() == "pub" => {
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    let _ = iter.next();
+                }
+            }
+            TokenTree::Ident(i) => {
+                // Field name; expect `:` then skip the type to the comma.
+                fields.push(Field {
+                    name: i.to_string(),
+                    skip: pending_skip,
+                });
+                pending_skip = false;
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected ':' after field name, got {other:?}"),
+                }
+                let mut depth = 0i32;
+                for tt in iter.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next(); // attribute body
+            }
+            TokenTree::Ident(i) => {
+                let name = i.to_string();
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        let _ = iter.next();
+                        Shape::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        let _ = iter.next();
+                        Shape::Tuple(count_tuple_fields(g))
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip a possible discriminant up to the separating comma.
+                while let Some(tt) = iter.peek() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == ',' => {
+                            let _ = iter.next();
+                            break;
+                        }
+                        _ => {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                variants.push(Variant { name, shape });
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "__out.push_str(\"null\");".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::write_json(&self.0, __out);".to_string(),
+                Shape::Tuple(n) => {
+                    let mut s = String::from("__out.push('[');");
+                    for i in 0..*n {
+                        if i > 0 {
+                            s.push_str("__out.push(',');");
+                        }
+                        s.push_str(&format!(
+                            "::serde::Serialize::write_json(&self.{i}, __out);"
+                        ));
+                    }
+                    s.push_str("__out.push(']');");
+                    s
+                }
+                Shape::Named(fields) => ser_named_body(fields, "self.", ""),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn write_json(&self, __out: &mut ::std::string::String) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::push_string(__out, \"{vn}\"),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let mut body = String::from("__out.push('{');");
+                        body.push_str(&format!("::serde::json::push_key(__out, \"{vn}\");"));
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::write_json(__f0, __out);");
+                        } else {
+                            body.push_str("__out.push('[');");
+                            for (i, b) in binders.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("__out.push(',');");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::write_json({b}, __out);"
+                                ));
+                            }
+                            body.push_str("__out.push(']');");
+                        }
+                        body.push_str("__out.push('}');");
+                        arms.push_str(&format!("{name}::{vn}({pat}) => {{ {body} }}\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pat = pat.join(", ");
+                        let mut body = String::from("__out.push('{');");
+                        body.push_str(&format!("::serde::json::push_key(__out, \"{vn}\");"));
+                        body.push_str(&ser_named_body(fields, "", ""));
+                        body.push_str("__out.push('}');");
+                        arms.push_str(&format!("{name}::{vn} {{ {pat} }} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn write_json(&self, __out: &mut ::std::string::String) {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+/// Body serialising named fields as a JSON object. `prefix` is `self.` for
+/// structs and empty for enum struct-variants (whose fields are bound by
+/// name), `amp` lets struct fields take a reference.
+fn ser_named_body(fields: &[Field], prefix: &str, _amp: &str) -> String {
+    let mut s = String::from("__out.push('{');");
+    let mut first = true;
+    for f in fields.iter().filter(|f| !f.skip) {
+        if !first {
+            s.push_str("__out.push(',');");
+        }
+        first = false;
+        let fname = &f.name;
+        let access = if prefix.is_empty() {
+            fname.clone()
+        } else {
+            format!("&{prefix}{fname}")
+        };
+        s.push_str(&format!(
+            "::serde::json::push_key(__out, \"{fname}\");\
+             ::serde::Serialize::write_json({access}, __out);"
+        ));
+    }
+    s.push_str("__out.push('}');");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let mut s = format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::json::Error::new(\"expected array for {name}\"))?;\
+                         if __arr.len() != {n} {{ return Err(::serde::json::Error::new(\
+                         \"wrong tuple arity for {name}\")); }}\
+                         Ok({name}("
+                    );
+                    for i in 0..*n {
+                        s.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?,"));
+                    }
+                    s.push_str("))");
+                    s
+                }
+                Shape::Named(fields) => {
+                    let mut s = format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::json::Error::new(\"expected object for {name}\"))?;\
+                         Ok({name} {{"
+                    );
+                    for f in fields {
+                        let fname = &f.name;
+                        if f.skip {
+                            s.push_str(&format!("{fname}: ::std::default::Default::default(),"));
+                        } else {
+                            s.push_str(&format!(
+                                "{fname}: ::serde::json::field(__obj, \"{fname}\")?,"
+                            ));
+                        }
+                    }
+                    s.push_str("})");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::json::Value) -> \
+                 ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{ let __arr = __inner.as_array()\
+                             .ok_or_else(|| ::serde::json::Error::new(\
+                             \"expected array for {name}::{vn}\"))?;\
+                             if __arr.len() != {n} {{ return Err(\
+                             ::serde::json::Error::new(\"wrong arity for {name}::{vn}\")); }}\
+                             return Ok({name}::{vn}("
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{i}])?,"
+                            ));
+                        }
+                        arm.push_str(")); }\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{ let __obj = __inner.as_object()\
+                             .ok_or_else(|| ::serde::json::Error::new(\
+                             \"expected object for {name}::{vn}\"))?;\
+                             return Ok({name}::{vn} {{"
+                        );
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.skip {
+                                arm.push_str(&format!(
+                                    "{fname}: ::std::default::Default::default(),"
+                                ));
+                            } else {
+                                arm.push_str(&format!(
+                                    "{fname}: ::serde::json::field(__obj, \"{fname}\")?,"
+                                ));
+                            }
+                        }
+                        arm.push_str("}); }\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::json::Value) -> \
+                 ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 if let Some(__s) = __v.as_str() {{\
+                 match __s {{ {unit_arms} _ => {{}} }} }}\n\
+                 if let Some((__tag, __inner)) = __v.as_tagged() {{\
+                 match __tag {{ {tagged_arms} _ => {{}} }} }}\n\
+                 Err(::serde::json::Error::new(\"no matching variant of {name}\"))\n\
+                 }}\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde_json`, backed by the vendor `serde` crate's
+//! JSON-only traits. Provides the three entry points this workspace uses.
+
+pub use serde::json::{Error, Value};
+
+/// Serialise `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialise `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let parsed = serde::json::parse(&compact)?;
+    Ok(serde::json::pretty(&parsed))
+}
+
+/// Parse a JSON string into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_via_public_api() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        let s = super::to_string(&xs).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = super::from_str(&s).unwrap();
+        assert_eq!(back, xs);
+        let pretty = super::to_string_pretty(&xs).unwrap();
+        let back2: Vec<u64> = super::from_str(&pretty).unwrap();
+        assert_eq!(back2, xs);
+    }
+}
