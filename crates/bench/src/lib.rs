@@ -120,6 +120,98 @@ impl PaperWorld {
     }
 }
 
+/// The shared censored-world fixture for the sharded-engine scale runs
+/// and the shard-equivalence determinism harness.
+///
+/// One definition serves the `scale` binary, the `scale` criterion
+/// bench, and `tests/shard_equivalence.rs`, so the scenario CI gates on
+/// is provably the scenario the harness proves equivalent — three
+/// hand-synchronised copies would drift.
+pub mod shard_fixture {
+    use censor::registry::{install_world_censors, SAFE_TARGETS};
+    use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
+    use encore::system::EncoreSystem;
+    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+    use netsim::geo::country;
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::Network;
+    use netsim::scenario::{NetworkScenario, WorldSpec};
+    use population::shard::ShardContext;
+    use population::BatchConfig;
+    use sim_core::SimDuration;
+
+    /// The §7.2 world: the three social-site targets over ideal paths.
+    pub fn scenario() -> NetworkScenario {
+        let mut spec = NetworkScenario::new(WorldSpec::Builtin).with_ideal_paths();
+        for d in SAFE_TARGETS {
+            spec = spec.with_server(d, country("US"), HttpResponse::ok(ContentType::Image, 500));
+        }
+        spec
+    }
+
+    /// Shard builder with the 2014 national censors installed.
+    pub fn build_censored(ctx: ShardContext) -> (Network, EncoreSystem) {
+        let mut net = scenario().build_shard(ctx.index, ctx.shards);
+        install_world_censors(&mut net);
+        deploy(net)
+    }
+
+    /// Shard builder for the uncensored control world.
+    pub fn build_uncensored(ctx: ShardContext) -> (Network, EncoreSystem) {
+        let net = scenario().build_shard(ctx.index, ctx.shards);
+        deploy(net)
+    }
+
+    /// Deploy Encore over the fixture world: one favicon task per safe
+    /// target, a single academic origin.
+    pub fn deploy(mut net: Network) -> (Network, EncoreSystem) {
+        let tasks: Vec<MeasurementTask> = SAFE_TARGETS
+            .iter()
+            .enumerate()
+            .map(|(i, d)| MeasurementTask {
+                id: MeasurementId(i as u64),
+                spec: TaskSpec::Image {
+                    url: format!("http://{d}/favicon.ico"),
+                },
+            })
+            .collect();
+        let origins = vec![OriginSite::academic("origin.example").with_popularity(3.0)];
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            origins,
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    /// The fixture batch: a busy aggregate arrival rate.
+    pub fn batch(visits: u64) -> BatchConfig {
+        BatchConfig {
+            visits,
+            mean_gap: SimDuration::from_millis(1_200),
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Sorted, deduplicated `domain:country` verdict keys from the §7.2
+    /// detector over a merged record set — the single definition of
+    /// "verdict" that both the CI gate and the equivalence harness
+    /// compare.
+    pub fn verdict_keys(records: &[encore::StoredMeasurement], geo: &encore::GeoDb) -> Vec<String> {
+        let mut keys: Vec<String> = encore::FilteringDetector::default()
+            .detect(records, geo)
+            .into_iter()
+            .map(|d| format!("{}:{}", d.domain, d.country))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
 /// Write an experiment's JSON artifact under `results/`.
 pub fn write_results<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");

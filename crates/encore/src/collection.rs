@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 /// Which of the two submissions this is (Appendix A: an `init` beacon
 /// before the measurement, then the result).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SubmissionPhase {
     /// "Indicates which clients attempted to run the measurement."
     Init,
@@ -190,6 +190,84 @@ impl StoredMeasurement {
     }
 }
 
+/// A plain-data snapshot of a collection store — everything the analysis
+/// pipeline needs, detached from the server's `Rc`-shared live store so
+/// it can cross thread boundaries and be merged across parallel shards.
+///
+/// Merging is defined over the *canonical order* (a total order on
+/// records): [`merge`](CollectionSnapshot::merge) is associative and
+/// commutative with [`CollectionSnapshot::default`] as identity, so the
+/// union of per-shard stores is byte-stable no matter how the shards are
+/// combined. The §7.2 detector and every report run once over the merged
+/// record vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollectionSnapshot {
+    /// Stored records, in canonical order.
+    pub records: Vec<StoredMeasurement>,
+    /// Malformed submissions dropped server-side.
+    pub malformed: u64,
+}
+
+/// The canonical total order on stored measurements: received time first
+/// (the natural analysis order), then every remaining field as a
+/// tie-break so the order is deterministic for any record multiset.
+/// Compares by reference — no allocation per comparison, which keeps
+/// canonicalisation cheap on the hot merge path.
+fn canonical_cmp(a: &StoredMeasurement, b: &StoredMeasurement) -> std::cmp::Ordering {
+    fn key(r: &StoredMeasurement) -> impl Ord + '_ {
+        let s = &r.submission;
+        (
+            r.received_at,
+            u32::from(r.client_ip),
+            s.measurement_id,
+            s.phase,
+            s.outcome,
+            s.task_type,
+            s.elapsed_ms,
+            s.target_url.as_str(),
+            s.user_agent.as_str(),
+            r.referer.as_deref(),
+        )
+    }
+    key(a).cmp(&key(b))
+}
+
+impl CollectionSnapshot {
+    /// Sort the records into canonical order. The stable sort is
+    /// adaptive, so re-canonicalising a concatenation of already-sorted
+    /// runs (the merge path) costs close to one linear pass.
+    pub fn canonicalize(&mut self) {
+        self.records.sort_by(canonical_cmp);
+    }
+
+    /// Merge another snapshot into this one. Associative and commutative
+    /// over canonicalised snapshots, with the empty snapshot as identity.
+    pub fn merge(mut self, other: &CollectionSnapshot) -> CollectionSnapshot {
+        self.records.extend(other.records.iter().cloned());
+        self.malformed += other.malformed;
+        self.canonicalize();
+        self
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct client IPs across the records.
+    pub fn distinct_ips(&self) -> usize {
+        let mut ips: Vec<_> = self.records.iter().map(|r| r.client_ip).collect();
+        ips.sort();
+        ips.dedup();
+        ips.len()
+    }
+}
+
 #[derive(Debug, Default)]
 struct Store {
     records: Vec<StoredMeasurement>,
@@ -281,6 +359,18 @@ impl CollectionServer {
     /// Snapshot of all stored records.
     pub fn records(&self) -> Vec<StoredMeasurement> {
         self.store.borrow().records.clone()
+    }
+
+    /// Detach a canonical, thread-portable snapshot of the store (records
+    /// plus the malformed counter) for merging and analysis.
+    pub fn snapshot(&self) -> CollectionSnapshot {
+        let store = self.store.borrow();
+        let mut snap = CollectionSnapshot {
+            records: store.records.clone(),
+            malformed: store.malformed,
+        };
+        snap.canonicalize();
+        snap
     }
 
     /// Number of stored records.
@@ -419,6 +509,67 @@ mod tests {
         let url = server.submit_url_via("mirror.example", &submission());
         net.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
         assert_eq!(server.len(), 1);
+    }
+
+    fn stored(id: u64, ip: [u8; 4], at: u64) -> StoredMeasurement {
+        StoredMeasurement {
+            submission: Submission {
+                measurement_id: MeasurementId(id),
+                ..submission()
+            },
+            client_ip: Ipv4Addr::new(ip[0], ip[1], ip[2], ip[3]),
+            referer: None,
+            received_at: SimTime::from_secs(at),
+        }
+    }
+
+    use sim_core::SimTime;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn snapshot_captures_records_and_malformed() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.example");
+        server.install(&mut net, country("US"));
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let url = server.submit_url(&submission());
+        net.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+        net.fetch(
+            &client,
+            &HttpRequest::get("http://collector.example/submit?junk=1"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let snap = server.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.malformed, 1);
+        assert_eq!(snap.distinct_ips(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_insensitive() {
+        let a = CollectionSnapshot {
+            records: vec![stored(2, [100, 0, 0, 9], 5), stored(1, [100, 0, 0, 9], 5)],
+            malformed: 1,
+        };
+        let b = CollectionSnapshot {
+            records: vec![stored(3, [100, 1, 0, 9], 2)],
+            malformed: 2,
+        };
+        let ab = a.clone().merge(&b);
+        let ba = b.clone().merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.malformed, 3);
+        // Canonical order: received time first.
+        assert_eq!(ab.records[0].submission.measurement_id, MeasurementId(3));
+        // Identity element.
+        assert_eq!(a.clone().merge(&CollectionSnapshot::default()), {
+            let mut c = a.clone();
+            c.canonicalize();
+            c
+        });
     }
 
     #[test]

@@ -85,6 +85,28 @@ impl GeoDb {
     pub fn range_count(&self) -> usize {
         self.ranges.len()
     }
+
+    /// Union another database's ranges into this one — the merge step of
+    /// a sharded run, where each shard derived a database from its own
+    /// (disjoint, striped) allocator. Associative and commutative:
+    /// ranges are deduplicated and kept in a canonical sorted order, so
+    /// any merge tree over the same shard set yields the same database.
+    /// Both databases must use the same error rate (the rate is scenario
+    /// configuration, not per-shard state).
+    pub fn merge(mut self, other: &GeoDb) -> GeoDb {
+        assert!(
+            (self.error_rate - other.error_rate).abs() < f64::EPSILON,
+            "merging GeoDbs with different error rates"
+        );
+        self.ranges.extend(other.ranges.iter().cloned());
+        self.ranges
+            .sort_by_key(|&(net, c)| (u32::from(net.base), net.prefix, c));
+        self.ranges.dedup();
+        self.all_countries = self.ranges.iter().map(|&(_, c)| c).collect();
+        self.all_countries.sort();
+        self.all_countries.dedup();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +161,22 @@ mod tests {
         for ip in ips {
             assert_eq!(db1.lookup(ip), db2.lookup(ip));
         }
+    }
+
+    #[test]
+    fn merge_unions_sharded_allocators() {
+        let mut a0 = IpAllocator::sharded(0, 2);
+        let mut a1 = IpAllocator::sharded(1, 2);
+        let ip0 = a0.allocate(country("PK"));
+        let ip1 = a1.allocate(country("CN"));
+        let merged = GeoDb::from_allocator(&a0).merge(&GeoDb::from_allocator(&a1));
+        assert_eq!(merged.lookup(ip0), Some(country("PK")));
+        assert_eq!(merged.lookup(ip1), Some(country("CN")));
+        // Commutative: either merge order resolves both shards.
+        let flipped = GeoDb::from_allocator(&a1).merge(&GeoDb::from_allocator(&a0));
+        assert_eq!(flipped.lookup(ip0), Some(country("PK")));
+        assert_eq!(flipped.lookup(ip1), Some(country("CN")));
+        assert_eq!(merged.range_count(), flipped.range_count());
     }
 
     #[test]

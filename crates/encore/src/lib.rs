@@ -39,7 +39,9 @@ pub mod system;
 pub mod targets;
 pub mod tasks;
 
-pub use collection::{CollectionServer, StoredMeasurement, Submission, SubmissionPhase};
+pub use collection::{
+    CollectionServer, CollectionSnapshot, StoredMeasurement, Submission, SubmissionPhase,
+};
 pub use coordination::{ClientProfile, CoordinationServer, SchedulingStrategy};
 pub use delivery::{InstallMethod, OriginSite, SNIPPET_BYTES};
 pub use geo::GeoDb;

@@ -151,7 +151,7 @@ pub struct MeasurementTask {
 
 /// The binary outcome a task reports (§4.3: "such observations are
 /// binary").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TaskOutcome {
     /// The cross-origin resource loaded.
     Success,

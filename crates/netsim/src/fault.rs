@@ -24,7 +24,7 @@ pub enum FaultDecision {
 }
 
 /// Configurable fault injector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultInjector {
     /// Probability an operation is dropped.
     pub drop_chance: f64,

@@ -74,6 +74,10 @@ pub struct IpAllocator {
     blocks: BTreeMap<CountryCode, Vec<(Ipv4Net, u64)>>,
     /// Next /16 to hand out, as the second octet pair of 10.x/100.x space.
     next_block: u32,
+    /// Step between handed-out block indices. 0 (the serial default) is
+    /// treated as 1; a sharded allocator uses the shard count, so sibling
+    /// shards draw from interleaved, disjoint /16 sequences.
+    block_stride: u32,
     /// Ground truth: allocated ranges per country, for GeoIP derivation.
     assignments: Vec<(Ipv4Net, CountryCode)>,
 }
@@ -82,6 +86,21 @@ impl IpAllocator {
     /// Create an empty allocator.
     pub fn new() -> IpAllocator {
         IpAllocator::default()
+    }
+
+    /// An allocator for shard `index` of `count`: it hands out only the
+    /// /16 block indices congruent to `index` modulo `count`, so the
+    /// address space of every shard in a parallel run is disjoint from
+    /// every sibling's. Shard 0 of 1 is exactly the serial allocator —
+    /// the lockstep property the determinism harness relies on.
+    pub fn sharded(index: u32, count: u32) -> IpAllocator {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        IpAllocator {
+            next_block: index,
+            block_stride: count,
+            ..IpAllocator::default()
+        }
     }
 
     /// Allocate a fresh host address in `country`'s space.
@@ -99,7 +118,7 @@ impl IpAllocator {
             }
             // Need a new /16 for this country.
             let idx = self.next_block;
-            self.next_block += 1;
+            self.next_block += self.block_stride.max(1);
             // Carve from 100.64.0.0/10-style space upward: 100.(64+hi).(x).y
             // — we just spread across 100.0.0.0/8 and 101.0.0.0/8 etc. to
             // stay clearly outside special-purpose ranges used elsewhere.
@@ -207,6 +226,40 @@ mod tests {
     fn unknown_ip_has_no_country() {
         let a = IpAllocator::new();
         assert_eq!(a.country_of(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn sharded_allocators_are_disjoint() {
+        let shards = 4u32;
+        let mut all = std::collections::BTreeSet::new();
+        for i in 0..shards {
+            let mut a = IpAllocator::sharded(i, shards);
+            for cc in ["US", "CN", "PK"] {
+                for _ in 0..50 {
+                    let ip = a.allocate(country(cc));
+                    assert!(all.insert(ip), "shard {i} reused {ip}");
+                    assert_eq!(a.country_of(ip), Some(country(cc)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_zero_of_one_matches_serial_allocator() {
+        let mut serial = IpAllocator::new();
+        let mut sharded = IpAllocator::sharded(0, 1);
+        for cc in ["DE", "BR", "DE"] {
+            for _ in 0..10 {
+                assert_eq!(serial.allocate(country(cc)), sharded.allocate(country(cc)));
+            }
+        }
+        assert_eq!(serial.assignments(), sharded.assignments());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sharded_rejects_index_past_count() {
+        let _ = IpAllocator::sharded(3, 3);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod ip;
 pub mod middlebox;
 pub mod network;
 pub mod path;
+pub mod scenario;
 pub mod session;
 pub mod tcp;
 
@@ -61,5 +62,6 @@ pub use ip::{IpAllocator, Ipv4Net};
 pub use middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
 pub use network::{FailureStage, FetchError, FetchOutcome, FetchTimings, HttpHandler, Network};
 pub use path::{PathModel, PathQuality};
+pub use scenario::{NetworkScenario, ServerSpec, WorldSpec};
 pub use session::{FetchSession, SessionConfig, SessionStats};
 pub use tcp::{TcpAttempt, TcpOutcome};

@@ -193,6 +193,17 @@ impl Network {
         n
     }
 
+    /// A network drawing every address from the given allocator (e.g. a
+    /// striped shard allocator). Installing it at construction — before
+    /// any client or server can allocate — is what makes per-shard
+    /// address disjointness structural rather than an ordering
+    /// convention.
+    pub fn with_allocator(world: World, allocator: IpAllocator) -> Network {
+        let mut n = Network::new(world);
+        n.allocator = allocator;
+        n
+    }
+
     fn next_id(&mut self) -> HostId {
         let id = HostId(self.next_host_id);
         self.next_host_id += 1;

@@ -1,0 +1,209 @@
+//! Declarative network scenarios — the recipe a parallel run is built
+//! from.
+//!
+//! A [`Network`] is full of thread-local machinery (boxed handlers,
+//! `Rc`-shared stores in the crates above), so it can never cross a
+//! thread boundary. What *can* cross threads is the recipe: a
+//! [`NetworkScenario`] is plain `Send + Sync` data describing the world
+//! table, path model, fault injection, and constant-response servers, and
+//! every shard of a multi-core run calls [`NetworkScenario::build_shard`]
+//! on its own thread to materialise a private, fully independent network.
+//!
+//! Two properties make the per-shard networks safe to merge afterwards:
+//!
+//! 1. **Identical topology.** Every shard builds from the same spec in
+//!    the same order, so DNS names, server placement, and path qualities
+//!    agree across shards.
+//! 2. **Disjoint addressing.** Each shard's [`IpAllocator`] is striped
+//!    ([`IpAllocator::sharded`]): shard *i* of *N* only ever hands out
+//!    /16 block indices ≡ *i* (mod *N*). Client addresses — and therefore
+//!    GeoIP ground truth — from different shards can be unioned without
+//!    collisions.
+
+use crate::fault::FaultInjector;
+use crate::geo::{CountryCode, World};
+use crate::http::HttpResponse;
+use crate::ip::IpAllocator;
+use crate::network::{ConstHandler, Network};
+use crate::path::PathModel;
+use serde::{Deserialize, Serialize};
+
+/// Which world table to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorldSpec {
+    /// The curated built-in table.
+    Builtin,
+    /// [`World::with_long_tail`] with the given total country count.
+    LongTail(usize),
+}
+
+impl WorldSpec {
+    /// Materialise the world table.
+    pub fn build(&self) -> World {
+        match *self {
+            WorldSpec::Builtin => World::builtin(),
+            WorldSpec::LongTail(n) => World::with_long_tail(n),
+        }
+    }
+}
+
+/// A constant-response server to install (the scenario analogue of
+/// `net.add_server(..., ConstHandler(...))`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// DNS name.
+    pub domain: String,
+    /// Hosting country.
+    pub country: CountryCode,
+    /// The response served for every request.
+    pub response: HttpResponse,
+}
+
+/// A plain-data, thread-shareable recipe for building a [`Network`].
+///
+/// Richer deployments (stateful handlers, censor middleboxes, Encore
+/// infrastructure) are layered on top by the caller after
+/// [`build_shard`](NetworkScenario::build_shard) returns — those layers
+/// live in crates above `netsim` and take `&mut Network` as usual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkScenario {
+    /// World table to build.
+    pub world: WorldSpec,
+    /// Use the jitter-free ideal path model instead of the default.
+    pub ideal_paths: bool,
+    /// Global fault injection applied to every fetch.
+    pub fault: FaultInjector,
+    /// Constant-response servers to install, in order.
+    pub servers: Vec<ServerSpec>,
+}
+
+impl NetworkScenario {
+    /// A scenario over the given world with no servers, default paths,
+    /// and no fault injection.
+    pub fn new(world: WorldSpec) -> NetworkScenario {
+        NetworkScenario {
+            world,
+            ideal_paths: false,
+            fault: FaultInjector::none(),
+            servers: Vec::new(),
+        }
+    }
+
+    /// Builder: switch to the jitter/loss-free path model.
+    pub fn with_ideal_paths(mut self) -> NetworkScenario {
+        self.ideal_paths = true;
+        self
+    }
+
+    /// Builder: set the fault injector.
+    pub fn with_fault(mut self, fault: FaultInjector) -> NetworkScenario {
+        self.fault = fault;
+        self
+    }
+
+    /// Builder: append a constant-response server.
+    pub fn with_server(
+        mut self,
+        domain: impl Into<String>,
+        country: CountryCode,
+        response: HttpResponse,
+    ) -> NetworkScenario {
+        self.servers.push(ServerSpec {
+            domain: domain.into(),
+            country,
+            response,
+        });
+        self
+    }
+
+    /// Build the serial network: identical to shard 0 of a 1-shard run.
+    pub fn build(&self) -> Network {
+        self.build_shard(0, 1)
+    }
+
+    /// Build shard `index` of `shards`: the same topology as every
+    /// sibling, over a striped allocator whose address space is disjoint
+    /// from every sibling's.
+    pub fn build_shard(&self, index: usize, shards: usize) -> Network {
+        let mut net = Network::with_allocator(
+            self.world.build(),
+            IpAllocator::sharded(index as u32, shards as u32),
+        );
+        if self.ideal_paths {
+            net.path_model = PathModel::ideal();
+        }
+        net.fault = self.fault.clone();
+        for s in &self.servers {
+            net.add_server(
+                &s.domain,
+                s.country,
+                Box::new(ConstHandler(s.response.clone())),
+            );
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{country, IspClass};
+    use crate::http::{ContentType, HttpRequest};
+    use sim_core::{SimRng, SimTime};
+
+    fn scenario() -> NetworkScenario {
+        NetworkScenario::new(WorldSpec::Builtin)
+            .with_ideal_paths()
+            .with_server(
+                "target.example",
+                country("US"),
+                HttpResponse::ok(ContentType::Image, 400),
+            )
+    }
+
+    #[test]
+    fn scenario_is_send_and_sync() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<NetworkScenario>();
+    }
+
+    #[test]
+    fn built_network_serves_the_spec() {
+        let mut net = scenario().build();
+        let client = net.add_client(country("DE"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let out = net.fetch(
+            &client,
+            &HttpRequest::get("http://target.example/favicon.ico"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(out.result.is_ok());
+    }
+
+    #[test]
+    fn shards_share_topology_but_not_addresses() {
+        let spec = scenario();
+        let mut a = spec.build_shard(0, 2);
+        let mut b = spec.build_shard(1, 2);
+        assert_eq!(a.server_count(), b.server_count());
+        let ca = a.add_client(country("PK"), IspClass::Residential);
+        let cb = b.add_client(country("PK"), IspClass::Residential);
+        assert_ne!(ca.ip, cb.ip, "shards must draw from disjoint space");
+        assert_eq!(a.allocator.country_of(ca.ip), Some(country("PK")));
+        assert_eq!(b.allocator.country_of(cb.ip), Some(country("PK")));
+        // Cross-shard ground truth never conflicts: a's allocator simply
+        // doesn't know b's ranges.
+        assert_eq!(a.allocator.country_of(cb.ip), None);
+    }
+
+    #[test]
+    fn one_shard_build_equals_serial_build() {
+        let spec = scenario();
+        let mut serial = spec.build();
+        let mut one = spec.build_shard(0, 1);
+        let cs = serial.add_client(country("IR"), IspClass::Mobile);
+        let co = one.add_client(country("IR"), IspClass::Mobile);
+        assert_eq!(cs.ip, co.ip);
+    }
+}

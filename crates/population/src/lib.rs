@@ -14,6 +14,10 @@
 //! * [`batch`] — the throughput-oriented batched driver: incremental
 //!   arrivals, a persistent client pool whose transport sessions stay
 //!   warm across visits, and flat-memory aggregate reporting.
+//! * [`shard`] — the multi-core engine: the batch workload partitioned
+//!   across OS threads, each with a split RNG stream and a private
+//!   network, merged through associative report/collection APIs so the
+//!   parallel run is provably equivalent to the serial one.
 //! * [`analytics`] — the Google-Analytics-style report of §6.2.
 
 #![deny(missing_docs)]
@@ -23,8 +27,10 @@ pub mod analytics;
 pub mod audience;
 pub mod batch;
 pub mod driver;
+pub mod shard;
 
 pub use analytics::Analytics;
 pub use audience::Audience;
 pub use batch::{run_visit_batch, BatchConfig, BatchReport};
 pub use driver::{run_deployment, DeploymentConfig, VisitRecord};
+pub use shard::{run_sharded_batch, ShardContext, ShardedBatchConfig, ShardedRun};

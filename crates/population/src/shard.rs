@@ -1,0 +1,331 @@
+//! Sharded multi-core population engine.
+//!
+//! The batch driver in [`crate::batch`] pushes one Poisson visit stream
+//! through one `Network` on one thread. This module is its multi-core
+//! counterpart, and the first parallel subsystem in the workspace: an
+//! [`Audience`]'s visit load is partitioned into N shards, each shard
+//! runs on its own OS thread with
+//!
+//! * an **independent deterministic RNG stream** ([`SimRng::split`]:
+//!   disjoint 2^192-draw blocks *and* a re-keyed fork namespace, with
+//!   shard 0 reproducing the serial stream exactly),
+//! * a **private `Network` + `EncoreSystem`** built from a shared,
+//!   `Send + Sync` scenario via the caller's builder (nothing
+//!   thread-unsafe ever crosses a thread boundary — each shard's striped
+//!   [`netsim::ip::IpAllocator`] keeps its address space disjoint from
+//!   every sibling's), and
+//! * a **thinned Poisson arrival process**: shard *i* of *N* runs 1/N of
+//!   the visits at N× the inter-arrival gap. Superposing N independent
+//!   Poisson processes of rate λ/N yields a Poisson process of rate λ,
+//!   so the sharded population is statistically the serial population —
+//!   and at N = 1 it is *bitwise* the serial population.
+//!
+//! Afterwards the per-shard outputs merge through associative APIs
+//! ([`BatchReport::merge`], [`CollectionSnapshot::merge`],
+//! [`GeoDb::merge`]) in shard-index order, so the merged run is
+//! byte-stable regardless of thread scheduling, and the §7.2 detector
+//! runs once over the union.
+
+use crate::audience::Audience;
+use crate::batch::{run_visit_batch, BatchConfig, BatchReport};
+use encore::collection::CollectionSnapshot;
+use encore::geo::GeoDb;
+use encore::system::EncoreSystem;
+use netsim::network::Network;
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimRng};
+use std::thread;
+
+/// Which slice of a sharded run a builder is materialising.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardContext {
+    /// This shard's index, `0..shards`.
+    pub index: usize,
+    /// Total shard count.
+    pub shards: usize,
+}
+
+/// Configuration of a sharded batch run: the *total* workload, which the
+/// engine partitions across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardedBatchConfig {
+    /// Number of shards (OS threads). Must be at least 1.
+    pub shards: usize,
+    /// The total batch: visits and pool size are divided across shards;
+    /// the arrival gap is multiplied by the shard count (Poisson
+    /// thinning), so the union covers the same simulated span at the
+    /// same aggregate rate as a serial run of this config.
+    pub batch: BatchConfig,
+}
+
+/// The merged outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Union of all shard reports ([`BatchReport::merge`]).
+    pub report: BatchReport,
+    /// Per-shard reports, in shard-index order.
+    pub per_shard: Vec<BatchReport>,
+    /// Union of all shard collection stores, in canonical order.
+    pub collection: CollectionSnapshot,
+    /// Union of all shard GeoIP databases (disjoint striped ranges).
+    pub geo: GeoDb,
+}
+
+/// The batch configuration shard `index` of `shards` actually runs:
+/// `1/shards` of the visits (earlier shards take the remainder), the
+/// arrival gap scaled by `shards` (Poisson thinning), and a
+/// proportionally divided client pool. With `shards == 1` this is the
+/// input config unchanged — the lockstep guarantee.
+pub fn shard_batch_config(total: &BatchConfig, shards: usize, index: usize) -> BatchConfig {
+    assert!(shards >= 1, "shard count must be at least 1");
+    assert!(
+        index < shards,
+        "shard index {index} out of range 0..{shards}"
+    );
+    if shards == 1 {
+        // Bitwise lockstep with the serial driver: not even a float
+        // round-trip on the gap, not even a clamped pool size.
+        return *total;
+    }
+    let base = total.visits / shards as u64;
+    let remainder = total.visits % shards as u64;
+    let visits = base + u64::from((index as u64) < remainder);
+    let mean_gap = SimDuration::from_millis_f64(total.mean_gap.as_millis_f64() * shards as f64);
+    BatchConfig {
+        visits,
+        mean_gap,
+        repeat_visitor_rate: total.repeat_visitor_rate,
+        client_pool: total.client_pool.div_ceil(shards),
+    }
+}
+
+/// Derive the per-shard RNG streams from a root seed. Stream 0 is an
+/// exact snapshot of `SimRng::new(seed)` (so a one-shard run replays the
+/// serial run); streams 1..N occupy disjoint long-jump blocks with
+/// re-keyed fork namespaces.
+pub fn shard_rngs(seed: u64, shards: usize) -> Vec<SimRng> {
+    let mut root = SimRng::new(seed);
+    (0..shards).map(|_| root.split()).collect()
+}
+
+/// One shard's thread-portable output.
+struct ShardOutput {
+    report: BatchReport,
+    collection: CollectionSnapshot,
+    geo: GeoDb,
+}
+
+/// Run `config.batch` visits against the scenario, partitioned across
+/// `config.shards` OS threads.
+///
+/// `build` is called once per shard, *on that shard's thread*, and must
+/// return a freshly built `Network` + deployed `EncoreSystem` for the
+/// given [`ShardContext`] — typically via
+/// [`netsim::scenario::NetworkScenario::build_shard`] plus
+/// `EncoreSystem::deploy` (and any censors the scenario calls for). The
+/// builder must be deterministic in the context: building the same shard
+/// twice must yield identical deployments.
+///
+/// The merged result is deterministic in `(seed, config, scenario)`:
+/// shards are merged in index order through associative merge APIs, so
+/// thread scheduling never shows in the output.
+pub fn run_sharded_batch<F>(
+    build: &F,
+    audience: &Audience,
+    config: &ShardedBatchConfig,
+    seed: u64,
+) -> ShardedRun
+where
+    F: Fn(ShardContext) -> (Network, EncoreSystem) + Sync,
+{
+    assert!(config.shards >= 1, "shard count must be at least 1");
+    let rngs = shard_rngs(seed, config.shards);
+
+    let outputs: Vec<ShardOutput> = thread::scope(|scope| {
+        let handles: Vec<_> = rngs
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut rng)| {
+                scope.spawn(move || {
+                    let ctx = ShardContext {
+                        index,
+                        shards: config.shards,
+                    };
+                    let (mut net, mut sys) = build(ctx);
+                    let shard_cfg = shard_batch_config(&config.batch, config.shards, index);
+                    let report =
+                        run_visit_batch(&mut net, &mut sys, audience, &shard_cfg, &mut rng);
+                    ShardOutput {
+                        report,
+                        collection: sys.collection.snapshot(),
+                        geo: GeoDb::from_allocator(&net.allocator),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+
+    let per_shard: Vec<BatchReport> = outputs.iter().map(|o| o.report).collect();
+    let mut outputs = outputs.into_iter();
+    let first = outputs.next().expect("at least one shard");
+    let (report, collection, geo) = outputs.fold(
+        (first.report, first.collection, first.geo),
+        |(r, c, g), o| (r.merge(&o.report), c.merge(&o.collection), g.merge(&o.geo)),
+    );
+
+    ShardedRun {
+        report,
+        per_shard,
+        collection,
+        geo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
+    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+    use netsim::geo::country;
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::scenario::{NetworkScenario, WorldSpec};
+
+    fn scenario() -> NetworkScenario {
+        NetworkScenario::new(WorldSpec::Builtin)
+            .with_ideal_paths()
+            .with_server(
+                "target.example",
+                country("US"),
+                HttpResponse::ok(ContentType::Image, 400),
+            )
+    }
+
+    fn build(ctx: ShardContext) -> (Network, EncoreSystem) {
+        let mut net = scenario().build_shard(ctx.index, ctx.shards);
+        let tasks = vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }];
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            vec![OriginSite::academic("prof.example")],
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    #[test]
+    fn visits_partition_exactly() {
+        let total = BatchConfig {
+            visits: 10,
+            ..BatchConfig::default()
+        };
+        for shards in [1usize, 2, 3, 7, 10, 11] {
+            let sum: u64 = (0..shards)
+                .map(|i| shard_batch_config(&total, shards, i).visits)
+                .sum();
+            assert_eq!(sum, 10, "visits lost at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn one_shard_config_is_the_serial_config() {
+        let total = BatchConfig::default();
+        assert_eq!(shard_batch_config(&total, 1, 0), total);
+        // Including degenerate configs — a zero pool must stay zero, or
+        // the 1-shard RNG stream diverges from the serial driver's.
+        let no_pool = BatchConfig {
+            client_pool: 0,
+            ..BatchConfig::default()
+        };
+        assert_eq!(shard_batch_config(&no_pool, 1, 0), no_pool);
+        assert_eq!(shard_batch_config(&no_pool, 4, 2).client_pool, 0);
+    }
+
+    #[test]
+    fn gap_scales_with_shard_count() {
+        let total = BatchConfig::default();
+        let two = shard_batch_config(&total, 2, 0);
+        assert_eq!(
+            two.mean_gap.as_millis_f64(),
+            total.mean_gap.as_millis_f64() * 2.0
+        );
+    }
+
+    #[test]
+    fn sharded_run_produces_merged_measurements() {
+        let config = ShardedBatchConfig {
+            shards: 2,
+            batch: BatchConfig {
+                visits: 1_000,
+                ..BatchConfig::default()
+            },
+        };
+        let run = run_sharded_batch(&build, &Audience::academic(), &config, 0x5A4D);
+        assert_eq!(run.report.visits, 1_000);
+        assert_eq!(run.per_shard.len(), 2);
+        assert_eq!(run.per_shard[0].visits, 500);
+        assert_eq!(run.per_shard[1].visits, 500);
+        assert!(run.report.results_delivered > 100, "{:?}", run.report);
+        assert!(!run.collection.is_empty());
+        // Every record geolocates through the merged striped database.
+        let located = run
+            .collection
+            .records
+            .iter()
+            .filter(|r| run.geo.lookup(r.client_ip).is_some())
+            .count();
+        assert_eq!(located, run.collection.len());
+    }
+
+    #[test]
+    fn sharded_run_is_reproducible() {
+        let config = ShardedBatchConfig {
+            shards: 3,
+            batch: BatchConfig {
+                visits: 300,
+                ..BatchConfig::default()
+            },
+        };
+        let go = || run_sharded_batch(&build, &Audience::academic(), &config, 77);
+        let (a, b) = (go(), go());
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.collection, b.collection);
+        assert_eq!(a.per_shard, b.per_shard);
+    }
+
+    #[test]
+    fn shards_see_different_streams() {
+        let config = ShardedBatchConfig {
+            shards: 2,
+            batch: BatchConfig {
+                visits: 400,
+                ..BatchConfig::default()
+            },
+        };
+        let run = run_sharded_batch(&build, &Audience::academic(), &config, 3);
+        assert_ne!(
+            run.per_shard[0], run.per_shard[1],
+            "shards replayed the same stream"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_rejected() {
+        let config = ShardedBatchConfig {
+            shards: 0,
+            batch: BatchConfig::default(),
+        };
+        let _ = run_sharded_batch(&build, &Audience::academic(), &config, 1);
+    }
+}

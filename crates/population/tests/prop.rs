@@ -1,11 +1,78 @@
 //! Property tests for the population models.
 
 use netsim::geo::World;
-use population::Audience;
+use population::{Audience, BatchConfig, BatchReport};
 use proptest::prelude::*;
 use sim_core::{SimDuration, SimRng};
 
+/// A structurally arbitrary report, generated from a seed so the merge
+/// laws are exercised over the whole counter space.
+fn report_from(seed: u64) -> BatchReport {
+    let mut rng = SimRng::new(seed);
+    let mut draw = || rng.range_u64(0, 1 << 40);
+    BatchReport {
+        visits: draw(),
+        origin_loads: draw(),
+        visits_with_tasks: draw(),
+        tasks_executed: draw(),
+        results_delivered: draw(),
+        clients_created: draw(),
+        clients_reused: draw(),
+        dns_cache_hits: draw(),
+        connections_reused: draw(),
+        session_fetches: draw(),
+        sim_span: SimDuration::from_micros(draw()),
+    }
+}
+
 proptest! {
+    #[test]
+    fn batch_report_merge_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+        let (ra, rb) = (report_from(a), report_from(b));
+        prop_assert_eq!(ra.merge(&rb), rb.merge(&ra));
+    }
+
+    #[test]
+    fn batch_report_merge_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (ra, rb, rc) = (report_from(a), report_from(b), report_from(c));
+        let left = ra.merge(&rb).merge(&rc);
+        let right = ra.merge(&rb.merge(&rc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn batch_report_merge_identity_is_default(a in any::<u64>()) {
+        let r = report_from(a);
+        prop_assert_eq!(r.merge(&BatchReport::default()), r);
+        prop_assert_eq!(BatchReport::default().merge(&r), r);
+    }
+
+    #[test]
+    fn shard_partition_conserves_visits(visits in 0u64..100_000, shards in 1usize..32) {
+        let total = BatchConfig { visits, ..BatchConfig::default() };
+        let sum: u64 = (0..shards)
+            .map(|i| population::shard::shard_batch_config(&total, shards, i).visits)
+            .sum();
+        prop_assert_eq!(sum, visits);
+        // Earlier shards never carry less than later ones (remainder
+        // goes to the front), and the split is as even as possible.
+        let sizes: Vec<u64> = (0..shards)
+            .map(|i| population::shard::shard_batch_config(&total, shards, i).visits)
+            .collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1] && w[0] - w[1] <= 1);
+        }
+    }
+
+    #[test]
+    fn shard_rng_streams_are_disjoint(seed in any::<u64>(), shards in 2usize..8) {
+        let mut rngs = population::shard::shard_rngs(seed, shards);
+        let mut firsts: Vec<u64> = rngs.iter_mut().map(|r| r.next_u64()).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        prop_assert_eq!(firsts.len(), shards);
+    }
+
     #[test]
     fn dwell_samples_are_positive_and_bounded(seed in any::<u64>()) {
         let a = Audience::academic();

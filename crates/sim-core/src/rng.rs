@@ -7,6 +7,16 @@
 //! shifts the stream seen by another. This is the property that keeps the
 //! experiment harness reproducible as the codebase grows.
 //!
+//! For multi-core work there is a second derivation axis: *stream
+//! splitting*. [`SimRng::split`] hands out a sequence of generators whose
+//! raw streams occupy disjoint 2^192-draw blocks of the xoshiro256++
+//! sequence (via [`SimRng::long_jump`]) and whose fork namespaces are
+//! re-keyed, so parallel shards can each fork their own subsystem streams
+//! without ever colliding with a sibling or with the parent's
+//! continuation. The first child of a `split` sequence is an exact
+//! snapshot of the parent, which is what lets a one-shard parallel run
+//! reproduce a serial run bit for bit.
+//!
 //! The generator is a self-contained xoshiro256++ (seeded via splitmix64),
 //! so the workspace carries no external randomness dependency and the
 //! stream is identical on every platform.
@@ -32,6 +42,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Deterministic random number generator with labelled forking.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     seed: u64,
     state: [u64; 4],
@@ -69,6 +80,53 @@ impl SimRng {
             ^ fnv1a(label.as_bytes()).rotate_left(17)
             ^ fnv1a(&index.to_le_bytes()).rotate_left(31);
         SimRng::new(child)
+    }
+
+    /// Jump far ahead in the raw stream: equivalent to 2^192 calls of
+    /// [`SimRng::next_u64`] (the canonical xoshiro256++ long-jump
+    /// polynomial). Also re-keys the fork namespace, so labelled forks
+    /// taken *after* the jump are disjoint from forks of the pre-jump
+    /// generator — a jumped generator is a genuinely independent stream
+    /// on both derivation axes.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x76E1_5D3E_FEFD_CBBF,
+            0xC500_4E44_1C52_2FB3,
+            0x7771_0069_854E_E241,
+            0x3910_9BB0_2ACB_E635,
+        ];
+        let mut acc = [0u64; 4];
+        for &poly in &LONG_JUMP {
+            for bit in 0..64 {
+                if poly & (1u64 << bit) != 0 {
+                    acc[0] ^= self.state[0];
+                    acc[1] ^= self.state[1];
+                    acc[2] ^= self.state[2];
+                    acc[3] ^= self.state[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.state = acc;
+        // Re-key the fork namespace. A plain xor would cancel after two
+        // jumps; a splitmix64 walk never revisits earlier keys within any
+        // realistic shard count.
+        let mut sm = self.seed ^ 0xA076_1D64_78BD_642F;
+        self.seed = splitmix64(&mut sm);
+    }
+
+    /// Split off an independent child generator. The child is an exact
+    /// snapshot of `self` (same raw stream, same fork namespace); `self`
+    /// then [`long_jump`](SimRng::long_jump)s past it. Calling `split` N
+    /// times therefore yields N generators occupying disjoint 2^192-draw
+    /// blocks, with the parent's own continuation beyond all of them —
+    /// and the *first* child reproduces the original stream exactly,
+    /// which is what makes a one-shard parallel run bit-identical to a
+    /// serial run.
+    pub fn split(&mut self) -> SimRng {
+        let child = self.clone();
+        self.long_jump();
+        child
     }
 
     /// Next raw 64 random bits (xoshiro256++).
@@ -255,6 +313,54 @@ mod tests {
         let mut a = root.fork_indexed("client", 0);
         let mut b = root.fork_indexed("client", 1);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn first_split_child_reproduces_parent_stream() {
+        let reference = SimRng::new(42);
+        let mut parent = SimRng::new(42);
+        let child = parent.split();
+        assert_eq!(child, reference, "first child must snapshot the parent");
+        let mut a = child;
+        let mut b = reference;
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_children_and_parent_continuation_all_differ() {
+        let mut parent = SimRng::new(7);
+        let mut kids: Vec<SimRng> = (0..4).map(|_| parent.split()).collect();
+        let mut firsts: Vec<u64> = kids.iter_mut().map(|k| k.next_u64()).collect();
+        firsts.push(parent.next_u64());
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 5, "split streams must not collide");
+    }
+
+    #[test]
+    fn long_jump_rekeys_fork_namespace() {
+        let mut jumped = SimRng::new(9);
+        jumped.long_jump();
+        let pre = SimRng::new(9);
+        let mut a = pre.fork("subsystem");
+        let mut b = jumped.fork("subsystem");
+        assert_ne!(
+            a.next_u64(),
+            b.next_u64(),
+            "forks across a jump must be disjoint"
+        );
+    }
+
+    #[test]
+    fn long_jump_is_deterministic() {
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        a.long_jump();
+        b.long_jump();
+        assert_eq!(a, b);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -61,6 +61,71 @@ proptest! {
         prop_assert!(s.iter().all(|&i| i < n));
     }
 
+    // ---- stream splitting (the sharding substrate) ----
+
+    #[test]
+    fn split_children_pairwise_disjoint_window(seed in any::<u64>(), n_children in 2usize..6) {
+        // Sample a window of each child stream; with 64-bit draws any
+        // overlap between windows means the streams coincided, which the
+        // 2^192 long-jump spacing must prevent.
+        let mut parent = SimRng::new(seed);
+        let mut windows: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..n_children {
+            let mut child = parent.split();
+            windows.push((0..128).map(|_| child.next_u64()).collect());
+        }
+        for i in 0..windows.len() {
+            for j in (i + 1)..windows.len() {
+                let a: std::collections::HashSet<u64> = windows[i].iter().copied().collect();
+                prop_assert!(
+                    !windows[j].iter().any(|v| a.contains(v)),
+                    "children {i} and {j} share draws"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_children_never_overlap_parent_continuation(seed in any::<u64>()) {
+        let mut parent = SimRng::new(seed);
+        let mut child_draws = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let mut child = parent.split();
+            for _ in 0..128 {
+                child_draws.insert(child.next_u64());
+            }
+        }
+        // The parent continues past every child's block.
+        for _ in 0..512 {
+            prop_assert!(
+                !child_draws.contains(&parent.next_u64()),
+                "parent continuation re-entered a child's stream"
+            );
+        }
+    }
+
+    #[test]
+    fn split_fork_namespaces_disjoint(seed in any::<u64>(), label in "[a-z]{1,10}") {
+        // Shard i and shard j forking the same subsystem label must get
+        // different streams — otherwise parallel shards replay each
+        // other's arrivals.
+        let mut parent = SimRng::new(seed);
+        let kids: Vec<SimRng> = (0..4).map(|_| parent.split()).collect();
+        let mut firsts: Vec<u64> = kids.iter().map(|k| k.fork(&label).next_u64()).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        prop_assert_eq!(firsts.len(), 4, "forked shard streams collided");
+    }
+
+    #[test]
+    fn split_sequence_is_reproducible(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut parent = SimRng::new(seed);
+            (0..4).map(|_| parent.split().next_u64()).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
     // ---- distributions ----
 
     #[test]
