@@ -1,0 +1,113 @@
+//! World-engine overhead: the event-driven core vs what it costs to run
+//! censorship dynamics on a live world.
+//!
+//! Three cases over the shared censored §7.2 fixture:
+//!
+//! * `engine_batch_10k` — the batch driver, now a thin wrapper over the
+//!   event queue; tracks the engine's per-visit dispatch overhead
+//!   against PR 1/2 baselines of the loop-based driver.
+//! * `engine_batch_10k_with_housekeeping` — same run plus maintenance
+//!   ticks and rollups every simulated minute: the cost of continuous
+//!   housekeeping events interleaving with traffic.
+//! * `engine_deployment_dynamic_censorship` — a deployment-mode world
+//!   where a national block installs and lifts mid-run through the
+//!   policy timeline, forcing warm pooled sessions to recompile their
+//!   middlebox pipelines twice.
+
+use bench::shard_fixture::{batch as fixture_batch, build_censored};
+use censor::policy::{CensorPolicy, Mechanism};
+use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsim::geo::{country, World};
+use population::shard::ShardContext;
+use population::{Audience, DeploymentConfig, WorldEngine};
+use sim_core::{SimDuration, SimRng, SimTime};
+
+const VISITS: u64 = 10_000;
+
+fn build() -> (netsim::network::Network, encore::system::EncoreSystem) {
+    build_censored(ShardContext {
+        index: 0,
+        shards: 1,
+    })
+}
+
+fn bench_world_engine(c: &mut Criterion) {
+    let audience = Audience::world(&World::builtin());
+    let mut group = c.benchmark_group("world_engine");
+    group.sample_size(10);
+
+    group.bench_function("engine_batch_10k", |b| {
+        b.iter(|| {
+            let (mut net, mut sys) = build();
+            let mut rng = SimRng::new(0xE11E);
+            let engine = WorldEngine::batch(
+                &mut net,
+                &mut sys,
+                &audience,
+                &fixture_batch(VISITS),
+                &mut rng,
+            );
+            let out = engine.run();
+            assert_eq!(out.report.visits, VISITS);
+            black_box(out.report)
+        })
+    });
+
+    group.bench_function("engine_batch_10k_with_housekeeping", |b| {
+        b.iter(|| {
+            let (mut net, mut sys) = build();
+            let mut rng = SimRng::new(0xE11E);
+            let mut engine = WorldEngine::batch(
+                &mut net,
+                &mut sys,
+                &audience,
+                &fixture_batch(VISITS),
+                &mut rng,
+            );
+            engine.schedule_maintenance(SimDuration::from_secs(60));
+            engine.schedule_rollups(SimDuration::from_secs(60));
+            let out = engine.run();
+            assert_eq!(out.report.visits, VISITS);
+            black_box((out.report, out.rollups.len()))
+        })
+    });
+
+    group.bench_function("engine_deployment_dynamic_censorship", |b| {
+        let config = DeploymentConfig {
+            duration: SimDuration::from_days(2),
+            visits_per_day_per_weight: 400.0,
+            ..DeploymentConfig::default()
+        };
+        let timeline = PolicyTimeline::new()
+            .at(
+                SimTime::from_secs(12 * 3_600),
+                PolicyChange::Install(CensorSpec::new(
+                    country("TR"),
+                    CensorPolicy::named("bench-block")
+                        .block_domain("twitter.com", Mechanism::DnsNxDomain),
+                )),
+            )
+            .at(
+                SimTime::from_secs(36 * 3_600),
+                PolicyChange::Lift {
+                    name: "bench-block".into(),
+                },
+            );
+        b.iter(|| {
+            let (mut net, mut sys) = build();
+            let mut rng = SimRng::new(0xD11A);
+            let mut engine =
+                WorldEngine::deployment(&mut net, &mut sys, &audience, &config, &mut rng);
+            engine.schedule_timeline(timeline.clone());
+            let out = engine.run();
+            assert_eq!(out.policy_changes_applied, 2);
+            black_box(out.report)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_engine);
+criterion_main!(benches);

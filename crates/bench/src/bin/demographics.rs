@@ -7,13 +7,12 @@
 //! task (the remainder being the campus security scanner); 45% dwelled
 //! >10 s and 35% >60 s.
 
+use bench::fixtures::{add_image_server, deploy_us, favicon_tasks};
 use bench::{print_table, seed, write_results};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
-use encore::system::EncoreSystem;
-use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use netsim::geo::{country, World};
-use netsim::network::{ConstHandler, Network};
+use netsim::network::Network;
 use population::{run_deployment, Analytics, Audience, DeploymentConfig};
 use serde::Serialize;
 use sim_core::{SimDuration, SimRng};
@@ -32,27 +31,13 @@ struct Demographics {
 
 fn main() {
     let mut net = Network::new(World::builtin());
-    net.add_server(
-        "target.example",
-        country("US"),
-        Box::new(ConstHandler(netsim::http::HttpResponse::ok(
-            netsim::http::ContentType::Image,
-            400,
-        ))),
-    );
-    let tasks = vec![MeasurementTask {
-        id: MeasurementId(0),
-        spec: TaskSpec::Image {
-            url: "http://target.example/favicon.ico".into(),
-        },
-    }];
+    add_image_server(&mut net, "target.example", 400);
     let origin = OriginSite::academic("professor.university.edu");
-    let mut sys = EncoreSystem::deploy(
+    let mut sys = deploy_us(
         &mut net,
-        tasks,
+        favicon_tasks(&["target.example"]),
         SchedulingStrategy::RoundRobin,
         vec![origin],
-        country("US"),
     );
 
     let mut rng = SimRng::new(seed());

@@ -15,16 +15,16 @@
 //! * measurement volume concentrated in populous countries (paper: CN,
 //!   IN, GB, BR ≥ 1,000; EG, KR, IR, PK, TR, SA ≥ 100).
 
+use bench::fixtures::{deploy_us, favicon_tasks, install_image_targets};
 use bench::{print_table, seed, write_results};
 use censor::registry::{ground_truth, install_world_censors, SAFE_TARGETS};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
-use encore::system::EncoreSystem;
 use encore::targets::EthicsStage;
-use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+use encore::tasks::MeasurementTask;
 use encore::{DetectorConfig, FilteringDetector, GeoDb};
-use netsim::geo::{country, World};
-use netsim::network::{ConstHandler, Network};
+use netsim::geo::World;
+use netsim::network::Network;
 use population::{run_deployment, Audience, DeploymentConfig};
 use serde::Serialize;
 use sim_core::{SimDuration, SimRng};
@@ -46,31 +46,13 @@ fn main() {
     let mut net = Network::new(world.clone());
 
     // The three measurement targets (favicon-serving social sites).
-    for d in SAFE_TARGETS {
-        net.add_server(
-            d,
-            country("US"),
-            Box::new(ConstHandler(netsim::http::HttpResponse::ok(
-                netsim::http::ContentType::Image,
-                500,
-            ))),
-        );
-    }
+    install_image_targets(&mut net, &SAFE_TARGETS);
     // Install the 2014 censors (after DNS is populated, so the GFW can
     // resolve its IP blacklist).
     install_world_censors(&mut net);
 
     // The ethics-staged task pool: favicons on the safe trio only.
-    let tasks: Vec<MeasurementTask> = SAFE_TARGETS
-        .iter()
-        .enumerate()
-        .map(|(i, d)| MeasurementTask {
-            id: MeasurementId(i as u64),
-            spec: TaskSpec::Image {
-                url: format!("http://{d}/favicon.ico"),
-            },
-        })
-        .collect();
+    let tasks: Vec<MeasurementTask> = favicon_tasks(&SAFE_TARGETS);
     assert!(tasks
         .iter()
         .all(|t| EthicsStage::FaviconsFewSites.permits(t)));
@@ -89,14 +71,13 @@ fn main() {
         origins.push(o);
     }
 
-    let mut sys = EncoreSystem::deploy(
+    let mut sys = deploy_us(
         &mut net,
         tasks,
         SchedulingStrategy::CoordinatedBursts {
             window: SimDuration::from_secs(60),
         },
         origins,
-        country("US"),
     );
 
     let mut rng = SimRng::new(seed());

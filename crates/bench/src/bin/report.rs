@@ -3,51 +3,28 @@
 //! a deployed Encore would publish, in the spirit of ONI country
 //! profiles but grounded in continuous measurement.
 
+use bench::fixtures::{deploy_us, favicon_tasks, install_image_targets, volunteer_origins};
 use bench::{seed, write_results};
 use censor::registry::{install_world_censors, SAFE_TARGETS};
 use encore::coordination::SchedulingStrategy;
-use encore::delivery::OriginSite;
 use encore::reports::{country_reports, render_markdown};
-use encore::system::EncoreSystem;
-use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore::{FilteringDetector, GeoDb};
-use netsim::geo::{country, World};
-use netsim::http::{ContentType, HttpResponse};
-use netsim::network::{ConstHandler, Network};
+use netsim::geo::World;
+use netsim::network::Network;
 use population::{run_deployment, Audience, DeploymentConfig};
 use sim_core::{SimDuration, SimRng};
 
 fn main() {
     let world = World::with_long_tail(170);
     let mut net = Network::new(world.clone());
-    for d in SAFE_TARGETS {
-        net.add_server(
-            d,
-            country("US"),
-            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 500))),
-        );
-    }
+    install_image_targets(&mut net, &SAFE_TARGETS);
     install_world_censors(&mut net);
 
-    let tasks: Vec<MeasurementTask> = SAFE_TARGETS
-        .iter()
-        .enumerate()
-        .map(|(i, d)| MeasurementTask {
-            id: MeasurementId(i as u64),
-            spec: TaskSpec::Image {
-                url: format!("http://{d}/favicon.ico"),
-            },
-        })
-        .collect();
-    let origins: Vec<OriginSite> = (0..8)
-        .map(|i| OriginSite::academic(format!("origin-{i}.example")).with_popularity(2.0))
-        .collect();
-    let mut sys = EncoreSystem::deploy(
+    let mut sys = deploy_us(
         &mut net,
-        tasks,
+        favicon_tasks(&SAFE_TARGETS),
         SchedulingStrategy::RoundRobin,
-        origins,
-        country("US"),
+        volunteer_origins("origin", 8, 2.0),
     );
     let mut rng = SimRng::new(seed());
     let config = DeploymentConfig {

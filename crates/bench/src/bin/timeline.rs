@@ -3,76 +3,102 @@
 //! Not a numbered figure in the paper, but its core motivation (§1):
 //! censorship "varies over time in response to changing social or
 //! political conditions (e.g., a national election)" and measuring it
-//! requires *continuous* collection. We simulate a 30-day deployment in
-//! which Turkey switches on a Twitter block at day 10 and lifts it at
-//! day 20 (as happened in March 2014), and show the windowed detector
-//! localising both transitions to the correct day.
+//! requires *continuous* collection. We simulate a 30-day deployment on
+//! **one continuously-running event-driven world**
+//! (`population::world::WorldEngine`): Turkey's March-2014-style Twitter
+//! block is a `censor::timeline::PolicyTimeline` with an install event
+//! at day 10 and a lift event at day 20, fired between visit arrivals on
+//! the same queue. The policy changes mutate the live network through
+//! the middlebox generation counter — warm pooled clients' compiled
+//! session pipelines invalidate and re-match, no per-day world rebuilds,
+//! no phase restarts — and the windowed detector localises both
+//! transitions to the correct day.
+//!
+//! Output is byte-reproducible for a fixed seed; CI diffs
+//! `results/timeline.json` against `tests/golden/timeline.json`.
 
+use bench::fixtures::{add_image_server, deploy_us, favicon_tasks};
 use bench::{print_table, seed, write_results};
-use censor::national::NationalCensor;
 use censor::policy::{CensorPolicy, Mechanism};
+use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
-use encore::system::EncoreSystem;
-use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use encore::{FilteringDetector, GeoDb};
 use netsim::geo::{country, World};
-use netsim::http::{ContentType, HttpResponse};
-use netsim::network::{ConstHandler, Network};
-use population::{run_deployment, Audience, DeploymentConfig};
+use netsim::network::Network;
+use population::world::WorldEngine;
+use population::{Audience, DeploymentConfig};
 use serde::Serialize;
 use sim_core::{SimDuration, SimRng, SimTime};
+
+/// Ground truth: block switches on at day 10 and lifts at day 20.
+const ONSET_DAY: u64 = 10;
+const LIFT_DAY: u64 = 20;
 
 #[derive(Serialize)]
 struct Timeline {
     days: Vec<(u64, usize, bool)>, // (day, measurements, TR flagged)
     onset_day: Option<u64>,
     lift_day: Option<u64>,
+    policy_changes_applied: usize,
+    rollups: Vec<(u64, u64, usize)>, // (day, visits so far, collected so far)
+    visits: u64,
+}
+
+fn day(d: u64) -> SimTime {
+    SimTime::from_secs(d * 86_400)
 }
 
 fn main() {
     let world = World::builtin();
     let mut net = Network::new(world.clone());
-    net.add_server(
-        "twitter.com",
-        country("US"),
-        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 500))),
-    );
+    add_image_server(&mut net, "twitter.com", 500);
 
-    // The March-2014-style block: on at day 10, lifted at day 20.
-    let policy = CensorPolicy::named("tr-election-block")
-        .block_domain("twitter.com", Mechanism::DnsNxDomain);
-    let censor = NationalCensor::new(country("TR"), policy)
-        .active_from(SimTime::from_secs(10 * 86_400))
-        .active_until(SimTime::from_secs(20 * 86_400));
-    net.add_middlebox(Box::new(censor));
-
-    let tasks = vec![MeasurementTask {
-        id: MeasurementId(0),
-        spec: TaskSpec::Image {
-            url: "http://twitter.com/favicon.ico".into(),
-        },
-    }];
     let origins = vec![
         OriginSite::academic("origin-a.example").with_popularity(5.0),
         OriginSite::academic("origin-b.example").with_popularity(5.0),
     ];
-    let mut sys = EncoreSystem::deploy(
+    let mut sys = deploy_us(
         &mut net,
-        tasks,
+        favicon_tasks(&["twitter.com"]),
         SchedulingStrategy::RoundRobin,
         origins,
-        country("US"),
     );
+
+    // The March-2014-style block as scheduled world events.
+    let timeline = PolicyTimeline::new()
+        .at(
+            day(ONSET_DAY),
+            PolicyChange::Install(CensorSpec::new(
+                country("TR"),
+                CensorPolicy::named("tr-election-block")
+                    .block_domain("twitter.com", Mechanism::DnsNxDomain),
+            )),
+        )
+        .at(
+            day(LIFT_DAY),
+            PolicyChange::Lift {
+                name: "tr-election-block".into(),
+            },
+        );
 
     let mut rng = SimRng::new(seed());
     let audience = Audience::world(&world);
     let config = DeploymentConfig {
         duration: SimDuration::from_days(30),
-        visits_per_day_per_weight: 60.0,
+        // High enough that Turkey's daily measurement cell clears the
+        // detector's minimum-n guard with day-level statistical power.
+        visits_per_day_per_weight: 150.0,
         ..DeploymentConfig::default()
     };
-    let log = run_deployment(&mut net, &mut sys, &audience, &config, &mut rng);
+
+    let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &config, &mut rng);
+    engine.schedule_timeline(timeline);
+    // Daily progress rollups and hourly session maintenance, all on the
+    // same queue as the arrivals and the policy changes.
+    engine.schedule_rollups(SimDuration::from_days(1));
+    engine.schedule_maintenance(SimDuration::from_secs(3_600));
+    let outcome = engine.run();
 
     let geo = GeoDb::from_allocator(&net.allocator);
     let detector = FilteringDetector::default();
@@ -99,7 +125,10 @@ fn main() {
     }
 
     println!("=== timeline: Turkey blocks twitter.com on day 10, lifts on day 20 ===");
-    println!("({} visits; one detector window per day)\n", log.len());
+    println!(
+        "({} visits on one continuously-running world; {} policy events; one detector window per day)\n",
+        outcome.report.visits, outcome.policy_changes_applied
+    );
     print_table(
         &["day", "measurements", "TR flagged"],
         &days
@@ -123,12 +152,12 @@ fn main() {
         &[
             vec![
                 "block onset".into(),
-                "day 10".into(),
+                format!("day {ONSET_DAY}"),
                 onset.map(|d| format!("day {d}")).unwrap_or("missed".into()),
             ],
             vec![
                 "block lifted".into(),
-                "day 20".into(),
+                format!("day {LIFT_DAY}"),
                 lift.map(|d| format!("day {d}")).unwrap_or("missed".into()),
             ],
         ],
@@ -140,6 +169,13 @@ fn main() {
             days,
             onset_day: onset,
             lift_day: lift,
+            policy_changes_applied: outcome.policy_changes_applied,
+            rollups: outcome
+                .rollups
+                .iter()
+                .map(|r| (r.at.as_secs() / 86_400, r.visits, r.collected))
+                .collect(),
+            visits: outcome.report.visits,
         },
     );
 }

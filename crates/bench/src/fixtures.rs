@@ -1,0 +1,121 @@
+//! Shared Network/EncoreSystem scenario builders for the experiment
+//! binaries.
+//!
+//! Before this module every `src/bin/*.rs` hand-rolled the same setup:
+//! a constant-image server per measurement target, a favicon task pool
+//! over those targets, and an `EncoreSystem::deploy` with US-hosted
+//! infrastructure. Copy-pasted fixtures drift — one binary's world stops
+//! being another's — so the pieces live here once and the binaries
+//! compose them.
+
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::system::EncoreSystem;
+use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+use netsim::geo::{country, CountryCode};
+use netsim::http::{ContentType, HttpResponse};
+use netsim::network::{ConstHandler, Network};
+
+/// Install a US-hosted server answering every request with a constant
+/// image of `bytes` bytes — the standard measurement-target stand-in
+/// (favicons in the paper are small single-packet images).
+pub fn add_image_server(net: &mut Network, domain: &str, bytes: u64) {
+    add_image_server_in(net, domain, country("US"), bytes);
+}
+
+/// [`add_image_server`] with an explicit hosting country.
+pub fn add_image_server_in(net: &mut Network, domain: &str, cc: CountryCode, bytes: u64) {
+    net.add_server(
+        domain,
+        cc,
+        Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, bytes))),
+    );
+}
+
+/// Install favicon-serving image servers for every domain (the §7.2
+/// social-site targets are `censor::registry::SAFE_TARGETS`).
+pub fn install_image_targets(net: &mut Network, domains: &[&str]) {
+    for d in domains {
+        add_image_server(net, d, 500);
+    }
+}
+
+/// The ethics-staged favicon task pool: one `Image` task per domain,
+/// IDs in domain order.
+pub fn favicon_tasks(domains: &[&str]) -> Vec<MeasurementTask> {
+    domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| MeasurementTask {
+            id: MeasurementId(i as u64),
+            spec: TaskSpec::Image {
+                url: format!("http://{d}/favicon.ico"),
+            },
+        })
+        .collect()
+}
+
+/// Deploy Encore with US-hosted infrastructure (where the paper's
+/// coordination and collection servers lived).
+pub fn deploy_us(
+    net: &mut Network,
+    tasks: Vec<MeasurementTask>,
+    strategy: SchedulingStrategy,
+    origins: Vec<OriginSite>,
+) -> EncoreSystem {
+    EncoreSystem::deploy(net, tasks, strategy, origins, country("US"))
+}
+
+/// `n` equally popular academic volunteer origins named
+/// `{prefix}-{i}.example`.
+pub fn volunteer_origins(prefix: &str, n: usize, popularity: f64) -> Vec<OriginSite> {
+    (0..n)
+        .map(|i| OriginSite::academic(format!("{prefix}-{i}.example")).with_popularity(popularity))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use censor::registry::SAFE_TARGETS;
+    use netsim::geo::{IspClass, World};
+    use netsim::http::HttpRequest;
+    use sim_core::{SimRng, SimTime};
+
+    #[test]
+    fn fixture_world_serves_favicon_tasks() {
+        let mut net = Network::ideal(World::builtin());
+        install_image_targets(&mut net, &SAFE_TARGETS);
+        let tasks = favicon_tasks(&SAFE_TARGETS);
+        assert_eq!(tasks.len(), SAFE_TARGETS.len());
+        let sys = deploy_us(
+            &mut net,
+            tasks.clone(),
+            SchedulingStrategy::RoundRobin,
+            volunteer_origins("origin", 3, 2.0),
+        );
+        assert_eq!(sys.origins.len(), 3);
+        // Every task's target answers with an image.
+        let client = net.add_client(country("DE"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        for t in &tasks {
+            let out = net.fetch(
+                &client,
+                &HttpRequest::get(t.spec.target_url()),
+                SimTime::ZERO,
+                &mut rng,
+            );
+            let resp = out.result.expect("target reachable");
+            assert_eq!(resp.content_type, ContentType::Image);
+        }
+    }
+
+    #[test]
+    fn volunteer_origins_are_distinct() {
+        let origins = volunteer_origins("v", 17, 1.5);
+        let mut domains: Vec<_> = origins.iter().map(|o| o.domain.clone()).collect();
+        domains.sort();
+        domains.dedup();
+        assert_eq!(domains.len(), 17);
+    }
+}

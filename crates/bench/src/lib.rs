@@ -6,6 +6,8 @@
 //! a human-readable table to stdout *and* write the same data as JSON
 //! under `results/`, so EXPERIMENTS.md can be regenerated and diffed.
 
+pub mod fixtures;
+
 use browser::{BrowserClient, Engine};
 use censor::registry::SAFE_TARGETS;
 use encore::pipeline::{GenerationConfig, PatternExpander, TargetFetcher, TaskGenerator};
@@ -132,7 +134,6 @@ pub mod shard_fixture {
     use encore::coordination::SchedulingStrategy;
     use encore::delivery::OriginSite;
     use encore::system::EncoreSystem;
-    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
     use netsim::geo::country;
     use netsim::http::{ContentType, HttpResponse};
     use netsim::network::Network;
@@ -166,23 +167,12 @@ pub mod shard_fixture {
     /// Deploy Encore over the fixture world: one favicon task per safe
     /// target, a single academic origin.
     pub fn deploy(mut net: Network) -> (Network, EncoreSystem) {
-        let tasks: Vec<MeasurementTask> = SAFE_TARGETS
-            .iter()
-            .enumerate()
-            .map(|(i, d)| MeasurementTask {
-                id: MeasurementId(i as u64),
-                spec: TaskSpec::Image {
-                    url: format!("http://{d}/favicon.ico"),
-                },
-            })
-            .collect();
         let origins = vec![OriginSite::academic("origin.example").with_popularity(3.0)];
-        let sys = EncoreSystem::deploy(
+        let sys = crate::fixtures::deploy_us(
             &mut net,
-            tasks,
+            crate::fixtures::favicon_tasks(&SAFE_TARGETS),
             SchedulingStrategy::RoundRobin,
             origins,
-            country("US"),
         );
         (net, sys)
     }

@@ -19,6 +19,11 @@
 //!   firewall, and Web server configurations that emulate seven varieties
 //!   of DNS, IP, and HTTP filtering", used to validate measurement-task
 //!   soundness.
+//! * [`timeline`] — [`timeline::PolicyTimeline`], an ordered schedule of
+//!   install/lift/rewrite changes that makes censorship a function of
+//!   time on one continuously-running world (the paper's §1: filtering
+//!   "varies over time in response to changing social or political
+//!   conditions").
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,9 +33,11 @@ pub mod national;
 pub mod policy;
 pub mod registry;
 pub mod testbed;
+pub mod timeline;
 
 pub use fingerprint::EncoreFingerprinter;
 pub use national::NationalCensor;
 pub use policy::{BlockTarget, CensorPolicy, Mechanism, Rule};
 pub use registry::{ground_truth, install_world_censors, GroundTruth};
 pub use testbed::{FilterVariety, Testbed, TESTBED_DOMAIN};
+pub use timeline::{CensorSpec, PolicyChange, PolicyTimeline};

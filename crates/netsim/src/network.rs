@@ -257,6 +257,45 @@ impl Network {
         self.middlebox_generation += 1;
     }
 
+    /// Remove the first middlebox whose diagnostic name matches, returning
+    /// whether one was removed. This is the hook live policy schedules
+    /// (`censor::timeline`) mutate the world through: a removal bumps the
+    /// middlebox generation counter, so every compiled
+    /// [`crate::session::FetchSession`] pipeline re-matches before its
+    /// next fetch instead of consulting stale indices.
+    pub fn remove_middlebox(&mut self, name: &str) -> bool {
+        match self.middleboxes.iter().position(|mb| mb.name() == name) {
+            Some(idx) => {
+                self.middleboxes.remove(idx);
+                self.middlebox_generation += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the first middlebox with the given name **in place**: the
+    /// replacement inherits the old one's slot in the interception order
+    /// (order encodes distance from the client, so a rewritten policy
+    /// must not migrate to the far end of the chain). Bumps the
+    /// generation counter on success; returns `false` and leaves the set
+    /// untouched if no middlebox has that name.
+    pub fn replace_middlebox(&mut self, name: &str, replacement: Box<dyn Middlebox>) -> bool {
+        match self.middleboxes.iter().position(|mb| mb.name() == name) {
+            Some(idx) => {
+                self.middleboxes[idx] = replacement;
+                self.middlebox_generation += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a middlebox with this diagnostic name is installed.
+    pub fn has_middlebox(&self, name: &str) -> bool {
+        self.middleboxes.iter().any(|mb| mb.name() == name)
+    }
+
     /// The installed middleboxes, client-nearest first.
     pub fn middleboxes(&self) -> &[Box<dyn Middlebox>] {
         &self.middleboxes
@@ -728,6 +767,46 @@ mod tests {
             out.timings.total().as_micros()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn remove_middlebox_unblocks_and_bumps_generation() {
+        let mut n = network();
+        n.add_server("censored.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(DnsBlocker));
+        let gen_installed = n.middlebox_generation();
+        let pk = n.add_client(country("PK"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let req = HttpRequest::get("http://censored.com/x.png");
+        assert!(n.fetch(&pk, &req, SimTime::ZERO, &mut rng).result.is_err());
+
+        assert!(n.remove_middlebox("dns-blocker"));
+        assert!(n.middlebox_generation() > gen_installed);
+        assert!(n.fetch(&pk, &req, SimTime::ZERO, &mut rng).result.is_ok());
+        // Removing a name that is no longer installed is a no-op.
+        let gen_after = n.middlebox_generation();
+        assert!(!n.remove_middlebox("dns-blocker"));
+        assert_eq!(n.middlebox_generation(), gen_after);
+    }
+
+    #[test]
+    fn remove_middlebox_invalidates_warm_session_pipelines() {
+        let mut n = network();
+        n.add_server("censored.com", country("US"), img_handler(400));
+        n.add_middlebox(Box::new(DnsBlocker));
+        let pk = n.add_client(country("PK"), IspClass::Residential);
+        let mut session = FetchSession::new(pk);
+        let mut rng = SimRng::new(2);
+        let req = HttpRequest::get("http://censored.com/x.png");
+        // Compile the pipeline with the blocker installed.
+        assert!(session
+            .fetch(&mut n, &req, SimTime::ZERO, &mut rng)
+            .result
+            .is_err());
+        // Lift it: the warm session must re-match, not replay the block.
+        n.remove_middlebox("dns-blocker");
+        let out = session.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
+        assert!(out.result.is_ok(), "stale pipeline survived removal");
     }
 
     #[test]

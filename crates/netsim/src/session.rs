@@ -155,6 +155,19 @@ impl FetchSession {
         self.connections.clear();
     }
 
+    /// Drop expired session state: DNS entries past their TTL and
+    /// kept-alive connections past their idle expiry.
+    ///
+    /// Behaviour-neutral by construction — the fetch path never serves an
+    /// expired entry (both lookups check expiry before use), so pruning
+    /// only releases memory. The world engine calls this from its
+    /// maintenance-tick events so month-long continuous runs keep pooled
+    /// clients' session maps bounded.
+    pub fn prune_expired(&mut self, now: SimTime) {
+        self.dns_cache.retain(|_, &mut (_, expires)| now < expires);
+        self.connections.retain(|_, &mut expiry| now < expiry);
+    }
+
     /// Whether a kept-alive connection to `dst` is live at `now`.
     pub fn has_connection(&self, dst: Ipv4Addr, now: SimTime) -> bool {
         self.connections
@@ -676,6 +689,42 @@ mod tests {
         assert_eq!(legacy, via_session);
         // And the RNG streams stayed in lockstep.
         assert_eq!(rng1.next_u64(), rng2.next_u64());
+    }
+
+    #[test]
+    fn prune_expired_is_behaviour_neutral() {
+        let req = HttpRequest::get("http://origin.example/favicon.ico");
+        let run = |prune: bool| {
+            let mut n = network();
+            let mut s = session(&mut n);
+            let mut rng = SimRng::new(11);
+            let first = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+            // Well past both the DNS TTL and the keep-alive window.
+            let later = SimTime::from_secs(7_200);
+            if prune {
+                s.prune_expired(later);
+                assert!(!s.has_connection(first.server_ip.unwrap(), later));
+            }
+            let second = s.fetch(&mut n, &req, later, &mut rng);
+            (first, second, rng.next_u64())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn prune_expired_keeps_live_state() {
+        let mut n = network();
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(12);
+        let req = HttpRequest::get("http://origin.example/favicon.ico");
+        let out = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        let soon = SimTime::from_secs(10);
+        s.prune_expired(soon);
+        assert!(s.has_connection(out.server_ip.unwrap(), soon));
+        // The live DNS entry still serves a cache hit.
+        let before = s.stats().dns_cache_hits;
+        s.fetch(&mut n, &req, soon, &mut rng);
+        assert_eq!(s.stats().dns_cache_hits, before + 1);
     }
 
     #[test]

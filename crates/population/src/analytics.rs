@@ -6,10 +6,62 @@
 //! and dwell times long enough for measurement tasks.
 
 use crate::driver::VisitRecord;
+use encore::system::VisitOutcome;
+use encore::tasks::TaskOutcome;
 use netsim::geo::CountryCode;
 use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 use std::collections::BTreeMap;
+
+/// The aggregate facts one visit contributes to a report — the single
+/// source of truth for how a [`VisitOutcome`] classifies. Every consumer
+/// (the per-visit [`Analytics`], the batch driver's counters, the world
+/// engine) derives its numbers from this one function, so "what counts
+/// as a loaded origin / an attempted measurement / a blocked task" can
+/// never drift between drivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitTally {
+    /// The origin page itself loaded.
+    pub origin_loaded: bool,
+    /// The client obtained at least one measurement task.
+    pub got_task: bool,
+    /// The visit attempted at least one measurement (executed ≥ 1 task).
+    pub attempted_measurement: bool,
+    /// Tasks executed during the visit.
+    pub tasks_executed: u64,
+    /// Executed tasks whose cross-origin resource loaded (the target was
+    /// reachable: the "ok" classification).
+    pub tasks_succeeded: u64,
+    /// Executed tasks whose resource failed to load — the observable
+    /// signal a censor (or an unlucky network) produces; the detector,
+    /// not the client, decides which ("blocked" vs "error" is a
+    /// statistical verdict, §7.2).
+    pub tasks_failed: u64,
+    /// Init beacons that reached the collection server.
+    pub inits_delivered: u64,
+    /// Results that reached the collection server.
+    pub results_delivered: u64,
+}
+
+/// Classify one visit's outcome. See [`VisitTally`].
+pub fn tally_outcome(outcome: &VisitOutcome) -> VisitTally {
+    let succeeded = outcome
+        .executed
+        .iter()
+        .filter(|(_, exec)| exec.outcome == TaskOutcome::Success)
+        .count() as u64;
+    let executed = outcome.executed.len() as u64;
+    VisitTally {
+        origin_loaded: outcome.origin_loaded,
+        got_task: outcome.got_task,
+        attempted_measurement: executed > 0,
+        tasks_executed: executed,
+        tasks_succeeded: succeeded,
+        tasks_failed: executed - succeeded,
+        inits_delivered: outcome.inits_delivered as u64,
+        results_delivered: outcome.results_delivered as u64,
+    }
+}
 
 /// Aggregated analytics over a visit log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,7 +102,7 @@ impl Analytics {
                     over60 += 1;
                 }
             }
-            if !v.outcome.executed.is_empty() {
+            if tally_outcome(&v.outcome).attempted_measurement {
                 attempted += 1;
             }
         }
@@ -171,6 +223,30 @@ mod tests {
         assert_eq!(a.countries_with_more_than(10), 4);
         let frac = a.fraction_from(&[country("PK"), country("CN"), country("IN")]);
         assert!((frac - 33.0 / 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_classifies_success_and_failure() {
+        let ok = visit("US", 30, false, true);
+        let t = tally_outcome(&ok.outcome);
+        assert!(t.origin_loaded && t.got_task && t.attempted_measurement);
+        assert_eq!(
+            (t.tasks_executed, t.tasks_succeeded, t.tasks_failed),
+            (1, 1, 0)
+        );
+
+        let mut blocked = visit("PK", 30, false, true);
+        blocked.outcome.executed[0].1.outcome = encore::tasks::TaskOutcome::Failure;
+        let t = tally_outcome(&blocked.outcome);
+        assert_eq!(
+            (t.tasks_executed, t.tasks_succeeded, t.tasks_failed),
+            (1, 0, 1)
+        );
+
+        let idle = visit("US", 1, false, false);
+        let t = tally_outcome(&idle.outcome);
+        assert!(!t.attempted_measurement);
+        assert_eq!(t.tasks_executed, 0);
     }
 
     #[test]

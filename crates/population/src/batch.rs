@@ -18,14 +18,22 @@
 //! Everything still flows through the session layer: the batch driver
 //! never touches DNS/TCP/HTTP stages itself, it only orchestrates
 //! [`encore::system::EncoreSystem::run_visit`] calls.
+//!
+//! Since the event-engine refactor, [`run_visit_batch`] is a thin
+//! wrapper over [`crate::world::WorldEngine`] in batch mode: arrivals
+//! are self-scheduling events on the world's queue. The wrapper is
+//! bit-identical to the pre-engine loop for any fixed seed
+//! (`tests/world_engine_equivalence.rs` enforces this against a
+//! verbatim copy of the legacy implementation).
 
+use crate::analytics::VisitTally;
 use crate::audience::Audience;
+use crate::world::WorldEngine;
 use browser::BrowserClient;
 use encore::system::EncoreSystem;
 use netsim::network::Network;
 use serde::{Deserialize, Serialize};
-use sim_core::dist::{Exponential, Sample};
-use sim_core::{SimDuration, SimRng, SimTime};
+use sim_core::{SimDuration, SimRng};
 
 /// Batch-driver configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,11 +91,22 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    fn absorb_session(&mut self, client: &BrowserClient) {
+    pub(crate) fn absorb_session(&mut self, client: &BrowserClient) {
         let s = client.session.stats();
         self.dns_cache_hits += s.dns_cache_hits;
         self.connections_reused += s.connections_reused;
         self.session_fetches += s.fetches;
+    }
+
+    /// Fold one classified visit ([`crate::analytics::tally_outcome`])
+    /// into the counters — the only place a visit outcome turns into
+    /// report arithmetic.
+    pub fn record_visit(&mut self, tally: &VisitTally) {
+        self.visits += 1;
+        self.origin_loads += u64::from(tally.origin_loaded);
+        self.visits_with_tasks += u64::from(tally.got_task);
+        self.tasks_executed += tally.tasks_executed;
+        self.results_delivered += tally.results_delivered;
     }
 
     /// Combine two reports: counters add, spans take the maximum (shards
@@ -121,6 +140,12 @@ impl BatchReport {
 /// Crawler visits behave as in the Poisson driver: most never execute
 /// JavaScript (zero effective dwell), a minority are headless browsers
 /// that do contribute measurements.
+///
+/// This is a thin wrapper over the event engine: each visit is a
+/// self-scheduling [`crate::world::WorldEvent::BatchArrival`] on the
+/// world's queue. Construct the [`WorldEngine`] directly to layer
+/// scheduled dynamics (policy timelines, mutations, maintenance) onto
+/// the same run.
 pub fn run_visit_batch(
     net: &mut Network,
     system: &mut EncoreSystem,
@@ -128,65 +153,9 @@ pub fn run_visit_batch(
     config: &BatchConfig,
     rng: &mut SimRng,
 ) -> BatchReport {
-    let mut arrivals_rng = rng.fork("batch-arrivals");
-    let mut visitor_rng = rng.fork("batch-visitors");
-
-    let origins = system.origins.clone();
-    let weights: Vec<f64> = origins.iter().map(|o| o.popularity_weight).collect();
-    let gap = Exponential::from_mean(config.mean_gap.as_millis_f64());
-
-    let mut pool: Vec<BrowserClient> = Vec::new();
-    let mut report = BatchReport::default();
-    let mut t = SimTime::ZERO;
-
-    for _ in 0..config.visits {
-        t += SimDuration::from_millis_f64(gap.sample(&mut arrivals_rng));
-        let Some(origin_idx) = visitor_rng.pick_weighted(&weights) else {
-            // All origins weightless: nothing would ever be visited.
-            break;
-        };
-        let origin = &origins[origin_idx];
-        let visitor = audience.sample(&mut visitor_rng);
-
-        let reuse = !pool.is_empty() && visitor_rng.chance(config.repeat_visitor_rate);
-        let mut client = if reuse {
-            report.clients_reused += 1;
-            let idx = visitor_rng.index(pool.len());
-            pool.swap_remove(idx)
-        } else {
-            report.clients_created += 1;
-            BrowserClient::new(
-                net,
-                visitor.country,
-                visitor.isp,
-                visitor.engine,
-                &visitor_rng,
-            )
-        };
-
-        let ua = visitor.user_agent(client.engine);
-        let effective_dwell = visitor.effective_dwell(&mut visitor_rng);
-        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, t, &ua);
-
-        report.visits += 1;
-        report.origin_loads += u64::from(outcome.origin_loaded);
-        report.visits_with_tasks += u64::from(outcome.got_task);
-        report.tasks_executed += outcome.executed.len() as u64;
-        report.results_delivered += outcome.results_delivered as u64;
-
-        if pool.len() < config.client_pool {
-            pool.push(client);
-        } else {
-            // Evicted client: bank its session statistics before dropping.
-            report.absorb_session(&client);
-        }
-    }
-
-    for client in &pool {
-        report.absorb_session(client);
-    }
-    report.sim_span = t.since(SimTime::ZERO);
-    report
+    WorldEngine::batch(net, system, audience, config, rng)
+        .run()
+        .report
 }
 
 #[cfg(test)]

@@ -7,13 +7,11 @@
 //! are both expressed.
 
 use crate::audience::Audience;
-use browser::BrowserClient;
-use encore::delivery::OriginSite;
+use crate::world::WorldEngine;
 use encore::system::{EncoreSystem, VisitOutcome};
 use netsim::geo::CountryCode;
 use netsim::network::Network;
 use serde::{Deserialize, Serialize};
-use sim_core::dist::{Exponential, Sample};
 use sim_core::{SimDuration, SimRng, SimTime};
 
 /// Driver configuration.
@@ -62,6 +60,13 @@ pub struct VisitRecord {
 
 /// Run a deployment: Poisson arrivals at every origin site over the
 /// configured span. Returns the visit log (chronological).
+///
+/// This is a thin wrapper over the event engine: every arrival is a
+/// [`crate::world::WorldEvent::DeploymentArrival`] on the world's
+/// queue, and the output is bit-identical to the pre-engine driver for
+/// any fixed seed (`tests/world_engine_equivalence.rs`). Construct the
+/// [`WorldEngine`] directly to add scheduled censorship dynamics or
+/// other world mutations to the same run.
 pub fn run_deployment(
     net: &mut Network,
     system: &mut EncoreSystem,
@@ -69,77 +74,16 @@ pub fn run_deployment(
     config: &DeploymentConfig,
     rng: &mut SimRng,
 ) -> Vec<VisitRecord> {
-    let mut arrivals_rng = rng.fork("deployment-arrivals");
-    let mut visitor_rng = rng.fork("deployment-visitors");
-
-    // Generate arrival times per origin, then merge chronologically.
-    let origins: Vec<OriginSite> = system.origins.clone();
-    let mut schedule: Vec<(SimTime, usize)> = Vec::new();
-    for (idx, origin) in origins.iter().enumerate() {
-        let rate_per_day = config.visits_per_day_per_weight * origin.popularity_weight;
-        if rate_per_day <= 0.0 {
-            continue;
-        }
-        let mean_gap_secs = 86_400.0 / rate_per_day;
-        let gap = Exponential::from_mean(mean_gap_secs);
-        let mut t = SimTime::ZERO;
-        loop {
-            let dt = SimDuration::from_millis_f64(gap.sample(&mut arrivals_rng) * 1_000.0);
-            t += dt;
-            if t.since(SimTime::ZERO) >= config.duration {
-                break;
-            }
-            schedule.push((t, idx));
-        }
-    }
-    schedule.sort_by_key(|&(t, idx)| (t, idx));
-
-    let mut returning: Vec<BrowserClient> = Vec::new();
-    let mut log = Vec::with_capacity(schedule.len());
-
-    for (at, origin_index) in schedule {
-        let visitor = audience.sample(&mut visitor_rng);
-        let origin = &origins[origin_index];
-
-        // Returning visitor with a warm cache, or a fresh client.
-        let reuse = !returning.is_empty() && visitor_rng.chance(config.repeat_visitor_rate);
-        let mut client = if reuse {
-            let idx = visitor_rng.index(returning.len());
-            returning.swap_remove(idx)
-        } else {
-            BrowserClient::new(
-                net,
-                visitor.country,
-                visitor.isp,
-                visitor.engine,
-                &visitor_rng,
-            )
-        };
-
-        let ua = visitor.user_agent(client.engine);
-        let effective_dwell = visitor.effective_dwell(&mut visitor_rng);
-        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
-
-        log.push(VisitRecord {
-            at,
-            origin_index,
-            country: client.host.country,
-            dwell: visitor.dwell,
-            is_crawler: visitor.is_crawler,
-            outcome,
-        });
-
-        if returning.len() < config.returning_pool {
-            returning.push(client);
-        }
-    }
-    log
+    WorldEngine::deployment(net, system, audience, config, rng)
+        .run()
+        .log
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
     use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
     use netsim::geo::{country, World};
     use netsim::http::{ContentType, HttpResponse};

@@ -8,6 +8,12 @@
 //!   access-network mix, dwell times, crawler fraction. Two calibrated
 //!   audiences are provided: the §6.2 academic-homepage audience and a
 //!   world audience for the §7 seven-month run.
+//! * [`world`] — the discrete-event world engine: client arrivals,
+//!   scheduled policy changes ([`censor::timeline::PolicyTimeline`]),
+//!   world mutations, coordination re-prioritisation, session
+//!   maintenance, and collection rollups are all events on one
+//!   [`sim_core::queue::EventQueue`]. Every driver below is a thin
+//!   wrapper over it.
 //! * [`driver`] — Poisson visit arrivals over a time span; each visit
 //!   instantiates a browser client and runs the full Figure 2 flow
 //!   through [`encore::EncoreSystem`].
@@ -15,10 +21,12 @@
 //!   arrivals, a persistent client pool whose transport sessions stay
 //!   warm across visits, and flat-memory aggregate reporting.
 //! * [`shard`] — the multi-core engine: the batch workload partitioned
-//!   across OS threads, each with a split RNG stream and a private
-//!   network, merged through associative report/collection APIs so the
-//!   parallel run is provably equivalent to the serial one.
-//! * [`analytics`] — the Google-Analytics-style report of §6.2.
+//!   across OS threads, each running one private event-driven world
+//!   with a split RNG stream, merged through associative
+//!   report/collection APIs so the parallel run is provably equivalent
+//!   to the serial one.
+//! * [`analytics`] — the Google-Analytics-style report of §6.2, plus
+//!   the shared visit-outcome classification every driver tallies with.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,9 +36,11 @@ pub mod audience;
 pub mod batch;
 pub mod driver;
 pub mod shard;
+pub mod world;
 
-pub use analytics::Analytics;
+pub use analytics::{tally_outcome, Analytics, VisitTally};
 pub use audience::Audience;
 pub use batch::{run_visit_batch, BatchConfig, BatchReport};
 pub use driver::{run_deployment, DeploymentConfig, VisitRecord};
 pub use shard::{run_sharded_batch, ShardContext, ShardedBatchConfig, ShardedRun};
+pub use world::{Rollup, WorldEngine, WorldEvent, WorldOutcome};

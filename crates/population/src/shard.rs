@@ -1,8 +1,10 @@
 //! Sharded multi-core population engine.
 //!
 //! The batch driver in [`crate::batch`] pushes one Poisson visit stream
-//! through one `Network` on one thread. This module is its multi-core
-//! counterpart, and the first parallel subsystem in the workspace: an
+//! through one event-driven world ([`crate::world::WorldEngine`]) on
+//! one thread. This module is its multi-core counterpart, and the first
+//! parallel subsystem in the workspace — each shard thread runs its own
+//! private world engine: an
 //! [`Audience`]'s visit load is partitioned into N shards, each shard
 //! runs on its own OS thread with
 //!

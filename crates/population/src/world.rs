@@ -1,0 +1,855 @@
+//! The discrete-event world engine — one queue drives everything.
+//!
+//! Earlier revisions of this crate ran deployments as stateless batch
+//! loops: the Poisson driver materialised its whole arrival schedule up
+//! front, the batch driver advanced a local clock inline, and anything
+//! that had to *change the world mid-run* (a censorship block switching
+//! on for an election, a scheduler re-prioritising) had no place to
+//! stand. `WorldEngine` replaces those loops with a single
+//! [`sim_core::queue::EventQueue`]: client arrivals, scheduled policy
+//! changes ([`censor::timeline::PolicyTimeline`]), arbitrary world
+//! mutations, coordination re-prioritisation, session maintenance
+//! ticks, and periodic collection rollups are all [`WorldEvent`]s popped
+//! from one tie-break-ordered heap. Censorship dynamics — the paper's
+//! §1 point that filtering "varies over time" and must be measured
+//! continuously — become first-class events instead of per-phase world
+//! rebuilds.
+//!
+//! ## Equivalence contract
+//!
+//! [`crate::driver::run_deployment`] and [`crate::batch::run_visit_batch`]
+//! are thin wrappers over this engine and produce **bit-identical**
+//! output to their pre-engine implementations for any fixed seed
+//! (`tests/world_engine_equivalence.rs` pins this against verbatim
+//! copies of the legacy drivers; `tests/shard_equivalence.rs`'s golden
+//! snapshot would also catch any drift). Three facts make that hold:
+//!
+//! * **RNG stream discipline.** Arrival gaps and visitor draws live on
+//!   separate forked streams (`*-arrivals` / `*-visitors`), so moving
+//!   the gap draw from "top of the loop" to "end of the previous
+//!   arrival's handler" reorders draws *across* streams but never
+//!   *within* one.
+//! * **Tie-break parity.** The legacy Poisson driver sorted its schedule
+//!   by `(time, origin_index)`; the engine schedules per-origin arrival
+//!   streams in origin order, so the queue's insertion-sequence
+//!   tie-break reproduces that exact order.
+//! * **Neutral housekeeping.** Maintenance ticks only prune session
+//!   state the fetch path would never serve
+//!   ([`netsim::session::FetchSession::prune_expired`]), rollups only
+//!   read, and policy/mutation/re-prioritisation events draw no RNG —
+//!   none of them perturb the visit streams.
+//!
+//! Scheduled *configuration* events (timeline changes, mutations,
+//! re-prioritisations, periodic ticks) are enqueued before the traffic
+//! is, so at equal timestamps they fire **before** any arrival — a
+//! block installed "at day 10" is in force for the first visit of
+//! day 10.
+
+use crate::analytics::tally_outcome;
+use crate::audience::{Audience, Visitor};
+use crate::batch::{BatchConfig, BatchReport};
+use crate::driver::{DeploymentConfig, VisitRecord};
+use browser::BrowserClient;
+use censor::timeline::{PolicyChange, PolicyTimeline};
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::system::{EncoreSystem, VisitOutcome};
+use netsim::geo::CountryCode;
+use netsim::network::Network;
+use serde::{Deserialize, Serialize};
+use sim_core::dist::{Exponential, Sample};
+use sim_core::queue::EventQueue;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// An event on the world's queue. Same-time events fire in scheduling
+/// order (the queue's insertion-sequence tie-break).
+#[derive(Debug)]
+pub enum WorldEvent {
+    /// A pre-scheduled Poisson arrival at one origin (deployment mode).
+    DeploymentArrival {
+        /// Index into the system's origin list.
+        origin_index: usize,
+    },
+    /// The `seq`-th batch visit (1-based). Its handler executes the
+    /// visit, then schedules arrival `seq + 1` — the self-scheduling
+    /// arrival process of classic discrete-event simulation.
+    BatchArrival {
+        /// 1-based visit number.
+        seq: u64,
+    },
+    /// Apply the policy-timeline change at `index` (world mutation
+    /// through the middlebox generation counter).
+    PolicyChange {
+        /// Index into the engine's merged policy schedule.
+        index: usize,
+    },
+    /// Run the scheduled one-shot world mutation at `index`.
+    Mutation {
+        /// Index into the engine's mutation list.
+        index: usize,
+    },
+    /// Swap the coordination server's scheduling strategy mid-run.
+    Reprioritize {
+        /// The strategy to adopt from this instant on.
+        strategy: SchedulingStrategy,
+    },
+    /// Periodic session maintenance: prune expired DNS/keep-alive state
+    /// from every pooled client, then reschedule while traffic remains.
+    MaintenanceTick {
+        /// Tick period.
+        period: SimDuration,
+    },
+    /// Periodic collection rollup: snapshot progress counters, then
+    /// reschedule while traffic remains.
+    CollectionRollup {
+        /// Rollup period.
+        period: SimDuration,
+    },
+}
+
+/// One periodic rollup record: how far the run had progressed when the
+/// rollup event fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rollup {
+    /// When the rollup fired.
+    pub at: SimTime,
+    /// Visits executed so far.
+    pub visits: u64,
+    /// Records in the collection store so far.
+    pub collected: usize,
+}
+
+/// A one-shot scheduled world mutation.
+pub type WorldMutation = Box<dyn FnOnce(&mut Network, &mut EncoreSystem)>;
+
+/// Everything a finished world run produced.
+#[derive(Debug)]
+pub struct WorldOutcome {
+    /// Chronological per-visit records (deployment mode; empty for batch
+    /// runs, which deliberately keep memory flat).
+    pub log: Vec<VisitRecord>,
+    /// Aggregate counters (both modes).
+    pub report: BatchReport,
+    /// Periodic rollups, in firing order.
+    pub rollups: Vec<Rollup>,
+    /// How many policy-timeline changes actually mutated the world
+    /// (a lift addressed to a name that was never installed is a no-op
+    /// and is not counted).
+    pub policy_changes_applied: usize,
+}
+
+/// Mode-specific driver state.
+enum Mode {
+    Deployment {
+        config: DeploymentConfig,
+        origins: Vec<OriginSite>,
+        arrivals_rng: SimRng,
+        visitor_rng: SimRng,
+        returning: Vec<BrowserClient>,
+        log: Vec<VisitRecord>,
+    },
+    Batch {
+        config: BatchConfig,
+        origins: Vec<OriginSite>,
+        weights: Vec<f64>,
+        gap: Exponential,
+        arrivals_rng: SimRng,
+        visitor_rng: SimRng,
+        pool: Vec<BrowserClient>,
+    },
+}
+
+/// The event-driven world: one network, one Encore deployment, one
+/// audience, and a queue of everything that will happen to them.
+///
+/// Construct in deployment mode ([`WorldEngine::deployment`], the §6.2
+/// Poisson pilot with a full visit log) or batch mode
+/// ([`WorldEngine::batch`], the flat-memory throughput driver), layer on
+/// scheduled dynamics (`schedule_*`), then [`WorldEngine::run`] to
+/// drain the queue. `population::shard` runs one engine per shard: the
+/// builder-supplied `Network`/`EncoreSystem` and split RNG streams drop
+/// straight in.
+pub struct WorldEngine<'a> {
+    net: &'a mut Network,
+    system: &'a mut EncoreSystem,
+    audience: &'a Audience,
+    queue: EventQueue<WorldEvent>,
+    mode: Mode,
+    policy_schedule: Vec<(SimTime, PolicyChange)>,
+    policy_applied: usize,
+    mutations: Vec<Option<WorldMutation>>,
+    rollups: Vec<Rollup>,
+    report: BatchReport,
+    /// Arrival events currently in the queue; periodic events stop
+    /// rescheduling once traffic is exhausted, which is what terminates
+    /// the run.
+    arrivals_pending: u64,
+}
+
+impl<'a> WorldEngine<'a> {
+    fn new(
+        net: &'a mut Network,
+        system: &'a mut EncoreSystem,
+        audience: &'a Audience,
+        mode: Mode,
+    ) -> WorldEngine<'a> {
+        WorldEngine {
+            net,
+            system,
+            audience,
+            queue: EventQueue::new(),
+            mode,
+            policy_schedule: Vec::new(),
+            policy_applied: 0,
+            mutations: Vec::new(),
+            rollups: Vec::new(),
+            report: BatchReport::default(),
+            arrivals_pending: 0,
+        }
+    }
+
+    /// A deployment-mode world: Poisson arrivals at every origin over
+    /// `config.duration`, a returning-visitor pool, and a full visit
+    /// log — the engine behind [`crate::driver::run_deployment`].
+    pub fn deployment(
+        net: &'a mut Network,
+        system: &'a mut EncoreSystem,
+        audience: &'a Audience,
+        config: &DeploymentConfig,
+        rng: &mut SimRng,
+    ) -> WorldEngine<'a> {
+        let arrivals_rng = rng.fork("deployment-arrivals");
+        let visitor_rng = rng.fork("deployment-visitors");
+        let origins = system.origins.clone();
+        WorldEngine::new(
+            net,
+            system,
+            audience,
+            Mode::Deployment {
+                config: *config,
+                origins,
+                arrivals_rng,
+                visitor_rng,
+                returning: Vec::new(),
+                log: Vec::new(),
+            },
+        )
+    }
+
+    /// A batch-mode world: `config.visits` self-scheduling arrivals, a
+    /// bounded warm-session client pool, and flat-memory counters — the
+    /// engine behind [`crate::batch::run_visit_batch`].
+    pub fn batch(
+        net: &'a mut Network,
+        system: &'a mut EncoreSystem,
+        audience: &'a Audience,
+        config: &BatchConfig,
+        rng: &mut SimRng,
+    ) -> WorldEngine<'a> {
+        let arrivals_rng = rng.fork("batch-arrivals");
+        let visitor_rng = rng.fork("batch-visitors");
+        let origins = system.origins.clone();
+        let weights: Vec<f64> = origins.iter().map(|o| o.popularity_weight).collect();
+        let gap = Exponential::from_mean(config.mean_gap.as_millis_f64());
+        WorldEngine::new(
+            net,
+            system,
+            audience,
+            Mode::Batch {
+                config: *config,
+                origins,
+                weights,
+                gap,
+                arrivals_rng,
+                visitor_rng,
+                pool: Vec::new(),
+            },
+        )
+    }
+
+    /// Schedule every **not-yet-applied** change of a [`PolicyTimeline`]
+    /// as events on the queue — a timeline whose prefix was already
+    /// replayed into the network via
+    /// [`PolicyTimeline::apply_through`] contributes only its remaining
+    /// entries, never a duplicate of the past. Changes scheduled for the
+    /// same instant as an arrival fire before it (configuration precedes
+    /// traffic at equal times).
+    pub fn schedule_timeline(&mut self, timeline: PolicyTimeline) {
+        let base = self.policy_schedule.len();
+        for (offset, (at, change)) in timeline.entries()[timeline.applied()..].iter().enumerate() {
+            self.queue.schedule(
+                *at,
+                WorldEvent::PolicyChange {
+                    index: base + offset,
+                },
+            );
+            self.policy_schedule.push((*at, change.clone()));
+        }
+    }
+
+    /// Schedule an arbitrary one-shot world mutation at `at` — the
+    /// escape hatch for dynamics the policy timeline doesn't model
+    /// (standing up a collector mirror, swapping the coordination task
+    /// pool, reconfiguring fault injection).
+    ///
+    /// The *arrival plan* is fixed at run start: the engine snapshots
+    /// the origin list (and batch weights) when constructed, so
+    /// mutating `system.origins` mid-run does not add or retire traffic
+    /// sources — it only affects what later visits observe.
+    pub fn schedule_mutation(
+        &mut self,
+        at: SimTime,
+        mutation: impl FnOnce(&mut Network, &mut EncoreSystem) + 'static,
+    ) {
+        let index = self.mutations.len();
+        self.mutations.push(Some(Box::new(mutation)));
+        self.queue.schedule(at, WorldEvent::Mutation { index });
+    }
+
+    /// Schedule a mid-run swap of the coordination server's scheduling
+    /// strategy (e.g. to [`SchedulingStrategy::CoordinatedBursts`] once
+    /// a block is suspected).
+    pub fn schedule_reprioritization(&mut self, at: SimTime, strategy: SchedulingStrategy) {
+        self.queue
+            .schedule(at, WorldEvent::Reprioritize { strategy });
+    }
+
+    /// Schedule periodic session maintenance every `period`: expired
+    /// DNS entries and dead keep-alive connections are pruned from every
+    /// pooled client. Behaviour-neutral (the fetch path never serves
+    /// expired state); keeps month-long worlds' memory bounded.
+    pub fn schedule_maintenance(&mut self, period: SimDuration) {
+        assert!(period > SimDuration::ZERO, "maintenance period must be > 0");
+        self.queue.schedule(
+            SimTime::ZERO + period,
+            WorldEvent::MaintenanceTick { period },
+        );
+    }
+
+    /// Schedule periodic collection rollups every `period` — progress
+    /// snapshots a longitudinal experiment reads instead of re-scanning
+    /// the collection store per window.
+    pub fn schedule_rollups(&mut self, period: SimDuration) {
+        assert!(period > SimDuration::ZERO, "rollup period must be > 0");
+        self.queue.schedule(
+            SimTime::ZERO + period,
+            WorldEvent::CollectionRollup { period },
+        );
+    }
+
+    /// Drain the queue: run the world to completion and return what it
+    /// produced.
+    pub fn run(mut self) -> WorldOutcome {
+        self.schedule_arrivals();
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                WorldEvent::DeploymentArrival { origin_index } => {
+                    self.arrivals_pending -= 1;
+                    self.on_deployment_arrival(now, origin_index);
+                }
+                WorldEvent::BatchArrival { seq } => {
+                    self.arrivals_pending -= 1;
+                    self.on_batch_arrival(now, seq);
+                }
+                WorldEvent::PolicyChange { index } => {
+                    if self.policy_schedule[index].1.apply(self.net) {
+                        self.policy_applied += 1;
+                    }
+                }
+                WorldEvent::Mutation { index } => {
+                    if let Some(mutation) = self.mutations[index].take() {
+                        mutation(self.net, self.system);
+                    }
+                }
+                WorldEvent::Reprioritize { strategy } => {
+                    self.system.coordination.set_strategy(strategy);
+                }
+                WorldEvent::MaintenanceTick { period } => {
+                    let pool = match &mut self.mode {
+                        Mode::Deployment { returning, .. } => returning,
+                        Mode::Batch { pool, .. } => pool,
+                    };
+                    for client in pool.iter_mut() {
+                        client.session.prune_expired(now);
+                    }
+                    if self.arrivals_pending > 0 {
+                        self.queue
+                            .schedule(now + period, WorldEvent::MaintenanceTick { period });
+                    }
+                }
+                WorldEvent::CollectionRollup { period } => {
+                    self.rollups.push(Rollup {
+                        at: now,
+                        visits: self.report.visits,
+                        collected: self.system.collection.len(),
+                    });
+                    if self.arrivals_pending > 0 {
+                        self.queue
+                            .schedule(now + period, WorldEvent::CollectionRollup { period });
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// Enqueue the traffic. Runs after all configuration events so that
+    /// same-instant ties resolve configuration-first.
+    fn schedule_arrivals(&mut self) {
+        match &mut self.mode {
+            Mode::Deployment {
+                config,
+                origins,
+                arrivals_rng,
+                ..
+            } => {
+                // Per-origin Poisson streams, scheduled origin-by-origin:
+                // the queue's insertion tie-break then reproduces the
+                // legacy driver's (time, origin_index) sort exactly.
+                for (idx, origin) in origins.iter().enumerate() {
+                    let rate_per_day = config.visits_per_day_per_weight * origin.popularity_weight;
+                    if rate_per_day <= 0.0 {
+                        continue;
+                    }
+                    let mean_gap_secs = 86_400.0 / rate_per_day;
+                    let gap = Exponential::from_mean(mean_gap_secs);
+                    let mut t = SimTime::ZERO;
+                    loop {
+                        let dt = SimDuration::from_millis_f64(gap.sample(arrivals_rng) * 1_000.0);
+                        t += dt;
+                        if t.since(SimTime::ZERO) >= config.duration {
+                            break;
+                        }
+                        self.queue
+                            .schedule(t, WorldEvent::DeploymentArrival { origin_index: idx });
+                        self.arrivals_pending += 1;
+                    }
+                }
+            }
+            Mode::Batch {
+                config,
+                gap,
+                arrivals_rng,
+                ..
+            } => {
+                if config.visits > 0 {
+                    let t = SimTime::ZERO + SimDuration::from_millis_f64(gap.sample(arrivals_rng));
+                    self.queue.schedule(t, WorldEvent::BatchArrival { seq: 1 });
+                    self.arrivals_pending += 1;
+                }
+            }
+        }
+    }
+
+    fn on_deployment_arrival(&mut self, at: SimTime, origin_index: usize) {
+        let Mode::Deployment {
+            config,
+            origins,
+            visitor_rng,
+            returning,
+            log,
+            ..
+        } = &mut self.mode
+        else {
+            unreachable!("deployment arrival fired in batch mode");
+        };
+        let (visitor, country, outcome) = execute_arrival(
+            self.net,
+            self.system,
+            self.audience,
+            &mut self.report,
+            visitor_rng,
+            &origins[origin_index],
+            returning,
+            config.returning_pool,
+            config.repeat_visitor_rate,
+            at,
+        );
+        self.report.sim_span = at.since(SimTime::ZERO);
+        log.push(VisitRecord {
+            at,
+            origin_index,
+            country,
+            dwell: visitor.dwell,
+            is_crawler: visitor.is_crawler,
+            outcome,
+        });
+    }
+
+    fn on_batch_arrival(&mut self, at: SimTime, seq: u64) {
+        let Mode::Batch {
+            config,
+            origins,
+            weights,
+            gap,
+            arrivals_rng,
+            visitor_rng,
+            pool,
+        } = &mut self.mode
+        else {
+            unreachable!("batch arrival fired in deployment mode");
+        };
+        // The span covers every drawn gap, including a final arrival
+        // that halts below — matching the legacy driver's clock.
+        self.report.sim_span = at.since(SimTime::ZERO);
+
+        let Some(origin_idx) = visitor_rng.pick_weighted(weights) else {
+            // All origins weightless: nothing would ever be visited, so
+            // the arrival process halts here.
+            return;
+        };
+        execute_arrival(
+            self.net,
+            self.system,
+            self.audience,
+            &mut self.report,
+            visitor_rng,
+            &origins[origin_idx],
+            pool,
+            config.client_pool,
+            config.repeat_visitor_rate,
+            at,
+        );
+
+        // Self-schedule the next arrival.
+        if seq < config.visits {
+            let next = at + SimDuration::from_millis_f64(gap.sample(arrivals_rng));
+            self.queue
+                .schedule(next, WorldEvent::BatchArrival { seq: seq + 1 });
+            self.arrivals_pending += 1;
+        }
+    }
+
+    fn finish(self) -> WorldOutcome {
+        let mut report = self.report;
+        let log = match self.mode {
+            Mode::Deployment { returning, log, .. } => {
+                for client in &returning {
+                    report.absorb_session(client);
+                }
+                log
+            }
+            Mode::Batch { pool, .. } => {
+                for client in &pool {
+                    report.absorb_session(client);
+                }
+                Vec::new()
+            }
+        };
+        WorldOutcome {
+            log,
+            report,
+            rollups: self.rollups,
+            policy_changes_applied: self.policy_applied,
+        }
+    }
+}
+
+/// Execute one visit: sample the visitor, acquire a client (pooled
+/// returning visitor or a fresh browser), run the Figure-2 flow, fold
+/// the classified outcome into the report, and retire the client into
+/// the bounded pool (banking its session stats on eviction). Shared
+/// verbatim by both arrival handlers so the acquire/run/retire
+/// accounting — and therefore the bit-equivalence contract — can never
+/// diverge between modes. Returns what the deployment log needs: the
+/// sampled visitor, the client's actual country, and the visit outcome.
+#[allow(clippy::too_many_arguments)]
+fn execute_arrival(
+    net: &mut Network,
+    system: &mut EncoreSystem,
+    audience: &Audience,
+    report: &mut BatchReport,
+    visitor_rng: &mut SimRng,
+    origin: &OriginSite,
+    pool: &mut Vec<BrowserClient>,
+    pool_cap: usize,
+    repeat_visitor_rate: f64,
+    at: SimTime,
+) -> (Visitor, CountryCode, VisitOutcome) {
+    let visitor = audience.sample(visitor_rng);
+
+    // Returning visitor with a warm cache, or a fresh client.
+    let reuse = !pool.is_empty() && visitor_rng.chance(repeat_visitor_rate);
+    let mut client = if reuse {
+        report.clients_reused += 1;
+        let idx = visitor_rng.index(pool.len());
+        pool.swap_remove(idx)
+    } else {
+        report.clients_created += 1;
+        BrowserClient::new(
+            net,
+            visitor.country,
+            visitor.isp,
+            visitor.engine,
+            visitor_rng,
+        )
+    };
+
+    let ua = visitor.user_agent(client.engine);
+    let effective_dwell = visitor.effective_dwell(visitor_rng);
+    let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
+    report.record_visit(&tally_outcome(&outcome));
+
+    let country = client.host.country;
+    if pool.len() < pool_cap {
+        pool.push(client);
+    } else {
+        // Evicted client: bank its session statistics before dropping.
+        report.absorb_session(&client);
+    }
+    (visitor, country, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use censor::policy::{CensorPolicy, Mechanism};
+    use censor::timeline::CensorSpec;
+    use encore::coordination::SchedulingStrategy;
+    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+    use netsim::geo::{country, World};
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::ConstHandler;
+
+    fn deployment_world() -> (Network, EncoreSystem) {
+        let mut net = Network::ideal(World::builtin());
+        net.add_server(
+            "target.example",
+            country("US"),
+            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+        );
+        let tasks = vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }];
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            vec![OriginSite::academic("prof.example")],
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    fn week() -> DeploymentConfig {
+        DeploymentConfig {
+            duration: SimDuration::from_days(7),
+            visits_per_day_per_weight: 30.0,
+            ..DeploymentConfig::default()
+        }
+    }
+
+    #[test]
+    fn neutral_events_do_not_perturb_the_visit_stream() {
+        let audience = Audience::academic();
+        let base = {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(0xABBA);
+            let engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+            engine.run().log
+        };
+        let with_noise = {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(0xABBA);
+            let mut engine =
+                WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+            engine.schedule_maintenance(SimDuration::from_secs(3_600));
+            engine.schedule_rollups(SimDuration::from_days(1));
+            engine.schedule_mutation(SimTime::from_secs(1_000), |_, _| {});
+            engine.run().log
+        };
+        assert_eq!(
+            base, with_noise,
+            "maintenance/rollup/no-op events must be RNG- and behaviour-neutral"
+        );
+    }
+
+    #[test]
+    fn rollups_fire_periodically_and_monotonically() {
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        let mut rng = SimRng::new(7);
+        let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+        engine.schedule_rollups(SimDuration::from_days(1));
+        let out = engine.run();
+        assert!(out.rollups.len() >= 6, "rollups: {}", out.rollups.len());
+        for w in out.rollups.windows(2) {
+            assert!(w[0].at < w[1].at);
+            assert!(w[0].visits <= w[1].visits);
+            assert!(w[0].collected <= w[1].collected);
+        }
+        let last = out.rollups.last().unwrap();
+        assert!(last.visits <= out.report.visits);
+    }
+
+    #[test]
+    fn deployment_report_tallies_match_the_log() {
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        let mut rng = SimRng::new(0x11);
+        let out = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng).run();
+        assert_eq!(out.report.visits as usize, out.log.len());
+        let origin_loads = out.log.iter().filter(|v| v.outcome.origin_loaded).count();
+        assert_eq!(out.report.origin_loads as usize, origin_loads);
+        assert_eq!(
+            out.report.clients_created + out.report.clients_reused,
+            out.report.visits
+        );
+        assert_eq!(
+            out.report.sim_span,
+            out.log.last().unwrap().at.since(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn timeline_events_toggle_censorship_mid_run() {
+        let run = |with_block: bool| {
+            let (mut net, mut sys) = deployment_world();
+            let audience = Audience::academic();
+            let mut rng = SimRng::new(0x70 + u64::from(with_block));
+            let mut engine =
+                WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+            if with_block {
+                let spec = CensorSpec::new(
+                    country("US"),
+                    CensorPolicy::named("mid-run-block")
+                        .block_domain("target.example", Mechanism::DnsNxDomain),
+                );
+                engine.schedule_timeline(
+                    PolicyTimeline::new()
+                        .at(SimTime::from_secs(2 * 86_400), PolicyChange::Install(spec))
+                        .at(
+                            SimTime::from_secs(5 * 86_400),
+                            PolicyChange::Lift {
+                                name: "mid-run-block".into(),
+                            },
+                        ),
+                );
+            }
+            engine.run()
+        };
+        let blocked = run(true);
+        assert_eq!(blocked.policy_changes_applied, 2);
+        let failed_mid = blocked
+            .log
+            .iter()
+            .filter(|v| {
+                let day = v.at.as_secs() / 86_400;
+                (2..5).contains(&day) && tally_outcome(&v.outcome).tasks_failed > 0
+            })
+            .count();
+        assert!(failed_mid > 5, "block window saw {failed_mid} failures");
+        // Outside the window the target stays reachable.
+        let failed_outside = blocked
+            .log
+            .iter()
+            .filter(|v| {
+                let day = v.at.as_secs() / 86_400;
+                !(2..6).contains(&day) && tally_outcome(&v.outcome).tasks_failed > 0
+            })
+            .count();
+        assert_eq!(failed_outside, 0, "failures outside the block window");
+
+        let open = run(false);
+        assert_eq!(open.policy_changes_applied, 0);
+        assert!(open
+            .log
+            .iter()
+            .all(|v| tally_outcome(&v.outcome).tasks_failed == 0));
+    }
+
+    #[test]
+    fn pre_applied_timeline_prefix_is_not_replayed() {
+        let spec = || {
+            CensorSpec::new(
+                country("US"),
+                CensorPolicy::named("pre-run-block")
+                    .block_domain("target.example", Mechanism::DnsNxDomain),
+            )
+        };
+        let timeline = || {
+            PolicyTimeline::new()
+                .at(SimTime::ZERO, PolicyChange::Install(spec()))
+                .at(
+                    SimTime::from_secs(3 * 86_400),
+                    PolicyChange::Lift {
+                        name: "pre-run-block".into(),
+                    },
+                )
+        };
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        // The caller replays the t=0 install themselves before the run…
+        let mut tl = timeline();
+        tl.apply_through(&mut net, SimTime::ZERO);
+        assert_eq!(net.middleboxes().len(), 1);
+        let mut rng = SimRng::new(0x42);
+        let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+        // …then hands the same timeline to the engine: only the lift may
+        // fire, and no duplicate censor may ever stack up.
+        engine.schedule_timeline(tl);
+        let out = engine.run();
+        assert_eq!(
+            out.policy_changes_applied, 1,
+            "only the unapplied suffix runs"
+        );
+        assert!(
+            net.middleboxes().is_empty(),
+            "the lift removed the one censor"
+        );
+    }
+
+    #[test]
+    fn reprioritization_switches_strategy_mid_run() {
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        let mut rng = SimRng::new(0x21);
+        let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+        let burst = SchedulingStrategy::CoordinatedBursts {
+            window: SimDuration::from_secs(60),
+        };
+        engine.schedule_reprioritization(SimTime::from_secs(3 * 86_400), burst);
+        engine.run();
+        assert_eq!(sys.coordination.strategy(), burst);
+    }
+
+    #[test]
+    fn mutation_events_can_rewire_the_world() {
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        let mut rng = SimRng::new(0x31);
+        let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+        engine.schedule_mutation(SimTime::from_secs(86_400), |net, _| {
+            net.clear_middleboxes(); // no-op here, but proves &mut access
+        });
+        engine.schedule_mutation(SimTime::from_secs(2 * 86_400), |_, sys| {
+            sys.max_tasks_per_visit = 1;
+        });
+        engine.run();
+        assert_eq!(sys.max_tasks_per_visit, 1);
+    }
+
+    #[test]
+    fn batch_mode_is_deterministic_under_housekeeping() {
+        let go = |housekeeping: bool| {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(5);
+            let config = BatchConfig {
+                visits: 500,
+                ..BatchConfig::default()
+            };
+            let audience = Audience::academic();
+            let mut engine = WorldEngine::batch(&mut net, &mut sys, &audience, &config, &mut rng);
+            if housekeeping {
+                engine.schedule_maintenance(SimDuration::from_secs(600));
+                engine.schedule_rollups(SimDuration::from_secs(600));
+            }
+            (engine.run().report, sys.collection.len())
+        };
+        assert_eq!(go(false).0, go(true).0);
+        assert_eq!(go(true), go(true));
+    }
+}

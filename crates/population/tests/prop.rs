@@ -108,3 +108,111 @@ proptest! {
         }
     }
 }
+
+/// World-engine event-ordering properties: arbitrary interleavings of
+/// scheduled configuration events with the arrival stream must neither
+/// perturb the visit stream (when the events are behaviour-neutral) nor
+/// break run-to-run determinism.
+mod world_engine_props {
+    use super::*;
+    use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
+    use encore::system::EncoreSystem;
+    use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
+    use netsim::geo::country;
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::{ConstHandler, Network};
+    use population::{DeploymentConfig, WorldEngine};
+    use sim_core::SimTime;
+
+    fn tiny_world() -> (Network, EncoreSystem) {
+        let mut net = Network::ideal(World::builtin());
+        net.add_server(
+            "target.example",
+            country("US"),
+            Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+        );
+        let tasks = vec![MeasurementTask {
+            id: MeasurementId(0),
+            spec: TaskSpec::Image {
+                url: "http://target.example/favicon.ico".into(),
+            },
+        }];
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            vec![OriginSite::academic("prof.example")],
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    fn two_days() -> DeploymentConfig {
+        DeploymentConfig {
+            duration: SimDuration::from_days(2),
+            visits_per_day_per_weight: 20.0,
+            ..DeploymentConfig::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        // Neutral events (no-op mutations, maintenance ticks, rollups) at
+        // arbitrary instants — including instants colliding with arrivals
+        // — leave the visit log byte-identical to an event-free run.
+        #[test]
+        fn interleaved_neutral_events_never_perturb_the_visit_stream(
+            seed in any::<u64>(),
+            mutation_secs in proptest::collection::vec(0u64..200_000, 0..6),
+            tick_secs in 600u64..90_000,
+        ) {
+            let audience = Audience::academic();
+            let bare = {
+                let (mut net, mut sys) = tiny_world();
+                let mut rng = SimRng::new(seed);
+                WorldEngine::deployment(&mut net, &mut sys, &audience, &two_days(), &mut rng)
+                    .run()
+                    .log
+            };
+            let noisy = {
+                let (mut net, mut sys) = tiny_world();
+                let mut rng = SimRng::new(seed);
+                let mut engine =
+                    WorldEngine::deployment(&mut net, &mut sys, &audience, &two_days(), &mut rng);
+                for &s in &mutation_secs {
+                    engine.schedule_mutation(SimTime::from_secs(s), |_, _| {});
+                }
+                engine.schedule_maintenance(SimDuration::from_secs(tick_secs));
+                engine.schedule_rollups(SimDuration::from_secs(tick_secs));
+                engine.run().log
+            };
+            prop_assert_eq!(bare, noisy);
+        }
+
+        // A fixed seed plus a fixed event schedule reproduces the full
+        // outcome — log, report, and rollups — run to run.
+        #[test]
+        fn engine_runs_are_reproducible_under_interleaving(
+            seed in any::<u64>(),
+            strategy_switch_secs in 0u64..200_000,
+        ) {
+            let audience = Audience::academic();
+            let go = || {
+                let (mut net, mut sys) = tiny_world();
+                let mut rng = SimRng::new(seed);
+                let mut engine =
+                    WorldEngine::deployment(&mut net, &mut sys, &audience, &two_days(), &mut rng);
+                engine.schedule_reprioritization(
+                    SimTime::from_secs(strategy_switch_secs),
+                    SchedulingStrategy::Random,
+                );
+                engine.schedule_rollups(SimDuration::from_secs(7_200));
+                let out = engine.run();
+                (out.log, out.report, out.rollups)
+            };
+            prop_assert_eq!(go(), go());
+        }
+    }
+}

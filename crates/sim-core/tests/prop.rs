@@ -197,4 +197,51 @@ proptest! {
             last = Some((at, idx));
         }
     }
+
+    // The world engine's backbone: events scheduled *while firing* (the
+    // self-scheduling arrival process, rescheduled maintenance ticks)
+    // must interleave with pre-scheduled events exactly like a reference
+    // stable-sorted list. Ops mix schedules and pops in arbitrary order.
+    #[test]
+    fn queue_matches_reference_model_under_interleaved_schedule_and_fire(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..40), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        // Reference model: (effective_time, seq), popped min-first with
+        // seq as the tie-break.
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        let mut now = 0u64;
+        let mut queue_popped = Vec::new();
+        let mut model_popped = Vec::new();
+        for (is_pop, t) in ops {
+            if is_pop {
+                if let Some((at, id)) = q.pop() {
+                    queue_popped.push((at.as_micros(), id));
+                    now = at.as_micros();
+                }
+                if let Some(pos) = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &entry)| entry)
+                    .map(|(i, _)| i)
+                {
+                    model_popped.push(pending.remove(pos));
+                }
+            } else {
+                // Past scheduling clamps to "now" in both worlds.
+                q.schedule(SimTime::from_micros(t), seq);
+                pending.push((t.max(now), seq));
+                seq += 1;
+            }
+        }
+        prop_assert_eq!(&queue_popped, &model_popped);
+        // Drain the rest: still model-identical.
+        while let Some((at, id)) = q.pop() {
+            queue_popped.push((at.as_micros(), id));
+        }
+        pending.sort_unstable();
+        model_popped.extend(pending);
+        prop_assert_eq!(queue_popped, model_popped);
+    }
 }
