@@ -9,7 +9,8 @@
 //!    success rate vs filtered-page false-success rate.
 //! 4. **GeoIP error rate**: detection recall as geolocation degrades.
 
-use bench::{print_table, seed, write_results, PaperWorld};
+use bench::fixtures::RunArgs;
+use bench::{print_table, PaperWorld};
 use browser::{BrowserClient, Engine};
 use censor::testbed::{FilterVariety, Testbed};
 use encore::pipeline::GenerationConfig;
@@ -32,9 +33,9 @@ struct Ablations {
 }
 
 /// Sweep 1: the image-size cap.
-fn sweep_image_cap(results: &mut Ablations) {
+fn sweep_image_cap(results: &mut Ablations, seed: u64) {
     println!("--- ablation 1: image-size cap (Figure 4 trade-off) ---");
-    let mut pw = PaperWorld::build(&WebConfig::default(), seed());
+    let mut pw = PaperWorld::build(&WebConfig::default(), seed);
     let hars = pw.fetch_corpus_hars();
     let mut rows = Vec::new();
     for cap in [500u64, 1_000, 2_000, 5_000, 20_000] {
@@ -127,7 +128,7 @@ fn sweep_detector_p(results: &mut Ablations) {
 /// including resources embedded by the filtered pages"): the page is
 /// blocked but the probe image is reachable, so a too-loose threshold
 /// lets the uncached probe fetch pass as "cached" — a false success.
-fn sweep_iframe_threshold(results: &mut Ablations) {
+fn sweep_iframe_threshold(results: &mut Ablations, seed: u64) {
     println!("--- ablation 3: iframe cache threshold (Figure 7's 50 ms) ---");
     use censor::national::NationalCensor;
     use censor::policy::{BlockTarget, CensorPolicy, Mechanism};
@@ -150,7 +151,7 @@ fn sweep_iframe_threshold(results: &mut Ablations) {
                     );
                     net.add_middlebox(Box::new(NationalCensor::new(country("DE"), policy)));
                 }
-                let root = SimRng::new(seed() ^ (i << 3) ^ u64::from(filtered));
+                let root = SimRng::new(seed ^ (i << 3) ^ u64::from(filtered));
                 let mut client = BrowserClient::new(
                     &mut net,
                     country("DE"),
@@ -268,10 +269,11 @@ fn sweep_geo_error(results: &mut Ablations) {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let mut results = Ablations::default();
-    sweep_image_cap(&mut results);
+    sweep_image_cap(&mut results, args.seed);
     sweep_detector_p(&mut results);
-    sweep_iframe_threshold(&mut results);
+    sweep_iframe_threshold(&mut results, args.seed);
     sweep_geo_error(&mut results);
-    write_results("ablations", &results);
+    args.write_results("ablations", &results);
 }

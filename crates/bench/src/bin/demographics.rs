@@ -7,8 +7,9 @@
 //! task (the remainder being the campus security scanner); 45% dwelled
 //! >10 s and 35% >60 s.
 
+use bench::fixtures::RunArgs;
 use bench::fixtures::{add_image_server, deploy_us, favicon_tasks};
-use bench::{print_table, seed, write_results};
+use bench::print_table;
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
 use netsim::geo::{country, World};
@@ -30,6 +31,7 @@ struct Demographics {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let mut net = Network::new(World::builtin());
     add_image_server(&mut net, "target.example", 400);
     let origin = OriginSite::academic("professor.university.edu");
@@ -40,7 +42,7 @@ fn main() {
         vec![origin],
     );
 
-    let mut rng = SimRng::new(seed());
+    let mut rng = SimRng::new(args.seed);
     // "The site saw 1,171 visits during course of the month" → ~42/day.
     let config = DeploymentConfig {
         duration: SimDuration::from_days(28),
@@ -118,5 +120,5 @@ fn main() {
             ],
         ],
     );
-    write_results("demographics", &result);
+    args.write_results("demographics", &result);
 }

@@ -15,8 +15,9 @@
 //! * measurement volume concentrated in populous countries (paper: CN,
 //!   IN, GB, BR ≥ 1,000; EG, KR, IR, PK, TR, SA ≥ 100).
 
+use bench::fixtures::RunArgs;
 use bench::fixtures::{deploy_us, favicon_tasks, install_image_targets};
-use bench::{print_table, seed, write_results};
+use bench::print_table;
 use censor::registry::{ground_truth, install_world_censors, SAFE_TARGETS};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
@@ -42,6 +43,7 @@ struct DetectionResult {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let world = World::with_long_tail(170);
     let mut net = Network::new(world.clone());
 
@@ -80,15 +82,13 @@ fn main() {
         origins,
     );
 
-    let mut rng = SimRng::new(seed());
+    let mut rng = SimRng::new(args.seed);
     let audience = Audience::world(&world);
     // Seven months in the paper; the default here is a scaled run that
-    // still yields tens of thousands of measurements. ENCORE_DAYS
+    // still yields tens of thousands of measurements. `--days` /
+    // `ENCORE_DAYS`
     // overrides.
-    let days: u64 = std::env::var("ENCORE_DAYS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let days: u64 = args.days(60);
     let config = DeploymentConfig {
         duration: SimDuration::from_days(days),
         visits_per_day_per_weight: 35.0,
@@ -214,7 +214,7 @@ fn main() {
         ],
     );
 
-    write_results(
+    args.write_results(
         "detection",
         &DetectionResult {
             measurements: sys.collection.len(),

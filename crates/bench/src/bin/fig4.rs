@@ -9,7 +9,8 @@
 //! * over 60% of domains host single-packet (≤1 KB) images;
 //! * a third of domains have hundreds of such images.
 
-use bench::{cdf_rows, print_table, seed, write_results, PaperWorld};
+use bench::fixtures::RunArgs;
+use bench::{cdf_rows, print_table, PaperWorld};
 use encore::pipeline::TaskGenerator;
 use serde::Serialize;
 use sim_core::Cdf;
@@ -30,7 +31,8 @@ struct Fig4 {
 }
 
 fn main() {
-    let mut pw = PaperWorld::build(&WebConfig::default(), seed());
+    let args = RunArgs::parse();
+    let mut pw = PaperWorld::build(&WebConfig::default(), args.seed);
     let hars = pw.fetch_corpus_hars();
     let generator = TaskGenerator::default();
 
@@ -132,5 +134,5 @@ fn main() {
         ],
     );
     let _ = cdf_rows(&result.cdf_all);
-    write_results("fig4", &result);
+    args.write_results("fig4", &result);
 }

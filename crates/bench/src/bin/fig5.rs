@@ -6,7 +6,8 @@
 //! of objects". This is the network overhead a hidden-iframe task would
 //! incur, motivating the prototype's 100 KB page cap.
 
-use bench::{print_table, seed, write_results, PaperWorld};
+use bench::fixtures::RunArgs;
+use bench::{print_table, PaperWorld};
 use serde::Serialize;
 use sim_core::Cdf;
 use websim::generator::WebConfig;
@@ -22,7 +23,8 @@ struct Fig5 {
 }
 
 fn main() {
-    let mut pw = PaperWorld::build(&WebConfig::default(), seed());
+    let args = RunArgs::parse();
+    let mut pw = PaperWorld::build(&WebConfig::default(), args.seed);
     let hars = pw.fetch_corpus_hars();
 
     let sizes_kb: Vec<f64> = hars
@@ -80,5 +82,5 @@ fn main() {
             ],
         ],
     );
-    write_results("fig5", &result);
+    args.write_results("fig5", &result);
 }

@@ -9,7 +9,8 @@
 //! yields §6.1's conclusion: Encore can measure >50% of *domains* but
 //! under 10% of individual *URLs*.
 
-use bench::{print_table, seed, write_results, PaperWorld};
+use bench::fixtures::RunArgs;
+use bench::{print_table, PaperWorld};
 use encore::pipeline::TaskGenerator;
 use serde::Serialize;
 use sim_core::Cdf;
@@ -28,7 +29,8 @@ struct Fig6 {
 }
 
 fn main() {
-    let mut pw = PaperWorld::build(&WebConfig::default(), seed());
+    let args = RunArgs::parse();
+    let mut pw = PaperWorld::build(&WebConfig::default(), args.seed);
     let hars = pw.fetch_corpus_hars();
     let generator = TaskGenerator::default();
 
@@ -128,5 +130,5 @@ fn main() {
             ],
         ],
     );
-    write_results("fig6", &result);
+    args.write_results("fig6", &result);
 }

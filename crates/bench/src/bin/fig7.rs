@@ -9,7 +9,8 @@
 //! the three box plots (uncached, cached, difference) and the fraction of
 //! clients whose difference exceeds the 50 ms decision threshold.
 
-use bench::{print_table, seed, write_results};
+use bench::fixtures::RunArgs;
+use bench::print_table;
 use browser::{BrowserClient, Engine};
 use netsim::geo::{country, World};
 use netsim::http::{ContentType, HttpResponse};
@@ -29,6 +30,7 @@ struct Fig7 {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let world = World::with_long_tail(170);
     let mut net = Network::new(world.clone());
     net.add_server(
@@ -36,7 +38,7 @@ fn main() {
         country("US"),
         Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 68))),
     );
-    let root = SimRng::new(seed());
+    let root = SimRng::new(args.seed);
     let mut sample_rng = root.fork("fig7-sampling");
     let audience = Audience::world(&world);
 
@@ -125,5 +127,5 @@ fn main() {
             ],
         ],
     );
-    write_results("fig7", &result);
+    args.write_results("fig7", &result);
 }

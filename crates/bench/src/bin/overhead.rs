@@ -7,7 +7,8 @@
 //! overheads that are usually an insignificant fraction of a page's
 //! network usage."
 
-use bench::{print_table, seed, write_results, PaperWorld};
+use bench::fixtures::RunArgs;
+use bench::{print_table, PaperWorld};
 use encore::delivery::{render_snippet, render_task_js, SNIPPET_BYTES};
 use encore::pipeline::{GenerationConfig, TaskGenerator};
 use encore::tasks::TaskType;
@@ -25,10 +26,11 @@ struct Overhead {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let snippet = render_snippet("coordinator.encore-repro.net");
 
     // Typical fetched bytes per task type, from the generated task pool.
-    let mut pw = PaperWorld::build(&WebConfig::default(), seed());
+    let mut pw = PaperWorld::build(&WebConfig::default(), args.seed);
     let hars = pw.fetch_corpus_hars();
     let page_sizes: Vec<f64> = hars
         .iter()
@@ -136,5 +138,5 @@ fn main() {
             ],
         ],
     );
-    write_results("overhead", &result);
+    args.write_results("overhead", &result);
 }

@@ -3,8 +3,8 @@
 //! a deployed Encore would publish, in the spirit of ONI country
 //! profiles but grounded in continuous measurement.
 
+use bench::fixtures::RunArgs;
 use bench::fixtures::{deploy_us, favicon_tasks, install_image_targets, volunteer_origins};
-use bench::{seed, write_results};
 use censor::registry::{install_world_censors, SAFE_TARGETS};
 use encore::coordination::SchedulingStrategy;
 use encore::reports::{country_reports, render_markdown};
@@ -15,6 +15,7 @@ use population::{run_deployment, Audience, DeploymentConfig};
 use sim_core::{SimDuration, SimRng};
 
 fn main() {
+    let args = RunArgs::parse();
     let world = World::with_long_tail(170);
     let mut net = Network::new(world.clone());
     install_image_targets(&mut net, &SAFE_TARGETS);
@@ -26,7 +27,7 @@ fn main() {
         SchedulingStrategy::RoundRobin,
         volunteer_origins("origin", 8, 2.0),
     );
-    let mut rng = SimRng::new(seed());
+    let mut rng = SimRng::new(args.seed);
     let config = DeploymentConfig {
         duration: SimDuration::from_days(21),
         visits_per_day_per_weight: 30.0,
@@ -59,5 +60,5 @@ fn main() {
         let _ = std::fs::write("results/report.md", &markdown);
         eprintln!("[written \"results/report.md\"]");
     }
-    write_results("report", &reports);
+    args.write_results("report", &reports);
 }

@@ -7,19 +7,21 @@
 //! it (a fast parallel engine that changes the science is worthless).
 //!
 //! Output: a table of `shards → visits/s → speedup` against the serial
-//! batch driver, plus `results/scale.json`. Environment overrides:
-//! `ENCORE_VISITS` (total visits per run, default 100 000),
-//! `ENCORE_MAX_SHARDS` (highest shard count, default 8), `ENCORE_SEED`.
+//! batch driver, plus `results/scale.json`. Overrides (CLI flag or env,
+//! via `bench::fixtures::RunArgs`): `--visits`/`ENCORE_VISITS` (total
+//! visits per run, default 100 000), `--shards`/`ENCORE_SHARDS` (highest
+//! shard count in the sweep, default 8), `--seed`/`ENCORE_SEED`.
 //!
 //! Exit is non-zero if determinism is violated (1-shard run differing
 //! from the serial driver, or a repeated run differing from itself), or
 //! if the throughput gate fails. The gate asks for 40% parallel
 //! efficiency of the hardware thread count, capped at the 4× target
 //! (reached at ≥ 10 threads) and floored at 0.4× on a single core;
-//! `ENCORE_MIN_SPEEDUP` overrides it.
+//! `--min-speedup`/`ENCORE_MIN_SPEEDUP` overrides it.
 
+use bench::fixtures::RunArgs;
+use bench::print_table;
 use bench::shard_fixture::{batch, build_censored as build};
-use bench::{print_table, seed, write_results};
 use netsim::geo::World;
 use population::shard::ShardContext;
 use population::{run_sharded_batch, run_visit_batch, Audience, ShardedBatchConfig};
@@ -46,17 +48,11 @@ struct ScaleResult {
     verdicts_stable: bool,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let visits = env_u64("ENCORE_VISITS", 100_000);
-    let max_shards = env_u64("ENCORE_MAX_SHARDS", 8) as usize;
-    let seed = seed();
+    let args = RunArgs::parse();
+    let visits = args.visits(100_000);
+    let max_shards = args.shards(8);
+    let seed = args.seed;
     let audience = Audience::world(&World::builtin());
     let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -150,7 +146,7 @@ fn main() {
         .map(|p| p.speedup_vs_serial)
         .fold(0.0f64, f64::max);
 
-    write_results(
+    args.write_results(
         "scale",
         &ScaleResult {
             visits,
@@ -171,10 +167,7 @@ fn main() {
     // overrides for stricter or laxer environments — wall-clock speedup
     // on shared CI runners is inherently noisy, so the default leans
     // lenient; determinism violations always fail regardless.
-    let required = std::env::var("ENCORE_MIN_SPEEDUP")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or_else(|| (0.4 * hardware as f64).clamp(0.4, 4.0));
+    let required = args.min_speedup((0.4 * hardware as f64).clamp(0.4, 4.0));
     let throughput_ok = best >= required;
     if !throughput_ok {
         eprintln!(

@@ -15,7 +15,8 @@
 //! * the iframe task is noisier (timing-based) but still separates
 //!   filtered from control.
 
-use bench::{print_table, seed, write_results};
+use bench::fixtures::RunArgs;
+use bench::print_table;
 use censor::testbed::{FilterVariety, Testbed};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
@@ -77,6 +78,7 @@ struct Soundness {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let world = World::with_long_tail(170);
     let mut net = Network::new(world.clone());
     let tb = Testbed::install(&mut net);
@@ -97,7 +99,7 @@ fn main() {
         country("US"),
     );
 
-    let mut rng = SimRng::new(seed());
+    let mut rng = SimRng::new(args.seed);
     let audience = Audience::world(&world);
     let config = DeploymentConfig {
         duration: SimDuration::from_days(90), // the paper's three months
@@ -226,7 +228,7 @@ fn main() {
         ],
     );
 
-    write_results(
+    args.write_results(
         "soundness",
         &Soundness {
             total_measurements: results,

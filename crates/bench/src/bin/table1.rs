@@ -12,7 +12,8 @@
 //! * inline frames: cache-timing inference, cacheable-image pages only;
 //! * scripts: Chrome only (onload iff HTTP 200).
 
-use bench::{print_table, write_results};
+use bench::fixtures::RunArgs;
+use bench::print_table;
 use browser::{BrowserClient, Engine};
 use censor::testbed::{FilterVariety, Testbed};
 use encore::tasks::{
@@ -54,6 +55,7 @@ fn spec_for(task_type: TaskType, tb: &Testbed, v: FilterVariety) -> TaskSpec {
 }
 
 fn main() {
+    let args = RunArgs::parse();
     let mut matrix = Vec::new();
     let mut detects: BTreeMap<(TaskType, Engine), (bool, usize)> = BTreeMap::new();
 
@@ -180,7 +182,7 @@ fn main() {
     println!("\npaper shape: image/stylesheet detect everywhere; script is");
     println!("Chrome-only (not scheduled elsewhere); iframe detects via cache timing.");
 
-    write_results(
+    args.write_results(
         "table1",
         &Table1 {
             matrix,

@@ -3,135 +3,84 @@
 //! Not a numbered figure in the paper, but its core motivation (§1):
 //! censorship "varies over time in response to changing social or
 //! political conditions (e.g., a national election)" and measuring it
-//! requires *continuous* collection. We simulate a 30-day deployment on
-//! **one continuously-running event-driven world**
-//! (`population::world::WorldEngine`): Turkey's March-2014-style Twitter
+//! requires *continuous* collection. We simulate a 30-day deployment of
+//! the `bench::world_fixture` recipe: Turkey's March-2014-style Twitter
 //! block is a `censor::timeline::PolicyTimeline` with an install event
 //! at day 10 and a lift event at day 20, fired between visit arrivals on
-//! the same queue. The policy changes mutate the live network through
-//! the middlebox generation counter — warm pooled clients' compiled
-//! session pipelines invalidate and re-match, no per-day world rebuilds,
-//! no phase restarts — and the windowed detector localises both
+//! one continuously-running event-driven world
+//! (`population::world::WorldEngine`). The policy changes mutate the
+//! live network through the middlebox generation counter — warm pooled
+//! clients' compiled session pipelines invalidate and re-match, no
+//! per-day world rebuilds — and the windowed detector localises both
 //! transitions to the correct day.
 //!
-//! Output is byte-reproducible for a fixed seed; CI diffs
-//! `results/timeline.json` against `tests/golden/timeline.json`.
+//! `--shards N` (or `ENCORE_SHARDS`) runs the same recipe across N OS
+//! threads via `population::run_sharded_world`: the timeline broadcasts
+//! to every shard, arrivals thin 1/N, and the merged collection feeds
+//! one detector. At one shard the run is byte-identical to the serial
+//! engine (CI diffs `results/timeline.json` against
+//! `tests/golden/timeline.json`); at more shards the *verdict* — onset
+//! day, lift day — must still match the serial golden, which this
+//! binary checks itself when `--golden PATH`-less CI hands it
+//! `tests/golden/timeline.json` via the default path.
 
-use bench::fixtures::{add_image_server, deploy_us, favicon_tasks};
-use bench::{print_table, seed, write_results};
-use censor::policy::{CensorPolicy, Mechanism};
-use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
-use encore::coordination::SchedulingStrategy;
-use encore::delivery::OriginSite;
-use encore::{FilteringDetector, GeoDb};
+use bench::fixtures::RunArgs;
+use bench::print_table;
+use bench::world_fixture::{self, TimelineJudgment, LIFT_DAY, ONSET_DAY, TARGET};
 use netsim::geo::{country, World};
-use netsim::network::Network;
-use population::world::WorldEngine;
-use population::{Audience, DeploymentConfig};
-use serde::Serialize;
-use sim_core::{SimDuration, SimRng, SimTime};
-
-/// Ground truth: block switches on at day 10 and lifts at day 20.
-const ONSET_DAY: u64 = 10;
-const LIFT_DAY: u64 = 20;
+use population::{run_sharded_world, Audience, RollupSeries};
+use serde::{Deserialize, Serialize};
 
 #[derive(Serialize)]
 struct Timeline {
+    shards: usize,
     days: Vec<(u64, usize, bool)>, // (day, measurements, TR flagged)
     onset_day: Option<u64>,
     lift_day: Option<u64>,
     policy_changes_applied: usize,
-    rollups: Vec<(u64, u64, usize)>, // (day, visits so far, collected so far)
+    rollups: RollupSeries,
     visits: u64,
 }
 
-fn day(d: u64) -> SimTime {
-    SimTime::from_secs(d * 86_400)
+/// The verdict fields of a previously written timeline artifact — what a
+/// sharded run must agree with the serial golden on.
+#[derive(Deserialize)]
+struct GoldenVerdict {
+    onset_day: Option<u64>,
+    lift_day: Option<u64>,
 }
 
 fn main() {
-    let world = World::builtin();
-    let mut net = Network::new(world.clone());
-    add_image_server(&mut net, "twitter.com", 500);
+    let args = RunArgs::parse();
+    let shards = args.shards(1);
+    let days = args.days(30);
 
-    let origins = vec![
-        OriginSite::academic("origin-a.example").with_popularity(5.0),
-        OriginSite::academic("origin-b.example").with_popularity(5.0),
-    ];
-    let mut sys = deploy_us(
-        &mut net,
-        favicon_tasks(&["twitter.com"]),
-        SchedulingStrategy::RoundRobin,
-        origins,
-    );
+    // High enough that Turkey's daily measurement cell clears the
+    // detector's minimum-n guard with day-level statistical power.
+    let recipe = world_fixture::recipe(days, 150.0);
+    let audience = Audience::world(&World::builtin());
+    let run = run_sharded_world(&world_fixture::build, &audience, &recipe, shards, args.seed);
 
-    // The March-2014-style block as scheduled world events.
-    let timeline = PolicyTimeline::new()
-        .at(
-            day(ONSET_DAY),
-            PolicyChange::Install(CensorSpec::new(
-                country("TR"),
-                CensorPolicy::named("tr-election-block")
-                    .block_domain("twitter.com", Mechanism::DnsNxDomain),
-            )),
-        )
-        .at(
-            day(LIFT_DAY),
-            PolicyChange::Lift {
-                name: "tr-election-block".into(),
-            },
-        );
+    let TimelineJudgment {
+        days: day_rows,
+        onset_day,
+        lift_day,
+    } = world_fixture::judge_timeline(&run.collection.records, &run.geo, country("TR"), TARGET);
 
-    let mut rng = SimRng::new(seed());
-    let audience = Audience::world(&world);
-    let config = DeploymentConfig {
-        duration: SimDuration::from_days(30),
-        // High enough that Turkey's daily measurement cell clears the
-        // detector's minimum-n guard with day-level statistical power.
-        visits_per_day_per_weight: 150.0,
-        ..DeploymentConfig::default()
-    };
-
-    let mut engine = WorldEngine::deployment(&mut net, &mut sys, &audience, &config, &mut rng);
-    engine.schedule_timeline(timeline);
-    // Daily progress rollups and hourly session maintenance, all on the
-    // same queue as the arrivals and the policy changes.
-    engine.schedule_rollups(SimDuration::from_days(1));
-    engine.schedule_maintenance(SimDuration::from_secs(3_600));
-    let outcome = engine.run();
-
-    let geo = GeoDb::from_allocator(&net.allocator);
-    let detector = FilteringDetector::default();
-    let reports =
-        detector.detect_windows(&sys.collection.records(), &geo, SimDuration::from_days(1));
-
-    let mut days = Vec::new();
-    let mut onset = None;
-    let mut lift = None;
-    let mut prev_flagged = false;
-    for r in &reports {
-        let flagged = r
-            .detections
-            .iter()
-            .any(|d| d.country == country("TR") && d.domain == "twitter.com");
-        if flagged && !prev_flagged && onset.is_none() {
-            onset = Some(r.window);
-        }
-        if !flagged && prev_flagged && onset.is_some() && lift.is_none() {
-            lift = Some(r.window);
-        }
-        prev_flagged = flagged;
-        days.push((r.window, r.measurements, flagged));
-    }
-
-    println!("=== timeline: Turkey blocks twitter.com on day 10, lifts on day 20 ===");
     println!(
-        "({} visits on one continuously-running world; {} policy events; one detector window per day)\n",
-        outcome.report.visits, outcome.policy_changes_applied
+        "=== timeline: Turkey blocks {TARGET} on day {ONSET_DAY}, lifts on day {LIFT_DAY} ==="
+    );
+    // The effective configuration is printed so a stray `ENCORE_*`
+    // variable (or flag) is immediately visible when a golden diff
+    // fails.
+    println!(
+        "({} visits over {days} days, seed {:#x}, across {} shard(s); {} policy events; \
+         one detector window per day)\n",
+        run.outcome.report.visits, args.seed, shards, run.outcome.policy_changes_applied
     );
     print_table(
         &["day", "measurements", "TR flagged"],
-        &days
+        &day_rows
             .iter()
             .map(|(d, m, f)| {
                 vec![
@@ -153,29 +102,84 @@ fn main() {
             vec![
                 "block onset".into(),
                 format!("day {ONSET_DAY}"),
-                onset.map(|d| format!("day {d}")).unwrap_or("missed".into()),
+                onset_day
+                    .map(|d| format!("day {d}"))
+                    .unwrap_or("missed".into()),
             ],
             vec![
                 "block lifted".into(),
                 format!("day {LIFT_DAY}"),
-                lift.map(|d| format!("day {d}")).unwrap_or("missed".into()),
+                lift_day
+                    .map(|d| format!("day {d}"))
+                    .unwrap_or("missed".into()),
             ],
         ],
     );
 
-    write_results(
-        "timeline",
+    let name = if shards == 1 {
+        "timeline".to_string()
+    } else {
+        format!("timeline_shards{shards}")
+    };
+    args.write_results(
+        &name,
         &Timeline {
-            days,
-            onset_day: onset,
-            lift_day: lift,
-            policy_changes_applied: outcome.policy_changes_applied,
-            rollups: outcome
-                .rollups
-                .iter()
-                .map(|r| (r.at.as_secs() / 86_400, r.visits, r.collected))
-                .collect(),
-            visits: outcome.report.visits,
+            shards,
+            days: day_rows,
+            onset_day,
+            lift_day,
+            policy_changes_applied: run.outcome.policy_changes_applied,
+            rollups: run.outcome.rollups.clone(),
+            visits: run.outcome.report.visits,
         },
     );
+
+    // Sharded runs gate themselves against the serial golden: detector
+    // verdicts (onset/lift localisation) are required to be
+    // shard-count-invariant even though the sampled visit stream is not.
+    // The golden was recorded at the default (days, seed), so the gate
+    // only engages there — a `--days 5` run legitimately never sees the
+    // day-10 onset and must not be reported as drift.
+    let golden_parameters = days == 30 && args.seed == bench::DEFAULT_SEED;
+    if shards > 1 && !golden_parameters {
+        eprintln!(
+            "[non-default days/seed: skipping the serial-golden verdict check, \
+             which is only meaningful at days=30, seed={:#x}]",
+            bench::DEFAULT_SEED
+        );
+    }
+    if shards > 1 && golden_parameters {
+        let golden_path = std::path::Path::new("tests/golden/timeline.json");
+        match std::fs::read_to_string(golden_path) {
+            Ok(json) => match serde_json::from_str::<GoldenVerdict>(&json) {
+                Ok(golden) => {
+                    if golden.onset_day != onset_day || golden.lift_day != lift_day {
+                        eprintln!(
+                            "VERDICT DRIFT at {shards} shards: serial golden localises \
+                             onset={:?} lift={:?}, this run localises onset={onset_day:?} \
+                             lift={lift_day:?}",
+                            golden.onset_day, golden.lift_day
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "\n[{shards}-shard verdict matches the serial golden: \
+                         onset day {onset_day:?}, lift day {lift_day:?}]"
+                    );
+                }
+                Err(e) => {
+                    // At golden parameters the gate must never pass
+                    // vacuously — an unreadable golden is a failure,
+                    // not a skip (CI runs from the repo root where the
+                    // golden is always present).
+                    eprintln!("VERDICT GATE BROKEN: golden verdict unreadable: {e:?}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("VERDICT GATE BROKEN: no serial golden at {golden_path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,188 @@
+//! World scale — visits/s of the **sharded world engine** vs shard
+//! count, on the longitudinal Turkey-timeline workload.
+//!
+//! The `scale` binary gates the flat batch driver; this binary gates the
+//! piece the ROADMAP's "production-scale, fast as the hardware allows"
+//! north star was still missing: event-driven longitudinal scenarios
+//! (policy timelines, rollups, maintenance — the full
+//! `bench::world_fixture` recipe) executing across all cores via
+//! `population::run_sharded_world`, with control events broadcast to
+//! every shard and arrivals thinned 1/N.
+//!
+//! Determinism is re-checked while timing (a fast parallel engine that
+//! changes the science is worthless):
+//!
+//! * the 1-shard sharded run must be **byte-identical** to the serial
+//!   `WorldEngine::from_recipe` replay of the same recipe;
+//! * detector verdicts — Turkey onset/lift localisation — must be
+//!   invariant across every swept shard count;
+//! * a repeated run at the top shard count must reproduce byte-for-byte.
+//!
+//! Output: a table of `shards → visits/s → speedup` plus
+//! `results/world_scale.json`. Overrides (CLI flag or env, via
+//! `bench::fixtures::RunArgs`): `--days`/`ENCORE_DAYS` (simulated days,
+//! default 30), `--shards`/`ENCORE_SHARDS` (highest shard count in the
+//! sweep, default 8), `--seed`/`ENCORE_SEED`,
+//! `--min-speedup`/`ENCORE_MIN_SPEEDUP` (throughput gate override; the
+//! default asks for 40% parallel efficiency of the hardware thread
+//! count, capped at 4× and floored at 0.4×, exactly like `scale`).
+//! Exit is non-zero on any determinism violation or a failed gate.
+
+use bench::fixtures::RunArgs;
+use bench::print_table;
+use bench::world_fixture::{self, TimelineJudgment, TARGET};
+use netsim::geo::{country, World};
+use population::shard::ShardContext;
+use population::{run_sharded_world, Audience, WorldEngine};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WorldShardPoint {
+    shards: usize,
+    visits_per_sec: f64,
+    speedup_vs_serial: f64,
+    onset_day: Option<u64>,
+    lift_day: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct WorldScaleResult {
+    days: u64,
+    serial_visits: u64,
+    hardware_threads: usize,
+    serial_visits_per_sec: f64,
+    points: Vec<WorldShardPoint>,
+    lockstep_ok: bool,
+    reproducible_ok: bool,
+    verdicts_stable: bool,
+}
+
+fn main() {
+    let args = RunArgs::parse();
+    let days = args.days(30);
+    let max_shards = args.shards(8);
+    let seed = args.seed;
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let recipe = world_fixture::recipe(days, 150.0);
+    let audience = Audience::world(&World::builtin());
+
+    // Serial baseline: the engine replaying the recipe on one thread.
+    // World construction stays inside the timed region on both sides
+    // (each shard builds its own world on its thread).
+    let t0 = Instant::now();
+    let (mut net, mut sys) = world_fixture::build(ShardContext {
+        index: 0,
+        shards: 1,
+    });
+    let mut rng = sim_core::SimRng::new(seed);
+    let serial = WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run();
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_visits = serial.report.visits;
+    let serial_vps = serial_visits as f64 / serial_secs;
+    let serial_snapshot = sys.collection.snapshot();
+
+    let shard_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&s| s <= max_shards.max(1))
+        .collect();
+
+    let mut points = Vec::new();
+    let mut lockstep_ok = true;
+    let mut rows = vec![vec![
+        "serial".to_string(),
+        format!("{serial_vps:.0}"),
+        "1.00x".to_string(),
+        "-".to_string(),
+    ]];
+    let mut verdicts: Vec<TimelineJudgment> = Vec::new();
+
+    for &shards in &shard_counts {
+        let t = Instant::now();
+        let run = run_sharded_world(&world_fixture::build, &audience, &recipe, shards, seed);
+        let secs = t.elapsed().as_secs_f64();
+        let vps = run.outcome.report.visits as f64 / secs;
+
+        if shards == 1 && (run.outcome != serial || run.collection != serial_snapshot) {
+            eprintln!("DETERMINISM VIOLATION: 1-shard world run differs from the serial engine");
+            lockstep_ok = false;
+        }
+        let judgment =
+            world_fixture::judge_timeline(&run.collection.records, &run.geo, country("TR"), TARGET);
+
+        rows.push(vec![
+            shards.to_string(),
+            format!("{vps:.0}"),
+            format!("{:.2}x", vps / serial_vps),
+            format!("{:?}/{:?}", judgment.onset_day, judgment.lift_day),
+        ]);
+        points.push(WorldShardPoint {
+            shards,
+            visits_per_sec: vps,
+            speedup_vs_serial: vps / serial_vps,
+            onset_day: judgment.onset_day,
+            lift_day: judgment.lift_day,
+        });
+        verdicts.push(judgment);
+    }
+
+    let verdicts_stable = verdicts
+        .windows(2)
+        .all(|w| w[0].onset_day == w[1].onset_day && w[0].lift_day == w[1].lift_day);
+    if !verdicts_stable {
+        eprintln!("DETERMINISM VIOLATION: timeline verdicts vary with shard count");
+    }
+
+    // Reproducibility at the highest shard count, on a shorter world.
+    let top = *shard_counts.last().unwrap();
+    let short = world_fixture::recipe(days.min(10), 150.0);
+    let go = || run_sharded_world(&world_fixture::build, &audience, &short, top, seed);
+    let (a, b) = (go(), go());
+    let reproducible_ok = a.outcome == b.outcome && a.collection == b.collection;
+    if !reproducible_ok {
+        eprintln!("DETERMINISM VIOLATION: fixed (seed, shards) world run not reproducible");
+    }
+
+    println!(
+        "Sharded world engine — {days} simulated days ({serial_visits} visits), \
+         seed {seed:#x}, {hardware} hw thread(s)"
+    );
+    print_table(&["shards", "visits/s", "speedup", "onset/lift"], &rows);
+
+    let best = points
+        .iter()
+        .map(|p| p.speedup_vs_serial)
+        .fold(0.0f64, f64::max);
+
+    args.write_results(
+        "world_scale",
+        &WorldScaleResult {
+            days,
+            serial_visits,
+            hardware_threads: hardware,
+            serial_visits_per_sec: serial_vps,
+            points,
+            lockstep_ok,
+            reproducible_ok,
+            verdicts_stable,
+        },
+    );
+
+    // Parallelism-aware throughput gate, same shape as `scale`'s:
+    // wall-clock speedup on shared runners is noisy, so the default
+    // scales with what the machine can physically show; determinism
+    // violations always fail regardless.
+    let required = args.min_speedup((0.4 * hardware as f64).clamp(0.4, 4.0));
+    let throughput_ok = best >= required;
+    if !throughput_ok {
+        eprintln!(
+            "THROUGHPUT REGRESSION: best speedup {best:.2}x < required {required:.2}x \
+             ({hardware} hw threads)"
+        );
+    }
+
+    if !(lockstep_ok && reproducible_ok && verdicts_stable && throughput_ok) {
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,159 @@ use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use netsim::geo::{country, CountryCode};
 use netsim::http::{ContentType, HttpResponse};
 use netsim::network::{ConstHandler, Network};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Shared CLI/env argument handling for every `src/bin/*.rs` experiment
+/// binary — one parser instead of thirteen hand-rolled `std::env::var`
+/// snippets.
+///
+/// Each knob reads, in priority order: a CLI flag (`--seed N`,
+/// `--visits N`, `--shards N`, `--days N`, `--out DIR`,
+/// `--min-speedup X`; `--flag=value` also accepted), then the
+/// corresponding `ENCORE_*` environment variable (`ENCORE_SEED`,
+/// `ENCORE_VISITS`, `ENCORE_SHARDS`, `ENCORE_DAYS`, `ENCORE_OUT`,
+/// `ENCORE_MIN_SPEEDUP`), then the binary's default. Unknown flags are
+/// ignored so harness wrappers can pass extra arguments through;
+/// supplied-but-unparseable values warn on stderr before falling back.
+/// Seeds accept both decimal and the `0x…` hex form the binaries print.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Root experiment seed.
+    pub seed: u64,
+    visits: Option<u64>,
+    shards: Option<usize>,
+    days: Option<u64>,
+    min_speedup: Option<f64>,
+    out_dir: PathBuf,
+}
+
+impl RunArgs {
+    /// Parse from the process's actual CLI arguments and environment.
+    pub fn parse() -> RunArgs {
+        RunArgs::from_sources(std::env::args().skip(1), |key| std::env::var(key).ok())
+    }
+
+    fn from_sources(
+        args: impl IntoIterator<Item = String>,
+        env: impl Fn(&str) -> Option<String>,
+    ) -> RunArgs {
+        let mut values: std::collections::BTreeMap<&'static str, String> =
+            std::collections::BTreeMap::new();
+        let flags = [
+            ("--seed", "seed"),
+            ("--visits", "visits"),
+            ("--shards", "shards"),
+            ("--days", "days"),
+            ("--min-speedup", "min_speedup"),
+            ("--out", "out"),
+        ];
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            for (flag, key) in flags {
+                if arg == flag {
+                    // Never consume another flag as this flag's value —
+                    // `--seed --shards 4` must not silently swallow
+                    // `--shards`.
+                    match it.peek() {
+                        Some(v) if !v.starts_with("--") => {
+                            values.insert(key, v.clone());
+                            it.next();
+                        }
+                        _ => eprintln!("[{flag} given without a value, ignoring]"),
+                    }
+                } else if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    values.insert(key, v.to_string());
+                }
+            }
+        }
+        let envs = [
+            ("ENCORE_SEED", "seed"),
+            ("ENCORE_VISITS", "visits"),
+            ("ENCORE_SHARDS", "shards"),
+            ("ENCORE_DAYS", "days"),
+            ("ENCORE_MIN_SPEEDUP", "min_speedup"),
+            ("ENCORE_OUT", "out"),
+        ];
+        for (var, key) in envs {
+            if !values.contains_key(key) {
+                if let Some(v) = env(var) {
+                    values.insert(key, v);
+                }
+            }
+        }
+        // A supplied-but-unparseable value is warned about, never
+        // silently replaced by the default — a run that claims a seed
+        // must actually use it or say it did not.
+        fn parsed<T: std::str::FromStr>(
+            values: &std::collections::BTreeMap<&'static str, String>,
+            key: &'static str,
+        ) -> Option<T> {
+            let raw = values.get(key)?;
+            match raw.parse() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!("[ignoring unparseable {key} value {raw:?}, using the default]");
+                    None
+                }
+            }
+        }
+        // Binaries print seeds in hex, so `--seed 0xe7c02015` round-trips.
+        let seed = values.get("seed").and_then(|raw| {
+            let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse(),
+            };
+            match parsed {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!("[ignoring unparseable seed value {raw:?}, using the default]");
+                    None
+                }
+            }
+        });
+        RunArgs {
+            seed: seed.unwrap_or(crate::DEFAULT_SEED),
+            visits: parsed(&values, "visits"),
+            shards: parsed(&values, "shards"),
+            days: parsed(&values, "days"),
+            min_speedup: parsed(&values, "min_speedup"),
+            out_dir: values
+                .get("out")
+                .map_or_else(|| PathBuf::from("results"), PathBuf::from),
+        }
+    }
+
+    /// Visit count, with a per-binary default.
+    pub fn visits(&self, default: u64) -> u64 {
+        self.visits.unwrap_or(default)
+    }
+
+    /// Shard count, with a per-binary default (clamped to at least 1).
+    pub fn shards(&self, default: usize) -> usize {
+        self.shards.unwrap_or(default).max(1)
+    }
+
+    /// Simulated days, with a per-binary default.
+    pub fn days(&self, default: u64) -> u64 {
+        self.days.unwrap_or(default)
+    }
+
+    /// Throughput-gate override, with a machine-derived default.
+    pub fn min_speedup(&self, default: f64) -> f64 {
+        self.min_speedup.unwrap_or(default)
+    }
+
+    /// Directory JSON artifacts are written to (default `results/`).
+    pub fn out_dir(&self) -> &std::path::Path {
+        &self.out_dir
+    }
+
+    /// Write an experiment's JSON artifact as `<out>/<name>.json`.
+    pub fn write_results<T: Serialize>(&self, name: &str, value: &T) {
+        crate::write_results_to(&self.out_dir, name, value);
+    }
+}
 
 /// Install a US-hosted server answering every request with a constant
 /// image of `bytes` bytes — the standard measurement-target stand-in
@@ -108,6 +261,62 @@ mod tests {
             let resp = out.result.expect("target reachable");
             assert_eq!(resp.content_type, ContentType::Image);
         }
+    }
+
+    #[test]
+    fn run_args_priority_is_cli_then_env_then_default() {
+        let args = |cli: &[&str], env_pairs: &[(&str, &str)]| {
+            let env_pairs: Vec<(String, String)> = env_pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            RunArgs::from_sources(cli.iter().map(|s| s.to_string()), move |key| {
+                env_pairs
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            })
+        };
+
+        // Defaults.
+        let a = args(&[], &[]);
+        assert_eq!(a.seed, crate::DEFAULT_SEED);
+        assert_eq!(a.visits(100), 100);
+        assert_eq!(a.shards(1), 1);
+        assert_eq!(a.out_dir(), std::path::Path::new("results"));
+
+        // Env overrides defaults.
+        let a = args(&[], &[("ENCORE_SEED", "7"), ("ENCORE_VISITS", "500")]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.visits(100), 500);
+
+        // CLI overrides env; both --flag v and --flag=v forms.
+        let a = args(
+            &["--seed", "9", "--shards=4", "--out", "elsewhere"],
+            &[("ENCORE_SEED", "7"), ("ENCORE_SHARDS", "2")],
+        );
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.shards(1), 4);
+        assert_eq!(a.out_dir(), std::path::Path::new("elsewhere"));
+
+        // Unknown flags and malformed values fall through harmlessly.
+        let a = args(&["--bench", "--visits", "not-a-number"], &[]);
+        assert_eq!(a.visits(123), 123);
+
+        // A flag with a missing value never swallows the next flag.
+        let a = args(&["--seed", "--shards", "4"], &[]);
+        assert_eq!(a.seed, crate::DEFAULT_SEED);
+        assert_eq!(a.shards(1), 4);
+
+        // Hex seeds round-trip from the form the binaries print.
+        let a = args(&["--seed", "0x3039"], &[]);
+        assert_eq!(a.seed, 12345);
+        let a = args(&[], &[("ENCORE_SEED", "0XE7C02015")]);
+        assert_eq!(a.seed, 0xE7C0_2015);
+
+        // Shards clamp to at least 1.
+        let a = args(&["--shards", "0"], &[]);
+        assert_eq!(a.shards(8), 1);
     }
 
     #[test]

@@ -21,16 +21,10 @@ use websim::har::Har;
 use websim::site::SiteHandler;
 use websim::{SearchIndex, UrlPattern};
 
-/// Default root seed for all experiments (override with `ENCORE_SEED`).
+/// Default root seed for all experiments (override with `ENCORE_SEED`
+/// or `--seed`; see [`fixtures::RunArgs`], the single CLI/env parser
+/// every experiment binary goes through).
 pub const DEFAULT_SEED: u64 = 0x0000_E7C0_2015;
-
-/// Read the experiment seed from the environment or default.
-pub fn seed() -> u64 {
-    std::env::var("ENCORE_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
 
 /// A fully built paper-world: network + corpus + social sites + index.
 pub struct PaperWorld {
@@ -202,9 +196,187 @@ pub mod shard_fixture {
     }
 }
 
-/// Write an experiment's JSON artifact under `results/`.
+/// The shared longitudinal-world fixture: the Turkey-2014-style Twitter
+/// block as one [`population::WorldRecipe`], runnable serially
+/// ([`population::WorldEngine::from_recipe`]) or across N cores
+/// ([`population::run_sharded_world`]).
+///
+/// One definition serves the `timeline` and `world_scale` binaries and
+/// `tests/world_shard_equivalence.rs`, so the scenario CI gates on is
+/// provably the scenario the harness proves shard-invariant.
+pub mod world_fixture {
+    use censor::policy::{CensorPolicy, Mechanism};
+    use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
+    use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
+    use encore::system::EncoreSystem;
+    use encore::{FilteringDetector, GeoDb, StoredMeasurement};
+    use netsim::geo::{country, CountryCode};
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::Network;
+    use netsim::scenario::{NetworkScenario, WorldScenario, WorldSpec};
+    use population::shard::ShardContext;
+    use population::{DeploymentConfig, WorldRecipe};
+    use serde::Serialize;
+    use sim_core::{SimDuration, SimTime};
+    use std::sync::Arc;
+
+    /// Ground truth: the block switches on at day 10…
+    pub const ONSET_DAY: u64 = 10;
+    /// …and lifts at day 20.
+    pub const LIFT_DAY: u64 = 20;
+
+    /// The blocked domain.
+    pub const TARGET: &str = "twitter.com";
+
+    /// The substrate scenario: the built-in world table (default path
+    /// model — latency jitter and loss are part of the longitudinal
+    /// story) with a favicon-serving twitter.com.
+    pub fn scenario() -> NetworkScenario {
+        NetworkScenario::new(WorldSpec::Builtin).with_server(
+            TARGET,
+            country("US"),
+            HttpResponse::ok(ContentType::Image, 500),
+        )
+    }
+
+    /// Deploy Encore over one shard of the fixture world: two equally
+    /// popular academic origins, one favicon task on the target.
+    pub fn deploy(mut net: Network) -> (Network, EncoreSystem) {
+        let origins = vec![
+            OriginSite::academic("origin-a.example").with_popularity(5.0),
+            OriginSite::academic("origin-b.example").with_popularity(5.0),
+        ];
+        let sys = crate::fixtures::deploy_us(
+            &mut net,
+            crate::fixtures::favicon_tasks(&[TARGET]),
+            SchedulingStrategy::RoundRobin,
+            origins,
+        );
+        (net, sys)
+    }
+
+    /// Shard builder for the plain fixture world.
+    pub fn build(ctx: ShardContext) -> (Network, EncoreSystem) {
+        deploy(scenario().build_shard(ctx.index, ctx.shards))
+    }
+
+    /// Shard builder for the fixture world with a **standing** Chinese
+    /// censor pre-installed through the scenario's middlebox-factory
+    /// hook ([`netsim::scenario::WorldScenario`]) — censorship that is
+    /// already in force when the run starts, alongside the scheduled
+    /// Turkish block. Exercises the cross-layer path `CensorSpec as
+    /// MiddleboxFactory` on every shard thread.
+    pub fn build_with_standing_censor(ctx: ShardContext) -> (Network, EncoreSystem) {
+        let spec = WorldScenario::new(scenario()).with_middlebox(Arc::new(standing_censor()));
+        deploy(spec.build_shard(ctx.index, ctx.shards))
+    }
+
+    /// The standing censor: China blocks the target for the whole run.
+    pub fn standing_censor() -> CensorSpec {
+        CensorSpec::new(
+            country("CN"),
+            CensorPolicy::named("cn-standing-block").block_domain(TARGET, Mechanism::DnsNxDomain),
+        )
+    }
+
+    /// The March-2014-style block as a policy timeline: install at day
+    /// [`ONSET_DAY`], lift at day [`LIFT_DAY`].
+    pub fn turkey_timeline() -> PolicyTimeline {
+        PolicyTimeline::new()
+            .at(
+                day(ONSET_DAY),
+                PolicyChange::Install(CensorSpec::new(
+                    country("TR"),
+                    CensorPolicy::named("tr-election-block")
+                        .block_domain(TARGET, Mechanism::DnsNxDomain),
+                )),
+            )
+            .at(
+                day(LIFT_DAY),
+                PolicyChange::Lift {
+                    name: "tr-election-block".into(),
+                },
+            )
+    }
+
+    /// The full longitudinal recipe: `days` of Poisson arrivals at
+    /// `visits_per_day_per_weight`, the Turkey timeline, daily rollups,
+    /// hourly session maintenance.
+    pub fn recipe(days: u64, visits_per_day_per_weight: f64) -> WorldRecipe {
+        WorldRecipe::deployment(DeploymentConfig {
+            duration: SimDuration::from_days(days),
+            visits_per_day_per_weight,
+            ..DeploymentConfig::default()
+        })
+        .with_timeline(turkey_timeline())
+        .with_rollups(SimDuration::from_days(1))
+        .with_maintenance(SimDuration::from_secs(3_600))
+    }
+
+    /// Convert a day number to simulated time.
+    pub fn day(d: u64) -> SimTime {
+        SimTime::from_secs(d * 86_400)
+    }
+
+    /// The §7.2 windowed detector's verdict on one (country, domain)
+    /// pair over a run's collected records: the per-day flag series and
+    /// the localised onset/lift days. The single definition both the
+    /// timeline binary and the shard-equivalence harness compare.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+    pub struct TimelineJudgment {
+        /// `(day, result measurements, flagged)` per detector window.
+        pub days: Vec<(u64, usize, bool)>,
+        /// First window the pair was flagged (block onset).
+        pub onset_day: Option<u64>,
+        /// First window after onset the flag cleared (block lifted).
+        pub lift_day: Option<u64>,
+    }
+
+    /// Run the windowed detector (1-day windows) and localise the
+    /// onset/lift transitions for `cc:domain`.
+    pub fn judge_timeline(
+        records: &[StoredMeasurement],
+        geo: &GeoDb,
+        cc: CountryCode,
+        domain: &str,
+    ) -> TimelineJudgment {
+        let reports =
+            FilteringDetector::default().detect_windows(records, geo, SimDuration::from_days(1));
+        let mut days = Vec::new();
+        let mut onset = None;
+        let mut lift = None;
+        let mut prev_flagged = false;
+        for r in &reports {
+            let flagged = r
+                .detections
+                .iter()
+                .any(|d| d.country == cc && d.domain == domain);
+            if flagged && !prev_flagged && onset.is_none() {
+                onset = Some(r.window);
+            }
+            if !flagged && prev_flagged && onset.is_some() && lift.is_none() {
+                lift = Some(r.window);
+            }
+            prev_flagged = flagged;
+            days.push((r.window, r.measurements, flagged));
+        }
+        TimelineJudgment {
+            days,
+            onset_day: onset,
+            lift_day: lift,
+        }
+    }
+}
+
+/// Write an experiment's JSON artifact under `results/`. Binaries should
+/// prefer [`fixtures::RunArgs::write_results`], which honours `--out`.
 pub fn write_results<T: Serialize>(name: &str, value: &T) {
-    let dir = std::path::Path::new("results");
+    write_results_to(std::path::Path::new("results"), name, value);
+}
+
+/// Write an experiment's JSON artifact as `<dir>/<name>.json`.
+pub fn write_results_to<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
@@ -273,14 +445,5 @@ mod tests {
             },
         );
         assert!(!tasks.is_empty());
-    }
-
-    #[test]
-    fn seed_default() {
-        // Unless the env var is set in the test environment, expect the
-        // default.
-        if std::env::var("ENCORE_SEED").is_err() {
-            assert_eq!(seed(), DEFAULT_SEED);
-        }
     }
 }

@@ -91,6 +91,17 @@ impl CensorSpec {
     }
 }
 
+/// A [`CensorSpec`] is the canonical middlebox factory for shard-shared
+/// world recipes: each shard thread materialises the censor against its
+/// own network, and because per-shard networks share topology (DNS,
+/// server placement), specs that resolve IP rules compile identical
+/// blacklists on every shard.
+impl netsim::scenario::MiddleboxFactory for CensorSpec {
+    fn build_middlebox(&self, net: &Network) -> Box<dyn netsim::middlebox::Middlebox> {
+        Box::new(self.build(net))
+    }
+}
+
 /// One scheduled mutation of the censorship regime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PolicyChange {
@@ -262,6 +273,26 @@ mod tests {
         )
         .result
         .is_ok()
+    }
+
+    #[test]
+    fn timeline_is_cloneable_and_thread_shareable() {
+        // The sharded world engine broadcasts one timeline to N shard
+        // threads; this pins the Send + Sync + Clone contract.
+        fn check<T: Send + Sync + Clone>() {}
+        check::<PolicyTimeline>();
+        check::<PolicyChange>();
+        check::<CensorSpec>();
+    }
+
+    #[test]
+    fn censor_spec_acts_as_middlebox_factory() {
+        use netsim::scenario::MiddleboxFactory;
+        let mut net = blocked_world();
+        let mb = tr_block().build_middlebox(&net);
+        assert_eq!(mb.name(), "tr-election-block");
+        net.add_middlebox(mb);
+        assert!(!fetch_ok(&mut net, SimTime::ZERO));
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub use ip::{IpAllocator, Ipv4Net};
 pub use middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
 pub use network::{FailureStage, FetchError, FetchOutcome, FetchTimings, HttpHandler, Network};
 pub use path::{PathModel, PathQuality};
-pub use scenario::{NetworkScenario, ServerSpec, WorldSpec};
+pub use scenario::{MiddleboxFactory, NetworkScenario, ServerSpec, WorldScenario, WorldSpec};
 pub use session::{FetchSession, SessionConfig, SessionStats};
 pub use tcp::{TcpAttempt, TcpOutcome};

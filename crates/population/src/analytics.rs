@@ -1,16 +1,28 @@
-//! Visit analytics — the §6.2 demographic report.
+//! Visit analytics — the §6.2 demographic report, the shared visit
+//! classification, and the **single merge path** for sharded outputs.
 //!
 //! The paper's pilot evidence that ordinary web traffic suffices for
 //! censorship measurement: 1,171 monthly visits to one academic page,
 //! a long tail of countries, 16% of visitors in filtering countries,
 //! and dwell times long enough for measurement tasks.
+//!
+//! Everything a sharded run folds back together — batch reports, rollup
+//! series, whole world outcomes, collection snapshots, GeoIP databases —
+//! merges through the [`Merge`] trait defined here, so the associativity
+//! the shard runner relies on lives (and is property-tested) in exactly
+//! one place instead of bespoke counter summing scattered across
+//! `shard.rs` and `world.rs`.
 
+use crate::batch::BatchReport;
 use crate::driver::VisitRecord;
+use crate::world::WorldOutcome;
+use encore::collection::CollectionSnapshot;
+use encore::geo::GeoDb;
 use encore::system::VisitOutcome;
 use encore::tasks::TaskOutcome;
 use netsim::geo::CountryCode;
 use serde::{Deserialize, Serialize};
-use sim_core::SimDuration;
+use sim_core::{merge_time_ordered, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// The aggregate facts one visit contributes to a report — the single
@@ -60,6 +72,179 @@ pub fn tally_outcome(outcome: &VisitOutcome) -> VisitTally {
         tasks_failed: executed - succeeded,
         inits_delivered: outcome.inits_delivered as u64,
         results_delivered: outcome.results_delivered as u64,
+    }
+}
+
+/// One periodic rollup record: how far a world run had progressed when
+/// the rollup event fired.
+///
+/// Serialization is canonical: fields serialize in declaration order
+/// (`at`, `visits`, `collected`), pinned by a unit test, so golden
+/// snapshots can cover rollup series byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rollup {
+    /// When the rollup fired.
+    pub at: SimTime,
+    /// Visits executed so far.
+    pub visits: u64,
+    /// Records in the collection store so far.
+    pub collected: usize,
+}
+
+/// A time-ordered rollup series with a stable serialized form (a JSON
+/// array of canonical [`Rollup`] objects) and an associative merge.
+///
+/// Merging treats each series as a step function that is 0 before its
+/// first sample and holds its last value after its final sample: the
+/// merged series samples the *sum* of the step functions at the union of
+/// the sample times. Broadcast rollup schedules fire at the same instants
+/// on every shard, so in practice this is pointwise summing — the
+/// carry-forward only matters at the tail, where shards whose arrivals
+/// ran out early stop rescheduling rollups before their siblings do.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RollupSeries(pub Vec<Rollup>);
+
+impl RollupSeries {
+    /// Number of rollups in the series.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the rollups in firing order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rollup> {
+        self.0.iter()
+    }
+}
+
+impl std::ops::Deref for RollupSeries {
+    type Target = [Rollup];
+    fn deref(&self) -> &[Rollup] {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a RollupSeries {
+    type Item = &'a Rollup;
+    type IntoIter = std::slice::Iter<'a, Rollup>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// An associative combine for shard outputs.
+///
+/// Laws (property-tested in `crates/population/tests/prop.rs`):
+/// `merge` must be associative, and for counter-like types commutative
+/// with the type's `Default` as identity. The shard runner folds
+/// per-shard values **in shard-index order**, so order-sensitive types
+/// (like time-ordered visit logs, where equal timestamps keep
+/// lower-shard entries first) still merge deterministically.
+pub trait Merge: Sized {
+    /// Combine two values, consuming both.
+    fn merge(self, other: Self) -> Self;
+}
+
+/// Fold an iterator of shard outputs in iteration order through
+/// [`Merge`]. Returns `None` for an empty iterator.
+pub fn merge_in_order<T: Merge>(items: impl IntoIterator<Item = T>) -> Option<T> {
+    let mut it = items.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, Merge::merge))
+}
+
+impl Merge for BatchReport {
+    /// Counters add; spans take the maximum (shards run concurrently
+    /// over the same simulated window, so the union's span is the
+    /// longest shard's, not the sum).
+    fn merge(mut self, other: BatchReport) -> BatchReport {
+        self.visits += other.visits;
+        self.origin_loads += other.origin_loads;
+        self.visits_with_tasks += other.visits_with_tasks;
+        self.tasks_executed += other.tasks_executed;
+        self.results_delivered += other.results_delivered;
+        self.clients_created += other.clients_created;
+        self.clients_reused += other.clients_reused;
+        self.dns_cache_hits += other.dns_cache_hits;
+        self.connections_reused += other.connections_reused;
+        self.session_fetches += other.session_fetches;
+        self.sim_span = self.sim_span.max(other.sim_span);
+        self
+    }
+}
+
+impl Merge for RollupSeries {
+    fn merge(self, other: RollupSeries) -> RollupSeries {
+        if other.is_empty() {
+            return self;
+        }
+        if self.is_empty() {
+            return other;
+        }
+        let (a, b) = (self.0, other.0);
+        let mut out = Vec::with_capacity(a.len().max(b.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut last_a, mut last_b): (Option<Rollup>, Option<Rollup>) = (None, None);
+        while i < a.len() || j < b.len() {
+            let ta = a.get(i).map(|r| r.at);
+            let tb = b.get(j).map(|r| r.at);
+            let t = match (ta, tb) {
+                (Some(x), Some(y)) => x.min(y),
+                (Some(x), None) => x,
+                (None, Some(y)) => y,
+                (None, None) => unreachable!("loop guard"),
+            };
+            if ta == Some(t) {
+                last_a = Some(a[i]);
+                i += 1;
+            }
+            if tb == Some(t) {
+                last_b = Some(b[j]);
+                j += 1;
+            }
+            out.push(Rollup {
+                at: t,
+                visits: last_a.map_or(0, |r| r.visits) + last_b.map_or(0, |r| r.visits),
+                collected: last_a.map_or(0, |r| r.collected) + last_b.map_or(0, |r| r.collected),
+            });
+        }
+        RollupSeries(out)
+    }
+}
+
+impl Merge for WorldOutcome {
+    /// Merge two shards' world outcomes: reports and rollup series merge
+    /// through their own [`Merge`] impls, visit logs interleave by
+    /// arrival time (equal times keep the left/lower shard first), and
+    /// `policy_changes_applied` — a *control-plane* fact replicated on
+    /// every shard by the broadcast, not an additive counter — merges by
+    /// maximum (shards agree on it whenever they replayed the same
+    /// control schedule).
+    fn merge(self, other: WorldOutcome) -> WorldOutcome {
+        WorldOutcome {
+            log: merge_time_ordered(self.log, other.log, |v| v.at),
+            report: self.report.merge(&other.report),
+            rollups: self.rollups.merge(other.rollups),
+            policy_changes_applied: self
+                .policy_changes_applied
+                .max(other.policy_changes_applied),
+        }
+    }
+}
+
+impl Merge for CollectionSnapshot {
+    fn merge(self, other: CollectionSnapshot) -> CollectionSnapshot {
+        CollectionSnapshot::merge(self, &other)
+    }
+}
+
+impl Merge for GeoDb {
+    fn merge(self, other: GeoDb) -> GeoDb {
+        GeoDb::merge(self, &other)
     }
 }
 
@@ -247,6 +432,93 @@ mod tests {
         let t = tally_outcome(&idle.outcome);
         assert!(!t.attempted_measurement);
         assert_eq!(t.tasks_executed, 0);
+    }
+
+    fn roll(at_s: u64, visits: u64, collected: usize) -> Rollup {
+        Rollup {
+            at: SimTime::from_secs(at_s),
+            visits,
+            collected,
+        }
+    }
+
+    #[test]
+    fn rollup_serialization_is_canonical() {
+        // Golden snapshots depend on this exact byte layout: field order
+        // `at`, `visits`, `collected`, series as a plain JSON array.
+        let series = RollupSeries(vec![roll(86_400, 12, 7)]);
+        let json = serde_json::to_string(&series).unwrap();
+        assert_eq!(json, r#"[{"at":86400000000,"visits":12,"collected":7}]"#);
+        let back: RollupSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn rollup_series_merge_sums_pointwise() {
+        let a = RollupSeries(vec![roll(10, 5, 2), roll(20, 9, 4)]);
+        let b = RollupSeries(vec![roll(10, 3, 1), roll(20, 6, 2)]);
+        let m = a.merge(b);
+        assert_eq!(m, RollupSeries(vec![roll(10, 8, 3), roll(20, 15, 6)]));
+    }
+
+    #[test]
+    fn rollup_series_merge_carries_forward_finished_shards() {
+        // Shard A's arrivals ran out after t=20; its last counters must
+        // still contribute to the union at t=30.
+        let a = RollupSeries(vec![roll(10, 5, 2), roll(20, 9, 4)]);
+        let b = RollupSeries(vec![roll(10, 3, 1), roll(20, 6, 2), roll(30, 8, 3)]);
+        let m = a.merge(b);
+        assert_eq!(
+            m,
+            RollupSeries(vec![roll(10, 8, 3), roll(20, 15, 6), roll(30, 17, 7)])
+        );
+    }
+
+    #[test]
+    fn rollup_series_merge_is_associative_with_identity() {
+        let a = RollupSeries(vec![roll(10, 1, 1), roll(25, 2, 2)]);
+        let b = RollupSeries(vec![roll(10, 10, 0), roll(20, 20, 5)]);
+        let c = RollupSeries(vec![roll(5, 7, 7)]);
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.clone().merge(b.merge(c));
+        assert_eq!(left, right);
+        assert_eq!(a.clone().merge(RollupSeries::default()), a);
+        assert_eq!(RollupSeries::default().merge(a.clone()), a);
+    }
+
+    #[test]
+    fn world_outcome_merge_interleaves_logs_and_maxes_policy_count() {
+        let v = |at_s: u64, cc: &str| {
+            let mut rec = visit(cc, 30, false, false);
+            rec.at = SimTime::from_secs(at_s);
+            rec
+        };
+        let report_a = BatchReport {
+            visits: 2,
+            ..BatchReport::default()
+        };
+        let report_b = BatchReport {
+            visits: 1,
+            ..BatchReport::default()
+        };
+        let a = WorldOutcome {
+            log: vec![v(1, "US"), v(5, "US")],
+            report: report_a,
+            rollups: RollupSeries(vec![roll(10, 2, 0)]),
+            policy_changes_applied: 2,
+        };
+        let b = WorldOutcome {
+            log: vec![v(3, "TR")],
+            report: report_b,
+            rollups: RollupSeries(vec![roll(10, 1, 0)]),
+            policy_changes_applied: 2,
+        };
+        let m = a.merge(b);
+        let order: Vec<u64> = m.log.iter().map(|r| r.at.as_secs()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(m.report.visits, 3);
+        assert_eq!(m.rollups, RollupSeries(vec![roll(10, 3, 0)]));
+        assert_eq!(m.policy_changes_applied, 2);
     }
 
     #[test]

@@ -116,20 +116,11 @@ impl BatchReport {
     /// `merge` is associative and commutative with
     /// [`BatchReport::default`] as the identity element — the algebra the
     /// sharded runner relies on to make merged output independent of
-    /// thread completion order.
-    pub fn merge(mut self, other: &BatchReport) -> BatchReport {
-        self.visits += other.visits;
-        self.origin_loads += other.origin_loads;
-        self.visits_with_tasks += other.visits_with_tasks;
-        self.tasks_executed += other.tasks_executed;
-        self.results_delivered += other.results_delivered;
-        self.clients_created += other.clients_created;
-        self.clients_reused += other.clients_reused;
-        self.dns_cache_hits += other.dns_cache_hits;
-        self.connections_reused += other.connections_reused;
-        self.session_fetches += other.session_fetches;
-        self.sim_span = self.sim_span.max(other.sim_span);
-        self
+    /// thread completion order. The arithmetic itself lives in the one
+    /// shared merge path, [`crate::analytics::Merge`]; this is a
+    /// convenience wrapper.
+    pub fn merge(self, other: &BatchReport) -> BatchReport {
+        crate::analytics::Merge::merge(self, *other)
     }
 }
 

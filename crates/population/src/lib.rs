@@ -13,20 +13,25 @@
 //!   world mutations, coordination re-prioritisation, session
 //!   maintenance, and collection rollups are all events on one
 //!   [`sim_core::queue::EventQueue`]. Every driver below is a thin
-//!   wrapper over it.
+//!   wrapper over it, and a whole run — arrivals plus control plane —
+//!   can be described as a `Send + Sync` [`world::WorldRecipe`] that
+//!   drives serial ([`world::WorldEngine::from_recipe`]) and sharded
+//!   ([`shard::run_sharded_world`]) execution alike.
 //! * [`driver`] — Poisson visit arrivals over a time span; each visit
 //!   instantiates a browser client and runs the full Figure 2 flow
 //!   through [`encore::EncoreSystem`].
 //! * [`batch`] — the throughput-oriented batched driver: incremental
 //!   arrivals, a persistent client pool whose transport sessions stay
 //!   warm across visits, and flat-memory aggregate reporting.
-//! * [`shard`] — the multi-core engine: the batch workload partitioned
-//!   across OS threads, each running one private event-driven world
-//!   with a split RNG stream, merged through associative
-//!   report/collection APIs so the parallel run is provably equivalent
-//!   to the serial one.
-//! * [`analytics`] — the Google-Analytics-style report of §6.2, plus
-//!   the shared visit-outcome classification every driver tallies with.
+//! * [`shard`] — the multi-core engine: a world recipe's control events
+//!   broadcast to every OS thread, its arrivals thinned 1/N, each shard
+//!   running one private event-driven world with a split RNG stream,
+//!   merged in shard order through the associative [`analytics::Merge`]
+//!   path so the parallel run is provably equivalent to the serial one.
+//! * [`analytics`] — the Google-Analytics-style report of §6.2, the
+//!   shared visit-outcome classification every driver tallies with, and
+//!   the single merge path ([`analytics::Merge`]) every sharded output
+//!   folds through.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,9 +43,14 @@ pub mod driver;
 pub mod shard;
 pub mod world;
 
-pub use analytics::{tally_outcome, Analytics, VisitTally};
+pub use analytics::{
+    merge_in_order, tally_outcome, Analytics, Merge, Rollup, RollupSeries, VisitTally,
+};
 pub use audience::Audience;
 pub use batch::{run_visit_batch, BatchConfig, BatchReport};
 pub use driver::{run_deployment, DeploymentConfig, VisitRecord};
-pub use shard::{run_sharded_batch, ShardContext, ShardedBatchConfig, ShardedRun};
-pub use world::{Rollup, WorldEngine, WorldEvent, WorldOutcome};
+pub use shard::{
+    run_sharded_batch, run_sharded_world, shard_recipe, ShardContext, ShardedBatchConfig,
+    ShardedRun, ShardedWorldRun,
+};
+pub use world::{RunMode, WorldEngine, WorldEvent, WorldOutcome, WorldRecipe};

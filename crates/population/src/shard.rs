@@ -1,12 +1,17 @@
 //! Sharded multi-core population engine.
 //!
-//! The batch driver in [`crate::batch`] pushes one Poisson visit stream
-//! through one event-driven world ([`crate::world::WorldEngine`]) on
-//! one thread. This module is its multi-core counterpart, and the first
-//! parallel subsystem in the workspace — each shard thread runs its own
-//! private world engine: an
-//! [`Audience`]'s visit load is partitioned into N shards, each shard
-//! runs on its own OS thread with
+//! One [`crate::world::WorldRecipe`] — arrivals *plus* the full control
+//! plane of a longitudinal run (policy timelines, mutations,
+//! re-prioritisations, maintenance, rollups) — executes across N OS
+//! threads the way large discrete-event simulators parallelise:
+//! **control events are broadcast** verbatim to every shard
+//! ([`shard_recipe`]), **workload events are partitioned** 1/N
+//! ([`shard_batch_config`] / [`shard_deployment_config`]), and per-shard
+//! outputs **merge deterministically** in shard order through the
+//! associative [`crate::analytics::Merge`] path. [`run_sharded_world`]
+//! is the general entry point; [`run_sharded_batch`] is the flat-batch
+//! wrapper over it. Each shard thread runs its own private world engine
+//! with
 //!
 //! * an **independent deterministic RNG stream** ([`SimRng::split`]:
 //!   disjoint 2^192-draw blocks *and* a re-keyed fork namespace, with
@@ -28,8 +33,11 @@
 //! byte-stable regardless of thread scheduling, and the §7.2 detector
 //! runs once over the union.
 
+use crate::analytics::merge_in_order;
 use crate::audience::Audience;
-use crate::batch::{run_visit_batch, BatchConfig, BatchReport};
+use crate::batch::{BatchConfig, BatchReport};
+use crate::driver::DeploymentConfig;
+use crate::world::{RunMode, WorldEngine, WorldOutcome, WorldRecipe};
 use encore::collection::CollectionSnapshot;
 use encore::geo::GeoDb;
 use encore::system::EncoreSystem;
@@ -101,6 +109,55 @@ pub fn shard_batch_config(total: &BatchConfig, shards: usize, index: usize) -> B
     }
 }
 
+/// The deployment configuration shard `index` of `shards` actually runs:
+/// the Poisson arrival *rate* divides by the shard count (thinning — the
+/// per-origin gap distribution stretches by N, and superposing the N
+/// thinned streams reproduces the aggregate rate), the span is
+/// unchanged, and the returning-visitor pool divides proportionally.
+/// With `shards == 1` this is the input config unchanged — the lockstep
+/// guarantee.
+pub fn shard_deployment_config(
+    total: &DeploymentConfig,
+    shards: usize,
+    index: usize,
+) -> DeploymentConfig {
+    assert!(shards >= 1, "shard count must be at least 1");
+    assert!(
+        index < shards,
+        "shard index {index} out of range 0..{shards}"
+    );
+    if shards == 1 {
+        // Bitwise lockstep with the serial engine: not even a float
+        // round-trip on the rate.
+        return *total;
+    }
+    DeploymentConfig {
+        duration: total.duration,
+        visits_per_day_per_weight: total.visits_per_day_per_weight / shards as f64,
+        repeat_visitor_rate: total.repeat_visitor_rate,
+        returning_pool: total.returning_pool.div_ceil(shards),
+    }
+}
+
+/// The recipe shard `index` of `shards` actually executes: **control
+/// events broadcast verbatim** (the policy timeline, shared mutations,
+/// re-prioritisations, maintenance and rollup cadences are byte-for-byte
+/// the caller's — every shard replays the identical control schedule
+/// against its own private world), while the **arrival process thins
+/// 1/N** ([`shard_batch_config`] / [`shard_deployment_config`]). At
+/// `shards == 1` the recipe is returned unchanged, so a one-shard
+/// sharded run replays the serial engine exactly.
+pub fn shard_recipe(recipe: &WorldRecipe, shards: usize, index: usize) -> WorldRecipe {
+    let mut sharded = recipe.clone();
+    sharded.mode = match recipe.mode {
+        RunMode::Deployment(config) => {
+            RunMode::Deployment(shard_deployment_config(&config, shards, index))
+        }
+        RunMode::Batch(config) => RunMode::Batch(shard_batch_config(&config, shards, index)),
+    };
+    sharded
+}
+
 /// Derive the per-shard RNG streams from a root seed. Stream 0 is an
 /// exact snapshot of `SimRng::new(seed)` (so a one-shard run replays the
 /// serial run); streams 1..N occupy disjoint long-jump blocks with
@@ -112,36 +169,62 @@ pub fn shard_rngs(seed: u64, shards: usize) -> Vec<SimRng> {
 
 /// One shard's thread-portable output.
 struct ShardOutput {
-    report: BatchReport,
+    outcome: WorldOutcome,
     collection: CollectionSnapshot,
     geo: GeoDb,
 }
 
-/// Run `config.batch` visits against the scenario, partitioned across
-/// `config.shards` OS threads.
+/// The merged outcome of a sharded world run.
+#[derive(Debug, Clone)]
+pub struct ShardedWorldRun {
+    /// The merged world outcome: union report, time-interleaved visit
+    /// log, pointwise-summed rollup series, control-plane policy count.
+    pub outcome: WorldOutcome,
+    /// Per-shard reports, in shard-index order.
+    pub per_shard: Vec<BatchReport>,
+    /// Union of all shard collection stores, in canonical order.
+    pub collection: CollectionSnapshot,
+    /// Union of all shard GeoIP databases (disjoint striped ranges).
+    pub geo: GeoDb,
+}
+
+/// Execute one [`WorldRecipe`] across `shards` OS threads — the
+/// longitudinal, event-driven counterpart of [`run_sharded_batch`], and
+/// the engine both drivers now share.
 ///
 /// `build` is called once per shard, *on that shard's thread*, and must
 /// return a freshly built `Network` + deployed `EncoreSystem` for the
 /// given [`ShardContext`] — typically via
-/// [`netsim::scenario::NetworkScenario::build_shard`] plus
-/// `EncoreSystem::deploy` (and any censors the scenario calls for). The
-/// builder must be deterministic in the context: building the same shard
-/// twice must yield identical deployments.
+/// [`netsim::scenario::NetworkScenario::build_shard`] (or
+/// [`netsim::scenario::WorldScenario::build_shard`] for worlds with
+/// pre-installed middleboxes) plus `EncoreSystem::deploy`. The builder
+/// must be deterministic in the context: building the same shard twice
+/// must yield identical deployments.
 ///
-/// The merged result is deterministic in `(seed, config, scenario)`:
-/// shards are merged in index order through associative merge APIs, so
-/// thread scheduling never shows in the output.
-pub fn run_sharded_batch<F>(
+/// Each shard runs [`WorldEngine::from_recipe`] over
+/// [`shard_recipe`]\(recipe, shards, index\): control events (policy
+/// changes, mutations, re-prioritisations, maintenance, rollups) are
+/// **broadcast** verbatim to every shard, arrival events are **thinned**
+/// 1/N, and the per-shard RNG streams come from [`shard_rngs`]
+/// (`SimRng::split` / `long_jump`, shard 0 reproducing the serial stream
+/// exactly). Per-shard outcomes then merge **in shard-index order**
+/// through the associative [`crate::analytics::Merge`] path, so the
+/// result is deterministic in `(seed, recipe, shards, scenario)` no
+/// matter how the threads were scheduled — and at `shards == 1` it is
+/// byte-identical to `WorldEngine::from_recipe(..).run()` on the same
+/// recipe (`tests/world_shard_equivalence.rs`).
+pub fn run_sharded_world<F>(
     build: &F,
     audience: &Audience,
-    config: &ShardedBatchConfig,
+    recipe: &WorldRecipe,
+    shards: usize,
     seed: u64,
-) -> ShardedRun
+) -> ShardedWorldRun
 where
     F: Fn(ShardContext) -> (Network, EncoreSystem) + Sync,
 {
-    assert!(config.shards >= 1, "shard count must be at least 1");
-    let rngs = shard_rngs(seed, config.shards);
+    assert!(shards >= 1, "shard count must be at least 1");
+    let rngs = shard_rngs(seed, shards);
 
     let outputs: Vec<ShardOutput> = thread::scope(|scope| {
         let handles: Vec<_> = rngs
@@ -149,16 +232,15 @@ where
             .enumerate()
             .map(|(index, mut rng)| {
                 scope.spawn(move || {
-                    let ctx = ShardContext {
-                        index,
-                        shards: config.shards,
-                    };
+                    let ctx = ShardContext { index, shards };
                     let (mut net, mut sys) = build(ctx);
-                    let shard_cfg = shard_batch_config(&config.batch, config.shards, index);
-                    let report =
-                        run_visit_batch(&mut net, &mut sys, audience, &shard_cfg, &mut rng);
+                    let shard_cfg = shard_recipe(recipe, shards, index);
+                    let outcome = WorldEngine::from_recipe(
+                        &mut net, &mut sys, audience, &shard_cfg, &mut rng,
+                    )
+                    .run();
                     ShardOutput {
-                        report,
+                        outcome,
                         collection: sys.collection.snapshot(),
                         geo: GeoDb::from_allocator(&net.allocator),
                     }
@@ -171,19 +253,50 @@ where
             .collect()
     });
 
-    let per_shard: Vec<BatchReport> = outputs.iter().map(|o| o.report).collect();
-    let mut outputs = outputs.into_iter();
-    let first = outputs.next().expect("at least one shard");
-    let (report, collection, geo) = outputs.fold(
-        (first.report, first.collection, first.geo),
-        |(r, c, g), o| (r.merge(&o.report), c.merge(&o.collection), g.merge(&o.geo)),
-    );
+    let per_shard: Vec<BatchReport> = outputs.iter().map(|o| o.outcome.report).collect();
+    let (outcomes, stores): (Vec<_>, Vec<_>) = outputs
+        .into_iter()
+        .map(|o| (o.outcome, (o.collection, o.geo)))
+        .unzip();
+    let (collections, geos): (Vec<_>, Vec<_>) = stores.into_iter().unzip();
 
-    ShardedRun {
-        report,
+    // Shard-index-order folds through the one associative merge path.
+    let outcome = merge_in_order(outcomes).expect("at least one shard");
+    let collection = merge_in_order(collections).expect("at least one shard");
+    let geo = merge_in_order(geos).expect("at least one shard");
+
+    ShardedWorldRun {
+        outcome,
         per_shard,
         collection,
         geo,
+    }
+}
+
+/// Run `config.batch` visits against the scenario, partitioned across
+/// `config.shards` OS threads.
+///
+/// Since the sharded-world refactor this is a thin wrapper over
+/// [`run_sharded_world`] with a control-free batch recipe — one engine,
+/// two entry points. The output is bit-identical to the pre-refactor
+/// runner (the golden merged-report snapshot in
+/// `tests/shard_equivalence.rs` pins this).
+pub fn run_sharded_batch<F>(
+    build: &F,
+    audience: &Audience,
+    config: &ShardedBatchConfig,
+    seed: u64,
+) -> ShardedRun
+where
+    F: Fn(ShardContext) -> (Network, EncoreSystem) + Sync,
+{
+    let recipe = WorldRecipe::batch(config.batch);
+    let run = run_sharded_world(build, audience, &recipe, config.shards, seed);
+    ShardedRun {
+        report: run.outcome.report,
+        per_shard: run.per_shard,
+        collection: run.collection,
+        geo: run.geo,
     }
 }
 

@@ -15,6 +15,16 @@
 //! continuously — become first-class events instead of per-phase world
 //! rebuilds.
 //!
+//! A whole run can also be *described* rather than imperatively
+//! scheduled: a [`WorldRecipe`] is the `Send + Sync + Clone` value of a
+//! run (arrival mode + timeline + mutations + re-prioritisations +
+//! housekeeping cadences), replayed serially by
+//! [`WorldEngine::from_recipe`] in a canonical order and executed across
+//! all cores by [`crate::shard::run_sharded_world`], which broadcasts
+//! the recipe's control half to every shard and thins its arrival half
+//! 1/N. One description, two execution paths, provably the same
+//! experiment (`tests/world_shard_equivalence.rs`).
+//!
 //! ## Equivalence contract
 //!
 //! [`crate::driver::run_deployment`] and [`crate::batch::run_visit_batch`]
@@ -45,7 +55,7 @@
 //! block installed "at day 10" is in force for the first visit of
 //! day 10.
 
-use crate::analytics::tally_outcome;
+use crate::analytics::{tally_outcome, Rollup, RollupSeries};
 use crate::audience::{Audience, Visitor};
 use crate::batch::{BatchConfig, BatchReport};
 use crate::driver::{DeploymentConfig, VisitRecord};
@@ -60,6 +70,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::dist::{Exponential, Sample};
 use sim_core::queue::EventQueue;
 use sim_core::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
 /// An event on the world's queue. Same-time events fire in scheduling
 /// order (the queue's insertion-sequence tie-break).
@@ -107,35 +118,147 @@ pub enum WorldEvent {
     },
 }
 
-/// One periodic rollup record: how far the run had progressed when the
-/// rollup event fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Rollup {
-    /// When the rollup fired.
-    pub at: SimTime,
-    /// Visits executed so far.
-    pub visits: u64,
-    /// Records in the collection store so far.
-    pub collected: usize,
-}
-
 /// A one-shot scheduled world mutation.
 pub type WorldMutation = Box<dyn FnOnce(&mut Network, &mut EncoreSystem)>;
 
+/// A world mutation that can be shared across shard threads: every shard
+/// applies the same function to its own private world, so it must be
+/// `Fn` (reusable) and `Send + Sync` (broadcast).
+pub type SharedMutation = Arc<dyn Fn(&mut Network, &mut EncoreSystem) + Send + Sync>;
+
+/// Which arrival process a world runs — the traffic half of a
+/// [`WorldRecipe`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Poisson arrivals at every origin over a fixed span, with a full
+    /// visit log ([`WorldEngine::deployment`]).
+    Deployment(DeploymentConfig),
+    /// A fixed number of self-scheduling arrivals with flat-memory
+    /// counters ([`WorldEngine::batch`]).
+    Batch(BatchConfig),
+}
+
 /// Everything a finished world run produced.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldOutcome {
     /// Chronological per-visit records (deployment mode; empty for batch
     /// runs, which deliberately keep memory flat).
     pub log: Vec<VisitRecord>,
     /// Aggregate counters (both modes).
     pub report: BatchReport,
-    /// Periodic rollups, in firing order.
-    pub rollups: Vec<Rollup>,
+    /// Periodic rollups, in firing order
+    /// ([`crate::analytics::RollupSeries`]: stable serialized form,
+    /// associative merge).
+    pub rollups: RollupSeries,
     /// How many policy-timeline changes actually mutated the world
     /// (a lift addressed to a name that was never installed is a no-op
     /// and is not counted).
     pub policy_changes_applied: usize,
+}
+
+/// A `Send + Sync + Clone` description of an entire world run: the
+/// arrival process plus every scheduled dynamic — the policy timeline,
+/// shared world mutations, coordination re-prioritisations, maintenance
+/// ticks, and rollup cadence.
+///
+/// One recipe drives both execution paths: [`WorldEngine::from_recipe`]
+/// replays it serially, and [`crate::shard::run_sharded_world`] executes
+/// it on N OS threads by broadcasting the *control* half verbatim to
+/// every shard while thinning the *arrival* half 1/N
+/// ([`crate::shard::shard_recipe`]). The replay order is canonical —
+/// timeline, then mutations, then re-prioritisations, then maintenance,
+/// then rollups, each in insertion order, all before any traffic — so a
+/// recipe-driven run is bit-identical to the equivalent imperative
+/// `schedule_*` calls made in that same order.
+#[derive(Clone)]
+pub struct WorldRecipe {
+    pub(crate) mode: RunMode,
+    pub(crate) timeline: PolicyTimeline,
+    pub(crate) mutations: Vec<(SimTime, SharedMutation)>,
+    pub(crate) reprioritizations: Vec<(SimTime, SchedulingStrategy)>,
+    pub(crate) maintenance: Option<SimDuration>,
+    pub(crate) rollups: Option<SimDuration>,
+}
+
+impl std::fmt::Debug for WorldRecipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldRecipe")
+            .field("mode", &self.mode)
+            .field("timeline", &self.timeline)
+            .field("mutations", &self.mutations.len())
+            .field("reprioritizations", &self.reprioritizations)
+            .field("maintenance", &self.maintenance)
+            .field("rollups", &self.rollups)
+            .finish()
+    }
+}
+
+impl WorldRecipe {
+    fn new(mode: RunMode) -> WorldRecipe {
+        WorldRecipe {
+            mode,
+            timeline: PolicyTimeline::new(),
+            mutations: Vec::new(),
+            reprioritizations: Vec::new(),
+            maintenance: None,
+            rollups: None,
+        }
+    }
+
+    /// A deployment-mode recipe (Poisson arrivals, full visit log).
+    pub fn deployment(config: DeploymentConfig) -> WorldRecipe {
+        WorldRecipe::new(RunMode::Deployment(config))
+    }
+
+    /// A batch-mode recipe (fixed visit count, flat-memory counters).
+    pub fn batch(config: BatchConfig) -> WorldRecipe {
+        WorldRecipe::new(RunMode::Batch(config))
+    }
+
+    /// The arrival process this recipe runs.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// The scheduled policy timeline (control plane).
+    pub fn timeline(&self) -> &PolicyTimeline {
+        &self.timeline
+    }
+
+    /// Builder: set the policy timeline.
+    pub fn with_timeline(mut self, timeline: PolicyTimeline) -> WorldRecipe {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Builder: schedule a shared one-shot world mutation at `at`.
+    /// Mutations fire in insertion order at equal times.
+    pub fn mutate_at(
+        mut self,
+        at: SimTime,
+        mutation: impl Fn(&mut Network, &mut EncoreSystem) + Send + Sync + 'static,
+    ) -> WorldRecipe {
+        self.mutations.push((at, Arc::new(mutation)));
+        self
+    }
+
+    /// Builder: schedule a coordination-strategy swap at `at`.
+    pub fn reprioritize_at(mut self, at: SimTime, strategy: SchedulingStrategy) -> WorldRecipe {
+        self.reprioritizations.push((at, strategy));
+        self
+    }
+
+    /// Builder: run session maintenance every `period`.
+    pub fn with_maintenance(mut self, period: SimDuration) -> WorldRecipe {
+        self.maintenance = Some(period);
+        self
+    }
+
+    /// Builder: take a collection rollup every `period`.
+    pub fn with_rollups(mut self, period: SimDuration) -> WorldRecipe {
+        self.rollups = Some(period);
+        self
+    }
 }
 
 /// Mode-specific driver state.
@@ -265,6 +388,43 @@ impl<'a> WorldEngine<'a> {
                 pool: Vec::new(),
             },
         )
+    }
+
+    /// Materialise a [`WorldRecipe`] against a concrete world: construct
+    /// the engine in the recipe's mode, then replay the recipe's control
+    /// schedules in the canonical order — timeline, mutations,
+    /// re-prioritisations, maintenance, rollups. Equivalent imperative
+    /// `schedule_*` calls in that order produce a bit-identical run, and
+    /// `tests/world_shard_equivalence.rs` holds `run_sharded_world` at
+    /// one shard to exactly this serial replay.
+    pub fn from_recipe(
+        net: &'a mut Network,
+        system: &'a mut EncoreSystem,
+        audience: &'a Audience,
+        recipe: &WorldRecipe,
+        rng: &mut SimRng,
+    ) -> WorldEngine<'a> {
+        let mut engine = match recipe.mode {
+            RunMode::Deployment(config) => {
+                WorldEngine::deployment(net, system, audience, &config, rng)
+            }
+            RunMode::Batch(config) => WorldEngine::batch(net, system, audience, &config, rng),
+        };
+        engine.schedule_timeline(recipe.timeline.clone());
+        for (at, mutation) in &recipe.mutations {
+            let mutation = mutation.clone();
+            engine.schedule_mutation(*at, move |net, sys| mutation(net, sys));
+        }
+        for (at, strategy) in &recipe.reprioritizations {
+            engine.schedule_reprioritization(*at, *strategy);
+        }
+        if let Some(period) = recipe.maintenance {
+            engine.schedule_maintenance(period);
+        }
+        if let Some(period) = recipe.rollups {
+            engine.schedule_rollups(period);
+        }
+        engine
     }
 
     /// Schedule every **not-yet-applied** change of a [`PolicyTimeline`]
@@ -539,7 +699,7 @@ impl<'a> WorldEngine<'a> {
         WorldOutcome {
             log,
             report,
-            rollups: self.rollups,
+            rollups: RollupSeries(self.rollups),
             policy_changes_applied: self.policy_applied,
         }
     }
@@ -830,6 +990,94 @@ mod tests {
         });
         engine.run();
         assert_eq!(sys.max_tasks_per_visit, 1);
+    }
+
+    #[test]
+    fn recipe_is_thread_shareable() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<WorldRecipe>();
+        check::<RunMode>();
+    }
+
+    #[test]
+    fn recipe_replay_matches_imperative_schedule_calls() {
+        let audience = Audience::academic();
+        let timeline = || {
+            PolicyTimeline::new()
+                .at(
+                    SimTime::from_secs(2 * 86_400),
+                    PolicyChange::Install(CensorSpec::new(
+                        country("US"),
+                        CensorPolicy::named("recipe-block")
+                            .block_domain("target.example", Mechanism::DnsNxDomain),
+                    )),
+                )
+                .at(
+                    SimTime::from_secs(5 * 86_400),
+                    PolicyChange::Lift {
+                        name: "recipe-block".into(),
+                    },
+                )
+        };
+        let burst = SchedulingStrategy::CoordinatedBursts {
+            window: SimDuration::from_secs(60),
+        };
+
+        // Imperative: schedule_* calls in the canonical order.
+        let imperative = {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(0xC0FFEE);
+            let mut engine =
+                WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
+            engine.schedule_timeline(timeline());
+            engine.schedule_mutation(SimTime::from_secs(86_400), |_, sys| {
+                sys.max_tasks_per_visit = 2;
+            });
+            engine.schedule_reprioritization(SimTime::from_secs(3 * 86_400), burst);
+            engine.schedule_maintenance(SimDuration::from_secs(3_600));
+            engine.schedule_rollups(SimDuration::from_days(1));
+            engine.run()
+        };
+
+        // Declarative: the same run as a recipe.
+        let recipe = WorldRecipe::deployment(week())
+            .with_timeline(timeline())
+            .mutate_at(SimTime::from_secs(86_400), |_, sys| {
+                sys.max_tasks_per_visit = 2;
+            })
+            .reprioritize_at(SimTime::from_secs(3 * 86_400), burst)
+            .with_maintenance(SimDuration::from_secs(3_600))
+            .with_rollups(SimDuration::from_days(1));
+        let declarative = {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(0xC0FFEE);
+            WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run()
+        };
+
+        assert_eq!(
+            imperative, declarative,
+            "from_recipe must replay bit-identically to imperative scheduling"
+        );
+        assert_eq!(declarative.policy_changes_applied, 2);
+        assert!(!declarative.rollups.is_empty());
+    }
+
+    #[test]
+    fn recipe_can_be_replayed_twice_from_one_description() {
+        // A recipe is reusable (Fn mutations, cloneable timeline): two
+        // fresh worlds driven by the same recipe agree byte for byte.
+        let recipe = WorldRecipe::deployment(week())
+            .mutate_at(SimTime::from_secs(1_000), |_, sys| {
+                sys.max_tasks_per_visit = 1;
+            })
+            .with_rollups(SimDuration::from_days(2));
+        let audience = Audience::academic();
+        let go = || {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(7);
+            WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run()
+        };
+        assert_eq!(go(), go());
     }
 
     #[test]

@@ -65,6 +65,103 @@ proptest! {
     }
 
     #[test]
+    fn rollup_series_merge_is_associative_and_commutative(
+        a in proptest::collection::vec((0u64..40, 0u64..1_000, 0usize..1_000), 0..8),
+        b in proptest::collection::vec((0u64..40, 0u64..1_000, 0usize..1_000), 0..8),
+        c in proptest::collection::vec((0u64..40, 0u64..1_000, 0usize..1_000), 0..8),
+    ) {
+        use population::{merge_in_order, Merge, Rollup, RollupSeries};
+        use sim_core::SimTime;
+        // Sort each generated series by time (rollup series are always
+        // time-ordered — they are recorded by a monotone event queue)
+        // and deduplicate instants (one rollup fires per instant).
+        let series = |mut v: Vec<(u64, u64, usize)>| {
+            v.sort_by_key(|e| e.0);
+            v.dedup_by_key(|e| e.0);
+            RollupSeries(
+                v.into_iter()
+                    .map(|(t, visits, collected)| Rollup {
+                        at: SimTime::from_secs(t),
+                        visits,
+                        collected,
+                    })
+                    .collect(),
+            )
+        };
+        let (sa, sb, sc) = (series(a), series(b), series(c));
+        let left = sa.clone().merge(sb.clone()).merge(sc.clone());
+        let right = sa.clone().merge(sb.clone().merge(sc.clone()));
+        prop_assert_eq!(&left, &right, "associativity");
+        prop_assert_eq!(
+            sa.clone().merge(sb.clone()),
+            sb.clone().merge(sa.clone()),
+            "commutativity"
+        );
+        prop_assert_eq!(sa.clone().merge(RollupSeries::default()), sa.clone(), "identity");
+        prop_assert_eq!(
+            merge_in_order([sa.clone(), sb, sc]).unwrap(),
+            left,
+            "merge_in_order is the same fold"
+        );
+    }
+
+    #[test]
+    fn shard_recipe_thins_arrivals_but_broadcasts_control(
+        shards in 1usize..9,
+        visits in 0u64..10_000,
+    ) {
+        use population::{shard_recipe, RunMode, WorldRecipe};
+        use sim_core::SimTime;
+        let timeline = censor::timeline::PolicyTimeline::new().at(
+            SimTime::from_secs(100),
+            censor::timeline::PolicyChange::Lift { name: "x".into() },
+        );
+        let recipe = WorldRecipe::batch(BatchConfig { visits, ..BatchConfig::default() })
+            .with_timeline(timeline.clone())
+            .with_rollups(SimDuration::from_secs(500))
+            .with_maintenance(SimDuration::from_secs(700));
+        let mut total = 0u64;
+        for index in 0..shards {
+            let sharded = shard_recipe(&recipe, shards, index);
+            // Control half: broadcast verbatim.
+            prop_assert_eq!(sharded.timeline(), &timeline);
+            // Arrival half: thinned 1/N.
+            match sharded.mode() {
+                RunMode::Batch(cfg) => total += cfg.visits,
+                RunMode::Deployment(_) => prop_assert!(false, "mode changed"),
+            }
+        }
+        prop_assert_eq!(total, visits, "thinning must conserve the workload");
+    }
+
+    #[test]
+    fn shard_deployment_config_conserves_aggregate_rate(
+        shards in 1usize..17,
+        rate_times_10 in 1u64..10_000,
+    ) {
+        let total = population::DeploymentConfig {
+            visits_per_day_per_weight: rate_times_10 as f64 / 10.0,
+            ..population::DeploymentConfig::default()
+        };
+        let per_shard: Vec<_> = (0..shards)
+            .map(|i| population::shard::shard_deployment_config(&total, shards, i))
+            .collect();
+        let aggregate: f64 = per_shard.iter().map(|c| c.visits_per_day_per_weight).sum();
+        prop_assert!(
+            (aggregate - total.visits_per_day_per_weight).abs()
+                < 1e-9 * total.visits_per_day_per_weight.max(1.0)
+        );
+        for c in &per_shard {
+            prop_assert_eq!(c.duration, total.duration, "span is never divided");
+        }
+        // One shard is the serial config, bit for bit.
+        prop_assert_eq!(
+            population::shard::shard_deployment_config(&total, 1, 0),
+            total
+        );
+    }
+
+    #[test]
     fn shard_rng_streams_are_disjoint(seed in any::<u64>(), shards in 2usize..8) {
         let mut rngs = population::shard::shard_rngs(seed, shards);
         let mut firsts: Vec<u64> = rngs.iter_mut().map(|r| r.next_u64()).collect();

@@ -9,6 +9,9 @@
 //! * [`queue`] — a deterministic discrete-event queue ([`EventQueue`]):
 //!   events that fire at the same instant are delivered in insertion order,
 //!   so two runs with the same seed are byte-identical.
+//! * [`merge`] — stable k-way merging of time-ordered streams, the
+//!   primitive a sharded run's per-shard outputs (visit logs, rollup
+//!   series) fold back through deterministically.
 //! * [`rng`] — a seedable random-number source ([`SimRng`]) with labelled
 //!   forking, so independent subsystems draw from independent streams and
 //!   adding randomness to one subsystem never perturbs another.
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dist;
+pub mod merge;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -40,6 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
+pub use merge::merge_time_ordered;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{binomial_sf, Cdf, FiveNumber, OneSidedBinomialTest, Summary};

@@ -1,0 +1,85 @@
+//! Deterministic merging of time-ordered streams.
+//!
+//! A sharded world produces one time-ordered stream per shard (visit
+//! logs, rollup series, replayed control schedules). Folding them back
+//! into one stream must be independent of thread scheduling, so the
+//! merge here is a *stable* k-way merge: output is ordered by the time
+//! key, and entries with equal times keep the order of their source
+//! streams (earlier stream first) and their order within a stream. The
+//! binary form ([`merge_time_ordered`]) is associative as long as it is
+//! folded left-to-right in stream order — the same discipline the
+//! population crate's shard merges follow.
+
+use crate::time::SimTime;
+
+/// Stable two-way merge of two time-ordered streams by a time key.
+///
+/// Entries of `a` precede entries of `b` at equal times; within each
+/// input, relative order is preserved. Folding shards left-to-right in
+/// shard-index order therefore yields a global `(time, shard, intra
+/// -shard order)` ordering, independent of how the inputs were grouped.
+pub fn merge_time_ordered<T>(a: Vec<T>, b: Vec<T>, key: impl Fn(&T) -> SimTime) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut b_iter = b.into_iter().peekable();
+    for item in a {
+        let t = key(&item);
+        while let Some(next_b) = b_iter.peek() {
+            if key(next_b) < t {
+                out.push(b_iter.next().unwrap());
+            } else {
+                break;
+            }
+        }
+        out.push(item);
+    }
+    out.extend(b_iter);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn merges_by_time() {
+        let a = vec![(t(1), "a1"), (t(3), "a2")];
+        let b = vec![(t(2), "b1"), (t(4), "b2")];
+        let m = merge_time_ordered(a, b, |e| e.0);
+        let names: Vec<&str> = m.iter().map(|e| e.1).collect();
+        assert_eq!(names, vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn equal_times_keep_left_stream_first() {
+        let a = vec![(t(5), "a1"), (t(5), "a2")];
+        let b = vec![(t(5), "b1")];
+        let m = merge_time_ordered(a, b, |e| e.0);
+        let names: Vec<&str> = m.iter().map(|e| e.1).collect();
+        assert_eq!(names, vec!["a1", "a2", "b1"]);
+    }
+
+    #[test]
+    fn fold_in_stream_order_is_associative() {
+        let a = vec![(t(1), 0u32), (t(4), 1)];
+        let b = vec![(t(1), 10), (t(2), 11)];
+        let c = vec![(t(1), 20), (t(9), 21)];
+        let left = merge_time_ordered(
+            merge_time_ordered(a.clone(), b.clone(), |e| e.0),
+            c.clone(),
+            |e| e.0,
+        );
+        let right = merge_time_ordered(a, merge_time_ordered(b, c, |e| e.0), |e| e.0);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_sides_are_identity() {
+        let a = vec![(t(1), 1)];
+        assert_eq!(merge_time_ordered(a.clone(), Vec::new(), |e| e.0), a);
+        assert_eq!(merge_time_ordered(Vec::new(), a.clone(), |e| e.0), a);
+    }
+}
