@@ -1,0 +1,129 @@
+//! `simcheck` — the generative differential fuzz gate.
+//!
+//! Draws a bounded budget of arbitrary generated worlds (arrival modes
+//! × policy timelines × adaptive censors × housekeeping cadences) and
+//! checks every one against the engine's claimed invariants: serial ==
+//! 1-shard byte-identity, fixed-seed reproducibility, merge algebra,
+//! detector verdict invariance across {1, 2, 4} shards, and detector
+//! soundness against each generated world's own ground truth. See
+//! `crates/simcheck` for the generator and oracle definitions.
+//!
+//! Flags (on top of the shared `RunArgs` set):
+//!
+//! * `--cases N` / `ENCORE_SIMCHECK_CASES` — case budget (default 200).
+//! * `--replay CLASS:SEED` — regenerate exactly one world from a
+//!   regression-file line (e.g. `--replay detector:0x1b2c`) and re-run
+//!   its oracles, instead of a budgeted sweep.
+//!
+//! Writes `results/simcheck.json` and, on failure, the regression seed
+//! file `results/simcheck-regressions.txt` (uploaded as a CI artifact),
+//! then exits non-zero.
+
+use bench::fixtures::RunArgs;
+use simcheck::{run_budget, CaseClass, SimCheckConfig};
+
+/// Parse `--cases`/`ENCORE_SIMCHECK_CASES` and `--replay` from the raw
+/// argument list (RunArgs ignores flags it does not know).
+fn extra_flags() -> (Option<usize>, Option<(CaseClass, u64)>) {
+    let mut cases = std::env::var("ENCORE_SIMCHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut replay = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        // Never consume another flag as this flag's value (same guard
+        // as RunArgs): `--cases --replay x:y` must not swallow --replay.
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().cloned().unwrap_or_default(),
+            _ => {
+                eprintln!("[{arg} given without a value, ignoring]");
+                String::new()
+            }
+        };
+        if arg == "--cases" {
+            let v = value(&mut it);
+            if !v.is_empty() {
+                parse_cases(&v, &mut cases);
+            }
+        } else if let Some(v) = arg.strip_prefix("--cases=") {
+            parse_cases(v, &mut cases);
+        } else if arg == "--replay" {
+            replay = parse_replay(&value(&mut it));
+        } else if let Some(v) = arg.strip_prefix("--replay=") {
+            replay = parse_replay(v);
+        }
+    }
+    (cases, replay)
+}
+
+/// A supplied-but-unparseable `--cases` value is warned about, never
+/// silently replaced (matching the RunArgs rule) — in particular it must
+/// not clobber a valid `ENCORE_SIMCHECK_CASES` fallback.
+fn parse_cases(raw: &str, cases: &mut Option<usize>) {
+    match raw.parse() {
+        Ok(v) => *cases = Some(v),
+        Err(_) => eprintln!("[ignoring unparseable --cases value {raw:?}]"),
+    }
+}
+
+fn parse_replay(spec: &str) -> Option<(CaseClass, u64)> {
+    let (class, seed) = spec.split_once(':')?;
+    let class = match class {
+        "equivalence" => CaseClass::Equivalence,
+        "detector" => CaseClass::Detector,
+        _ => return None,
+    };
+    let seed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok()?,
+        None => seed.parse().ok()?,
+    };
+    Some((class, seed))
+}
+
+fn main() {
+    let args = RunArgs::parse();
+    let (cases, replay) = extra_flags();
+
+    if let Some((class, seed)) = replay {
+        println!("=== simcheck: replaying {class:?} case {seed:#x} ===");
+        let violations = simcheck::replay(class, seed);
+        if violations.is_empty() {
+            println!("case upholds all invariants");
+            return;
+        }
+        for v in &violations {
+            println!("VIOLATION [{}]: {}", v.oracle, v.detail);
+        }
+        std::process::exit(1);
+    }
+
+    let config = SimCheckConfig {
+        cases: cases.unwrap_or(200),
+        root_seed: args.seed,
+        regression_path: Some(args.out_dir().join("simcheck-regressions.txt")),
+        ..SimCheckConfig::default()
+    };
+    println!(
+        "=== simcheck: {} generated worlds (every {}th detector-class), root seed {:#x} ===",
+        config.cases, config.detector_every, config.root_seed
+    );
+    let report = run_budget(&config);
+    println!(
+        "{} worlds checked ({} equivalence, {} detector; {} censored): {} violation(s)",
+        report.cases_run,
+        report.equivalence_cases,
+        report.detector_cases,
+        report.censored_cases,
+        report.violations.len()
+    );
+    args.write_results("simcheck", &report);
+    if !report.passed() {
+        eprintln!(
+            "simcheck FAILED — regression seeds in {:?}",
+            args.out_dir().join("simcheck-regressions.txt")
+        );
+        std::process::exit(1);
+    }
+    println!("all invariants upheld over the generated scenario space");
+}

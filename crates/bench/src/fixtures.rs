@@ -44,14 +44,24 @@ pub struct RunArgs {
 
 impl RunArgs {
     /// Parse from the process's actual CLI arguments and environment.
+    /// Structurally invalid configurations (`--shards 0`, a negative
+    /// `--days`) are rejected with a clear error and exit code 2 — a
+    /// run that cannot mean anything must not silently run as something
+    /// else.
     pub fn parse() -> RunArgs {
-        RunArgs::from_sources(std::env::args().skip(1), |key| std::env::var(key).ok())
+        match RunArgs::from_sources(std::env::args().skip(1), |key| std::env::var(key).ok()) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     fn from_sources(
         args: impl IntoIterator<Item = String>,
         env: impl Fn(&str) -> Option<String>,
-    ) -> RunArgs {
+    ) -> Result<RunArgs, String> {
         let mut values: std::collections::BTreeMap<&'static str, String> =
             std::collections::BTreeMap::new();
         let flags = [
@@ -126,16 +136,50 @@ impl RunArgs {
                 }
             }
         });
-        RunArgs {
+        // Structural validation: these values cannot describe a runnable
+        // experiment, so they are hard errors rather than warn-and-default
+        // fallbacks. Anything with a leading '-' is an attempted negative,
+        // not parse noise — unsigned knobs have no legitimate '-' form.
+        let negative = |key: &'static str| {
+            values
+                .get(key)
+                .is_some_and(|raw| raw.trim_start().starts_with('-'))
+        };
+        // The negative check runs *before* parsed(), which would first
+        // print a contradictory "ignoring, using the default" warning
+        // for a value the run is about to hard-reject.
+        if negative("shards") {
+            return Err(format!(
+                "--shards/ENCORE_SHARDS must be at least 1 (got {}): a run needs \
+                 at least one shard to execute on",
+                values["shards"]
+            ));
+        }
+        let shards: Option<usize> = parsed(&values, "shards");
+        if shards == Some(0) {
+            return Err(
+                "--shards/ENCORE_SHARDS must be at least 1 (got 0): a run needs \
+                 at least one shard to execute on"
+                    .to_string(),
+            );
+        }
+        if negative("days") {
+            return Err(format!(
+                "--days/ENCORE_DAYS must be non-negative (got {}): a world \
+                 cannot run for a negative span",
+                values["days"]
+            ));
+        }
+        Ok(RunArgs {
             seed: seed.unwrap_or(crate::DEFAULT_SEED),
             visits: parsed(&values, "visits"),
-            shards: parsed(&values, "shards"),
+            shards,
             days: parsed(&values, "days"),
             min_speedup: parsed(&values, "min_speedup"),
             out_dir: values
                 .get("out")
                 .map_or_else(|| PathBuf::from("results"), PathBuf::from),
-        }
+        })
     }
 
     /// Visit count, with a per-binary default.
@@ -263,19 +307,23 @@ mod tests {
         }
     }
 
+    fn try_args(cli: &[&str], env_pairs: &[(&str, &str)]) -> Result<RunArgs, String> {
+        let env_pairs: Vec<(String, String)> = env_pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        RunArgs::from_sources(cli.iter().map(|s| s.to_string()), move |key| {
+            env_pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        })
+    }
+
     #[test]
     fn run_args_priority_is_cli_then_env_then_default() {
         let args = |cli: &[&str], env_pairs: &[(&str, &str)]| {
-            let env_pairs: Vec<(String, String)> = env_pairs
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect();
-            RunArgs::from_sources(cli.iter().map(|s| s.to_string()), move |key| {
-                env_pairs
-                    .iter()
-                    .find(|(k, _)| k == key)
-                    .map(|(_, v)| v.clone())
-            })
+            try_args(cli, env_pairs).expect("valid configuration")
         };
 
         // Defaults.
@@ -313,10 +361,39 @@ mod tests {
         assert_eq!(a.seed, 12345);
         let a = args(&[], &[("ENCORE_SEED", "0XE7C02015")]);
         assert_eq!(a.seed, 0xE7C0_2015);
+    }
 
-        // Shards clamp to at least 1.
-        let a = args(&["--shards", "0"], &[]);
-        assert_eq!(a.shards(8), 1);
+    #[test]
+    fn run_args_reject_zero_shards_and_negative_days() {
+        // `--shards 0` is a structural impossibility: hard error, not a
+        // silent clamp or warn-and-default.
+        let err = try_args(&["--shards", "0"], &[]).unwrap_err();
+        assert!(err.contains("at least 1"), "unclear error: {err}");
+        // The env spelling is rejected identically.
+        let err = try_args(&[], &[("ENCORE_SHARDS", "0")]).unwrap_err();
+        assert!(err.contains("at least 1"), "unclear error: {err}");
+
+        // Negative shard counts are rejected like zero, not
+        // warn-and-defaulted as parse noise.
+        let err = try_args(&[], &[("ENCORE_SHARDS", "-2")]).unwrap_err();
+        assert!(err.contains("at least 1"), "unclear error: {err}");
+        assert!(err.contains("-2"), "error must echo the value: {err}");
+
+        // Negative day spans are impossible worlds, not parse noise —
+        // even with trailing junk, a leading '-' is an attempted negative.
+        let err = try_args(&["--days", "-5"], &[]).unwrap_err();
+        assert!(err.contains("non-negative"), "unclear error: {err}");
+        assert!(err.contains("-5"), "error must echo the value: {err}");
+        let err = try_args(&[], &[("ENCORE_DAYS", "-1")]).unwrap_err();
+        assert!(err.contains("non-negative"), "unclear error: {err}");
+        let err = try_args(&["--days", "-5x"], &[]).unwrap_err();
+        assert!(err.contains("non-negative"), "unclear error: {err}");
+
+        // Nearby valid values still parse.
+        assert_eq!(try_args(&["--shards", "1"], &[]).unwrap().shards(8), 1);
+        assert_eq!(try_args(&["--days", "0"], &[]).unwrap().days(30), 0);
+        // Genuinely unparseable garbage keeps the warn-and-default path.
+        assert_eq!(try_args(&["--days", "soon"], &[]).unwrap().days(30), 30);
     }
 
     #[test]

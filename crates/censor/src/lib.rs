@@ -24,10 +24,17 @@
 //!   time on one continuously-running world (the paper's §1: filtering
 //!   "varies over time in response to changing social or political
 //!   conditions").
+//! * [`adaptive`] — [`adaptive::AdaptiveCensor`], the §8 adversary that
+//!   *notices* Encore and reacts: an escalation ladder (probabilistic
+//!   RST injection → rate-based throttling → DNS poisoning with lying
+//!   TTLs → IP blocking → retaliation against the collection server)
+//!   driven by scheduled [`adaptive::ReactionPolicy`] events and/or a
+//!   detected-fetch threshold.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod fingerprint;
 pub mod national;
 pub mod policy;
@@ -35,6 +42,7 @@ pub mod registry;
 pub mod testbed;
 pub mod timeline;
 
+pub use adaptive::{AdaptiveCensor, AdaptiveSpec, Reaction, ReactionPolicy};
 pub use fingerprint::EncoreFingerprinter;
 pub use national::NationalCensor;
 pub use policy::{BlockTarget, CensorPolicy, Mechanism, Rule};

@@ -110,6 +110,8 @@ impl NationalCensor {
 /// Deterministic pseudo-random unit value from a URL and a timestamp:
 /// used by [`Mechanism::Throttle`] so the censor's probabilistic drops are
 /// reproducible without threading an RNG through the middlebox trait.
+/// (The `adaptive` module has its own draw with a stronger finalizer —
+/// this one is only well-distributed when the URL varies per request.)
 fn throttle_draw(url: &str, now_micros: u64) -> f64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in url.as_bytes() {

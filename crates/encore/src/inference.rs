@@ -208,6 +208,30 @@ pub struct WindowReport {
     pub detections: Vec<Detection>,
 }
 
+/// Localise block transitions in a windowed flag series: the first
+/// flagged window (the onset) and the first clear window after it (the
+/// lift). This is the **single definition** of onset/lift semantics over
+/// [`FilteringDetector::detect_windows`] output — the timeline fixtures,
+/// the adaptive-censor golden, and the `simcheck` fuzz oracle all share
+/// it, so the localisation rule can never silently diverge between the
+/// hand-picked goldens and the generated scenario space.
+pub fn localise_transitions(
+    flags: impl IntoIterator<Item = (u64, bool)>,
+) -> (Option<u64>, Option<u64>) {
+    let (mut onset, mut lift) = (None, None);
+    let mut prev = false;
+    for (w, flagged) in flags {
+        if flagged && !prev && onset.is_none() {
+            onset = Some(w);
+        }
+        if !flagged && prev && onset.is_some() && lift.is_none() {
+            lift = Some(w);
+        }
+        prev = flagged;
+    }
+    (onset, lift)
+}
+
 impl FilteringDetector {
     /// Longitudinal detection: slice the record stream into fixed
     /// windows and run the detector per window. This is what turns

@@ -14,7 +14,7 @@
 use crate::host::Host;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::tcp::TcpAttempt;
-use sim_core::SimTime;
+use sim_core::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// Context handed to every interception hook.
@@ -36,6 +36,17 @@ pub enum DnsAction {
     /// Forge an answer pointing at `0` — e.g. a block-page server or an
     /// unroutable sinkhole address.
     Redirect(Ipv4Addr),
+    /// Forge an answer **with a lying TTL**: like [`DnsAction::Redirect`]
+    /// but the censor also chooses how long resolvers and browsers cache
+    /// the lie. A long TTL makes the poisoning outlive the block itself
+    /// (returning clients keep hitting the sinkhole after the censor
+    /// stands down); a short one makes it evaporate quickly.
+    Poison {
+        /// The forged address.
+        ip: Ipv4Addr,
+        /// The TTL the forged answer carries.
+        ttl: SimDuration,
+    },
     /// Silently drop the query (client times out).
     Drop,
 }
@@ -110,6 +121,23 @@ pub trait Middlebox {
     ) -> HttpAction {
         HttpAction::Pass
     }
+
+    /// Deliver an out-of-band control signal to a *stateful* middlebox —
+    /// the hook the world engine's censor-reaction events use to drive
+    /// strategy changes (escalate, stand down, jump to a stage) on a
+    /// live middlebox without reinstalling it. The signal vocabulary is
+    /// defined by the implementation (`censor::adaptive` documents its
+    /// own); the substrate stays ignorant of censorship semantics.
+    ///
+    /// Returns whether the signal was understood and changed state.
+    /// Implementations must keep [`Middlebox::applies_to`] stable across
+    /// control signals (per its contract): a signal may change *what the
+    /// hooks do*, never *which clients the box sits in front of* — so
+    /// compiled session pipelines stay valid and no generation bump is
+    /// needed.
+    fn on_control(&self, _signal: &str, _now: SimTime) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +178,9 @@ mod tests {
         assert_eq!(mb.on_http_request(&req, &ctx), HttpAction::Pass);
         let resp = HttpResponse::ok(crate::http::ContentType::Html, 10);
         assert_eq!(mb.on_http_response(&req, &resp, &ctx), HttpAction::Pass);
+        assert!(
+            !mb.on_control("escalate", SimTime::ZERO),
+            "stateless middleboxes ignore control signals"
+        );
     }
 }

@@ -19,7 +19,7 @@ use crate::middlebox::Middlebox;
 use crate::path::{PathModel, PathQuality};
 use crate::session::{FetchSession, SessionConfig};
 use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, SimRng, SimTime, Trace};
+use sim_core::{SimDuration, SimRng, SimTime, Trace, TraceLevel};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -294,6 +294,30 @@ impl Network {
     /// Whether a middlebox with this diagnostic name is installed.
     pub fn has_middlebox(&self, name: &str) -> bool {
         self.middleboxes.iter().any(|mb| mb.name() == name)
+    }
+
+    /// Deliver a control signal to the first middlebox with this name
+    /// (see [`Middlebox::on_control`]). Returns whether a middlebox
+    /// understood the signal and changed state. Control signals change
+    /// *behaviour*, never coverage, so the generation counter is
+    /// deliberately **not** bumped — compiled session pipelines stay
+    /// valid and the signal is observable on the very next fetch.
+    pub fn signal_middlebox(&mut self, name: &str, signal: &str, now: SimTime) -> bool {
+        match self.middleboxes.iter().find(|mb| mb.name() == name) {
+            Some(mb) => {
+                let changed = mb.on_control(signal, now);
+                if changed {
+                    self.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        "censor",
+                        format!("{name} applied control signal {signal:?}"),
+                    );
+                }
+                changed
+            }
+            None => false,
+        }
     }
 
     /// The installed middleboxes, client-nearest first.

@@ -56,6 +56,12 @@ pub struct SessionConfig {
     /// In-process DNS cache lookup cost (a hash probe, not a network
     /// round trip).
     pub dns_cache_hit_cost: SimDuration,
+    /// Cap on simultaneously pooled keep-alive connections (browsers
+    /// bound their connection pools). Inserting a new destination into a
+    /// full pool evicts the connection closest to idle expiry (ties
+    /// break on the lower address). `usize::MAX` — the default —
+    /// disables the cap.
+    pub max_connections: usize,
 }
 
 impl Default for SessionConfig {
@@ -67,6 +73,7 @@ impl Default for SessionConfig {
             keep_alive: SimDuration::from_secs(60),
             dns_cache: true,
             dns_cache_hit_cost: SimDuration::from_micros(100),
+            max_connections: usize::MAX,
         }
     }
 }
@@ -79,6 +86,7 @@ impl SessionConfig {
             keep_alive: SimDuration::ZERO,
             dns_cache: false,
             dns_cache_hit_cost: SimDuration::ZERO,
+            max_connections: usize::MAX,
         }
     }
 }
@@ -166,6 +174,36 @@ impl FetchSession {
     pub fn prune_expired(&mut self, now: SimTime) {
         self.dns_cache.retain(|_, &mut (_, expires)| now < expires);
         self.connections.retain(|_, &mut expiry| now < expiry);
+    }
+
+    /// Pool an established connection, honouring the configured pool
+    /// capacity: refreshing an already pooled destination never evicts,
+    /// a new destination entering a full pool evicts the connection
+    /// closest to its idle expiry (the one worth least; ties break on
+    /// the lower address, keeping eviction deterministic), and a
+    /// zero-capacity pool simply never retains anything.
+    fn pool_connection(&mut self, dst: Ipv4Addr, expiry: SimTime) {
+        if self.config.max_connections == 0 {
+            return;
+        }
+        if !self.connections.contains_key(&dst)
+            && self.connections.len() >= self.config.max_connections
+        {
+            let victim = self
+                .connections
+                .iter()
+                .min_by_key(|(ip, &exp)| (exp, **ip))
+                .map(|(ip, _)| *ip)
+                .expect("full pool is non-empty");
+            self.connections.remove(&victim);
+        }
+        self.connections.insert(dst, expiry);
+    }
+
+    /// Number of currently pooled keep-alive connections (live or not
+    /// yet pruned).
+    pub fn pooled_connections(&self) -> usize {
+        self.connections.len()
     }
 
     /// Whether a kept-alive connection to `dst` is live at `now`.
@@ -288,8 +326,7 @@ impl FetchSession {
             };
             if alive {
                 let idle_from = now + outcome.timings.total();
-                self.connections
-                    .insert(server_ip, idle_from + self.config.keep_alive);
+                self.pool_connection(server_ip, idle_from + self.config.keep_alive);
             } else {
                 self.connections.remove(&server_ip);
             }
@@ -368,6 +405,16 @@ impl FetchSession {
                 if self.config.dns_cache {
                     self.dns_cache
                         .insert(key, (ip, now + crate::dns::DEFAULT_TTL));
+                }
+                Ok(ip)
+            }
+            DnsAction::Poison { ip, ttl } => {
+                timings.dns += resolver_rtt;
+                // Same as a redirect, except the censor dictates how long
+                // the lie is cached — a lying TTL makes the poisoning
+                // outlive (or undershoot) the block itself.
+                if self.config.dns_cache {
+                    self.dns_cache.insert(key, (ip, now + ttl));
                 }
                 Ok(ip)
             }
@@ -854,6 +901,166 @@ mod tests {
         let second = s.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
         assert!(second.timings.connect > SimDuration::ZERO);
         assert_eq!(s.stats().connections_reused, 0);
+    }
+
+    #[test]
+    fn dns_entry_expiring_exactly_at_ttl_boundary_is_not_served() {
+        let mut n = network();
+        n.dns.register_with_ttl(
+            "short.example",
+            std::net::Ipv4Addr::new(100, 99, 1, 1),
+            SimDuration::from_secs(10),
+        );
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(21);
+        let req = HttpRequest::get("http://short.example/x");
+
+        s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        // One instant before the boundary the record still serves…
+        s.fetch(
+            &mut n,
+            &req,
+            SimTime::from_secs(10) - SimDuration::from_micros(1),
+            &mut rng,
+        );
+        assert_eq!(s.stats().dns_cache_hits, 1, "pre-boundary hit");
+        // …but *exactly at* its TTL boundary it must not: expiry is
+        // exclusive (`now < expires`), matching prune_expired.
+        s.fetch(&mut n, &req, SimTime::from_secs(10), &mut rng);
+        assert_eq!(
+            s.stats().dns_cache_hits,
+            1,
+            "an entry expiring exactly now must not be served"
+        );
+        // prune_expired agrees with the serve path at the same boundary:
+        // the re-resolution at t=10 re-cached until t=20; pruning at
+        // exactly t=20 drops it, so the next fetch resolves again.
+        s.prune_expired(SimTime::from_secs(20));
+        s.fetch(&mut n, &req, SimTime::from_secs(20), &mut rng);
+        assert_eq!(s.stats().dns_cache_hits, 1, "pruned at the boundary");
+    }
+
+    #[test]
+    fn keep_alive_pool_evicts_nearest_expiry_at_capacity() {
+        let mut n = network();
+        for d in ["b.example", "c.example"] {
+            n.add_server(
+                d,
+                country("US"),
+                Box::new(ConstHandler(HttpResponse::ok(ContentType::Image, 400))),
+            );
+        }
+        let client = n.add_client(country("DE"), IspClass::Residential);
+        let mut s = FetchSession::with_config(
+            client,
+            SessionConfig {
+                max_connections: 2,
+                ..SessionConfig::default()
+            },
+        );
+        let mut rng = SimRng::new(31);
+        let a = s
+            .fetch(
+                &mut n,
+                &HttpRequest::get("http://origin.example/x"),
+                SimTime::ZERO,
+                &mut rng,
+            )
+            .server_ip
+            .unwrap();
+        let b = s
+            .fetch(
+                &mut n,
+                &HttpRequest::get("http://b.example/x"),
+                SimTime::from_secs(1),
+                &mut rng,
+            )
+            .server_ip
+            .unwrap();
+        assert_eq!(s.pooled_connections(), 2);
+
+        // Refreshing an already pooled destination never evicts…
+        s.fetch(
+            &mut n,
+            &HttpRequest::get("http://origin.example/y"),
+            SimTime::from_secs(2),
+            &mut rng,
+        );
+        assert_eq!(s.pooled_connections(), 2);
+        assert_eq!(s.stats().connections_reused, 1);
+
+        // …but a third destination entering the full pool evicts the
+        // connection closest to idle expiry — b, since a's expiry was
+        // just refreshed.
+        let c = s
+            .fetch(
+                &mut n,
+                &HttpRequest::get("http://c.example/x"),
+                SimTime::from_secs(3),
+                &mut rng,
+            )
+            .server_ip
+            .unwrap();
+        let now = SimTime::from_secs(4);
+        assert_eq!(s.pooled_connections(), 2);
+        assert!(s.has_connection(a, now), "refreshed survivor evicted");
+        assert!(s.has_connection(c, now), "newcomer not pooled");
+        assert!(!s.has_connection(b, now), "nearest-expiry victim kept");
+
+        // The evicted destination re-establishes from scratch.
+        let back = s.fetch(
+            &mut n,
+            &HttpRequest::get("http://b.example/x"),
+            now,
+            &mut rng,
+        );
+        assert!(back.timings.connect > SimDuration::ZERO);
+
+        // A zero-capacity pool never retains connections at all.
+        let client = n.add_client(country("DE"), IspClass::Residential);
+        let mut none = FetchSession::with_config(
+            client,
+            SessionConfig {
+                max_connections: 0,
+                ..SessionConfig::default()
+            },
+        );
+        none.fetch(
+            &mut n,
+            &HttpRequest::get("http://origin.example/x"),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(none.pooled_connections(), 0);
+    }
+
+    #[test]
+    fn pipeline_recompiles_on_remove_middlebox_generation_bump() {
+        let mut n = network();
+        n.add_middlebox(Box::new(FlipDnsBlocker));
+        let gen_with_censor = n.middlebox_generation();
+        let mut s = session(&mut n);
+        let mut rng = SimRng::new(41);
+        let req = HttpRequest::get("http://origin.example/a.png");
+
+        // First fetch compiles the pipeline against the censored set.
+        let blocked = s.fetch(&mut n, &req, SimTime::ZERO, &mut rng);
+        assert_eq!(blocked.result, Err(FetchError::DnsNxDomain));
+        assert_eq!(s.stats().pipeline_rebuilds, 1);
+
+        // Removal bumps the generation counter…
+        assert!(n.remove_middlebox("flip"));
+        assert!(n.middlebox_generation() > gen_with_censor);
+        // …so the next fetch recompiles (second rebuild) and the stale
+        // censor index is never consulted against the shrunken set.
+        let open = s.fetch(&mut n, &req, SimTime::from_secs(1), &mut rng);
+        assert!(open.result.is_ok(), "censor gone, fetch must succeed");
+        assert_eq!(s.stats().pipeline_rebuilds, 2);
+
+        // Removing an unknown name bumps nothing and triggers no rebuild.
+        assert!(!n.remove_middlebox("never-installed"));
+        s.fetch(&mut n, &req, SimTime::from_secs(2), &mut rng);
+        assert_eq!(s.stats().pipeline_rebuilds, 2);
     }
 
     #[test]

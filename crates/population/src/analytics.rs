@@ -220,10 +220,10 @@ impl Merge for WorldOutcome {
     /// Merge two shards' world outcomes: reports and rollup series merge
     /// through their own [`Merge`] impls, visit logs interleave by
     /// arrival time (equal times keep the left/lower shard first), and
-    /// `policy_changes_applied` — a *control-plane* fact replicated on
-    /// every shard by the broadcast, not an additive counter — merges by
-    /// maximum (shards agree on it whenever they replayed the same
-    /// control schedule).
+    /// `policy_changes_applied` and `control_signals_applied` —
+    /// *control-plane* facts replicated on every shard by the broadcast,
+    /// not additive counters — merge by maximum (shards agree on them
+    /// whenever they replayed the same control schedule).
     fn merge(self, other: WorldOutcome) -> WorldOutcome {
         WorldOutcome {
             log: merge_time_ordered(self.log, other.log, |v| v.at),
@@ -232,6 +232,9 @@ impl Merge for WorldOutcome {
             policy_changes_applied: self
                 .policy_changes_applied
                 .max(other.policy_changes_applied),
+            control_signals_applied: self
+                .control_signals_applied
+                .max(other.control_signals_applied),
         }
     }
 }
@@ -506,12 +509,14 @@ mod tests {
             report: report_a,
             rollups: RollupSeries(vec![roll(10, 2, 0)]),
             policy_changes_applied: 2,
+            control_signals_applied: 3,
         };
         let b = WorldOutcome {
             log: vec![v(3, "TR")],
             report: report_b,
             rollups: RollupSeries(vec![roll(10, 1, 0)]),
             policy_changes_applied: 2,
+            control_signals_applied: 3,
         };
         let m = a.merge(b);
         let order: Vec<u64> = m.log.iter().map(|r| r.at.as_secs()).collect();
@@ -519,6 +524,7 @@ mod tests {
         assert_eq!(m.report.visits, 3);
         assert_eq!(m.rollups, RollupSeries(vec![roll(10, 3, 0)]));
         assert_eq!(m.policy_changes_applied, 2);
+        assert_eq!(m.control_signals_applied, 3);
     }
 
     #[test]

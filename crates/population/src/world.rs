@@ -60,6 +60,7 @@ use crate::audience::{Audience, Visitor};
 use crate::batch::{BatchConfig, BatchReport};
 use crate::driver::{DeploymentConfig, VisitRecord};
 use browser::BrowserClient;
+use censor::adaptive::ReactionPolicy;
 use censor::timeline::{PolicyChange, PolicyTimeline};
 use encore::coordination::SchedulingStrategy;
 use encore::delivery::OriginSite;
@@ -92,6 +93,15 @@ pub enum WorldEvent {
     /// through the middlebox generation counter).
     PolicyChange {
         /// Index into the engine's merged policy schedule.
+        index: usize,
+    },
+    /// Deliver the scheduled censor control signal at `index` — a
+    /// [`censor::adaptive::ReactionPolicy`] step driving a stateful
+    /// middlebox ([`netsim::middlebox::Middlebox::on_control`]) without
+    /// reinstalling it. Control signals change middlebox *behaviour*,
+    /// never coverage, so no generation bump and no pipeline recompile.
+    CensorSignal {
+        /// Index into the engine's merged signal schedule.
         index: usize,
     },
     /// Run the scheduled one-shot world mutation at `index`.
@@ -154,6 +164,10 @@ pub struct WorldOutcome {
     /// (a lift addressed to a name that was never installed is a no-op
     /// and is not counted).
     pub policy_changes_applied: usize,
+    /// How many scheduled censor control signals a middlebox understood
+    /// and applied (signals addressed to an uninstalled name, unknown
+    /// vocabulary, or a no-op transition are not counted).
+    pub control_signals_applied: usize,
 }
 
 /// A `Send + Sync + Clone` description of an entire world run: the
@@ -166,14 +180,16 @@ pub struct WorldOutcome {
 /// it on N OS threads by broadcasting the *control* half verbatim to
 /// every shard while thinning the *arrival* half 1/N
 /// ([`crate::shard::shard_recipe`]). The replay order is canonical —
-/// timeline, then mutations, then re-prioritisations, then maintenance,
-/// then rollups, each in insertion order, all before any traffic — so a
-/// recipe-driven run is bit-identical to the equivalent imperative
-/// `schedule_*` calls made in that same order.
+/// timeline, then censor reactions, then mutations, then
+/// re-prioritisations, then maintenance, then rollups, each in insertion
+/// order, all before any traffic — so a recipe-driven run is
+/// bit-identical to the equivalent imperative `schedule_*` calls made in
+/// that same order.
 #[derive(Clone)]
 pub struct WorldRecipe {
     pub(crate) mode: RunMode,
     pub(crate) timeline: PolicyTimeline,
+    pub(crate) reactions: Vec<ReactionPolicy>,
     pub(crate) mutations: Vec<(SimTime, SharedMutation)>,
     pub(crate) reprioritizations: Vec<(SimTime, SchedulingStrategy)>,
     pub(crate) maintenance: Option<SimDuration>,
@@ -185,6 +201,7 @@ impl std::fmt::Debug for WorldRecipe {
         f.debug_struct("WorldRecipe")
             .field("mode", &self.mode)
             .field("timeline", &self.timeline)
+            .field("reactions", &self.reactions)
             .field("mutations", &self.mutations.len())
             .field("reprioritizations", &self.reprioritizations)
             .field("maintenance", &self.maintenance)
@@ -198,6 +215,7 @@ impl WorldRecipe {
         WorldRecipe {
             mode,
             timeline: PolicyTimeline::new(),
+            reactions: Vec::new(),
             mutations: Vec::new(),
             reprioritizations: Vec::new(),
             maintenance: None,
@@ -228,6 +246,21 @@ impl WorldRecipe {
     /// Builder: set the policy timeline.
     pub fn with_timeline(mut self, timeline: PolicyTimeline) -> WorldRecipe {
         self.timeline = timeline;
+        self
+    }
+
+    /// The scheduled censor reaction policies (control plane).
+    pub fn reactions(&self) -> &[ReactionPolicy] {
+        &self.reactions
+    }
+
+    /// Builder: append an adaptive-censor reaction policy. Like the
+    /// policy timeline, reactions are control events: sharded runs
+    /// broadcast them verbatim to every shard, which is what keeps
+    /// *scheduled* adaptive censors verdict-invariant across shard
+    /// counts.
+    pub fn with_reaction(mut self, policy: ReactionPolicy) -> WorldRecipe {
+        self.reactions.push(policy);
         self
     }
 
@@ -300,6 +333,9 @@ pub struct WorldEngine<'a> {
     mode: Mode,
     policy_schedule: Vec<(SimTime, PolicyChange)>,
     policy_applied: usize,
+    /// Flattened reaction schedule: `(censor name, control signal)`.
+    signal_schedule: Vec<(String, String)>,
+    signals_applied: usize,
     mutations: Vec<Option<WorldMutation>>,
     rollups: Vec<Rollup>,
     report: BatchReport,
@@ -324,6 +360,8 @@ impl<'a> WorldEngine<'a> {
             mode,
             policy_schedule: Vec::new(),
             policy_applied: 0,
+            signal_schedule: Vec::new(),
+            signals_applied: 0,
             mutations: Vec::new(),
             rollups: Vec::new(),
             report: BatchReport::default(),
@@ -392,8 +430,9 @@ impl<'a> WorldEngine<'a> {
 
     /// Materialise a [`WorldRecipe`] against a concrete world: construct
     /// the engine in the recipe's mode, then replay the recipe's control
-    /// schedules in the canonical order — timeline, mutations,
-    /// re-prioritisations, maintenance, rollups. Equivalent imperative
+    /// schedules in the canonical order — timeline, censor reactions,
+    /// mutations, re-prioritisations, maintenance, rollups. Equivalent
+    /// imperative
     /// `schedule_*` calls in that order produce a bit-identical run, and
     /// `tests/world_shard_equivalence.rs` holds `run_sharded_world` at
     /// one shard to exactly this serial replay.
@@ -411,6 +450,9 @@ impl<'a> WorldEngine<'a> {
             RunMode::Batch(config) => WorldEngine::batch(net, system, audience, &config, rng),
         };
         engine.schedule_timeline(recipe.timeline.clone());
+        for policy in &recipe.reactions {
+            engine.schedule_reactions(policy);
+        }
         for (at, mutation) in &recipe.mutations {
             let mutation = mutation.clone();
             engine.schedule_mutation(*at, move |net, sys| mutation(net, sys));
@@ -445,6 +487,29 @@ impl<'a> WorldEngine<'a> {
             );
             self.policy_schedule.push((*at, change.clone()));
         }
+    }
+
+    /// Schedule every step of a [`ReactionPolicy`] as control-signal
+    /// events on the queue: at each step's instant the engine delivers
+    /// the signal to the named middlebox
+    /// ([`netsim::network::Network::signal_middlebox`]). Signals
+    /// scheduled for the same instant as an arrival fire before it
+    /// (configuration precedes traffic at equal times), and a signal no
+    /// middlebox understands is a counted-nowhere no-op — the reactive
+    /// analogue of lifting an uninstalled censor.
+    pub fn schedule_reactions(&mut self, policy: &ReactionPolicy) {
+        for (at, reaction) in policy.steps() {
+            self.schedule_control_signal(*at, policy.censor.clone(), reaction.signal());
+        }
+    }
+
+    /// Schedule one raw control signal for the named middlebox at `at` —
+    /// the escape hatch under [`WorldEngine::schedule_reactions`] for
+    /// signal vocabularies the `censor::adaptive` ladder doesn't model.
+    pub fn schedule_control_signal(&mut self, at: SimTime, censor: String, signal: String) {
+        let index = self.signal_schedule.len();
+        self.signal_schedule.push((censor, signal));
+        self.queue.schedule(at, WorldEvent::CensorSignal { index });
     }
 
     /// Schedule an arbitrary one-shot world mutation at `at` — the
@@ -514,6 +579,12 @@ impl<'a> WorldEngine<'a> {
                 WorldEvent::PolicyChange { index } => {
                     if self.policy_schedule[index].1.apply(self.net) {
                         self.policy_applied += 1;
+                    }
+                }
+                WorldEvent::CensorSignal { index } => {
+                    let (censor, signal) = &self.signal_schedule[index];
+                    if self.net.signal_middlebox(censor, signal, now) {
+                        self.signals_applied += 1;
                     }
                 }
                 WorldEvent::Mutation { index } => {
@@ -701,6 +772,7 @@ impl<'a> WorldEngine<'a> {
             report,
             rollups: RollupSeries(self.rollups),
             policy_changes_applied: self.policy_applied,
+            control_signals_applied: self.signals_applied,
         }
     }
 }
@@ -963,6 +1035,83 @@ mod tests {
     }
 
     #[test]
+    fn reaction_events_drive_adaptive_censors() {
+        use censor::adaptive::{AdaptiveSpec, Reaction, ReactionPolicy, Stage};
+        let run = |with_reactions: bool| {
+            let (mut net, mut sys) = deployment_world();
+            // A standing adaptive censor, watching the measurement
+            // target from its passive rung.
+            let spec = AdaptiveSpec::new(
+                "us-adaptive",
+                country("US"),
+                vec!["target.example".to_string()],
+            );
+            net.add_middlebox(Box::new(spec.build(&net.dns)));
+            let audience = Audience::academic();
+            let mut rng = SimRng::new(0x5160 + u64::from(with_reactions));
+            let mut recipe = WorldRecipe::deployment(week());
+            if with_reactions {
+                recipe = recipe.with_reaction(
+                    ReactionPolicy::new("us-adaptive")
+                        .at(
+                            SimTime::from_secs(2 * 86_400),
+                            Reaction::SetStage(Stage::IpBlock),
+                        )
+                        .at(SimTime::from_secs(5 * 86_400), Reaction::StandDown),
+                );
+            }
+            WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run()
+        };
+
+        let reactive = run(true);
+        assert_eq!(reactive.control_signals_applied, 2);
+        let failed_mid = reactive
+            .log
+            .iter()
+            .filter(|v| {
+                let day = v.at.as_secs() / 86_400;
+                (2..5).contains(&day) && tally_outcome(&v.outcome).tasks_failed > 0
+            })
+            .count();
+        assert!(failed_mid > 5, "IP-block window saw {failed_mid} failures");
+        let failed_outside = reactive
+            .log
+            .iter()
+            .filter(|v| {
+                let day = v.at.as_secs() / 86_400;
+                !(2..5).contains(&day) && tally_outcome(&v.outcome).tasks_failed > 0
+            })
+            .count();
+        assert_eq!(failed_outside, 0, "failures outside the reaction window");
+
+        let passive = run(false);
+        assert_eq!(passive.control_signals_applied, 0);
+        assert!(passive
+            .log
+            .iter()
+            .all(|v| tally_outcome(&v.outcome).tasks_failed == 0));
+    }
+
+    #[test]
+    fn signals_to_unknown_or_stateless_middleboxes_are_uncounted_noops() {
+        use censor::adaptive::{Reaction, ReactionPolicy};
+        let (mut net, mut sys) = deployment_world();
+        let audience = Audience::academic();
+        let mut rng = SimRng::new(0xD0);
+        let recipe = WorldRecipe::deployment(week())
+            // Addressed to a name that is never installed…
+            .with_reaction(
+                ReactionPolicy::new("nobody-home").at(SimTime::from_secs(100), Reaction::Escalate),
+            );
+        let out = WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run();
+        assert_eq!(out.control_signals_applied, 0);
+        assert!(out
+            .log
+            .iter()
+            .all(|v| tally_outcome(&v.outcome).tasks_failed == 0));
+    }
+
+    #[test]
     fn reprioritization_switches_strategy_mid_run() {
         let (mut net, mut sys) = deployment_world();
         let audience = Audience::academic();
@@ -1022,6 +1171,12 @@ mod tests {
         let burst = SchedulingStrategy::CoordinatedBursts {
             window: SimDuration::from_secs(60),
         };
+        let reactions = || {
+            censor::adaptive::ReactionPolicy::new("nobody-home").at(
+                SimTime::from_secs(86_000),
+                censor::adaptive::Reaction::Escalate,
+            )
+        };
 
         // Imperative: schedule_* calls in the canonical order.
         let imperative = {
@@ -1030,6 +1185,7 @@ mod tests {
             let mut engine =
                 WorldEngine::deployment(&mut net, &mut sys, &audience, &week(), &mut rng);
             engine.schedule_timeline(timeline());
+            engine.schedule_reactions(&reactions());
             engine.schedule_mutation(SimTime::from_secs(86_400), |_, sys| {
                 sys.max_tasks_per_visit = 2;
             });
@@ -1042,6 +1198,7 @@ mod tests {
         // Declarative: the same run as a recipe.
         let recipe = WorldRecipe::deployment(week())
             .with_timeline(timeline())
+            .with_reaction(reactions())
             .mutate_at(SimTime::from_secs(86_400), |_, sys| {
                 sys.max_tasks_per_visit = 2;
             })

@@ -46,7 +46,7 @@ pub mod trace;
 pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
 pub use merge::merge_time_ordered;
 pub use queue::EventQueue;
-pub use rng::SimRng;
+pub use rng::{splitmix_mix, SimRng};
 pub use stats::{binomial_sf, Cdf, FiveNumber, OneSidedBinomialTest, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceLevel};

@@ -32,13 +32,21 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Splitmix64 step — expands a seed into well-mixed state words.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+/// The splitmix64 avalanche — the canonical finalizer that turns a
+/// structured 64-bit input (a counter, an xor of keys) into well-mixed
+/// bits. Public because every derived-seed scheme in the workspace
+/// (case-seed derivation, the adaptive censor's deterministic draws)
+/// must use *this* copy of the constants rather than re-typing them.
+pub fn splitmix_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Splitmix64 step — expands a seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    splitmix_mix(*state)
 }
 
 /// Deterministic random number generator with labelled forking.

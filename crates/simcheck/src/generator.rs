@@ -1,0 +1,665 @@
+//! The arbitrary-world generator.
+//!
+//! A [`WorldCase`] is a plain-data description of one generated world:
+//! its arrival process, its censorship model (none, a scheduled
+//! install/lift timeline, an adaptive censor driven by scheduled
+//! reactions, or a traffic-reactive K-threshold censor), and its
+//! housekeeping cadences. Cases come in two classes with different
+//! sampling ranges:
+//!
+//! * [`CaseClass::Equivalence`] — tiny worlds (tens to hundreds of
+//!   visits) drawn from the *widest* space: both arrival modes, every
+//!   mechanism including probabilistic throttling, arbitrary
+//!   (non-day-aligned) change times, lying poison TTLs up to days, and
+//!   self-triggered reactive censors. These feed the exact-replay
+//!   oracles (lockstep, reproducibility, merge algebra), which hold for
+//!   *any* recipe.
+//! * [`CaseClass::Detector`] — statistically powered worlds shaped like
+//!   the Turkey fixture (≈1.5k visits/day over 6–9 days): hard-block
+//!   mechanisms only, day-aligned onset/lift, short poison TTLs, and
+//!   censored countries with enough audience share that every censored
+//!   day cell clears the detector's minimum-n guard decisively. These
+//!   additionally feed the statistical oracles (verdict invariance
+//!   across shard counts, onset/lift localisation, false-positive
+//!   freedom), which are only guaranteed away from decision boundaries
+//!   — the generator's job is to stay away from them.
+//!
+//! Generation implements the vendored `proptest` [`Strategy`] trait, so
+//! cases compose with `proptest!` tests and the budgeted runner alike,
+//! and every case embeds the seed that produced it: `WorldCase::from_seed
+//! (class, seed)` is the whole reproduction recipe.
+
+use censor::adaptive::{AdaptiveSpec, Reaction, ReactionPolicy, Stage};
+use censor::policy::{CensorPolicy, Mechanism};
+use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
+use encore::coordination::SchedulingStrategy;
+use encore::delivery::OriginSite;
+use encore::system::EncoreSystem;
+use netsim::geo::{country, CountryCode};
+use netsim::http::{ContentType, HttpResponse};
+use netsim::network::Network;
+use netsim::scenario::{NetworkScenario, WorldScenario, WorldSpec};
+use population::shard::ShardContext;
+use population::{BatchConfig, DeploymentConfig, WorldRecipe};
+use proptest::{Strategy, TestRng};
+use serde::Serialize;
+use sim_core::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The measurement-target domain every generated world installs.
+pub const TARGET: &str = "probe-target.example";
+
+/// Diagnostic name of the generated censor (scheduled or adaptive).
+pub const CENSOR_NAME: &str = "simcheck-censor";
+
+/// Which oracle family a case feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CaseClass {
+    /// Exact-replay oracles over the widest recipe space.
+    Equivalence,
+    /// Statistical oracles over detector-powered worlds.
+    Detector,
+}
+
+/// The generated arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ArrivalMode {
+    /// Poisson arrivals at every origin over a day horizon.
+    Deployment {
+        /// Simulated days.
+        days: u64,
+        /// Visits per day per unit origin weight.
+        rate: f64,
+    },
+    /// A fixed visit count at a mean gap.
+    Batch {
+        /// Total visits.
+        visits: u64,
+        /// Mean inter-arrival gap in milliseconds.
+        gap_ms: u64,
+    },
+}
+
+/// A hard or soft blocking mechanism for scheduled censors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum BlockKind {
+    /// Forged NXDOMAIN.
+    DnsNxDomain,
+    /// Dropped DNS queries.
+    DnsDrop,
+    /// Forged answer to an unroutable sinkhole.
+    DnsSinkhole,
+    /// RST injection against resolved addresses.
+    TcpReset,
+    /// Null-routing of resolved addresses.
+    IpDrop,
+    /// Dropped HTTP exchanges.
+    HttpDrop,
+    /// Connection reset at the HTTP stage.
+    HttpReset,
+    /// A block page in place of the resource.
+    HttpBlockPage,
+    /// Probabilistic throttling (equivalence class only — the paper's
+    /// "subtle" filtering the detector is *not* promised to localise).
+    Throttle {
+        /// Per-request drop probability.
+        drop_probability: f64,
+    },
+}
+
+impl BlockKind {
+    fn mechanism(&self) -> Mechanism {
+        match *self {
+            BlockKind::DnsNxDomain => Mechanism::DnsNxDomain,
+            BlockKind::DnsDrop => Mechanism::DnsDrop,
+            BlockKind::DnsSinkhole => Mechanism::DnsRedirect(Ipv4Addr::new(10, 90, 90, 90)),
+            BlockKind::TcpReset => Mechanism::TcpReset,
+            BlockKind::IpDrop => Mechanism::IpDrop,
+            BlockKind::HttpDrop => Mechanism::HttpDrop,
+            BlockKind::HttpReset => Mechanism::HttpReset,
+            BlockKind::HttpBlockPage => Mechanism::HttpBlockPage,
+            BlockKind::Throttle { drop_probability } => Mechanism::Throttle { drop_probability },
+        }
+    }
+
+    /// Whether domain rules need resolving into IP rules at install.
+    fn needs_ip_resolution(&self) -> bool {
+        matches!(self, BlockKind::TcpReset | BlockKind::IpDrop)
+    }
+}
+
+/// The generated censorship model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum CensorModel {
+    /// No censor anywhere: the false-positive control.
+    None,
+    /// A national censor installed and lifted by a policy timeline.
+    Scheduled {
+        /// Blocking mechanism.
+        kind: BlockKind,
+        /// Install instant.
+        onset: SimTime,
+        /// Lift instant.
+        lift: SimTime,
+    },
+    /// A standing [`AdaptiveSpec`] (watch stage) driven by a scheduled
+    /// [`ReactionPolicy`]: jump to `stage` at `onset`, stand down at
+    /// `lift`. Broadcast control events — shard-count invariant.
+    Adaptive {
+        /// The stage the reaction jumps to.
+        stage: Stage,
+        /// Escalation instant.
+        onset: SimTime,
+        /// Stand-down instant.
+        lift: SimTime,
+        /// The lying TTL on poisoned answers, seconds.
+        poison_ttl_secs: u64,
+    },
+    /// A standing adaptive censor that self-escalates to an IP block
+    /// after observing `k` cross-origin fetches. Deterministic per
+    /// shard *stream*, so exact-replay oracles hold — but deliberately
+    /// **not** shard-count invariant (each shard count observes a
+    /// different stream), so detector-class cases never draw it.
+    Reactive {
+        /// Detected-fetch threshold.
+        k: u64,
+    },
+}
+
+/// One generated world: the full reproduction recipe for a simcheck
+/// case.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorldCase {
+    /// The seed that generated this case (also the world's RNG seed).
+    pub seed: u64,
+    /// Which oracle family the case feeds.
+    pub class: CaseClass,
+    /// Arrival process.
+    pub arrival: ArrivalMode,
+    /// Censorship model.
+    pub censor: CensorModel,
+    /// The censored country (unused for [`CensorModel::None`]).
+    pub country: CountryCode,
+    /// Collection rollup cadence, seconds.
+    pub rollup_secs: u64,
+    /// Session maintenance cadence, seconds (`None`: no maintenance).
+    pub maintenance_secs: Option<u64>,
+    /// Returning-visitor probability.
+    pub repeat_rate: f64,
+    /// Number of volunteer origins (each popularity 5.0).
+    pub origins: usize,
+}
+
+/// Countries with enough audience share in the builtin world table that
+/// a censored day cell decisively clears the detector's minimum-n guard
+/// at detector-class arrival rates (the Turkey fixture proves the
+/// weakest of these, weight 3.0, at rate 150).
+const DETECTOR_COUNTRIES: [&str; 8] = ["CN", "IN", "PK", "TR", "IR", "RU", "BR", "ID"];
+
+/// Wider country pool for equivalence-class cases (no statistical
+/// requirement).
+const ANY_COUNTRIES: [&str; 12] = [
+    "CN", "IN", "PK", "TR", "IR", "RU", "BR", "ID", "US", "DE", "JP", "EG",
+];
+
+fn pick<T: Copy>(rng: &mut TestRng, items: &[T]) -> T {
+    items[rng.index(items.len())]
+}
+
+impl WorldCase {
+    /// Deterministically generate the case a `(class, seed)` pair
+    /// describes — the whole reproduction recipe for a failing case.
+    pub fn from_seed(class: CaseClass, seed: u64) -> WorldCase {
+        let mut rng = TestRng::new(seed);
+        match class {
+            CaseClass::Detector => WorldCase::detector_case(seed, &mut rng),
+            CaseClass::Equivalence => WorldCase::equivalence_case(seed, &mut rng),
+        }
+    }
+
+    fn detector_case(seed: u64, rng: &mut TestRng) -> WorldCase {
+        let days = rng.range_u64(6, 10); // 6..=9
+        let rate = 150.0 + rng.unit() * 40.0;
+        // Day-aligned hard windows with clear days on both sides, so
+        // every detector window is unambiguously censored or clear.
+        let onset_day = rng.range_u64(1, days - 3);
+        let lift_day = rng.range_u64(onset_day + 2, days - 1);
+        let onset = SimTime::from_secs(onset_day * 86_400);
+        let lift = SimTime::from_secs(lift_day * 86_400);
+        let censor = match rng.index(4) {
+            0 => CensorModel::None,
+            1 => {
+                let stage = if rng.bool() {
+                    Stage::DnsPoison
+                } else {
+                    Stage::IpBlock
+                };
+                CensorModel::Adaptive {
+                    stage,
+                    onset,
+                    lift,
+                    // Short lying TTLs: the poisoning bleed into the
+                    // lift day stays far below the detector's decision
+                    // boundary, keeping lift localisation unambiguous.
+                    poison_ttl_secs: rng.range_u64(60, 601),
+                }
+            }
+            _ => {
+                let kinds = [
+                    BlockKind::DnsNxDomain,
+                    BlockKind::DnsDrop,
+                    BlockKind::DnsSinkhole,
+                    BlockKind::TcpReset,
+                    BlockKind::IpDrop,
+                    BlockKind::HttpDrop,
+                    BlockKind::HttpReset,
+                    BlockKind::HttpBlockPage,
+                ];
+                CensorModel::Scheduled {
+                    kind: pick(rng, &kinds),
+                    onset,
+                    lift,
+                }
+            }
+        };
+        WorldCase {
+            seed,
+            class: CaseClass::Detector,
+            arrival: ArrivalMode::Deployment { days, rate },
+            censor,
+            country: country(pick(rng, &DETECTOR_COUNTRIES)),
+            rollup_secs: 86_400,
+            maintenance_secs: if rng.bool() { Some(3_600) } else { None },
+            // Repeat visitors carry warm *browser caches* that mask the
+            // block (the paper's §3.1 cache interference) — and the
+            // detector's per-IP cap lets one frequently returning client
+            // stack several cached successes into a censored day cell.
+            // Above ~0.25 the censored-day success rate drifts into the
+            // binomial test's ambiguous zone and verdicts genuinely
+            // depend on per-shard arrival draws, so detector-class cases
+            // keep the rate low enough that every censored cell stays
+            // decisive. (Equivalence-class cases explore up to 0.5.)
+            repeat_rate: rng.unit() * 0.08,
+            origins: 2,
+        }
+    }
+
+    fn equivalence_case(seed: u64, rng: &mut TestRng) -> WorldCase {
+        let arrival = if rng.bool() {
+            ArrivalMode::Deployment {
+                days: rng.range_u64(2, 4),
+                rate: 15.0 + rng.unit() * 25.0,
+            }
+        } else {
+            ArrivalMode::Batch {
+                visits: rng.range_u64(80, 301),
+                gap_ms: rng.range_u64(800, 4_001),
+            }
+        };
+        let span_secs = match arrival {
+            ArrivalMode::Deployment { days, .. } => days * 86_400,
+            ArrivalMode::Batch { visits, gap_ms } => (visits * gap_ms) / 1_000,
+        };
+        // Two arbitrary (not day-aligned) instants inside the span.
+        let mut change_time = || SimTime::from_secs(rng.range_u64(1, span_secs.max(2)));
+        let (a, b) = (change_time(), change_time());
+        let (onset, lift) = if a <= b { (a, b) } else { (b, a) };
+        let censor = match rng.index(5) {
+            0 => CensorModel::None,
+            1 => CensorModel::Reactive {
+                k: rng.range_u64(3, 41),
+            },
+            2 => {
+                let stages = [
+                    Stage::RstInjection,
+                    Stage::Throttle,
+                    Stage::DnsPoison,
+                    Stage::IpBlock,
+                    Stage::Retaliate,
+                ];
+                CensorModel::Adaptive {
+                    stage: pick(rng, &stages),
+                    onset,
+                    lift,
+                    // Lying TTLs up to two days: the poisoning may
+                    // deliberately outlive the block.
+                    poison_ttl_secs: rng.range_u64(60, 172_801),
+                }
+            }
+            _ => {
+                let kinds = [
+                    BlockKind::DnsNxDomain,
+                    BlockKind::DnsDrop,
+                    BlockKind::DnsSinkhole,
+                    BlockKind::TcpReset,
+                    BlockKind::IpDrop,
+                    BlockKind::HttpDrop,
+                    BlockKind::HttpReset,
+                    BlockKind::HttpBlockPage,
+                    BlockKind::Throttle {
+                        drop_probability: 0.3 + rng.unit() * 0.6,
+                    },
+                ];
+                CensorModel::Scheduled {
+                    kind: pick(rng, &kinds),
+                    onset,
+                    lift,
+                }
+            }
+        };
+        WorldCase {
+            seed,
+            class: CaseClass::Equivalence,
+            arrival,
+            censor,
+            country: country(pick(rng, &ANY_COUNTRIES)),
+            rollup_secs: pick(rng, &[3_600u64, 21_600, 86_400]),
+            maintenance_secs: if rng.bool() {
+                Some(pick(rng, &[600u64, 3_600]))
+            } else {
+                None
+            },
+            repeat_rate: rng.unit() * 0.5,
+            origins: 1 + rng.index(3),
+        }
+    }
+
+    // ---------------------------------------------------- materialise
+
+    /// The [`WorldRecipe`] this case describes.
+    pub fn recipe(&self) -> WorldRecipe {
+        let mut recipe = match self.arrival {
+            ArrivalMode::Deployment { days, rate } => WorldRecipe::deployment(DeploymentConfig {
+                duration: SimDuration::from_days(days),
+                visits_per_day_per_weight: rate,
+                repeat_visitor_rate: self.repeat_rate,
+                returning_pool: 128,
+            }),
+            ArrivalMode::Batch { visits, gap_ms } => WorldRecipe::batch(BatchConfig {
+                visits,
+                mean_gap: SimDuration::from_millis(gap_ms),
+                repeat_visitor_rate: self.repeat_rate,
+                client_pool: 64,
+            }),
+        };
+        recipe = recipe.with_rollups(SimDuration::from_secs(self.rollup_secs));
+        if let Some(m) = self.maintenance_secs {
+            recipe = recipe.with_maintenance(SimDuration::from_secs(m));
+        }
+        match self.censor {
+            CensorModel::None | CensorModel::Reactive { .. } => recipe,
+            CensorModel::Scheduled { kind, onset, lift } => {
+                let mut spec = CensorSpec::new(
+                    self.country,
+                    CensorPolicy::named(CENSOR_NAME).block_domain(TARGET, kind.mechanism()),
+                );
+                if kind.needs_ip_resolution() {
+                    spec = spec.with_ip_resolution();
+                }
+                recipe.with_timeline(
+                    PolicyTimeline::new()
+                        .at(onset, PolicyChange::Install(spec))
+                        .at(
+                            lift,
+                            PolicyChange::Lift {
+                                name: CENSOR_NAME.into(),
+                            },
+                        ),
+                )
+            }
+            CensorModel::Adaptive {
+                stage, onset, lift, ..
+            } => recipe.with_reaction(
+                ReactionPolicy::new(CENSOR_NAME)
+                    .at(onset, Reaction::SetStage(stage))
+                    .at(lift, Reaction::StandDown),
+            ),
+        }
+    }
+
+    /// The standing adaptive spec this case pre-installs, if any.
+    fn standing_adaptive(&self) -> Option<AdaptiveSpec> {
+        let base = AdaptiveSpec::new(CENSOR_NAME, self.country, vec![TARGET.to_string()]);
+        match self.censor {
+            CensorModel::Adaptive {
+                poison_ttl_secs, ..
+            } => Some(base.with_poison_ttl(SimDuration::from_secs(poison_ttl_secs))),
+            CensorModel::Reactive { k } => Some(base.ip_block_after(k)),
+            _ => None,
+        }
+    }
+
+    /// Build one shard's world: the case's scenario (ideal paths, the
+    /// measurement target, a standing adaptive censor when the model
+    /// calls for one) plus an Encore deployment.
+    pub fn build(&self, ctx: ShardContext) -> (Network, EncoreSystem) {
+        let scenario = NetworkScenario::new(WorldSpec::Builtin)
+            .with_ideal_paths()
+            .with_server(
+                TARGET,
+                country("US"),
+                HttpResponse::ok(ContentType::Image, 500),
+            );
+        let mut net = match self.standing_adaptive() {
+            Some(spec) => WorldScenario::new(scenario)
+                .with_middlebox(Arc::new(spec))
+                .build_shard(ctx.index, ctx.shards),
+            None => scenario.build_shard(ctx.index, ctx.shards),
+        };
+        let origins = (0..self.origins)
+            .map(|i| OriginSite::academic(format!("origin-{i}.example")).with_popularity(5.0))
+            .collect();
+        let tasks = vec![encore::tasks::MeasurementTask {
+            id: encore::tasks::MeasurementId(0),
+            spec: encore::tasks::TaskSpec::Image {
+                url: format!("http://{TARGET}/favicon.ico"),
+            },
+        }];
+        let sys = EncoreSystem::deploy(
+            &mut net,
+            tasks,
+            SchedulingStrategy::RoundRobin,
+            origins,
+            country("US"),
+        );
+        (net, sys)
+    }
+
+    // ---------------------------------------------------- ground truth
+
+    /// How many policy-timeline changes the engine must report applied.
+    pub fn expected_policy_changes(&self) -> usize {
+        match self.censor {
+            CensorModel::Scheduled { .. } => 2,
+            _ => 0,
+        }
+    }
+
+    /// How many control signals the engine must report applied.
+    pub fn expected_control_signals(&self) -> usize {
+        match self.censor {
+            CensorModel::Adaptive { .. } => 2,
+            _ => 0,
+        }
+    }
+
+    /// The day-aligned hard-block window `(onset_day, lift_day)` the
+    /// detector must localise, if this case has one.
+    pub fn hard_window_days(&self) -> Option<(u64, u64)> {
+        if self.class != CaseClass::Detector {
+            return None;
+        }
+        match self.censor {
+            CensorModel::Scheduled { onset, lift, .. }
+            | CensorModel::Adaptive { onset, lift, .. } => {
+                Some((onset.as_secs() / 86_400, lift.as_secs() / 86_400))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this case generates an entirely uncensored world (the
+    /// false-positive control).
+    pub fn is_uncensored(&self) -> bool {
+        matches!(self.censor, CensorModel::None)
+    }
+}
+
+/// A proptest [`Strategy`] over [`WorldCase`]s of one class: each draw
+/// burns one `u64` of the test RNG as the case seed, so a failing case
+/// prints as a single reproducible number.
+pub struct CaseStrategy {
+    /// The class every generated case belongs to.
+    pub class: CaseClass,
+}
+
+impl Strategy for CaseStrategy {
+    type Value = WorldCase;
+    fn generate(&self, rng: &mut TestRng) -> WorldCase {
+        WorldCase::from_seed(self.class, rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_generation_is_deterministic_in_the_seed() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for class in [CaseClass::Equivalence, CaseClass::Detector] {
+                assert_eq!(
+                    WorldCase::from_seed(class, seed),
+                    WorldCase::from_seed(class, seed)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detector_cases_keep_their_statistical_guarantees() {
+        for seed in 0..300u64 {
+            let case = WorldCase::from_seed(CaseClass::Detector, seed);
+            let ArrivalMode::Deployment { days, rate } = case.arrival else {
+                panic!("detector cases must be deployment worlds");
+            };
+            assert!((6..=9).contains(&days));
+            assert!(rate >= 150.0, "under-powered rate {rate}");
+            assert_eq!(case.rollup_secs, 86_400, "windows must match rollups");
+            assert!(DETECTOR_COUNTRIES.contains(&case.country.as_str()));
+            if let Some((onset, lift)) = case.hard_window_days() {
+                assert!(onset >= 1, "need a clear day before onset");
+                assert!(lift >= onset + 2, "window too short to flag");
+                assert!(lift < days, "need a clear day after lift");
+            }
+            match case.censor {
+                CensorModel::Reactive { .. } => {
+                    panic!("traffic-reactive censors are not shard-count invariant")
+                }
+                CensorModel::Adaptive {
+                    stage,
+                    poison_ttl_secs,
+                    ..
+                } => {
+                    assert!(
+                        stage.is_hard_block(),
+                        "soft stage {stage:?} in detector case"
+                    );
+                    assert!(stage != Stage::Retaliate, "retaliation blinds the detector");
+                    assert!(
+                        poison_ttl_secs <= 600,
+                        "lying TTL too long: {poison_ttl_secs}"
+                    );
+                }
+                CensorModel::Scheduled { kind, .. } => {
+                    assert!(
+                        !matches!(kind, BlockKind::Throttle { .. }),
+                        "throttling is not a localisable hard block"
+                    );
+                }
+                CensorModel::None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_cases_explore_the_wide_space() {
+        let mut saw_batch = false;
+        let mut saw_deployment = false;
+        let mut saw_reactive = false;
+        let mut saw_throttle = false;
+        let mut saw_retaliate = false;
+        for seed in 0..400u64 {
+            let case = WorldCase::from_seed(CaseClass::Equivalence, seed);
+            match case.arrival {
+                ArrivalMode::Batch { visits, .. } => {
+                    saw_batch = true;
+                    assert!(visits <= 300, "equivalence worlds stay tiny");
+                }
+                ArrivalMode::Deployment { days, .. } => {
+                    saw_deployment = true;
+                    assert!(days <= 3, "equivalence worlds stay tiny");
+                }
+            }
+            match case.censor {
+                CensorModel::Reactive { k } => {
+                    saw_reactive = true;
+                    assert!(k >= 3);
+                }
+                CensorModel::Scheduled {
+                    kind: BlockKind::Throttle { drop_probability },
+                    ..
+                } => {
+                    saw_throttle = true;
+                    assert!((0.3..0.9).contains(&drop_probability));
+                }
+                CensorModel::Adaptive { stage, .. } => {
+                    saw_retaliate |= stage == Stage::Retaliate;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_batch && saw_deployment, "both arrival modes generated");
+        assert!(saw_reactive, "reactive censors generated");
+        assert!(saw_throttle, "throttling censors generated");
+        assert!(saw_retaliate, "retaliation generated");
+    }
+
+    #[test]
+    fn generated_recipes_materialise() {
+        // Every case yields a recipe and a buildable world, and the
+        // ground-truth accessors are consistent with the model.
+        for seed in 0..40u64 {
+            for class in [CaseClass::Equivalence, CaseClass::Detector] {
+                let case = WorldCase::from_seed(class, seed);
+                let recipe = case.recipe();
+                match case.censor {
+                    CensorModel::Scheduled { .. } => {
+                        assert_eq!(recipe.timeline().len(), 2);
+                        assert!(recipe.reactions().is_empty());
+                    }
+                    CensorModel::Adaptive { .. } => {
+                        assert!(recipe.timeline().is_empty());
+                        assert_eq!(recipe.reactions().len(), 1);
+                        assert_eq!(recipe.reactions()[0].len(), 2);
+                    }
+                    _ => {
+                        assert!(recipe.timeline().is_empty());
+                        assert!(recipe.reactions().is_empty());
+                    }
+                }
+                let (net, sys) = case.build(ShardContext {
+                    index: 0,
+                    shards: 1,
+                });
+                assert_eq!(sys.origins.len(), case.origins);
+                let expects_standing = matches!(
+                    case.censor,
+                    CensorModel::Adaptive { .. } | CensorModel::Reactive { .. }
+                );
+                assert_eq!(net.middleboxes().len(), usize::from(expects_standing));
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The differential oracles one generated world is checked against.
+//!
+//! Every oracle is a *contract the engine already claims* — this module
+//! just asserts it over arbitrary generated inputs instead of
+//! hand-picked fixtures. Exact-replay oracles (lockstep,
+//! reproducibility, merge algebra) run on every case; the statistical
+//! oracles (verdict invariance, localisation, false-positive freedom)
+//! run only on [`CaseClass::Detector`] cases, whose generator keeps the
+//! detector away from decision boundaries.
+
+use crate::generator::{CaseClass, WorldCase, TARGET};
+use encore::geo::GeoDb;
+use encore::inference::FilteringDetector;
+use encore::StoredMeasurement;
+use netsim::geo::{CountryCode, World};
+use population::shard::{shard_rngs, ShardContext};
+use population::{
+    merge_in_order, run_sharded_world, shard_recipe, Audience, Merge, ShardedWorldRun, WorldEngine,
+    WorldOutcome, WorldRecipe,
+};
+use serde::Serialize;
+use sim_core::{SimDuration, SimRng};
+
+/// One invariant violation found by [`check_case`].
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// The generating seed (with the class, the whole repro recipe).
+    pub seed: u64,
+    /// Which oracle family the case belonged to.
+    pub class: CaseClass,
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// What disagreed.
+    pub detail: String,
+    /// The generated world, for the report.
+    pub case: WorldCase,
+}
+
+fn audience() -> Audience {
+    Audience::world(&World::builtin())
+}
+
+/// The §7.2 windowed verdict for the case's `(country, TARGET)` pair:
+/// per-window flag series plus localised onset/lift windows. One
+/// rollup-period-sized window per detector run — the same judgment rule
+/// the Turkey timeline fixture uses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Judgment {
+    /// `(window index, flagged)` per detector window with data.
+    pub windows: Vec<(u64, bool)>,
+    /// First flagged window.
+    pub onset: Option<u64>,
+    /// First clear window after the onset.
+    pub lift: Option<u64>,
+}
+
+pub use encore::inference::localise_transitions;
+
+/// Run the windowed detector and localise transitions for `cc:TARGET`.
+pub fn judge(
+    records: &[StoredMeasurement],
+    geo: &GeoDb,
+    cc: CountryCode,
+    window: SimDuration,
+) -> Judgment {
+    let reports = FilteringDetector::default().detect_windows(records, geo, window);
+    let windows: Vec<(u64, bool)> = reports
+        .iter()
+        .map(|r| {
+            let flagged = r
+                .detections
+                .iter()
+                .any(|d| d.country == cc && d.domain == TARGET);
+            (r.window, flagged)
+        })
+        .collect();
+    let (onset, lift) = localise_transitions(windows.iter().copied());
+    Judgment {
+        windows,
+        onset,
+        lift,
+    }
+}
+
+impl Judgment {
+    /// The verdict proper: which windows are flagged, and where the
+    /// transitions localise. Unflagged windows are *not* part of the
+    /// verdict — whether a trailing window exists at all depends on
+    /// whether some visit near the horizon delivered its record just
+    /// past it, which varies with the shard count's arrival draws
+    /// without meaning anything.
+    pub fn verdict(&self) -> (Vec<u64>, Option<u64>, Option<u64>) {
+        let flagged = self
+            .windows
+            .iter()
+            .filter(|(_, f)| *f)
+            .map(|(w, _)| *w)
+            .collect();
+        (flagged, self.onset, self.lift)
+    }
+}
+
+/// The serialized byte-image of a run's outputs — what "byte-identical"
+/// means across every oracle here.
+fn byte_image(
+    outcome: &WorldOutcome,
+    collection: &encore::CollectionSnapshot,
+) -> (String, String, String) {
+    (
+        serde_json::to_string(&outcome.report).expect("report serializes"),
+        serde_json::to_string(&outcome.rollups).expect("rollups serialize"),
+        serde_json::to_string(collection).expect("collection serializes"),
+    )
+}
+
+struct CaseChecker<'a> {
+    case: &'a WorldCase,
+    recipe: WorldRecipe,
+    audience: Audience,
+    violations: Vec<Violation>,
+}
+
+impl<'a> CaseChecker<'a> {
+    fn fail(&mut self, oracle: &'static str, detail: String) {
+        self.violations.push(Violation {
+            seed: self.case.seed,
+            class: self.case.class,
+            oracle,
+            detail,
+            case: self.case.clone(),
+        });
+    }
+
+    fn sharded(&self, shards: usize) -> ShardedWorldRun {
+        run_sharded_world(
+            &|ctx| self.case.build(ctx),
+            &self.audience,
+            &self.recipe,
+            shards,
+            self.case.seed,
+        )
+    }
+
+    /// Oracle 1 — lockstep: the serial engine and a 1-shard sharded run
+    /// are byte-identical (structural equality *and* serialized JSON).
+    fn check_lockstep(&mut self) -> ShardedWorldRun {
+        let (mut net, mut sys) = self.case.build(ShardContext {
+            index: 0,
+            shards: 1,
+        });
+        let mut rng = SimRng::new(self.case.seed);
+        let serial =
+            WorldEngine::from_recipe(&mut net, &mut sys, &self.audience, &self.recipe, &mut rng)
+                .run();
+        let serial_collection = sys.collection.snapshot();
+
+        let one = self.sharded(1);
+        if one.outcome != serial {
+            self.fail(
+                "serial-vs-1shard",
+                "1-shard WorldOutcome differs from the serial engine's".to_string(),
+            );
+        }
+        if one.collection != serial_collection {
+            self.fail(
+                "serial-vs-1shard",
+                "1-shard collection store differs from the serial engine's".to_string(),
+            );
+        }
+        let serial_bytes = byte_image(&serial, &serial_collection);
+        let sharded_bytes = byte_image(&one.outcome, &one.collection);
+        if serial_bytes != sharded_bytes {
+            self.fail(
+                "serial-vs-1shard",
+                "serialized JSON artifacts differ between serial and 1-shard runs".to_string(),
+            );
+        }
+        self.check_control_plane("serial control plane", &serial);
+        one
+    }
+
+    /// Oracle 2 — fixed-seed reproducibility at 2 shards.
+    fn check_reproducibility(&mut self) {
+        let a = self.sharded(2);
+        let b = self.sharded(2);
+        if byte_image(&a.outcome, &a.collection) != byte_image(&b.outcome, &b.collection)
+            || a.outcome.log != b.outcome.log
+        {
+            self.fail(
+                "byte-reproducibility",
+                "two (seed, 2-shard) runs disagreed byte-for-byte".to_string(),
+            );
+        }
+    }
+
+    /// Oracle 3 — merge algebra: hand-built per-shard outcomes merge
+    /// associatively, and the hand fold equals the engine's own merge.
+    fn check_merge_algebra(&mut self) {
+        const SHARDS: usize = 3;
+        let rngs = shard_rngs(self.case.seed, SHARDS);
+        let outcomes: Vec<WorldOutcome> = rngs
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut rng)| {
+                let ctx = ShardContext {
+                    index,
+                    shards: SHARDS,
+                };
+                let (mut net, mut sys) = self.case.build(ctx);
+                let sharded = shard_recipe(&self.recipe, SHARDS, index);
+                WorldEngine::from_recipe(&mut net, &mut sys, &self.audience, &sharded, &mut rng)
+                    .run()
+            })
+            .collect();
+        let [a, b, c] = <[WorldOutcome; 3]>::try_from(outcomes).expect("three shards");
+
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.clone().merge(b.clone().merge(c.clone()));
+        if left != right {
+            self.fail(
+                "merge-associativity",
+                "(a ⊕ b) ⊕ c != a ⊕ (b ⊕ c) over sampled shard outcomes".to_string(),
+            );
+        }
+        let hand = merge_in_order([a, b, c]).expect("non-empty");
+        let engine = self.sharded(SHARDS);
+        if hand != engine.outcome {
+            self.fail(
+                "merge-vs-engine",
+                "hand-folded shard outcomes differ from the engine's merged outcome".to_string(),
+            );
+        }
+    }
+
+    /// Control-plane conservation: every run reports exactly the
+    /// scheduled policy changes and control signals applied.
+    fn check_control_plane(&mut self, ctx: &'static str, outcome: &WorldOutcome) {
+        if outcome.policy_changes_applied != self.case.expected_policy_changes() {
+            self.fail(
+                "control-plane",
+                format!(
+                    "{ctx}: {} policy changes applied, expected {}",
+                    outcome.policy_changes_applied,
+                    self.case.expected_policy_changes()
+                ),
+            );
+        }
+        if outcome.control_signals_applied != self.case.expected_control_signals() {
+            self.fail(
+                "control-plane",
+                format!(
+                    "{ctx}: {} control signals applied, expected {}",
+                    outcome.control_signals_applied,
+                    self.case.expected_control_signals()
+                ),
+            );
+        }
+    }
+
+    /// Oracles 4–5 — detector statistics: verdict invariance across
+    /// {1, 2, 4} shards, onset/lift localisation within one rollup
+    /// period of the generated ground truth, and zero detections on
+    /// uncensored worlds.
+    fn check_detector(&mut self, one: &ShardedWorldRun) {
+        let window = SimDuration::from_secs(self.case.rollup_secs);
+        let judgments: Vec<(usize, Judgment, ShardedWorldRun)> = [2usize, 4]
+            .into_iter()
+            .map(|shards| {
+                let run = self.sharded(shards);
+                let j = judge(&run.collection.records, &run.geo, self.case.country, window);
+                (shards, j, run)
+            })
+            .collect();
+        let baseline = judge(&one.collection.records, &one.geo, self.case.country, window);
+
+        for (shards, j, run) in &judgments {
+            self.check_control_plane("sharded control plane", &run.outcome);
+            if j.verdict() != baseline.verdict() {
+                self.fail(
+                    "verdict-invariance",
+                    format!(
+                        "{shards}-shard verdict differs from 1-shard: {:?} vs {:?}",
+                        j.verdict(),
+                        baseline.verdict()
+                    ),
+                );
+            }
+        }
+
+        if self.case.is_uncensored() {
+            // False-positive freedom: not just for the case's country —
+            // nothing anywhere may be flagged on an uncensored world.
+            let whole_run = FilteringDetector::default().detect(&one.collection.records, &one.geo);
+            if !whole_run.is_empty() {
+                self.fail(
+                    "detector-fp",
+                    format!("uncensored world produced detections: {whole_run:?}"),
+                );
+            }
+            let windowed = FilteringDetector::default().detect_windows(
+                &one.collection.records,
+                &one.geo,
+                window,
+            );
+            if windowed.iter().any(|w| !w.detections.is_empty()) {
+                self.fail(
+                    "detector-fp",
+                    "uncensored world produced windowed detections".to_string(),
+                );
+            }
+        } else if let Some((onset_day, lift_day)) = self.case.hard_window_days() {
+            // Localisation within one rollup period of ground truth.
+            match baseline.onset {
+                Some(d) if (onset_day..=onset_day + 1).contains(&d) => {}
+                other => self.fail(
+                    "localisation",
+                    format!("onset detected at {other:?}, ground truth day {onset_day}"),
+                ),
+            }
+            match baseline.lift {
+                Some(d) if (lift_day..=lift_day + 1).contains(&d) => {}
+                other => self.fail(
+                    "localisation",
+                    format!("lift detected at {other:?}, ground truth day {lift_day}"),
+                ),
+            }
+            // And nothing outside the window (±1 rollup period of slop
+            // at each boundary) may be flagged.
+            for (w, flagged) in &baseline.windows {
+                let censored_core = (onset_day + 1..lift_day).contains(w);
+                let boundary = *w == onset_day || *w == lift_day;
+                if *flagged && !censored_core && !boundary {
+                    self.fail(
+                        "localisation",
+                        format!("clear window {w} flagged outside the censored span"),
+                    );
+                }
+                if !*flagged && censored_core {
+                    self.fail("localisation", format!("censored window {w} not flagged"));
+                }
+            }
+        }
+    }
+}
+
+/// Check one generated world against every applicable oracle. Returns
+/// the violations found (empty = the case upholds all invariants).
+pub fn check_case(case: &WorldCase) -> Vec<Violation> {
+    let mut checker = CaseChecker {
+        case,
+        recipe: case.recipe(),
+        audience: audience(),
+        violations: Vec::new(),
+    };
+    let one = checker.check_lockstep();
+    match case.class {
+        CaseClass::Equivalence => {
+            checker.check_reproducibility();
+            checker.check_merge_algebra();
+        }
+        CaseClass::Detector => {
+            checker.check_detector(&one);
+        }
+    }
+    checker.violations
+}

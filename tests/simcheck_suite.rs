@@ -1,0 +1,66 @@
+//! The generative differential harness, at tier-1 scale.
+//!
+//! CI runs the full budget (`cargo run --release -p bench --bin
+//! simcheck -- --cases 200`); this suite keeps a smaller always-on
+//! budget inside `cargo test` so the invariants are exercised on every
+//! local run too, plus proptest-driven spot properties over the
+//! generator/oracle pair.
+
+use proptest::prelude::*;
+use simcheck::generator::{CaseClass, CaseStrategy, WorldCase};
+use simcheck::{check_case, run_budget, SimCheckConfig};
+
+#[test]
+fn small_budget_upholds_all_invariants() {
+    // 10 worlds (2 detector-class): enough to execute every oracle on
+    // every run without dominating tier-1 time. The root seed differs
+    // from the CI bin's default so the two sweeps cover disjoint cases.
+    let config = SimCheckConfig {
+        cases: 10,
+        detector_every: 5,
+        root_seed: 0x7157_C0DE,
+        regression_path: None,
+    };
+    let report = run_budget(&config);
+    assert_eq!(report.cases_run, 10);
+    assert_eq!(report.detector_cases, 2);
+    assert!(
+        report.censored_cases >= 3,
+        "the generator should censor most worlds ({} of 10)",
+        report.censored_cases
+    );
+    assert!(
+        report.passed(),
+        "invariant violations: {:#?}",
+        report.violations
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Each drawn equivalence-class world upholds the exact-replay
+    // oracles (lockstep, reproducibility, merge algebra) — the
+    // proptest-macro entry point into the same oracle the budgeted
+    // runner uses.
+    #[test]
+    fn arbitrary_equivalence_worlds_uphold_exact_replay(
+        case in CaseStrategy { class: CaseClass::Equivalence },
+    ) {
+        let violations = check_case(&case);
+        prop_assert!(
+            violations.is_empty(),
+            "case seed {:#x}: {violations:#?}",
+            case.seed
+        );
+    }
+
+    // Case generation is a pure function of (class, seed): the embedded
+    // seed always regenerates the identical world.
+    #[test]
+    fn cases_regenerate_from_their_embedded_seed(
+        case in CaseStrategy { class: CaseClass::Detector },
+    ) {
+        prop_assert_eq!(WorldCase::from_seed(case.class, case.seed), case);
+    }
+}
