@@ -38,6 +38,7 @@ pub struct RunArgs {
     visits: Option<u64>,
     shards: Option<usize>,
     days: Option<u64>,
+    reps: Option<usize>,
     min_speedup: Option<f64>,
     out_dir: PathBuf,
 }
@@ -69,6 +70,7 @@ impl RunArgs {
             ("--visits", "visits"),
             ("--shards", "shards"),
             ("--days", "days"),
+            ("--reps", "reps"),
             ("--min-speedup", "min_speedup"),
             ("--out", "out"),
         ];
@@ -96,6 +98,7 @@ impl RunArgs {
             ("ENCORE_VISITS", "visits"),
             ("ENCORE_SHARDS", "shards"),
             ("ENCORE_DAYS", "days"),
+            ("ENCORE_REPS", "reps"),
             ("ENCORE_MIN_SPEEDUP", "min_speedup"),
             ("ENCORE_OUT", "out"),
         ];
@@ -170,11 +173,27 @@ impl RunArgs {
                 values["days"]
             ));
         }
+        if negative("reps") {
+            return Err(format!(
+                "--reps/ENCORE_REPS must be at least 1 (got {}): a benchmark \
+                 needs at least one repetition to time",
+                values["reps"]
+            ));
+        }
+        let reps: Option<usize> = parsed(&values, "reps");
+        if reps == Some(0) {
+            return Err(
+                "--reps/ENCORE_REPS must be at least 1 (got 0): a benchmark \
+                 needs at least one repetition to time"
+                    .to_string(),
+            );
+        }
         Ok(RunArgs {
             seed: seed.unwrap_or(crate::DEFAULT_SEED),
             visits: parsed(&values, "visits"),
             shards,
             days: parsed(&values, "days"),
+            reps,
             min_speedup: parsed(&values, "min_speedup"),
             out_dir: values
                 .get("out")
@@ -185,6 +204,15 @@ impl RunArgs {
     /// Visit count, with a per-binary default.
     pub fn visits(&self, default: u64) -> u64 {
         self.visits.unwrap_or(default)
+    }
+
+    /// Timing repetitions per configuration, with a per-binary default.
+    /// Benchmarks report the *minimum* wall time over the repetitions:
+    /// timing noise on a shared machine is one-sided (steal and
+    /// frequency dips only ever add time), so the minimum is the
+    /// estimator closest to the true cost.
+    pub fn reps(&self, default: usize) -> usize {
+        self.reps.unwrap_or(default).max(1)
     }
 
     /// Shard count, with a per-binary default (clamped to at least 1).

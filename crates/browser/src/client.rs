@@ -34,6 +34,14 @@ pub struct BrowserClient {
     pub device_speed: f64,
     /// The client's private randomness stream.
     pub rng: SimRng,
+    /// Reusable request buffer for the redirect-following loaders: the
+    /// URL (and referer, via `scratch_referer`) strings are recycled
+    /// across fetches so the warm visit path performs no heap allocation.
+    pub(crate) scratch_req: HttpRequest,
+    /// Recycled `Referer` string for `scratch_req` (stored separately
+    /// because `HttpRequest::referer` is an `Option` whose `None` state
+    /// would otherwise drop the buffer).
+    pub(crate) scratch_referer: String,
 }
 
 impl BrowserClient {
@@ -54,6 +62,8 @@ impl BrowserClient {
             cache: BrowserCache::default(),
             device_speed: 1.0,
             rng,
+            scratch_req: HttpRequest::get(String::new()),
+            scratch_referer: String::new(),
         };
         // Log-normal device speed: median 1×, some clients 3×+ slower.
         client.device_speed = LogNormal::new(0.0, 0.45)

@@ -78,14 +78,22 @@ impl Engine {
     }
 }
 
-impl fmt::Display for Engine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Engine {
+    /// The engine's display name as a static string (hot paths build
+    /// user-agent values from this without allocating).
+    pub fn name(self) -> &'static str {
+        match self {
             Engine::Chrome => "Chrome",
             Engine::Firefox => "Firefox",
             Engine::Safari => "Safari",
             Engine::InternetExplorer => "IE",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -30,7 +30,8 @@ impl BrowserClient {
             page_ok: false,
         };
 
-        let (result, elapsed, final_url) = self.fetch_following_redirects(net, url, None, now);
+        let (result, elapsed, final_url) =
+            self.fetch_following_redirects_traced(net, url, None, now);
         match result {
             Ok(resp) => {
                 let page_ok = resp.status.is_success() && resp.content_type == ContentType::Html;

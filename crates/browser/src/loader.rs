@@ -61,7 +61,72 @@ const MAX_REDIRECTS: usize = 3;
 impl BrowserClient {
     /// Raw fetch with redirect following. Returns the final response (or
     /// error) and total elapsed time. Does not consult the cache.
+    ///
+    /// The request is built into the client's recycled scratch buffers, so
+    /// repeated calls perform no heap allocation of their own — the hot
+    /// visit path issues thousands of these.
     pub fn fetch_following_redirects(
+        &mut self,
+        net: &mut Network,
+        url: &str,
+        referer: Option<&str>,
+        now: SimTime,
+    ) -> (
+        Result<HttpResponse, netsim::network::FetchError>,
+        SimDuration,
+    ) {
+        let mut req = std::mem::replace(&mut self.scratch_req, HttpRequest::get(String::new()));
+        req.method = netsim::http::Method::Get;
+        req.body_bytes = 0;
+        req.url.clear();
+        req.url.push_str(url);
+        req.referer = referer.map(|r| {
+            let mut buf = std::mem::take(&mut self.scratch_referer);
+            buf.clear();
+            buf.push_str(r);
+            buf
+        });
+
+        let mut elapsed = SimDuration::ZERO;
+        // None = redirect budget exhausted: browsers abort with an error.
+        let mut verdict = None;
+        for _ in 0..=MAX_REDIRECTS {
+            let out = self.fetch_once(net, &req, now + elapsed);
+            elapsed += out.timings.total();
+            match out.result {
+                Ok(resp) if resp.status.is_redirect() => match &resp.location {
+                    Some(loc) => {
+                        req.url.clear();
+                        req.url.push_str(loc);
+                    }
+                    None => {
+                        verdict = Some(Ok(resp));
+                        break;
+                    }
+                },
+                other => {
+                    verdict = Some(other);
+                    break;
+                }
+            }
+        }
+        // Reclaim the buffers for the next call. `scratch_req.url` is left
+        // holding the final URL so `fetch_following_redirects_traced` can
+        // report it without re-deriving the hop chain.
+        if let Some(buf) = req.referer.take() {
+            self.scratch_referer = buf;
+        }
+        self.scratch_req = req;
+        (
+            verdict.unwrap_or(Err(netsim::network::FetchError::ResponseTimeout)),
+            elapsed,
+        )
+    }
+
+    /// Like [`BrowserClient::fetch_following_redirects`] but also returns
+    /// the final URL after redirects (allocating — used by the HAR
+    /// recorder, which runs off the hot path).
+    pub fn fetch_following_redirects_traced(
         &mut self,
         net: &mut Network,
         url: &str,
@@ -72,29 +137,9 @@ impl BrowserClient {
         SimDuration,
         String,
     ) {
-        let mut elapsed = SimDuration::ZERO;
-        let mut current = url.to_string();
-        for _ in 0..=MAX_REDIRECTS {
-            let mut req = HttpRequest::get(&current);
-            if let Some(r) = referer {
-                req = req.with_referer(r);
-            }
-            let out = self.fetch_once(net, &req, now + elapsed);
-            elapsed += out.timings.total();
-            match out.result {
-                Ok(resp) if resp.status.is_redirect() => match &resp.location {
-                    Some(loc) => current = loc.clone(),
-                    None => return (Ok(resp), elapsed, current),
-                },
-                other => return (other, elapsed, current),
-            }
-        }
-        // Redirect loop: browsers abort with an error.
-        (
-            Err(netsim::network::FetchError::ResponseTimeout),
-            elapsed,
-            current,
-        )
+        let (result, elapsed) = self.fetch_following_redirects(net, url, referer, now);
+        let final_url = self.scratch_req.url.clone();
+        (result, elapsed, final_url)
     }
 
     /// `<img src=…>`: `onload` iff the browser fetched **and rendered**
@@ -114,7 +159,7 @@ impl BrowserClient {
                 executed_untrusted: false,
             };
         }
-        let (result, net_time, _) = self.fetch_following_redirects(net, url, None, now);
+        let (result, net_time) = self.fetch_following_redirects(net, url, None, now);
         match result {
             Ok(resp) => {
                 let renders = resp.status.is_success()
@@ -165,7 +210,7 @@ impl BrowserClient {
                 executed_untrusted: false,
             };
         }
-        let (result, net_time, _) = self.fetch_following_redirects(net, url, None, now);
+        let (result, net_time) = self.fetch_following_redirects(net, url, None, now);
         match result {
             Ok(resp) => {
                 let applied = resp.status.is_success()
@@ -205,7 +250,7 @@ impl BrowserClient {
     ///   cross-origin content is the security hazard that restricts this
     ///   task to Chrome.
     pub fn load_script(&mut self, net: &mut Network, url: &str, now: SimTime) -> ResourceLoad {
-        let (result, net_time, _) = self.fetch_following_redirects(net, url, None, now);
+        let (result, net_time) = self.fetch_following_redirects(net, url, None, now);
         match result {
             Ok(resp) => {
                 let is_200 = resp.status == StatusCode::OK;
@@ -255,7 +300,7 @@ impl BrowserClient {
     /// signal; the caller (Encore's iframe task) must probe the cache by
     /// timing.
     pub fn load_iframe(&mut self, net: &mut Network, url: &str, now: SimTime) -> IframeLoad {
-        let (result, mut elapsed, final_url) = self.fetch_following_redirects(net, url, None, now);
+        let (result, mut elapsed) = self.fetch_following_redirects(net, url, None, now);
         let mut fetched = 0usize;
         if let Ok(resp) = result {
             if resp.status.is_success() && resp.content_type == ContentType::Html {
@@ -282,7 +327,6 @@ impl BrowserClient {
                 }
                 elapsed += wave_max;
                 elapsed += self.render_time(resp.body_bytes);
-                let _ = final_url;
             }
         }
         IframeLoad {

@@ -166,6 +166,13 @@ impl Middlebox for NationalCensor {
         }
     }
 
+    fn dns_verdict_is_pure(&self) -> bool {
+        // The DNS verdict is a pure function of the name unless an
+        // activation window makes it time-dependent. Policy rules are
+        // immutable and there is no control-signal state.
+        self.active_from.is_none() && self.active_until.is_none()
+    }
+
     fn on_tcp(&self, attempt: &TcpAttempt, ctx: &StageContext<'_>) -> TcpAction {
         if !self.is_active_at(ctx.now) {
             return TcpAction::Pass;

@@ -110,7 +110,7 @@ impl HttpHandler for TestbedHandler {
         _client_ip: std::net::Ipv4Addr,
         _now: SimTime,
     ) -> HttpResponse {
-        match req.path().as_str() {
+        match req.path() {
             // A favicon-sized image — the paper's canonical image-task
             // target ("typically 16×16 pixels").
             "/favicon.ico" => HttpResponse::ok(ContentType::Image, 400),
@@ -124,7 +124,9 @@ impl HttpHandler for TestbedHandler {
             // A small page embedding a cacheable image, for the iframe
             // task (kept under the 100 KB prototype limit of §5.2).
             "/page.html" => {
-                let host = req.host().unwrap_or_else(|| TESTBED_DOMAIN.to_string());
+                let host = req
+                    .host()
+                    .unwrap_or(std::borrow::Cow::Borrowed(TESTBED_DOMAIN));
                 HttpResponse::ok(ContentType::Html, 38_000)
                     .no_store()
                     .with_embeds(vec![netsim::http::Embedded {

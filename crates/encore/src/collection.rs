@@ -19,9 +19,9 @@ use netsim::geo::CountryCode;
 use netsim::http::{ContentType, HttpRequest, HttpResponse};
 use netsim::network::{HttpHandler, Network};
 use serde::{Deserialize, Serialize};
-use sim_core::SimTime;
+use sim_core::{find_byte, find_either, FxBuildHasher, Interner, SimTime, Sym};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -54,24 +54,100 @@ pub struct Submission {
     pub user_agent: String,
 }
 
-/// Minimal percent-encoding for query values.
-fn pct_encode(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Append `s` percent-encoded (minimal query-value encoding). The byte
+/// output is identical to the original per-byte `format!` encoder, but
+/// streams straight into `out` with no intermediate allocations — this
+/// runs twice per submission on the visit hot path.
+fn push_pct_encoded(out: &mut String, s: &str) {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
     for b in s.bytes() {
         match b {
             b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
                 out.push(b as char)
             }
-            _ => out.push_str(&format!("%{b:02X}")),
+            _ => {
+                out.push('%');
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0x0F) as usize] as char);
+            }
         }
     }
+}
+
+/// Append `v` as exactly 16 lowercase hex digits (the
+/// [`MeasurementId`] display format's payload).
+fn push_hex16(out: &mut String, v: u64) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut buf = [0u8; 16];
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = HEX[((v >> (4 * (15 - i))) & 0xF) as usize];
+    }
+    out.push_str(std::str::from_utf8(&buf).expect("hex digits are ASCII"));
+}
+
+/// Append `v` in decimal without going through the `fmt` machinery.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Minimal percent-encoding for query values (allocating wrapper over
+/// [`push_pct_encoded`]).
+#[cfg(test)]
+fn pct_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    push_pct_encoded(&mut out, s);
     out
 }
 
 /// Inverse of [`pct_encode`]. Malformed escapes pass through verbatim.
 /// Operates on raw bytes: slicing by byte offset must never split a
-/// multi-byte character.
-fn pct_decode(s: &str) -> String {
+/// multi-byte character. Borrows the input when it contains no escapes
+/// (the common case for every field but the target URL and UA).
+fn pct_decode_cow(s: &str) -> std::borrow::Cow<'_, str> {
+    let bytes = s.as_bytes();
+    let Some(pct) = find_byte(bytes, b'%') else {
+        return std::borrow::Cow::Borrowed(s);
+    };
+    let mut out = Vec::with_capacity(bytes.len());
+    pct_decode_bytes(bytes, pct, &mut out);
+    std::borrow::Cow::Owned(match String::from_utf8(out) {
+        Ok(decoded) => decoded,
+        Err(err) => String::from_utf8_lossy(err.as_bytes()).into_owned(),
+    })
+}
+
+/// Inverse of [`pct_encode`] decoding into a caller-owned buffer, so a
+/// hot caller can reuse one allocation across calls. Same semantics as
+/// [`pct_decode_cow`]; `out` is cleared first.
+fn pct_decode_into(out: &mut String, s: &str) {
+    out.clear();
+    let bytes = s.as_bytes();
+    let Some(pct) = find_byte(bytes, b'%') else {
+        out.push_str(s);
+        return;
+    };
+    let mut buf = std::mem::take(out).into_bytes();
+    pct_decode_bytes(bytes, pct, &mut buf);
+    *out = match String::from_utf8(buf) {
+        Ok(decoded) => decoded,
+        Err(err) => String::from_utf8_lossy(err.as_bytes()).into_owned(),
+    };
+}
+
+/// Shared decode loop: append the decode of `bytes` to `out`, given the
+/// position `pct` of the first `'%'`. Copies whole unescaped runs
+/// between `'%'`s instead of byte-at-a-time.
+fn pct_decode_bytes(bytes: &[u8], mut pct: usize, out: &mut Vec<u8>) {
     fn hex(b: u8) -> Option<u8> {
         match b {
             b'0'..=b'9' => Some(b - b'0'),
@@ -80,87 +156,344 @@ fn pct_decode(s: &str) -> String {
             _ => None,
         }
     }
-    let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' && i + 2 < bytes.len() {
-            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+    let mut start = 0;
+    loop {
+        out.extend_from_slice(&bytes[start..pct]);
+        start = if pct + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[pct + 1]), hex(bytes[pct + 2])) {
                 out.push(hi << 4 | lo);
-                i += 3;
-                continue;
+                pct + 3
+            } else {
+                out.push(b'%');
+                pct + 1
+            }
+        } else {
+            out.push(b'%');
+            pct + 1
+        };
+        match find_byte(&bytes[start..], b'%') {
+            Some(rel) => pct = start + rel,
+            None => {
+                out.extend_from_slice(&bytes[start..]);
+                break;
             }
         }
-        out.push(bytes[i]);
-        i += 1;
     }
-    String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Parse the query-string portion of a URL into a map.
-fn parse_query(url: &str) -> BTreeMap<String, String> {
-    let mut map = BTreeMap::new();
-    if let Some(q) = url.split('?').nth(1) {
-        for pair in q.split('&') {
-            if let Some((k, v)) = pair.split_once('=') {
-                map.insert(pct_decode(k), pct_decode(v));
-            }
-        }
+/// Inverse of [`pct_encode`] (allocating wrapper over [`pct_decode_cow`]).
+#[cfg(test)]
+fn pct_decode(s: &str) -> String {
+    pct_decode_cow(s).into_owned()
+}
+
+/// A borrowed view of a submission's fields — what the client-side hot
+/// path builds per delivery without owning the target URL / UA strings.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmissionParts<'a> {
+    /// Measurement ID linking init and result.
+    pub measurement_id: MeasurementId,
+    /// Init or result.
+    pub phase: SubmissionPhase,
+    /// Task outcome (None for init).
+    pub outcome: Option<TaskOutcome>,
+    /// Elapsed task time in milliseconds (0 for init).
+    pub elapsed_ms: u64,
+    /// Task mechanism.
+    pub task_type: TaskType,
+    /// The measured URL.
+    pub target_url: &'a str,
+    /// Browser user agent family.
+    pub user_agent: &'a str,
+}
+
+impl SubmissionParts<'_> {
+    /// Append the Appendix A query encoding to `out`. Byte-identical to
+    /// the original `format!`-based encoder.
+    pub fn write_query(&self, out: &mut String) {
+        out.reserve(64 + self.target_url.len() * 3 + self.user_agent.len() * 3);
+        out.push_str("cmh-id=m-");
+        push_hex16(out, self.measurement_id.0);
+        out.push_str("&cmh-result=");
+        out.push_str(match (self.phase, self.outcome) {
+            (SubmissionPhase::Init, _) => "init",
+            (SubmissionPhase::Result, Some(TaskOutcome::Success)) => "success",
+            (SubmissionPhase::Result, Some(TaskOutcome::Failure)) => "failure",
+            (SubmissionPhase::Result, None) => "unknown",
+        });
+        out.push_str("&cmh-elapsed=");
+        push_u64(out, self.elapsed_ms);
+        out.push_str("&cmh-type=");
+        out.push_str(self.task_type.as_str());
+        out.push_str("&cmh-target=");
+        push_pct_encoded(out, self.target_url);
+        out.push_str("&cmh-ua=");
+        push_pct_encoded(out, self.user_agent);
     }
-    map
+
+    /// [`SubmissionParts::write_query`] with the two percent-encoded
+    /// fields served from `cache`. Byte-identical output; the per-byte
+    /// encoder runs once per distinct target URL / user agent instead of
+    /// once per submission.
+    pub fn write_query_cached(&self, out: &mut String, cache: &mut EncodeCache) {
+        out.reserve(64 + self.target_url.len() * 3 + self.user_agent.len() * 3);
+        out.push_str("cmh-id=m-");
+        push_hex16(out, self.measurement_id.0);
+        out.push_str("&cmh-result=");
+        out.push_str(match (self.phase, self.outcome) {
+            (SubmissionPhase::Init, _) => "init",
+            (SubmissionPhase::Result, Some(TaskOutcome::Success)) => "success",
+            (SubmissionPhase::Result, Some(TaskOutcome::Failure)) => "failure",
+            (SubmissionPhase::Result, None) => "unknown",
+        });
+        out.push_str("&cmh-elapsed=");
+        push_u64(out, self.elapsed_ms);
+        out.push_str("&cmh-type=");
+        out.push_str(self.task_type.as_str());
+        out.push_str("&cmh-target=");
+        out.push_str(cache.encoded(self.target_url));
+        out.push_str("&cmh-ua=");
+        out.push_str(cache.encoded(self.user_agent));
+    }
+}
+
+/// Memo of percent-encoded forms keyed by the raw string. The submit
+/// hot path encodes the same few target URLs and user agents millions
+/// of times; after the first encounter of each distinct string, one
+/// hash lookup replaces the per-byte encoder.
+#[derive(Debug, Default)]
+pub struct EncodeCache {
+    map: HashMap<Box<str>, Box<str>, FxBuildHasher>,
+}
+
+impl EncodeCache {
+    /// The percent-encoded form of `raw`, encoding on first sight.
+    pub fn encoded(&mut self, raw: &str) -> &str {
+        if !self.map.contains_key(raw) {
+            let mut enc = String::new();
+            push_pct_encoded(&mut enc, raw);
+            self.map.insert(raw.into(), enc.into_boxed_str());
+        }
+        &self.map[raw]
+    }
 }
 
 impl Submission {
+    /// Borrowed view of this submission's fields.
+    pub fn parts(&self) -> SubmissionParts<'_> {
+        SubmissionParts {
+            measurement_id: self.measurement_id,
+            phase: self.phase,
+            outcome: self.outcome,
+            elapsed_ms: self.elapsed_ms,
+            task_type: self.task_type,
+            target_url: &self.target_url,
+            user_agent: &self.user_agent,
+        }
+    }
+
     /// Encode as the submit URL's query parameters (Appendix A wire
     /// format).
     pub fn to_query(&self) -> String {
-        let result = match (self.phase, self.outcome) {
-            (SubmissionPhase::Init, _) => "init".to_string(),
-            (SubmissionPhase::Result, Some(TaskOutcome::Success)) => "success".to_string(),
-            (SubmissionPhase::Result, Some(TaskOutcome::Failure)) => "failure".to_string(),
-            (SubmissionPhase::Result, None) => "unknown".to_string(),
-        };
-        format!(
-            "cmh-id={}&cmh-result={}&cmh-elapsed={}&cmh-type={}&cmh-target={}&cmh-ua={}",
-            pct_encode(&self.measurement_id.to_string()),
-            result,
-            self.elapsed_ms,
-            self.task_type,
-            pct_encode(&self.target_url),
-            pct_encode(&self.user_agent),
-        )
+        let mut out = String::new();
+        self.parts().write_query(&mut out);
+        out
     }
 
     /// Decode from a submit URL. Returns `None` on malformed input (the
     /// server drops such requests).
     pub fn from_url(url: &str) -> Option<Submission> {
-        let q = parse_query(url);
-        let id_str = q.get("cmh-id")?;
-        let id_hex = id_str.strip_prefix("m-")?;
-        let measurement_id = MeasurementId(u64::from_str_radix(id_hex, 16).ok()?);
-        let (phase, outcome) = match q.get("cmh-result")?.as_str() {
-            "init" => (SubmissionPhase::Init, None),
-            "success" => (SubmissionPhase::Result, Some(TaskOutcome::Success)),
-            "failure" => (SubmissionPhase::Result, Some(TaskOutcome::Failure)),
-            _ => return None,
-        };
-        let task_type = match q.get("cmh-type")?.as_str() {
-            "image" => TaskType::Image,
-            "stylesheet" => TaskType::Stylesheet,
-            "iframe" => TaskType::Iframe,
-            "script" => TaskType::Script,
-            _ => return None,
-        };
+        let parsed = parse_submission(url)?;
         Some(Submission {
-            measurement_id,
-            phase,
-            outcome,
-            elapsed_ms: q.get("cmh-elapsed")?.parse().ok()?,
-            task_type,
-            target_url: q.get("cmh-target")?.clone(),
-            user_agent: q.get("cmh-ua").cloned().unwrap_or_default(),
+            measurement_id: parsed.measurement_id,
+            phase: parsed.phase,
+            outcome: parsed.outcome,
+            elapsed_ms: parsed.elapsed_ms,
+            task_type: parsed.task_type,
+            target_url: pct_decode_cow(parsed.target_url_raw).into_owned(),
+            user_agent: pct_decode_cow(parsed.user_agent_raw).into_owned(),
         })
     }
+}
+
+/// A validated submission whose target/user-agent fields are the raw,
+/// still-percent-encoded query slices. Decoding them is deferred to the
+/// caller — the collection server decodes into a reused scratch buffer
+/// and interns the result, so its hot path never materialises an owned
+/// `String`.
+struct ParsedSubmission<'a> {
+    measurement_id: MeasurementId,
+    phase: SubmissionPhase,
+    outcome: Option<TaskOutcome>,
+    elapsed_ms: u64,
+    task_type: TaskType,
+    target_url_raw: &'a str,
+    user_agent_raw: &'a str,
+}
+
+/// Fast path for the exact wire shape [`SubmissionParts::write_query`]
+/// emits: the six keys in fixed order, none of the first four values
+/// escaped. Any deviation returns `None` and the caller falls back to
+/// the general parser — this function never *rejects* a query, so the
+/// two-parser split cannot change which queries count as malformed. It
+/// is handed the query *uncut* (everything after the first `'?'`), so
+/// every accepted field must provably contain no `'?'`: the id is 16
+/// hex digits, the literal/numeric matches reject it, and the target
+/// and user agent scans fall back on it explicitly.
+///
+/// Equivalence with the general parser on every `Some`: literal value
+/// matches (`init`, `image`, …) contain no `%`, so decoding is the
+/// identity on them; `elapsed` uses the same `str::parse`; target and
+/// user agent are passed through raw in both parsers; and requiring the
+/// user agent (the final field) to contain no `&` rules out trailing
+/// duplicate keys that the general parser would let override earlier
+/// ones.
+fn parse_submission_wire(q: &str) -> Option<ParsedSubmission<'_>> {
+    fn split_field(s: &str) -> Option<(&str, &str)> {
+        let amp = find_byte(s.as_bytes(), b'&')?;
+        Some((&s[..amp], &s[amp + 1..]))
+    }
+    let rest = q.strip_prefix("cmh-id=m-")?;
+    let hex = rest.get(..16)?;
+    let measurement_id = MeasurementId(u64::from_str_radix(hex, 16).ok()?);
+    let rest = rest[16..].strip_prefix("&cmh-result=")?;
+    let (resval, rest) = split_field(rest)?;
+    let (phase, outcome) = match resval {
+        "init" => (SubmissionPhase::Init, None),
+        "success" => (SubmissionPhase::Result, Some(TaskOutcome::Success)),
+        "failure" => (SubmissionPhase::Result, Some(TaskOutcome::Failure)),
+        _ => return None,
+    };
+    let rest = rest.strip_prefix("cmh-elapsed=")?;
+    let (elval, rest) = split_field(rest)?;
+    let elapsed_ms: u64 = elval.parse().ok()?;
+    let rest = rest.strip_prefix("cmh-type=")?;
+    let (tyval, rest) = split_field(rest)?;
+    let task_type = match tyval {
+        "image" => TaskType::Image,
+        "stylesheet" => TaskType::Stylesheet,
+        "iframe" => TaskType::Iframe,
+        "script" => TaskType::Script,
+        _ => return None,
+    };
+    let rest = rest.strip_prefix("cmh-target=")?;
+    let (target_url_raw, user_agent_raw) = {
+        // Stop at '&' like the general parser; fall back on '?' because
+        // this path runs on the *uncut* query (the caller has not yet
+        // trimmed at a second '?', which the general parser would).
+        let amp = find_either(rest.as_bytes(), b'&', b'?')?;
+        if rest.as_bytes()[amp] == b'?' {
+            return None;
+        }
+        (&rest[..amp], rest[amp + 1..].strip_prefix("cmh-ua=")?)
+    };
+    if find_either(user_agent_raw.as_bytes(), b'&', b'?').is_some() {
+        return None;
+    }
+    Some(ParsedSubmission {
+        measurement_id,
+        phase,
+        outcome,
+        elapsed_ms,
+        task_type,
+        target_url_raw,
+        user_agent_raw,
+    })
+}
+
+/// Parse a submit URL's query into a borrowed [`ParsedSubmission`].
+///
+/// The parser walks the query pairs once (last occurrence of a key wins,
+/// pairs without `=` are skipped, unknown keys are ignored — the same
+/// semantics as the original map-based parser, without the map).
+fn parse_submission(url: &str) -> Option<ParsedSubmission<'_>> {
+    // Byte-scan the query out of the URL (equivalent to
+    // `url.split('?').nth(1)` — the segment between the first '?' and the
+    // next one, if any — without the char-pattern machinery; this parser
+    // runs up to twice per task).
+    let bytes = url.as_bytes();
+    let qstart = find_byte(bytes, b'?')? + 1;
+    // Nearly every query the server sees is the exact byte shape
+    // `write_query` emits; match that shape directly — on the uncut
+    // remainder, skipping the second-'?' scan entirely — before falling
+    // back to the order-insensitive parser below.
+    if let Some(parsed) = parse_submission_wire(&url[qstart..]) {
+        return Some(parsed);
+    }
+    let qend = find_byte(&bytes[qstart..], b'?').map_or(url.len(), |rel| qstart + rel);
+    let q = &url[qstart..qend];
+    let mut id = None;
+    let mut result = None;
+    let mut elapsed = None;
+    let mut ty = None;
+    let mut target = None;
+    let mut ua = None;
+    // Single pass: each query byte is examined exactly once. Pair and
+    // '=' boundaries are tracked as the scan goes; a pair is processed
+    // when its terminating '&' (or the end of the query) is reached.
+    let qb = q.as_bytes();
+    let mut i = 0;
+    let mut pair_start = 0;
+    let mut eq_pos = None;
+    loop {
+        if i == qb.len() || qb[i] == b'&' {
+            if let Some(eq) = eq_pos {
+                let (k, v) = (&q[pair_start..eq], &q[eq + 1..i]);
+                // Keys as emitted by the client are never escaped;
+                // decode only when an escape is actually present so the
+                // exotic case still matches what a full decode would.
+                let decoded_key;
+                let key: &str = if k.as_bytes().contains(&b'%') {
+                    decoded_key = pct_decode_cow(k);
+                    &decoded_key
+                } else {
+                    k
+                };
+                match key {
+                    "cmh-id" => id = Some(pct_decode_cow(v)),
+                    "cmh-result" => result = Some(pct_decode_cow(v)),
+                    "cmh-elapsed" => elapsed = Some(pct_decode_cow(v)),
+                    "cmh-type" => ty = Some(pct_decode_cow(v)),
+                    "cmh-target" => target = Some(v),
+                    "cmh-ua" => ua = Some(v),
+                    _ => {}
+                }
+            }
+            if i == qb.len() {
+                break;
+            }
+            pair_start = i + 1;
+            eq_pos = None;
+        } else if qb[i] == b'=' && eq_pos.is_none() {
+            eq_pos = Some(i);
+        }
+        i += 1;
+    }
+    let id = id?;
+    let id_hex = id.strip_prefix("m-")?;
+    let measurement_id = MeasurementId(u64::from_str_radix(id_hex, 16).ok()?);
+    let (phase, outcome) = match &*result? {
+        "init" => (SubmissionPhase::Init, None),
+        "success" => (SubmissionPhase::Result, Some(TaskOutcome::Success)),
+        "failure" => (SubmissionPhase::Result, Some(TaskOutcome::Failure)),
+        _ => return None,
+    };
+    let task_type = match &*ty? {
+        "image" => TaskType::Image,
+        "stylesheet" => TaskType::Stylesheet,
+        "iframe" => TaskType::Iframe,
+        "script" => TaskType::Script,
+        _ => return None,
+    };
+    Some(ParsedSubmission {
+        measurement_id,
+        phase,
+        outcome,
+        elapsed_ms: elapsed?.parse().ok()?,
+        task_type,
+        target_url_raw: target?,
+        user_agent_raw: ua.unwrap_or(""),
+    })
 }
 
 /// A submission as stored server-side, enriched with connection metadata.
@@ -268,10 +601,98 @@ impl CollectionSnapshot {
     }
 }
 
+/// Append the full submit URL (`http://<domain>/submit?<query>`) to
+/// `out` — the zero-intermediate-allocation form the delivery hot path
+/// uses with a reused buffer.
+pub fn write_submit_url(out: &mut String, domain: &str, parts: &SubmissionParts<'_>) {
+    out.push_str("http://");
+    out.push_str(domain);
+    out.push_str("/submit?");
+    parts.write_query(out);
+}
+
+/// [`write_submit_url`] with the encoded fields served from `cache`.
+pub fn write_submit_url_cached(
+    out: &mut String,
+    domain: &str,
+    parts: &SubmissionParts<'_>,
+    cache: &mut EncodeCache,
+) {
+    out.push_str("http://");
+    out.push_str(domain);
+    out.push_str("/submit?");
+    parts.write_query_cached(out, cache);
+}
+
+/// A stored measurement in the server's internal, interned form: every
+/// string field (target URL, user agent, referer) is a dense [`Sym`] into
+/// the store's shared table. The visit hot path pushes a couple of these
+/// per visit; with the working set of distinct strings interned after the
+/// first few submissions, a push performs no string allocation at all.
+/// [`Store::resolve`] rehydrates the public [`StoredMeasurement`] form at
+/// snapshot time, off the hot path.
+#[derive(Debug, Clone)]
+struct RawRecord {
+    measurement_id: MeasurementId,
+    phase: SubmissionPhase,
+    outcome: Option<TaskOutcome>,
+    elapsed_ms: u64,
+    task_type: TaskType,
+    target_url: Sym,
+    user_agent: Sym,
+    client_ip: Ipv4Addr,
+    referer: Option<Sym>,
+    received_at: SimTime,
+}
+
 #[derive(Debug, Default)]
 struct Store {
-    records: Vec<StoredMeasurement>,
+    strings: Interner,
+    records: Vec<RawRecord>,
     malformed: u64,
+    /// Reused percent-decode buffer: the handler decodes each escaped
+    /// field here and interns the result, so steady-state submission
+    /// handling performs no heap allocation.
+    decode_scratch: String,
+    /// Memo from a field's *raw* (still-escaped) query slice to the sym
+    /// of its decoded form — repeat submissions skip the decode and the
+    /// intern hash of the longer decoded string entirely.
+    raw_syms: HashMap<Box<str>, Sym, FxBuildHasher>,
+}
+
+impl Store {
+    /// Sym of the decoded form of a raw (possibly escaped) field value,
+    /// memoised by the raw text. Decoding is deterministic, so serving a
+    /// memo is observationally identical to decode-then-intern; two raw
+    /// spellings of the same decoded string still collapse to one sym
+    /// via the interner.
+    fn sym_for_raw(&mut self, raw: &str) -> Sym {
+        if let Some(&sym) = self.raw_syms.get(raw) {
+            return sym;
+        }
+        pct_decode_into(&mut self.decode_scratch, raw);
+        let sym = self.strings.intern(&self.decode_scratch);
+        self.raw_syms.insert(raw.into(), sym);
+        sym
+    }
+
+    /// Rehydrate an interned record into the public owned form.
+    fn resolve(&self, r: &RawRecord) -> StoredMeasurement {
+        StoredMeasurement {
+            submission: Submission {
+                measurement_id: r.measurement_id,
+                phase: r.phase,
+                outcome: r.outcome,
+                elapsed_ms: r.elapsed_ms,
+                task_type: r.task_type,
+                target_url: self.strings.resolve(r.target_url).to_string(),
+                user_agent: self.strings.resolve(r.user_agent).to_string(),
+            },
+            client_ip: r.client_ip,
+            referer: r.referer.map(|s| self.strings.resolve(s).to_string()),
+            received_at: r.received_at,
+        }
+    }
 }
 
 /// The collection server: an HTTP endpoint accumulating submissions.
@@ -291,18 +712,28 @@ impl HttpHandler for CollectorHandler {
         if !req.path().starts_with("/submit") {
             return HttpResponse::not_found();
         }
-        match Submission::from_url(&req.url) {
-            Some(submission) => {
-                self.store.borrow_mut().records.push(StoredMeasurement {
-                    submission,
+        match parse_submission(&req.url) {
+            Some(parsed) => {
+                let mut store = self.store.borrow_mut();
+                let target_url = store.sym_for_raw(parsed.target_url_raw);
+                let user_agent = store.sym_for_raw(parsed.user_agent_raw);
+                let referer = req.referer.as_deref().map(|r| store.strings.intern(r));
+                store.records.push(RawRecord {
+                    measurement_id: parsed.measurement_id,
+                    phase: parsed.phase,
+                    outcome: parsed.outcome,
+                    elapsed_ms: parsed.elapsed_ms,
+                    task_type: parsed.task_type,
+                    target_url,
+                    user_agent,
                     client_ip,
-                    referer: req.referer.clone(),
+                    referer,
                     received_at: now,
                 });
                 // Tiny CORS-permissive 204-ish response.
                 let mut resp = HttpResponse::ok(ContentType::Other, 2).no_store();
                 resp.extra_headers
-                    .insert("Access-Control-Allow-Origin".into(), "*".into());
+                    .push(("Access-Control-Allow-Origin".into(), "*".into()));
                 resp
             }
             None => {
@@ -348,17 +779,24 @@ impl CollectionServer {
 
     /// The submit URL for a submission (against the primary domain).
     pub fn submit_url(&self, sub: &Submission) -> String {
-        format!("http://{}/submit?{}", self.domain, sub.to_query())
+        let mut url = String::new();
+        write_submit_url(&mut url, &self.domain, &sub.parts());
+        url
     }
 
     /// The submit URL against an arbitrary (mirror) domain.
     pub fn submit_url_via(&self, domain: &str, sub: &Submission) -> String {
-        format!("http://{domain}/submit?{}", sub.to_query())
+        let mut url = String::new();
+        write_submit_url(&mut url, domain, &sub.parts());
+        url
     }
 
-    /// Snapshot of all stored records.
+    /// Snapshot of all stored records (resolving interned strings back to
+    /// owned form — serialization and analysis see the same bytes as the
+    /// pre-interning store produced).
     pub fn records(&self) -> Vec<StoredMeasurement> {
-        self.store.borrow().records.clone()
+        let store = self.store.borrow();
+        store.records.iter().map(|r| store.resolve(r)).collect()
     }
 
     /// Detach a canonical, thread-portable snapshot of the store (records
@@ -366,7 +804,7 @@ impl CollectionServer {
     pub fn snapshot(&self) -> CollectionSnapshot {
         let store = self.store.borrow();
         let mut snap = CollectionSnapshot {
-            records: store.records.clone(),
+            records: store.records.iter().map(|r| store.resolve(r)).collect(),
             malformed: store.malformed,
         };
         snap.canonicalize();

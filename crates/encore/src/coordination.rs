@@ -53,6 +53,9 @@ pub struct CoordinationServer {
     rr_cursor: usize,
     /// Per-template assignment counts (same order as the pool).
     assignments: Vec<u64>,
+    /// Reused scratch for the per-pick compatible-index list, so
+    /// steady-state task assignment performs no heap allocation.
+    compat_scratch: Vec<usize>,
 }
 
 impl CoordinationServer {
@@ -66,6 +69,7 @@ impl CoordinationServer {
             next_assignment_id: 1,
             rr_cursor: 0,
             assignments,
+            compat_scratch: Vec::new(),
         }
     }
 
@@ -116,10 +120,12 @@ impl CoordinationServer {
         if self.pool.is_empty() {
             return None;
         }
-        let compatible: Vec<usize> = (0..self.pool.len())
-            .filter(|&i| self.pool[i].compatible_with(profile.engine))
-            .collect();
+        let mut compatible = std::mem::take(&mut self.compat_scratch);
+        compatible.clear();
+        compatible
+            .extend((0..self.pool.len()).filter(|&i| self.pool[i].compatible_with(profile.engine)));
         if compatible.is_empty() {
+            self.compat_scratch = compatible;
             return None;
         }
         let chosen = match self.strategy {
@@ -148,6 +154,7 @@ impl CoordinationServer {
                 compatible[(w % compatible.len() as u64) as usize]
             }
         };
+        self.compat_scratch = compatible;
         self.assignments[chosen] += 1;
         let id = MeasurementId(self.next_assignment_id);
         self.next_assignment_id += 1;

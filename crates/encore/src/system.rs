@@ -13,7 +13,9 @@
 //! the target, or the collection server, and the system degrades exactly
 //! as §8 describes.
 
-use crate::collection::{CollectionServer, Submission, SubmissionPhase};
+use crate::collection::{
+    write_submit_url_cached, CollectionServer, EncodeCache, SubmissionParts, SubmissionPhase,
+};
 use crate::coordination::{ClientProfile, CoordinationServer, SchedulingStrategy};
 use crate::delivery::{InstallMethod, OriginSite};
 use crate::geo::GeoDb;
@@ -83,6 +85,17 @@ pub struct EncoreSystem {
     pub origins: Vec<OriginSite>,
     /// Cap on tasks per visit.
     pub max_tasks_per_visit: usize,
+    /// Precomputed `http://<coordinator>/task` URL (hot path).
+    task_url: String,
+    /// Reused scratch request for submissions — the delivery hot path
+    /// rewrites its URL/referer buffers in place instead of allocating a
+    /// fresh request per submission.
+    submit_req: HttpRequest,
+    /// Reused scratch buffer for the origin page URL.
+    page_url_buf: String,
+    /// Memo of percent-encoded target/user-agent fields for the submit
+    /// URL builder.
+    encode_cache: EncodeCache,
 }
 
 impl EncoreSystem {
@@ -110,6 +123,7 @@ impl EncoreSystem {
         for o in &origins {
             o.install(net, infra_country);
         }
+        let task_url = format!("http://{coordinator_domain}/task");
         EncoreSystem {
             coordinator_domain,
             coordination: CoordinationServer::new(tasks, strategy),
@@ -117,6 +131,10 @@ impl EncoreSystem {
             collector_mirrors: Vec::new(),
             origins,
             max_tasks_per_visit: 4,
+            task_url,
+            submit_req: HttpRequest::get(String::new()),
+            page_url_buf: String::new(),
+            encode_cache: EncodeCache::default(),
         }
     }
 
@@ -151,11 +169,35 @@ impl EncoreSystem {
         now: SimTime,
         user_agent: &str,
     ) -> VisitOutcome {
+        // Build the page URL in the reused scratch buffer (taken out of
+        // self for the duration of the visit so it can be borrowed
+        // alongside `&mut self` calls below).
+        let mut page_url = std::mem::take(&mut self.page_url_buf);
+        page_url.clear();
+        page_url.push_str("http://");
+        page_url.push_str(&origin.domain);
+        page_url.push('/');
+        let outcome =
+            self.visit_with_page_url(net, client, origin, dwell, now, user_agent, &page_url);
+        self.page_url_buf = page_url;
+        outcome
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_with_page_url(
+        &mut self,
+        net: &mut Network,
+        client: &mut BrowserClient,
+        origin: &OriginSite,
+        dwell: SimDuration,
+        now: SimTime,
+        user_agent: &str,
+        page_url: &str,
+    ) -> VisitOutcome {
         let mut outcome = VisitOutcome::empty();
 
         // 1. Load the origin page.
-        let page_url = origin.page_url();
-        let (page, page_time, _) = client.fetch_following_redirects(net, &page_url, None, now);
+        let (page, page_time) = client.fetch_following_redirects(net, page_url, None, now);
         if !page.as_ref().is_ok_and(|r| r.status.is_success()) {
             return outcome;
         }
@@ -165,9 +207,8 @@ impl EncoreSystem {
         // 2. Obtain the measurement task.
         match origin.install_method {
             InstallMethod::Tag => {
-                let task_url = format!("http://{}/task", self.coordinator_domain);
-                let (resp, fetch_time, _) =
-                    client.fetch_following_redirects(net, &task_url, Some(&page_url), t);
+                let (resp, fetch_time) =
+                    client.fetch_following_redirects(net, &self.task_url, Some(page_url), t);
                 t += fetch_time;
                 if !resp.as_ref().is_ok_and(|r| r.status.is_success()) {
                     // §5.4: "a censor can simply block access to the
@@ -188,7 +229,7 @@ impl EncoreSystem {
         let referer = if origin.strip_referer {
             None
         } else {
-            Some(page_url.clone())
+            Some(page_url)
         };
 
         for _ in 0..n_tasks {
@@ -199,16 +240,16 @@ impl EncoreSystem {
 
             // 3. Submit the init beacon (Appendix A: "Submit to the
             // server as soon as the client loads the page").
-            let init = Submission {
+            let init = SubmissionParts {
                 measurement_id: task.id,
                 phase: SubmissionPhase::Init,
                 outcome: None,
                 elapsed_ms: 0,
                 task_type: task.spec.task_type(),
-                target_url: task.spec.target_url().to_string(),
-                user_agent: user_agent.to_string(),
+                target_url: task.spec.target_url(),
+                user_agent,
             };
-            if self.deliver(net, client, &init, referer.as_deref(), t) {
+            if self.deliver(net, client, &init, referer, t) {
                 outcome.inits_delivered += 1;
             }
 
@@ -217,16 +258,16 @@ impl EncoreSystem {
             t += exec.elapsed;
 
             // 5. Submit the result.
-            let result = Submission {
+            let result = SubmissionParts {
                 measurement_id: task.id,
                 phase: SubmissionPhase::Result,
                 outcome: Some(exec.outcome),
                 elapsed_ms: exec.elapsed.as_millis(),
                 task_type: task.spec.task_type(),
-                target_url: task.spec.target_url().to_string(),
-                user_agent: user_agent.to_string(),
+                target_url: task.spec.target_url(),
+                user_agent,
             };
-            if self.deliver(net, client, &result, referer.as_deref(), t) {
+            if self.deliver(net, client, &result, referer, t) {
                 outcome.results_delivered += 1;
             }
             outcome.executed.push((task, exec));
@@ -235,31 +276,43 @@ impl EncoreSystem {
     }
 
     /// Submit to the collection server, falling back to mirrors if the
-    /// primary is unreachable; true if any endpoint accepted it.
+    /// primary is unreachable; true if any endpoint accepted it. The
+    /// request is assembled in a reused scratch buffer: the hot path
+    /// allocates nothing once the buffers have grown to steady state.
     fn deliver(
-        &self,
+        &mut self,
         net: &mut Network,
         client: &mut BrowserClient,
-        sub: &Submission,
+        parts: &SubmissionParts<'_>,
         referer: Option<&str>,
         now: SimTime,
     ) -> bool {
-        let primary = self.collection.submit_url(sub);
-        let mut urls = vec![primary];
-        for m in &self.collector_mirrors {
-            urls.push(self.collection.submit_url_via(m, sub));
-        }
-        for url in urls {
-            let mut req = HttpRequest::get(&url);
-            if let Some(r) = referer {
-                req = req.with_referer(r);
+        let mut req = std::mem::replace(&mut self.submit_req, HttpRequest::get(String::new()));
+        let mut delivered = false;
+        for i in 0..=self.collector_mirrors.len() {
+            let domain: &str = if i == 0 {
+                &self.collection.domain
+            } else {
+                &self.collector_mirrors[i - 1]
+            };
+            req.url.clear();
+            write_submit_url_cached(&mut req.url, domain, parts, &mut self.encode_cache);
+            match (referer, &mut req.referer) {
+                (Some(r), Some(buf)) => {
+                    buf.clear();
+                    buf.push_str(r);
+                }
+                (Some(r), slot @ None) => *slot = Some(r.to_string()),
+                (None, slot) => *slot = None,
             }
             let out = client.fetch_once(net, &req, now);
             if out.result.is_ok_and(|r| r.status.is_success()) {
-                return true;
+                delivered = true;
+                break;
             }
         }
-        false
+        self.submit_req = req;
+        delivered
     }
 
     /// Run the §7.2 detector over everything collected so far.

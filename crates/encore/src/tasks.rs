@@ -55,16 +55,21 @@ impl TaskType {
         TaskType::Iframe,
         TaskType::Script,
     ];
-}
 
-impl fmt::Display for TaskType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The wire name (what `Display` renders, without the formatter).
+    pub fn as_str(self) -> &'static str {
+        match self {
             TaskType::Image => "image",
             TaskType::Stylesheet => "stylesheet",
             TaskType::Iframe => "iframe",
             TaskType::Script => "script",
-        })
+        }
+    }
+}
+
+impl fmt::Display for TaskType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -4,10 +4,21 @@
 //! resolver in their own country (which is where DNS-based censorship
 //! interposes — paper §3.1: "the DNS request may result in blocking or
 //! redirection").
+//!
+//! ## Data-oriented layout
+//!
+//! Every distinct (case-folded) name is interned to a dense [`NameId`]
+//! once; the record table and the per-country resolver caches are flat
+//! vectors indexed by that id. The name-based API (`register`, `resolve`,
+//! …) is unchanged — it interns and delegates — while hot-path callers
+//! (the session layer) hold a [`NameId`] and hit [`DnsSystem::resolve_id`]
+//! with no hashing or allocation at all. Ids are assigned in first-seen
+//! order, so they are deterministic for a deterministic workload.
 
 use crate::geo::CountryCode;
 use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, SimTime};
+use sim_core::{Interner, SimDuration, SimTime, Sym};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -34,6 +45,30 @@ pub enum DnsOutcome {
 /// Default TTL for records without an explicit one.
 pub const DEFAULT_TTL: SimDuration = SimDuration::from_secs(300);
 
+/// Dense identifier for an interned, case-folded DNS name. The id is an
+/// index into the [`DnsSystem`]'s tables (and into any id-indexed cache a
+/// session keeps), assigned in first-seen order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(Sym);
+
+impl NameId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+/// Case-fold a DNS name without allocating when it is already lowercase
+/// (the common case: every URL in the simulation is lowercase).
+fn fold(name: &str) -> Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(name)
+    }
+}
+
 /// The global DNS database plus per-country resolver caches.
 ///
 /// The cache model matters for Encore: a client that has already resolved
@@ -42,9 +77,14 @@ pub const DEFAULT_TTL: SimDuration = SimDuration::from_secs(300);
 /// (country, name) — a reasonable stand-in for ISP resolver caches.
 #[derive(Debug, Default)]
 pub struct DnsSystem {
-    records: BTreeMap<String, DnsAnswer>,
-    /// (country, name) → (answer, expires-at).
-    cache: BTreeMap<(CountryCode, String), (DnsAnswer, SimTime)>,
+    /// Case-folded name ↔ dense id.
+    names: Interner,
+    /// `NameId`-indexed A records (`None` = not registered).
+    records: Vec<Option<DnsAnswer>>,
+    /// Registered-record count (`records` keeps tombstones).
+    registered: usize,
+    /// Per-country resolver cache, `NameId`-indexed: (answer, expires-at).
+    cache: BTreeMap<CountryCode, Vec<Option<(DnsAnswer, SimTime)>>>,
     /// Statistics: total queries and cache hits.
     queries: u64,
     cache_hits: u64,
@@ -56,6 +96,23 @@ impl DnsSystem {
         DnsSystem::default()
     }
 
+    /// Intern `name` (case-folded), returning its dense id. Idempotent;
+    /// allocation-free for names already interned in lowercase form.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        NameId(self.names.intern(&fold(name)))
+    }
+
+    /// Look up the id of an already-interned name without interning.
+    pub fn name_id(&self, name: &str) -> Option<NameId> {
+        self.names.get(&fold(name)).map(NameId)
+    }
+
+    /// Resolve an id back to its (case-folded) name — reports use this to
+    /// serialise real hostnames, keeping output formats id-free.
+    pub fn name_of(&self, id: NameId) -> &str {
+        self.names.resolve(id.0)
+    }
+
     /// Register (or replace) an A record with the default TTL.
     pub fn register(&mut self, name: &str, ip: Ipv4Addr) {
         self.register_with_ttl(name, ip, DEFAULT_TTL);
@@ -63,20 +120,32 @@ impl DnsSystem {
 
     /// Register (or replace) an A record with an explicit TTL.
     pub fn register_with_ttl(&mut self, name: &str, ip: Ipv4Addr, ttl: SimDuration) {
-        self.records
-            .insert(name.to_ascii_lowercase(), DnsAnswer { ip, ttl });
+        let idx = self.intern(name).index();
+        if self.records.len() <= idx {
+            self.records.resize(idx + 1, None);
+        }
+        if self.records[idx].replace(DnsAnswer { ip, ttl }).is_none() {
+            self.registered += 1;
+        }
     }
 
     /// Remove a record (site going offline — §7.2 lists this among
     /// non-censorship failure causes).
     pub fn unregister(&mut self, name: &str) {
-        self.records.remove(&name.to_ascii_lowercase());
+        if let Some(id) = self.name_id(name) {
+            if let Some(slot) = self.records.get_mut(id.index()) {
+                if slot.take().is_some() {
+                    self.registered -= 1;
+                }
+            }
+        }
     }
 
     /// Authoritative lookup, bypassing caches (used by middleboxes that
     /// need ground truth, and by tests).
     pub fn authoritative(&self, name: &str) -> Option<DnsAnswer> {
-        self.records.get(&name.to_ascii_lowercase()).copied()
+        let id = self.name_id(name)?;
+        self.records.get(id.index()).copied().flatten()
     }
 
     /// Resolve `name` from `country`'s resolver at time `now`, consulting
@@ -88,21 +157,46 @@ impl DnsSystem {
         name: &str,
         now: SimTime,
     ) -> (DnsOutcome, bool) {
+        let id = self.intern(name);
+        self.resolve_id(country, id, now)
+    }
+
+    /// [`DnsSystem::resolve`] for a pre-interned name: the hot path. Two
+    /// vector indexes, no hashing, no allocation (beyond one-time cache
+    /// growth per country).
+    pub fn resolve_id(
+        &mut self,
+        country: CountryCode,
+        id: NameId,
+        now: SimTime,
+    ) -> (DnsOutcome, bool) {
         self.queries += 1;
-        let key = (country, name.to_ascii_lowercase());
-        if let Some(&(answer, expires)) = self.cache.get(&key) {
-            if now < expires {
+        let idx = id.index();
+        if let Some(Some((answer, expires))) = self.cache.get(&country).and_then(|c| c.get(idx)) {
+            if now < *expires {
                 self.cache_hits += 1;
-                return (DnsOutcome::Resolved(answer), true);
+                return (DnsOutcome::Resolved(*answer), true);
             }
         }
-        match self.records.get(&key.1) {
-            Some(&answer) => {
-                self.cache.insert(key, (answer, now + answer.ttl));
+        match self.records.get(idx).copied().flatten() {
+            Some(answer) => {
+                Self::cache_insert(self.cache.entry(country).or_default(), idx, answer, now);
                 (DnsOutcome::Resolved(answer), false)
             }
             None => (DnsOutcome::NxDomain, false),
         }
+    }
+
+    fn cache_insert(
+        country_cache: &mut Vec<Option<(DnsAnswer, SimTime)>>,
+        idx: usize,
+        answer: DnsAnswer,
+        now: SimTime,
+    ) {
+        if country_cache.len() <= idx {
+            country_cache.resize(idx + 1, None);
+        }
+        country_cache[idx] = Some((answer, now + answer.ttl));
     }
 
     /// Insert a (possibly forged) answer into a country's resolver cache —
@@ -115,10 +209,8 @@ impl DnsSystem {
         answer: DnsAnswer,
         now: SimTime,
     ) {
-        self.cache.insert(
-            (country, name.to_ascii_lowercase()),
-            (answer, now + answer.ttl),
-        );
+        let idx = self.intern(name).index();
+        Self::cache_insert(self.cache.entry(country).or_default(), idx, answer, now);
     }
 
     /// Drop all cached entries (e.g. between experiment repetitions).
@@ -133,7 +225,7 @@ impl DnsSystem {
 
     /// Number of registered records.
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.registered
     }
 }
 
@@ -245,5 +337,46 @@ mod tests {
         d.flush_caches();
         let (_, cached) = d.resolve(country("US"), "example.com", SimTime::ZERO);
         assert!(!cached);
+    }
+
+    #[test]
+    fn name_ids_are_dense_case_folded_and_resolve_back() {
+        let mut d = DnsSystem::new();
+        let a = d.intern("Facebook.COM");
+        let b = d.intern("youtube.com");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        // Case variants collapse to one id.
+        assert_eq!(d.intern("facebook.com"), a);
+        assert_eq!(d.name_id("FACEBOOK.com"), Some(a));
+        assert_eq!(d.name_of(a), "facebook.com");
+        assert_eq!(d.name_id("never-seen.example"), None);
+        // Registration and id-based resolution agree with the name API.
+        d.register("facebook.com", ip(7));
+        let (o, _) = d.resolve_id(country("US"), a, SimTime::ZERO);
+        assert_eq!(
+            o,
+            DnsOutcome::Resolved(DnsAnswer {
+                ip: ip(7),
+                ttl: DEFAULT_TTL
+            })
+        );
+    }
+
+    #[test]
+    fn record_count_tracks_register_and_unregister() {
+        let mut d = DnsSystem::new();
+        d.register("a.example", ip(1));
+        d.register("b.example", ip(2));
+        assert_eq!(d.record_count(), 2);
+        // Replacing is not a new record.
+        d.register("a.example", ip(3));
+        assert_eq!(d.record_count(), 2);
+        d.unregister("a.example");
+        assert_eq!(d.record_count(), 1);
+        // Unregistering an unknown or already-gone name is a no-op.
+        d.unregister("a.example");
+        d.unregister("never.example");
+        assert_eq!(d.record_count(), 1);
     }
 }

@@ -9,7 +9,7 @@
 //! URL string and on a `keywords` summary of the body.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::borrow::Cow;
 use std::fmt;
 
 /// HTTP request method. Encore's measurement tasks only ever issue GETs
@@ -144,51 +144,75 @@ impl HttpRequest {
     }
 
     /// The host (DNS name) component of the URL, lower-cased, or `None` if
-    /// the URL is malformed.
-    pub fn host(&self) -> Option<String> {
-        host_of(&self.url)
+    /// the URL is malformed. Borrows from the URL unless lower-casing
+    /// forces a copy (URLs in the simulation are lowercase already, so the
+    /// hot path never allocates).
+    pub fn host(&self) -> Option<std::borrow::Cow<'_, str>> {
+        host_ref(&self.url)
     }
 
-    /// The path component ("/..." part, without query).
-    pub fn path(&self) -> String {
-        path_of(&self.url)
+    /// The path component ("/..." part, without query), borrowed.
+    pub fn path(&self) -> &str {
+        path_ref(&self.url)
     }
 }
 
-/// Extract the host from an absolute `http://` URL.
-pub fn host_of(url: &str) -> Option<String> {
+/// Extract the host from an absolute `http://` URL, borrowing from `url`
+/// when it is already lowercase (the common case in the simulation).
+pub fn host_ref(url: &str) -> Option<std::borrow::Cow<'_, str>> {
     let rest = url
         .strip_prefix("http://")
         .or_else(|| url.strip_prefix("https://"))
         .or_else(|| url.strip_prefix("//"))?;
-    let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+    // SWAR byte scan: a multi-char pattern would walk char-by-char, and
+    // this runs once per fetch.
+    let bytes = rest.as_bytes();
+    let end = sim_core::find_any3(bytes, b'/', b'?', b'#').unwrap_or(rest.len());
     let hostport = &rest[..end];
     if hostport.is_empty() {
         return None;
     }
-    let host = hostport.split(':').next().unwrap_or(hostport);
+    let host = match sim_core::find_byte(hostport.as_bytes(), b':') {
+        Some(colon) => &hostport[..colon],
+        None => hostport,
+    };
     if host.is_empty() {
         None
+    } else if host.bytes().any(|b| b.is_ascii_uppercase()) {
+        Some(std::borrow::Cow::Owned(host.to_ascii_lowercase()))
     } else {
-        Some(host.to_ascii_lowercase())
+        Some(std::borrow::Cow::Borrowed(host))
     }
 }
 
-/// Extract the path from an absolute URL (default `/`).
-pub fn path_of(url: &str) -> String {
+/// Extract the host from an absolute `http://` URL (allocating wrapper
+/// over [`host_ref`] for callers that need ownership).
+pub fn host_of(url: &str) -> Option<String> {
+    host_ref(url).map(std::borrow::Cow::into_owned)
+}
+
+/// Extract the path from an absolute URL (default `/`), borrowed.
+pub fn path_ref(url: &str) -> &str {
     let rest = url
         .strip_prefix("http://")
         .or_else(|| url.strip_prefix("https://"))
         .or_else(|| url.strip_prefix("//"))
         .unwrap_or(url);
-    match rest.find('/') {
+    let bytes = rest.as_bytes();
+    match sim_core::find_byte(bytes, b'/') {
         Some(i) => {
             let p = &rest[i..];
-            let end = p.find(['?', '#']).unwrap_or(p.len());
-            p[..end].to_string()
+            let end = sim_core::find_either(p.as_bytes(), b'?', b'#').unwrap_or(p.len());
+            &p[..end]
         }
-        None => "/".to_string(),
+        None => "/",
     }
+}
+
+/// Extract the path from an absolute URL (allocating wrapper over
+/// [`path_ref`] for callers that need ownership).
+pub fn path_of(url: &str) -> String {
+    path_ref(url).to_string()
 }
 
 /// How an HTML page embeds a subresource (the mechanisms of paper
@@ -240,7 +264,9 @@ pub struct HttpResponse {
     /// would discover while parsing).
     pub embeds: Vec<Embedded>,
     /// Free-form extra headers (kept sorted for deterministic equality).
-    pub extra_headers: BTreeMap<String, String>,
+    /// Header names and values are usually literals, so `Cow` keeps the
+    /// per-response cost to at most one small vector allocation.
+    pub extra_headers: Vec<(Cow<'static, str>, Cow<'static, str>)>,
 }
 
 impl HttpResponse {
@@ -256,7 +282,7 @@ impl HttpResponse {
             valid_body: true,
             keywords: Vec::new(),
             embeds: Vec::new(),
-            extra_headers: BTreeMap::new(),
+            extra_headers: Vec::new(),
         }
     }
 
@@ -343,6 +369,22 @@ mod tests {
         );
         assert_eq!(host_of("example.com/x"), None);
         assert_eq!(host_of("http://"), None);
+    }
+
+    #[test]
+    fn host_and_path_borrow_when_already_lowercase() {
+        use std::borrow::Cow;
+        assert!(matches!(
+            host_ref("http://example.com/a"),
+            Some(Cow::Borrowed("example.com"))
+        ));
+        assert!(matches!(
+            host_ref("http://EXAMPLE.com/a"),
+            Some(Cow::Owned(ref s)) if s == "example.com"
+        ));
+        let r = HttpRequest::get("http://example.com/a/b?q=1");
+        assert_eq!(r.path(), "/a/b");
+        assert!(matches!(r.host(), Some(Cow::Borrowed("example.com"))));
     }
 
     #[test]

@@ -101,6 +101,18 @@ pub trait Middlebox {
         DnsAction::Pass
     }
 
+    /// Whether [`Middlebox::on_dns`]'s verdict is **pure**: for a fixed
+    /// (client, name) it returns the same action regardless of `ctx.now`
+    /// and of any internal state that changes outside
+    /// [`Middlebox::on_control`]. Sessions memoise the DNS verdict per
+    /// host for pipelines made entirely of pure middleboxes, invalidating
+    /// on middlebox-set and behaviour-generation bumps — so a middlebox
+    /// with a time-windowed or self-mutating DNS hook must keep the
+    /// conservative default (`false`).
+    fn dns_verdict_is_pure(&self) -> bool {
+        false
+    }
+
     /// Inspect a TCP connection attempt.
     fn on_tcp(&self, _attempt: &TcpAttempt, _ctx: &StageContext<'_>) -> TcpAction {
         TcpAction::Pass

@@ -146,6 +146,29 @@ struct ServerEntry {
     handler: Box<dyn HttpHandler>,
 }
 
+/// Memoised [`Network::quality_between`] results. Path quality is a pure
+/// function of (client country, client ISP class, server address) given
+/// the path model, the server registry, the address plan, and the world
+/// table — so the memo is validated against cheap fingerprints of all
+/// four on every lookup and cleared when any of them moves. The
+/// fingerprints are exact for every mutation the workspace performs
+/// (`path_model` writes, `add_server`, address-block allocation, world
+/// construction); the one unwatched edit — replacing an *existing*
+/// country's record in a live network's world — is something no caller
+/// does (worlds are built before the network).
+#[derive(Default)]
+struct QualityMemo {
+    model: Option<PathModel>,
+    servers_len: usize,
+    alloc_blocks: usize,
+    world_len: usize,
+    map: std::collections::HashMap<
+        (CountryCode, IspClass, Ipv4Addr),
+        PathQuality,
+        sim_core::FxBuildHasher,
+    >,
+}
+
 /// The simulated Internet: world, DNS, servers, middleboxes, path model.
 pub struct Network {
     /// Country table.
@@ -161,11 +184,19 @@ pub struct Network {
     /// Event trace.
     pub trace: Trace,
     servers: BTreeMap<Ipv4Addr, ServerEntry>,
+    /// Memoised path qualities (see [`Network::quality_between`]).
+    quality_memo: std::cell::RefCell<QualityMemo>,
     middleboxes: Vec<Box<dyn Middlebox>>,
     /// Bumped whenever the middlebox set changes, so sessions know when
     /// their compiled pipelines are stale. Starts at 1 (sessions start at
     /// 0) so a fresh session always compiles once.
     middlebox_generation: u64,
+    /// Bumped whenever a control signal changes a middlebox's *behaviour*
+    /// (coverage unchanged — see [`Network::signal_middlebox`]), so
+    /// memoised per-host censor verdicts know to revalidate without the
+    /// heavier pipeline rebuild a set change triggers. Starts at 1 to
+    /// match the middlebox generation convention.
+    behavior_generation: u64,
     next_host_id: u64,
 }
 
@@ -180,8 +211,10 @@ impl Network {
             fault: FaultInjector::none(),
             trace: Trace::default(),
             servers: BTreeMap::new(),
+            quality_memo: std::cell::RefCell::new(QualityMemo::default()),
             middleboxes: Vec::new(),
             middlebox_generation: 1,
+            behavior_generation: 1,
             next_host_id: 0,
         }
     }
@@ -307,6 +340,7 @@ impl Network {
             Some(mb) => {
                 let changed = mb.on_control(signal, now);
                 if changed {
+                    self.behavior_generation += 1;
                     self.trace.record(
                         now,
                         TraceLevel::Info,
@@ -329,6 +363,14 @@ impl Network {
     /// [`crate::session::FetchSession`]'s pipeline compilation).
     pub fn middlebox_generation(&self) -> u64 {
         self.middlebox_generation
+    }
+
+    /// Generation counter of middlebox *behaviour*: bumped by control
+    /// signals that change state ([`Network::signal_middlebox`]), so
+    /// sessions invalidate memoised per-host verdicts without rebuilding
+    /// their pipelines.
+    pub fn behavior_generation(&self) -> u64 {
+        self.behavior_generation
     }
 
     /// Whether a server is listening at `ip`.
@@ -370,18 +412,59 @@ impl Network {
         })
     }
 
+    /// A country's access latency without cloning the whole record (the
+    /// session layer reads this once per fetch); the fallback matches
+    /// [`Network::country_record`]'s default.
+    pub(crate) fn access_latency_ms(&self, code: CountryCode) -> f64 {
+        self.world.get(code).map_or(50.0, |c| c.access_latency_ms)
+    }
+
     /// Path quality between a client and a server address (or a default
     /// long path when the address is not ours / unroutable).
     pub(crate) fn quality_between(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
-        let cc = self.country_record(client.country);
+        let mut memo = self.quality_memo.borrow_mut();
+        if memo.model != Some(self.path_model)
+            || memo.servers_len != self.servers.len()
+            || memo.alloc_blocks != self.allocator.block_count()
+            || memo.world_len != self.world.len()
+        {
+            memo.map.clear();
+            memo.model = Some(self.path_model);
+            memo.servers_len = self.servers.len();
+            memo.alloc_blocks = self.allocator.block_count();
+            memo.world_len = self.world.len();
+        }
+        let key = (client.country, client.isp, server_ip);
+        if let Some(&q) = memo.map.get(&key) {
+            return q;
+        }
+        let q = self.quality_between_uncached(client, server_ip);
+        memo.map.insert(key, q);
+        q
+    }
+
+    /// The raw path-quality computation behind the memo.
+    fn quality_between_uncached(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
         let server_country = self
             .servers
             .get(&server_ip)
             .map(|e| e.host.country)
             .or_else(|| self.allocator.country_of(server_ip))
             .unwrap_or(client.country);
-        let sc = self.country_record(server_country);
-        self.path_model.quality(client, &cc, &sc)
+        // Borrow the world records when present (the overwhelmingly common
+        // case) instead of cloning them; fall back to the synthesised
+        // default only for hand-built worlds missing a code.
+        match (
+            self.world.get(client.country),
+            self.world.get(server_country),
+        ) {
+            (Some(cc), Some(sc)) => self.path_model.quality(client, cc, sc),
+            _ => {
+                let cc = self.country_record(client.country);
+                let sc = self.country_record(server_country);
+                self.path_model.quality(client, &cc, &sc)
+            }
+        }
     }
 
     /// Perform one HTTP fetch from `client` at time `now`.

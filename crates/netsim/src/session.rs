@@ -33,7 +33,7 @@
 //! only observable on cold state, exactly the cache-interference effect
 //! the paper discusses for DNS).
 
-use crate::dns::DnsOutcome;
+use crate::dns::{DnsOutcome, NameId};
 use crate::fault::FaultDecision;
 use crate::host::Host;
 use crate::http::{HttpRequest, HttpResponse};
@@ -42,7 +42,6 @@ use crate::network::{FetchError, FetchOutcome, FetchTimings, Network};
 use crate::path::PathQuality;
 use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT, DNS_TIMEOUT, HTTP_TIMEOUT};
 use sim_core::{SimDuration, SimRng, SimTime, TraceLevel};
-use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Tuning knobs for a session's amortised state.
@@ -104,6 +103,16 @@ pub struct SessionStats {
     pub pipeline_rebuilds: u64,
 }
 
+/// A memoised DNS-stage verdict for one host: the action plus the exact
+/// trace line the interfering middlebox emitted (None for `Pass`), so a
+/// dispatch-table hit replays the same trace bytes the pattern walk
+/// would have produced.
+#[derive(Debug, Clone)]
+struct DnsVerdictEntry {
+    action: DnsAction,
+    trace_line: Option<Box<str>>,
+}
+
 /// A client's transport session: compiled censor pipeline, DNS host cache,
 /// and keep-alive connection pool. See the module docs for semantics.
 pub struct FetchSession {
@@ -114,12 +123,29 @@ pub struct FetchSession {
     /// matches the network's.
     pipeline: Vec<usize>,
     pipeline_generation: u64,
-    /// name → (address, expires-at). The client-local resolver cache.
-    dns_cache: BTreeMap<String, (Ipv4Addr, SimTime)>,
-    /// destination → idle-expiry of an established connection.
-    connections: BTreeMap<Ipv4Addr, SimTime>,
-    /// destination → path quality (static per client/destination pair).
-    quality_cache: BTreeMap<Ipv4Addr, PathQuality>,
+    /// Whether every middlebox in `pipeline` declares a pure DNS verdict
+    /// ([`crate::middlebox::Middlebox::dns_verdict_is_pure`]) — the
+    /// precondition for `dns_verdicts` memoisation.
+    pipeline_dns_pure: bool,
+    /// Network behaviour generation `dns_verdicts` was filled under.
+    behavior_generation: u64,
+    /// Pre-resolved first-non-`Pass` DNS verdict per [`NameId`] — the
+    /// flat per-host dispatch table replacing the per-fetch pattern walk
+    /// for pure pipelines. Rebuilt lazily after set/behaviour bumps.
+    dns_verdicts: Vec<Option<DnsVerdictEntry>>,
+    /// `NameId`-indexed (address, expires-at): the client-local resolver
+    /// cache. A warm hit is a single vector index — no hash, no alloc.
+    dns_cache: Vec<Option<(Ipv4Addr, SimTime)>>,
+    /// (destination, idle-expiry) of established connections. Pools are
+    /// small (bounded by `max_connections` / distinct origins), so a
+    /// linear scan over a flat vector beats a tree.
+    connections: Vec<(Ipv4Addr, SimTime)>,
+    /// (destination, path quality) — static per client/destination pair.
+    quality_cache: Vec<(Ipv4Addr, PathQuality)>,
+    /// Resolver RTT, a pure function of the client's (fixed) country —
+    /// computed on first use so the per-fetch country-record clone the
+    /// legacy path paid is gone.
+    resolver_rtt: Option<SimDuration>,
     stats: SessionStats,
 }
 
@@ -138,9 +164,13 @@ impl FetchSession {
             // Network generations start at 1, so a fresh session always
             // compiles its pipeline on first use.
             pipeline_generation: 0,
-            dns_cache: BTreeMap::new(),
-            connections: BTreeMap::new(),
-            quality_cache: BTreeMap::new(),
+            pipeline_dns_pure: true,
+            behavior_generation: 0,
+            dns_verdicts: Vec::new(),
+            dns_cache: Vec::new(),
+            connections: Vec::new(),
+            quality_cache: Vec::new(),
+            resolver_rtt: None,
             stats: SessionStats::default(),
         }
     }
@@ -163,6 +193,24 @@ impl FetchSession {
         self.connections.clear();
     }
 
+    /// Whether a live client-local DNS entry for `id` exists at `now`.
+    fn dns_cached(&self, id: NameId, now: SimTime) -> Option<Ipv4Addr> {
+        match self.dns_cache.get(id.index()) {
+            Some(&Some((ip, expires))) if now < expires => Some(ip),
+            _ => None,
+        }
+    }
+
+    /// Cache a resolution for `id` (growing the id-indexed table as the
+    /// interner does).
+    fn dns_cache_insert(&mut self, id: NameId, ip: Ipv4Addr, expires: SimTime) {
+        let idx = id.index();
+        if self.dns_cache.len() <= idx {
+            self.dns_cache.resize(idx + 1, None);
+        }
+        self.dns_cache[idx] = Some((ip, expires));
+    }
+
     /// Drop expired session state: DNS entries past their TTL and
     /// kept-alive connections past their idle expiry.
     ///
@@ -172,8 +220,12 @@ impl FetchSession {
     /// maintenance-tick events so month-long continuous runs keep pooled
     /// clients' session maps bounded.
     pub fn prune_expired(&mut self, now: SimTime) {
-        self.dns_cache.retain(|_, &mut (_, expires)| now < expires);
-        self.connections.retain(|_, &mut expiry| now < expiry);
+        for slot in &mut self.dns_cache {
+            if matches!(slot, Some((_, expires)) if now >= *expires) {
+                *slot = None;
+            }
+        }
+        self.connections.retain(|&(_, expiry)| now < expiry);
     }
 
     /// Pool an established connection, honouring the configured pool
@@ -186,18 +238,21 @@ impl FetchSession {
         if self.config.max_connections == 0 {
             return;
         }
-        if !self.connections.contains_key(&dst)
-            && self.connections.len() >= self.config.max_connections
-        {
+        if let Some(slot) = self.connections.iter_mut().find(|(ip, _)| *ip == dst) {
+            slot.1 = expiry;
+            return;
+        }
+        if self.connections.len() >= self.config.max_connections {
             let victim = self
                 .connections
                 .iter()
-                .min_by_key(|(ip, &exp)| (exp, **ip))
-                .map(|(ip, _)| *ip)
+                .enumerate()
+                .min_by_key(|&(_, &(ip, exp))| (exp, ip))
+                .map(|(i, _)| i)
                 .expect("full pool is non-empty");
-            self.connections.remove(&victim);
+            self.connections.swap_remove(victim);
         }
-        self.connections.insert(dst, expiry);
+        self.connections.push((dst, expiry));
     }
 
     /// Number of currently pooled keep-alive connections (live or not
@@ -209,22 +264,33 @@ impl FetchSession {
     /// Whether a kept-alive connection to `dst` is live at `now`.
     pub fn has_connection(&self, dst: Ipv4Addr, now: SimTime) -> bool {
         self.connections
-            .get(&dst)
-            .is_some_and(|&expiry| now < expiry)
+            .iter()
+            .any(|&(ip, expiry)| ip == dst && now < expiry)
     }
 
     /// Re-match the middlebox chain if the network's set changed since we
-    /// last compiled (or if this session has never compiled it).
+    /// last compiled (or if this session has never compiled it), and drop
+    /// memoised verdicts when middlebox *behaviour* changed (control
+    /// signals bump a separate generation — coverage is unchanged, so the
+    /// pipeline itself stays valid).
     fn refresh_pipeline(&mut self, net: &Network) {
+        if self.behavior_generation != net.behavior_generation() {
+            self.behavior_generation = net.behavior_generation();
+            self.dns_verdicts.clear();
+        }
         if self.pipeline_generation == net.middlebox_generation() {
             return;
         }
         self.pipeline.clear();
+        self.dns_verdicts.clear();
+        let mut pure = true;
         for (i, mb) in net.middleboxes().iter().enumerate() {
             if mb.applies_to(&self.client) {
+                pure &= mb.dns_verdict_is_pure();
                 self.pipeline.push(i);
             }
         }
+        self.pipeline_dns_pure = pure;
         self.pipeline_generation = net.middlebox_generation();
         self.stats.pipeline_rebuilds += 1;
     }
@@ -233,11 +299,11 @@ impl FetchSession {
     /// is a pure function of (client, destination country), so caching it
     /// never changes outcomes — only skips recomputation.
     fn quality_to(&mut self, net: &Network, server_ip: Ipv4Addr) -> PathQuality {
-        if let Some(&q) = self.quality_cache.get(&server_ip) {
+        if let Some(&(_, q)) = self.quality_cache.iter().find(|(ip, _)| *ip == server_ip) {
             return q;
         }
         let q = net.quality_between(&self.client, server_ip);
-        self.quality_cache.insert(server_ip, q);
+        self.quality_cache.push((server_ip, q));
         q
     }
 
@@ -328,7 +394,7 @@ impl FetchSession {
                 let idle_from = now + outcome.timings.total();
                 self.pool_connection(server_ip, idle_from + self.config.keep_alive);
             } else {
-                self.connections.remove(&server_ip);
+                self.connections.retain(|&(ip, _)| ip != server_ip);
             }
         }
         outcome
@@ -346,12 +412,15 @@ impl FetchSession {
         rng: &mut SimRng,
         timings: &mut FetchTimings,
     ) -> Result<Ipv4Addr, FetchOutcome> {
-        let ctx = StageContext {
-            client: &self.client,
-            now,
+        let resolver_rtt = match self.resolver_rtt {
+            Some(rtt) => rtt,
+            None => {
+                let rtt =
+                    SimDuration::from_millis_f64(net.access_latency_ms(self.client.country) * 0.6);
+                self.resolver_rtt = Some(rtt);
+                rtt
+            }
         };
-        let cc = net.country_record(self.client.country);
-        let resolver_rtt = SimDuration::from_millis_f64(cc.access_latency_ms * 0.6);
 
         // Censors inspect every query the client *would* send. The session
         // cache sits behind the censor for the first resolution (the query
@@ -359,35 +428,16 @@ impl FetchSession {
         // hit skips the wire entirely — so the middlebox is consulted
         // before the cache exactly as a forwarding resolver would be, and
         // cache hits never consult it at all.
-        let key = host_name.to_ascii_lowercase();
+        let host_id = net.dns.intern(host_name);
         if self.config.dns_cache {
-            if let Some(&(ip, expires)) = self.dns_cache.get(&key) {
-                if now < expires {
-                    self.stats.dns_cache_hits += 1;
-                    timings.dns += self.config.dns_cache_hit_cost;
-                    return Ok(ip);
-                }
-                self.dns_cache.remove(&key);
+            if let Some(ip) = self.dns_cached(host_id, now) {
+                self.stats.dns_cache_hits += 1;
+                timings.dns += self.config.dns_cache_hit_cost;
+                return Ok(ip);
             }
         }
 
-        let mut censor_dns = DnsAction::Pass;
-        for &i in &self.pipeline {
-            let mb = &net.middleboxes()[i];
-            match mb.on_dns(host_name, &ctx) {
-                DnsAction::Pass => continue,
-                act => {
-                    net.trace.record(
-                        now,
-                        TraceLevel::Info,
-                        "censor",
-                        format!("{} interferes with DNS for {host_name}: {act:?}", mb.name()),
-                    );
-                    censor_dns = act;
-                    break;
-                }
-            }
-        }
+        let censor_dns = self.dns_verdict(net, host_name, host_id, now);
 
         match censor_dns {
             DnsAction::NxDomain => {
@@ -403,8 +453,7 @@ impl FetchSession {
                 // A forged answer is an answer: browsers cache it, which
                 // is how poisoned resolutions persist for a session.
                 if self.config.dns_cache {
-                    self.dns_cache
-                        .insert(key, (ip, now + crate::dns::DEFAULT_TTL));
+                    self.dns_cache_insert(host_id, ip, now + crate::dns::DEFAULT_TTL);
                 }
                 Ok(ip)
             }
@@ -414,7 +463,7 @@ impl FetchSession {
                 // the lie is cached — a lying TTL makes the poisoning
                 // outlive (or undershoot) the block itself.
                 if self.config.dns_cache {
-                    self.dns_cache.insert(key, (ip, now + ttl));
+                    self.dns_cache_insert(host_id, ip, now + ttl);
                 }
                 Ok(ip)
             }
@@ -427,7 +476,7 @@ impl FetchSession {
                         .record(now, TraceLevel::Debug, "dns", "transient dns failure");
                     return Err(FetchOutcome::fail(FetchError::DnsTimeout, *timings, None));
                 }
-                let (outcome, cached) = net.dns.resolve(self.client.country, host_name, now);
+                let (outcome, cached) = net.dns.resolve_id(self.client.country, host_id, now);
                 timings.dns += if cached {
                     SimDuration::from_millis(1)
                 } else {
@@ -436,7 +485,7 @@ impl FetchSession {
                 match outcome {
                     DnsOutcome::Resolved(a) => {
                         if self.config.dns_cache {
-                            self.dns_cache.insert(key, (a.ip, now + a.ttl));
+                            self.dns_cache_insert(host_id, a.ip, now + a.ttl);
                         }
                         Ok(a.ip)
                     }
@@ -450,6 +499,65 @@ impl FetchSession {
                 }
             }
         }
+    }
+
+    /// First-non-`Pass` DNS verdict of the compiled pipeline for
+    /// `host_name`, via the per-host dispatch table when the pipeline is
+    /// pure. Memoisation requires Info-level tracing to be off — the
+    /// legacy walk records an interference event per consultation, and a
+    /// served memo must not silently swallow those.
+    fn dns_verdict(
+        &mut self,
+        net: &mut Network,
+        host_name: &str,
+        host_id: NameId,
+        now: SimTime,
+    ) -> DnsAction {
+        let memoise = self.pipeline_dns_pure;
+        if memoise {
+            if let Some(Some(entry)) = self.dns_verdicts.get(host_id.index()) {
+                // Replay the memoised interference line (if any) so the
+                // trace is byte-identical to re-running the walk: for a
+                // pure pipeline the line depends only on (middlebox,
+                // host, verdict), and the timestamp is a separate event
+                // field.
+                if let Some(line) = &entry.trace_line {
+                    net.trace.record_str(now, TraceLevel::Info, "censor", line);
+                }
+                return entry.action;
+            }
+        }
+        let ctx = StageContext {
+            client: &self.client,
+            now,
+        };
+        let mut verdict = DnsAction::Pass;
+        let mut trace_line = None;
+        for &i in &self.pipeline {
+            let mb = &net.middleboxes()[i];
+            match mb.on_dns(host_name, &ctx) {
+                DnsAction::Pass => continue,
+                act => {
+                    let line =
+                        format!("{} interferes with DNS for {host_name}: {act:?}", mb.name());
+                    net.trace.record_str(now, TraceLevel::Info, "censor", &line);
+                    trace_line = Some(line.into_boxed_str());
+                    verdict = act;
+                    break;
+                }
+            }
+        }
+        if memoise {
+            let idx = host_id.index();
+            if self.dns_verdicts.len() <= idx {
+                self.dns_verdicts.resize(idx + 1, None);
+            }
+            self.dns_verdicts[idx] = Some(DnsVerdictEntry {
+                action: verdict,
+                trace_line,
+            });
+        }
+        verdict
     }
 
     /// Connection establishment. `Ok(())` leaves an established

@@ -34,11 +34,11 @@ impl Visitor {
     /// report the browser actually driving the visit (which, for a
     /// returning pooled client, may differ from this visitor's sampled
     /// engine).
-    pub fn user_agent(&self, client_engine: Engine) -> String {
+    pub fn user_agent(&self, client_engine: Engine) -> &'static str {
         if self.is_crawler {
-            "CampusSecurityScanner/1.0 (bot)".to_string()
+            "CampusSecurityScanner/1.0 (bot)"
         } else {
-            client_engine.to_string()
+            client_engine.name()
         }
     }
 

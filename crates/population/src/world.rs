@@ -707,6 +707,14 @@ impl<'a> WorldEngine<'a> {
         });
     }
 
+    /// Run a *cohort* of batch arrivals. One queue pop lands here; the
+    /// loop then executes consecutive arrivals inline for as long as no
+    /// other scheduled event (policy change, censor signal, maintenance
+    /// tick, …) is due first, yielding back to the queue — by scheduling
+    /// `BatchArrival { seq + 1 }` exactly as the one-event-per-visit form
+    /// did — the moment one is. Event interleaving, RNG draw order, and
+    /// the simulated clock are byte-identical to popping the queue once
+    /// per visit; only the per-visit heap traffic disappears.
     fn on_batch_arrival(&mut self, at: SimTime, seq: u64) {
         let Mode::Batch {
             config,
@@ -720,34 +728,51 @@ impl<'a> WorldEngine<'a> {
         else {
             unreachable!("batch arrival fired in deployment mode");
         };
-        // The span covers every drawn gap, including a final arrival
-        // that halts below — matching the legacy driver's clock.
-        self.report.sim_span = at.since(SimTime::ZERO);
+        let (mut at, mut seq) = (at, seq);
+        loop {
+            // The span covers every drawn gap, including a final arrival
+            // that halts below — matching the legacy driver's clock.
+            self.report.sim_span = at.since(SimTime::ZERO);
 
-        let Some(origin_idx) = visitor_rng.pick_weighted(weights) else {
-            // All origins weightless: nothing would ever be visited, so
-            // the arrival process halts here.
-            return;
-        };
-        execute_arrival(
-            self.net,
-            self.system,
-            self.audience,
-            &mut self.report,
-            visitor_rng,
-            &origins[origin_idx],
-            pool,
-            config.client_pool,
-            config.repeat_visitor_rate,
-            at,
-        );
+            let Some(origin_idx) = visitor_rng.pick_weighted(weights) else {
+                // All origins weightless: nothing would ever be visited,
+                // so the arrival process halts here.
+                return;
+            };
+            execute_arrival(
+                self.net,
+                self.system,
+                self.audience,
+                &mut self.report,
+                visitor_rng,
+                &origins[origin_idx],
+                pool,
+                config.client_pool,
+                config.repeat_visitor_rate,
+                at,
+            );
 
-        // Self-schedule the next arrival.
-        if seq < config.visits {
+            if seq >= config.visits {
+                return;
+            }
             let next = at + SimDuration::from_millis_f64(gap.sample(arrivals_rng));
-            self.queue
-                .schedule(next, WorldEvent::BatchArrival { seq: seq + 1 });
-            self.arrivals_pending += 1;
+            match self.queue.peek_time() {
+                // Another event fires at or before the next arrival:
+                // yield so it interleaves exactly as before. (On a time
+                // tie the other event was enqueued first and still wins
+                // the queue's insertion-order tie-break.)
+                Some(due) if due <= next => {
+                    self.queue
+                        .schedule(next, WorldEvent::BatchArrival { seq: seq + 1 });
+                    self.arrivals_pending += 1;
+                    return;
+                }
+                // Queue is quiet until `next`: run the arrival inline.
+                _ => {
+                    at = next;
+                    seq += 1;
+                }
+            }
         }
     }
 
@@ -819,7 +844,7 @@ fn execute_arrival(
 
     let ua = visitor.user_agent(client.engine);
     let effective_dwell = visitor.effective_dwell(visitor_rng);
-    let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
+    let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, ua);
     report.record_visit(&tally_outcome(&outcome));
 
     let country = client.host.country;

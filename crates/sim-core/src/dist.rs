@@ -160,6 +160,9 @@ impl Zipf {
 pub struct Empirical<T> {
     items: Vec<T>,
     weights: Vec<f64>,
+    /// Sum of finite positive weights, precomputed with the exact
+    /// summation [`SimRng::pick_weighted`] performs per draw.
+    total: f64,
 }
 
 impl<T> Empirical<T> {
@@ -170,14 +173,19 @@ impl<T> Empirical<T> {
             pairs.iter().any(|(_, w)| *w > 0.0),
             "at least one weight must be positive"
         );
-        let (items, weights) = pairs.into_iter().unzip();
-        Empirical { items, weights }
+        let (items, weights): (Vec<T>, Vec<f64>) = pairs.into_iter().unzip();
+        let total = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        Empirical {
+            items,
+            weights,
+            total,
+        }
     }
 
     /// Draw a reference to one item.
     pub fn sample<'a>(&'a self, rng: &mut SimRng) -> &'a T {
         let idx = rng
-            .pick_weighted(&self.weights)
+            .pick_weighted_with_total(&self.weights, self.total)
             .expect("Empirical invariant: positive total weight");
         &self.items[idx]
     }

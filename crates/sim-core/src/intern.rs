@@ -1,0 +1,193 @@
+//! String interning: dense `u32` symbols for hot-path name lookups.
+//!
+//! The simulator's hot path touches the same handful of host names
+//! millions of times (every fetch resolves a host, consults caches keyed
+//! by it, and tallies per-host statistics). Keying those structures by
+//! owned `String`s means an allocation and an O(len) compare per touch;
+//! interning maps each distinct name to a dense `u32` symbol once, after
+//! which every lookup is an array index.
+//!
+//! Determinism: symbols are assigned in first-intern order, so two runs
+//! that intern the same names in the same order agree on every id. The
+//! reverse map is never iterated (only indexed), so the internal hash
+//! map's iteration order cannot leak into simulation results.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Rotate-xor-multiply hash over 8-byte words (the rustc "Fx" scheme).
+/// The interner's keys are host/URL/user-agent strings hashed on every
+/// fetch and every submission; SipHash's per-call setup and
+/// finalisation dominate at those lengths, and byte-at-a-time hashes
+/// serialise on the multiply. One multiply per 8-byte word is
+/// substantially cheaper than either. DoS resistance is irrelevant
+/// here — keys come from the simulation itself, not from an adversary.
+#[derive(Debug, Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+            h = (h.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        for &b in chunks.remainder() {
+            h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A dense symbol for an interned string. The numeric value is an index
+/// into the interner's table, assigned in first-seen order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The symbol as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner. Strings are interned exactly as given
+/// (callers normalise case *before* interning when they need
+/// case-insensitive identity).
+#[derive(Debug, Default)]
+pub struct Interner {
+    ids: HashMap<Box<str>, Sym, FxBuildHasher>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// An empty interner with room for `cap` symbols before reallocating.
+    pub fn with_capacity(cap: usize) -> Interner {
+        Interner {
+            ids: HashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. The first intern of a string
+    /// allocates; every later intern of an equal string is a hash lookup
+    /// with no allocation. Panics if the table would exceed `u32::MAX`
+    /// symbols (unreachable in practice: symbols are host/URL names).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.ids.get(s) {
+            return sym;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner capacity exceeded");
+        let sym = Sym(id);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.ids.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up the symbol for `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.ids.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string. Panics on a symbol from a
+    /// different interner (index out of range).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned strings (also the next symbol's value).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_dense_and_stable() {
+        let mut i = Interner::new();
+        let a = i.intern("facebook.com");
+        let b = i.intern("youtube.com");
+        assert_eq!(a, Sym(0));
+        assert_eq!(b, Sym(1));
+        // Re-interning returns the original symbol.
+        assert_eq!(i.intern("facebook.com"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_deterministic_across_runs() {
+        let run = || {
+            let mut i = Interner::new();
+            ["c.example", "a.example", "b.example", "a.example"]
+                .iter()
+                .map(|s| i.intern(s).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names = ["x.example", "y.example", "z.example"];
+        let syms: Vec<Sym> = names.iter().map(|s| i.intern(s)).collect();
+        for (name, sym) in names.iter().zip(&syms) {
+            assert_eq!(i.resolve(*sym), *name);
+            assert_eq!(i.get(name), Some(*sym));
+        }
+        assert_eq!(i.get("never-interned"), None);
+    }
+
+    #[test]
+    fn growth_past_initial_capacity_preserves_symbols() {
+        let mut i = Interner::with_capacity(2);
+        let early: Vec<Sym> = (0..2)
+            .map(|n| i.intern(&format!("host{n}.example")))
+            .collect();
+        // Grow well past the initial capacity: rehashing must not disturb
+        // existing symbols or their resolutions.
+        for n in 2..100 {
+            i.intern(&format!("host{n}.example"));
+        }
+        assert_eq!(i.len(), 100);
+        assert_eq!(early, vec![Sym(0), Sym(1)]);
+        assert_eq!(i.resolve(Sym(0)), "host0.example");
+        assert_eq!(i.resolve(Sym(1)), "host1.example");
+        assert_eq!(i.get("host99.example"), Some(Sym(99)));
+    }
+
+    #[test]
+    fn interning_is_case_sensitive_by_design() {
+        // Case folding is the caller's policy (DNS folds, URLs don't).
+        let mut i = Interner::new();
+        assert_ne!(i.intern("Example.COM"), i.intern("example.com"));
+    }
+}

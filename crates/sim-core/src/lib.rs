@@ -15,6 +15,8 @@
 //! * [`rng`] — a seedable random-number source ([`SimRng`]) with labelled
 //!   forking, so independent subsystems draw from independent streams and
 //!   adding randomness to one subsystem never perturbs another.
+//! * [`intern`] — dense string interning ([`Interner`]), so hot-path
+//!   structures key on `u32` symbols instead of owned strings.
 //! * [`dist`] — the handful of distributions the simulation needs
 //!   (log-normal, Pareto, exponential, Zipf, empirical), implemented locally
 //!   so the only external randomness dependency is `rand`'s core RNG.
@@ -35,7 +37,9 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bytes;
 pub mod dist;
+pub mod intern;
 pub mod merge;
 pub mod queue;
 pub mod rng;
@@ -43,7 +47,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use bytes::{contains_byte, find_any3, find_byte, find_either};
 pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
+pub use intern::{FxBuildHasher, Interner, Sym};
 pub use merge::merge_time_ordered;
 pub use queue::EventQueue;
 pub use rng::{splitmix_mix, SimRng};

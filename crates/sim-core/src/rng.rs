@@ -230,6 +230,16 @@ impl SimRng {
     /// all weights are zero or the slice is empty.
     pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        self.pick_weighted_with_total(weights, total)
+    }
+
+    /// [`SimRng::pick_weighted`] with the positive-weight total supplied
+    /// by the caller. The total must equal the sum this function's
+    /// sibling computes (same values, same order) — callers that sample
+    /// the same weight table repeatedly precompute it once instead of
+    /// re-summing per draw. Draw-for-draw identical to
+    /// [`SimRng::pick_weighted`] given a faithful total.
+    pub fn pick_weighted_with_total(&mut self, weights: &[f64], total: f64) -> Option<usize> {
         if total <= 0.0 {
             return None;
         }

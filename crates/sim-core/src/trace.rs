@@ -124,6 +124,37 @@ impl Trace {
         });
     }
 
+    /// Record an event by copying `message`, recycling the evicted
+    /// event's string buffer once the ring is full — so steady-state
+    /// recording on hot paths performs no heap allocation. Produces
+    /// exactly the same retained events as [`Trace::record`].
+    pub fn record_str(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: &str,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        let mut buf = if self.events.len() == self.capacity {
+            let evicted = self.events.pop_front().expect("capacity is at least 1");
+            self.dropped += 1;
+            evicted.message
+        } else {
+            String::new()
+        };
+        buf.clear();
+        buf.push_str(message);
+        self.events.push_back(TraceEvent {
+            at,
+            level,
+            subsystem,
+            message: buf,
+        });
+    }
+
     /// All retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter()

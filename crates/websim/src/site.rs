@@ -155,14 +155,14 @@ impl HttpHandler for SiteHandler {
         _now: SimTime,
     ) -> HttpResponse {
         let path = req.path();
-        if let Some(page) = self.content.page(&path) {
+        if let Some(page) = self.content.page(path) {
             // Pages are dynamic HTML: not cacheable. The embed list rides
             // along so browsers can fetch subresources.
             return HttpResponse::ok(ContentType::Html, page.html_bytes)
                 .no_store()
                 .with_embeds(page.embeds.clone());
         }
-        if let Some(res) = self.content.resource(&path) {
+        if let Some(res) = self.content.resource(path) {
             let mut r = HttpResponse::ok(res.content_type, res.bytes);
             if !res.cacheable {
                 r = r.no_store();

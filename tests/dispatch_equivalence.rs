@@ -1,0 +1,231 @@
+//! Property test for the flat middlebox dispatch tables.
+//!
+//! A [`FetchSession`] compiles the network's middlebox chain into a
+//! per-client pipeline and memoises per-host DNS verdicts (the flat
+//! dispatch tables of the data-oriented hot path). These properties pin
+//! the equivalence contract that makes the compilation safe:
+//!
+//! 1. A long-lived session whose tables are warm must classify every
+//!    fetch exactly like a brand-new session that walks the middlebox
+//!    set from scratch (the legacy per-fetch pattern walk).
+//! 2. The memoised verdict must agree with a direct walk over
+//!    `Network::middleboxes()` filtered by `applies_to` — the
+//!    first non-`Pass` answer in installation order wins.
+//! 3. Both must keep holding after `remove_middlebox` bumps the
+//!    generation and forces warm sessions to recompile.
+
+use encore_repro::censor::{CensorPolicy, Mechanism, NationalCensor};
+use encore_repro::netsim::geo::{country, IspClass, World};
+use encore_repro::netsim::http::HttpRequest;
+use encore_repro::netsim::middlebox::{DnsAction, StageContext};
+use encore_repro::netsim::network::{FetchError, Network};
+use encore_repro::netsim::session::{FetchSession, SessionConfig};
+use encore_repro::sim_core::{SimRng, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const HOSTS: [&str; 4] = [
+    "news.example.com",
+    "blog.example.org",
+    "video.example.net",
+    "mail.example.io",
+];
+const CLIENT_COUNTRIES: [&str; 4] = ["CN", "IR", "PK", "US"];
+const SERVER_COUNTRIES: [&str; 4] = ["US", "DE", "JP", "NL"];
+
+/// One generated censor: which country it covers, and per-host an
+/// optional mechanism index.
+#[derive(Debug, Clone)]
+struct CensorSpec {
+    country_idx: usize,
+    /// `mech[h]` = None (host unfiltered) or Some(mechanism index).
+    mech: Vec<Option<usize>>,
+}
+
+fn mechanism(idx: usize, sink: Ipv4Addr) -> Mechanism {
+    match idx % 5 {
+        0 => Mechanism::DnsNxDomain,
+        1 => Mechanism::DnsRedirect(sink),
+        2 => Mechanism::DnsDrop,
+        3 => Mechanism::TcpReset,
+        _ => Mechanism::IpDrop,
+    }
+}
+
+fn censor_spec() -> impl Strategy<Value = CensorSpec> {
+    // 0..5 = mechanism index, 5 = "host unfiltered".
+    let maybe_mech = (0..6usize).prop_map(|x| (x < 5).then_some(x));
+    (
+        0..CLIENT_COUNTRIES.len(),
+        proptest::collection::vec(maybe_mech, HOSTS.len()..HOSTS.len() + 1),
+    )
+        .prop_map(|(country_idx, mech)| CensorSpec { country_idx, mech })
+}
+
+/// Build the world: one server per host, one sinkhole address for DNS
+/// redirects, and the generated censors installed in order.
+fn build_network(censors: &[CensorSpec]) -> (Network, Ipv4Addr) {
+    let mut net = Network::ideal(World::builtin());
+    let mut sink = Ipv4Addr::new(0, 0, 0, 0);
+    for (i, host) in HOSTS.iter().enumerate() {
+        let h = net.add_server(
+            host,
+            country(SERVER_COUNTRIES[i % SERVER_COUNTRIES.len()]),
+            Box::new(encore_repro::netsim::network::ConstHandler(
+                encore_repro::netsim::http::HttpResponse::ok(
+                    encore_repro::netsim::http::ContentType::Image,
+                    1_000,
+                ),
+            )),
+        );
+        if i == 0 {
+            // Reuse the first server as the redirect sink so forged
+            // answers land on a real (wrong) host, as block pages do.
+            sink = h.ip;
+        }
+    }
+    for (n, spec) in censors.iter().enumerate() {
+        let mut policy = CensorPolicy::named(format!("censor-{n}"));
+        for (h, m) in spec.mech.iter().enumerate() {
+            if let Some(m) = m {
+                policy = policy.block_domain(HOSTS[h], mechanism(*m, sink));
+            }
+        }
+        net.add_middlebox(Box::new(NationalCensor::new(
+            country(CLIENT_COUNTRIES[spec.country_idx]),
+            policy,
+        )));
+    }
+    (net, sink)
+}
+
+/// The legacy per-fetch pattern walk, straight over the public API:
+/// first non-`Pass` DNS answer from an applicable middlebox wins.
+fn legacy_dns_walk(
+    net: &Network,
+    client: &encore_repro::netsim::host::Host,
+    host: &str,
+) -> DnsAction {
+    let ctx = StageContext {
+        client,
+        now: SimTime::ZERO,
+    };
+    for mb in net.middleboxes() {
+        if mb.applies_to(client) {
+            match mb.on_dns(host, &ctx) {
+                DnsAction::Pass => continue,
+                act => return act,
+            }
+        }
+    }
+    DnsAction::Pass
+}
+
+/// Classify an outcome by everything the dispatch tables may influence:
+/// success carries the resolved server, failure carries the error kind.
+fn classify(
+    out: &encore_repro::netsim::network::FetchOutcome,
+) -> (Result<u16, FetchError>, Option<Ipv4Addr>) {
+    let r = match &out.result {
+        Ok(resp) => Ok(resp.status.0),
+        Err(e) => Err(*e),
+    };
+    (r, out.server_ip)
+}
+
+/// Check that the memoised DNS verdict is consistent with the direct
+/// walk, given the observed fetch classification.
+fn verdict_consistent(
+    action: &DnsAction,
+    class: &(Result<u16, FetchError>, Option<Ipv4Addr>),
+    sink: Ipv4Addr,
+) -> bool {
+    match action {
+        DnsAction::NxDomain => class.0 == Err(FetchError::DnsNxDomain),
+        DnsAction::Drop => class.0 == Err(FetchError::DnsTimeout),
+        DnsAction::Redirect(ip) | DnsAction::Poison { ip, .. } => {
+            // The fetch proceeds against the forged address (the sink is
+            // a real server here, so it answers) — or fails later at
+            // TCP/HTTP if another rule also covers the host.
+            *ip == sink && class.1.is_none_or(|got| got == *ip)
+        }
+        DnsAction::Pass => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Warm compiled tables ≡ fresh per-fetch walk, over arbitrary
+    /// middlebox sets, before and after a `remove_middlebox` bump.
+    #[test]
+    fn dispatch_tables_match_legacy_walk(
+        censors in proptest::collection::vec(censor_spec(), 0..4),
+        client_picks in proptest::collection::vec((0..CLIENT_COUNTRIES.len(), 0..3usize), 1..4),
+        remove_idx in 0..4usize,
+    ) {
+        let (mut net, sink) = build_network(&censors);
+        let isps = [IspClass::Residential, IspClass::Mobile, IspClass::Academic];
+        let clients: Vec<_> = client_picks
+            .iter()
+            .map(|&(c, i)| net.add_client(country(CLIENT_COUNTRIES[c]), isps[i]))
+            .collect();
+
+        // Long-lived sessions with caches off: every fetch exercises the
+        // compiled dispatch (pipeline + DNS-verdict memo) rather than the
+        // session's DNS/TCP caches, so the comparison isolates the tables.
+        let mut warm: Vec<FetchSession> = clients
+            .iter()
+            .map(|c| FetchSession::with_config(c.clone(), SessionConfig::cold()))
+            .collect();
+        // Age the tables: two passes over every host fill and then replay
+        // the per-host verdict memo.
+        let mut rng = SimRng::new(0xD15BA7C4);
+        for pass in 0..2u64 {
+            for (s, _) in warm.iter_mut().zip(&clients) {
+                for host in HOSTS {
+                    let req = HttpRequest::get(format!("http://{host}/x.png"));
+                    let _ = s.fetch(&mut net, &req, SimTime::from_secs(pass), &mut rng);
+                }
+            }
+        }
+
+        let mut check_all = |net: &mut Network, warm: &mut [FetchSession], at: SimTime| {
+            for (s, c) in warm.iter_mut().zip(&clients) {
+                for host in HOSTS {
+                    let req = HttpRequest::get(format!("http://{host}/x.png"));
+                    let warm_out = s.fetch(net, &req, at, &mut rng);
+                    let mut fresh =
+                        FetchSession::with_config(c.clone(), SessionConfig::cold());
+                    let fresh_out = fresh.fetch(net, &req, at, &mut rng);
+                    let (wc, fc) = (classify(&warm_out), classify(&fresh_out));
+                    prop_assert_eq!(
+                        &wc, &fc,
+                        "warm dispatch diverged from fresh walk for {} @ {:?}",
+                        host, c
+                    );
+                    let action = legacy_dns_walk(net, c, host);
+                    prop_assert!(
+                        verdict_consistent(&action, &wc, sink),
+                        "verdict {:?} inconsistent with outcome {:?} for {}",
+                        action, wc, host
+                    );
+                }
+            }
+            Ok(())
+        };
+
+        check_all(&mut net, &mut warm, SimTime::from_secs(10))?;
+
+        // Lift one censor (if any are installed): the generation bump
+        // must force warm sessions to recompile, and the equivalence must
+        // hold against the *new* set.
+        let installed: Vec<String> =
+            (0..censors.len()).map(|n| format!("censor-{n}")).collect();
+        if !installed.is_empty() {
+            let name = &installed[remove_idx % installed.len()];
+            prop_assert!(net.remove_middlebox(name));
+            check_all(&mut net, &mut warm, SimTime::from_secs(20))?;
+        }
+    }
+}

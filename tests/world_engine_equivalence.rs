@@ -88,7 +88,7 @@ fn legacy_run_deployment(
 
         let ua = visitor.user_agent(client.engine);
         let effective_dwell = visitor.effective_dwell(&mut visitor_rng);
-        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, &ua);
+        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, at, ua);
 
         log.push(VisitRecord {
             at,
@@ -152,7 +152,7 @@ fn legacy_run_visit_batch(
 
         let ua = visitor.user_agent(client.engine);
         let effective_dwell = visitor.effective_dwell(&mut visitor_rng);
-        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, t, &ua);
+        let outcome = system.run_visit(net, &mut client, origin, effective_dwell, t, ua);
 
         report.visits += 1;
         report.origin_loads += u64::from(outcome.origin_loaded);

@@ -488,6 +488,20 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn write_json(&self, out: &mut String) {
+        json::push_string(out, self);
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(|s| std::borrow::Cow::Owned(s.to_string()))
+            .ok_or_else(|| json::Error::new("expected string"))
+    }
+}
+
 impl Serialize for char {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, &self.to_string());
