@@ -69,6 +69,7 @@ fn bench_detector_min_measurements(c: &mut Criterion) {
                     task_type: TaskType::Image,
                     target_url: format!("http://s{}.example/favicon.ico", i % 50),
                     user_agent: "Chrome".into(),
+                    congested: false,
                 },
                 client_ip: alloc.allocate(country(cc)),
                 referer: None,

@@ -128,6 +128,7 @@ fn make_records(n: usize) -> (Vec<StoredMeasurement>, GeoDb) {
                 task_type: TaskType::Image,
                 target_url: format!("http://site{}.example/favicon.ico", i % 20),
                 user_agent: "Chrome".into(),
+                congested: false,
             },
             client_ip: ip,
             referer: None,

@@ -231,6 +231,7 @@ fn sweep_geo_error(results: &mut Ablations) {
                     task_type: TaskType::Image,
                     target_url: "http://youtube.com/favicon.ico".into(),
                     user_agent: "Chrome".into(),
+                    congested: false,
                 },
                 client_ip: alloc.allocate(country(cc)),
                 referer: None,

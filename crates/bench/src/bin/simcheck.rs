@@ -4,9 +4,11 @@
 //! × policy timelines × adaptive censors × housekeeping cadences) and
 //! checks every one against the engine's claimed invariants: serial ==
 //! 1-shard byte-identity, fixed-seed reproducibility, merge algebra,
-//! detector verdict invariance across {1, 2, 4} shards, and detector
-//! soundness against each generated world's own ground truth. See
-//! `crates/simcheck` for the generator and oracle definitions.
+//! detector verdict invariance across {1, 2, 4} shards, detector
+//! soundness against each generated world's own ground truth, and
+//! congestion soundness on routed worlds with transit brownouts
+//! (censorship stays detectable, congestion never masquerades as it).
+//! See `crates/simcheck` for the generator and oracle definitions.
 //!
 //! Flags (on top of the shared `RunArgs` set):
 //!
@@ -72,6 +74,7 @@ fn parse_replay(spec: &str) -> Option<(CaseClass, u64)> {
     let class = match class {
         "equivalence" => CaseClass::Equivalence,
         "detector" => CaseClass::Detector,
+        "congestion" => CaseClass::Congestion,
         _ => return None,
     };
     let seed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
@@ -110,10 +113,12 @@ fn main() {
     );
     let report = run_budget(&config);
     println!(
-        "{} worlds checked ({} equivalence, {} detector; {} censored): {} violation(s)",
+        "{} worlds checked ({} equivalence, {} detector, {} congestion; {} censored): {} \
+         violation(s)",
         report.cases_run,
         report.equivalence_cases,
         report.detector_cases,
+        report.congestion_cases,
         report.censored_cases,
         report.violations.len()
     );

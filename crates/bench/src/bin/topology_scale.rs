@@ -1,0 +1,217 @@
+//! Topology scale — what routing over the scale-free AS graph costs per
+//! visit, and proof the routed warm path stays inside the flat-path
+//! perf contract.
+//!
+//! The PR 6 data-oriented hot path established the flat-network
+//! baseline (19 777 ns/visit on the reference container, recorded in
+//! `hotpath.rs`). Attaching an AS topology moves every fetch through
+//! route lookup + transit accounting, so this binary measures the same
+//! warm-session batch driver in three network shapes —
+//!
+//! * `flat`    — the timeline fixture's world, no topology (the PR 6
+//!   configuration, re-measured on this machine as the live baseline);
+//! * `routed`  — the congestion fixture's world: same servers, same
+//!   audience, scale-free AS topology with the TR↔US hotspot marked,
+//!   every link at rest;
+//! * `brownout` — the routed world with every hotspot link's background
+//!   load above the shed threshold, the worst data-plane case (every
+//!   transit decision consumes the RNG and may shed).
+//!
+//! Two gates, both on the warm (`repeat_visitor_rate = 0.95`) mode:
+//!
+//! 1. **Relative**: routed-at-rest ns/visit ≤ 1.5× the flat ns/visit
+//!    *measured in the same process* — machine-independent, the number
+//!    CI enforces.
+//! 2. **Absolute**: routed-at-rest ns/visit ≤ 1.5× the PR 6 reference
+//!    baseline (19 777 ns) — a loose sanity ceiling that catches
+//!    pathological regressions even if the flat path regressed in step.
+//!
+//! Determinism rides along: every configuration runs `--reps` times and
+//! must reproduce byte-identically. Results go to
+//! `results/topology_scale.json`.
+//!
+//! Overrides: `--visits`/`ENCORE_VISITS` (default 60 000),
+//! `--topology`/`ENCORE_TOPOLOGY` (AS-graph seed, default the congested
+//! fixture's), `--seed`, `--reps`.
+
+use bench::congested_fixture;
+use bench::fixtures::RunArgs;
+use bench::print_table;
+use netsim::geo::{country, World};
+use netsim::TopologySpec;
+use population::shard::ShardContext;
+use population::{run_visit_batch, Audience, BatchConfig};
+use serde::Serialize;
+use sim_core::{SimDuration, SimRng};
+use std::time::Instant;
+
+/// PR 6 flat-path ns/visit (mixed mode) on the reference container —
+/// the same constant `hotpath.rs` trends against.
+const FLAT_NS_PER_VISIT: f64 = 19_777.0;
+/// Routed warm visits must stay within this factor of the flat path.
+const MAX_ROUTED_RATIO: f64 = 1.5;
+
+#[derive(Serialize)]
+struct ShapePoint {
+    shape: &'static str,
+    visits_per_sec: f64,
+    ns_per_visit: f64,
+    ratio_vs_flat: f64,
+}
+
+#[derive(Serialize)]
+struct TopologyScaleResult {
+    visits: u64,
+    topology_seed: u64,
+    baseline_pr6_flat_ns_per_visit: f64,
+    max_routed_ratio: f64,
+    shapes: Vec<ShapePoint>,
+    routed_ratio_vs_flat: f64,
+    routed_ns_per_visit: f64,
+    relative_gate_ok: bool,
+    absolute_gate_ok: bool,
+    reproducible_ok: bool,
+}
+
+/// Warm-session batch: almost every visit reuses a pooled client, so
+/// the timed region is the PR 6 zero-allocation warm path plus (for the
+/// routed shapes) route lookup and transit accounting.
+fn warm_batch(visits: u64) -> BatchConfig {
+    BatchConfig {
+        visits,
+        mean_gap: SimDuration::from_millis(1_200),
+        repeat_visitor_rate: 0.95,
+        ..BatchConfig::default()
+    }
+}
+
+/// Build the world for one shape and run the serial warm batch once.
+/// World construction (and topology generation) stays outside the
+/// timed region — route *tables* are precomputed state, their build
+/// cost is `netsim::topology`'s concern, not the per-visit pipeline's.
+fn run_shape(
+    shape: &'static str,
+    topology_seed: u64,
+    visits: u64,
+    seed: u64,
+    audience: &Audience,
+) -> (population::BatchReport, f64) {
+    let ctx = ShardContext {
+        index: 0,
+        shards: 1,
+    };
+    let (mut net, mut sys) = match shape {
+        "flat" => bench::world_fixture::build(ctx),
+        _ => {
+            let scenario = bench::world_fixture::scenario().with_topology(
+                TopologySpec::with_seed(topology_seed)
+                    .with_hotspot_between(congested_fixture::censor_country(), country("US")),
+            );
+            bench::world_fixture::deploy(scenario.build_shard(ctx.index, ctx.shards))
+        }
+    };
+    if shape == "brownout" {
+        let topo = net.topology_mut().expect("routed world has a topology");
+        topo.set_hotspot_background(congested_fixture::BROWNOUT_LEVEL);
+    }
+    let config = warm_batch(visits);
+    let mut rng = SimRng::new(seed);
+    let t0 = Instant::now();
+    let report = run_visit_batch(&mut net, &mut sys, audience, &config, &mut rng);
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = RunArgs::parse();
+    let visits = args.visits(60_000);
+    let reps = args.reps(3);
+    let seed = args.seed;
+    let topology_seed = args
+        .topology(Some(congested_fixture::TOPOLOGY_SEED))
+        .expect("default is Some");
+    let audience = Audience::world(&World::builtin());
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    let mut reproducible_ok = true;
+    let mut flat_ns = f64::NAN;
+    for shape in ["flat", "routed", "brownout"] {
+        let (report, mut secs) = run_shape(shape, topology_seed, visits, seed, &audience);
+        for _ in 1..reps {
+            let (rep_n, secs_n) = run_shape(shape, topology_seed, visits, seed, &audience);
+            if rep_n != report {
+                eprintln!("DETERMINISM VIOLATION: fixed-seed {shape} run not reproducible");
+                reproducible_ok = false;
+            }
+            secs = secs.min(secs_n);
+        }
+        let vps = report.visits as f64 / secs;
+        let ns = secs * 1e9 / report.visits as f64;
+        if shape == "flat" {
+            flat_ns = ns;
+        }
+        let ratio = ns / flat_ns;
+        rows.push(vec![
+            shape.to_string(),
+            format!("{vps:.0}"),
+            format!("{ns:.0}"),
+            format!("{ratio:.2}x"),
+        ]);
+        points.push(ShapePoint {
+            shape,
+            visits_per_sec: vps,
+            ns_per_visit: ns,
+            ratio_vs_flat: ratio,
+        });
+    }
+
+    let routed = &points[1];
+    let routed_ratio = routed.ratio_vs_flat;
+    let routed_ns = routed.ns_per_visit;
+    let relative_gate_ok = routed_ratio <= MAX_ROUTED_RATIO;
+    let absolute_gate_ok = routed_ns <= MAX_ROUTED_RATIO * FLAT_NS_PER_VISIT;
+
+    println!(
+        "Topology scale — {visits} warm visits, topology seed {topology_seed:#x}, \
+         seed {seed:#x}, min of {reps} rep(s); PR6 flat baseline \
+         {FLAT_NS_PER_VISIT:.0} ns/visit"
+    );
+    print_table(&["shape", "visits/s", "ns/visit", "vs flat"], &rows);
+    println!(
+        "routed warm visit: {routed_ns:.0} ns = {routed_ratio:.2}x flat \
+         (gate: <= {MAX_ROUTED_RATIO}x)"
+    );
+
+    args.write_results(
+        "topology_scale",
+        &TopologyScaleResult {
+            visits,
+            topology_seed,
+            baseline_pr6_flat_ns_per_visit: FLAT_NS_PER_VISIT,
+            max_routed_ratio: MAX_ROUTED_RATIO,
+            shapes: points,
+            routed_ratio_vs_flat: routed_ratio,
+            routed_ns_per_visit: routed_ns,
+            relative_gate_ok,
+            absolute_gate_ok,
+            reproducible_ok,
+        },
+    );
+
+    if !relative_gate_ok {
+        eprintln!(
+            "PERF REGRESSION: routed warm visit {routed_ns:.0} ns is {routed_ratio:.2}x the \
+             flat path (limit {MAX_ROUTED_RATIO}x) — route lookup or transit accounting \
+             left the warm path"
+        );
+    }
+    if !absolute_gate_ok {
+        eprintln!(
+            "PERF REGRESSION: routed warm visit {routed_ns:.0} ns exceeds {MAX_ROUTED_RATIO}x \
+             the PR6 reference baseline ({FLAT_NS_PER_VISIT:.0} ns)"
+        );
+    }
+    if !(relative_gate_ok && absolute_gate_ok && reproducible_ok) {
+        std::process::exit(1);
+    }
+}

@@ -23,14 +23,18 @@ use std::path::PathBuf;
 /// snippets.
 ///
 /// Each knob reads, in priority order: a CLI flag (`--seed N`,
-/// `--visits N`, `--shards N`, `--days N`, `--out DIR`,
+/// `--visits N`, `--shards N`, `--days N`, `--topology N`, `--out DIR`,
 /// `--min-speedup X`; `--flag=value` also accepted), then the
 /// corresponding `ENCORE_*` environment variable (`ENCORE_SEED`,
-/// `ENCORE_VISITS`, `ENCORE_SHARDS`, `ENCORE_DAYS`, `ENCORE_OUT`,
-/// `ENCORE_MIN_SPEEDUP`), then the binary's default. Unknown flags are
-/// ignored so harness wrappers can pass extra arguments through;
-/// supplied-but-unparseable values warn on stderr before falling back.
-/// Seeds accept both decimal and the `0x…` hex form the binaries print.
+/// `ENCORE_VISITS`, `ENCORE_SHARDS`, `ENCORE_DAYS`, `ENCORE_TOPOLOGY`,
+/// `ENCORE_OUT`, `ENCORE_MIN_SPEEDUP`), then the binary's default.
+/// Unknown flags are ignored so harness wrappers can pass extra
+/// arguments through; supplied-but-unparseable values warn on stderr
+/// before falling back. Seeds accept both decimal and the `0x…` hex
+/// form the binaries print. `--topology` is stricter: a malformed
+/// topology seed is a hard error (exit 2), because silently dropping it
+/// would run the benchmark on a flat un-routed world and report numbers
+/// for an experiment nobody asked for.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Root experiment seed.
@@ -40,6 +44,7 @@ pub struct RunArgs {
     days: Option<u64>,
     reps: Option<usize>,
     min_speedup: Option<f64>,
+    topology: Option<u64>,
     out_dir: PathBuf,
 }
 
@@ -72,6 +77,7 @@ impl RunArgs {
             ("--days", "days"),
             ("--reps", "reps"),
             ("--min-speedup", "min_speedup"),
+            ("--topology", "topology"),
             ("--out", "out"),
         ];
         let mut it = args.into_iter().peekable();
@@ -100,6 +106,7 @@ impl RunArgs {
             ("ENCORE_DAYS", "days"),
             ("ENCORE_REPS", "reps"),
             ("ENCORE_MIN_SPEEDUP", "min_speedup"),
+            ("ENCORE_TOPOLOGY", "topology"),
             ("ENCORE_OUT", "out"),
         ];
         for (var, key) in envs {
@@ -188,6 +195,30 @@ impl RunArgs {
                     .to_string(),
             );
         }
+        // A topology seed selects an entire routed world. Unlike the
+        // other knobs, a malformed value must not warn-and-default: the
+        // run would silently measure a flat (un-routed) network and
+        // report numbers for a different experiment. Hex accepted, same
+        // as --seed.
+        let topology = match values.get("topology") {
+            None => None,
+            Some(raw) => {
+                let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => raw.parse(),
+                };
+                match parsed {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        return Err(format!(
+                            "--topology/ENCORE_TOPOLOGY must be a topology seed \
+                             (decimal or 0x-hex u64, got {raw:?}): a malformed seed \
+                             cannot select a routed world"
+                        ));
+                    }
+                }
+            }
+        };
         Ok(RunArgs {
             seed: seed.unwrap_or(crate::DEFAULT_SEED),
             visits: parsed(&values, "visits"),
@@ -195,6 +226,7 @@ impl RunArgs {
             days: parsed(&values, "days"),
             reps,
             min_speedup: parsed(&values, "min_speedup"),
+            topology,
             out_dir: values
                 .get("out")
                 .map_or_else(|| PathBuf::from("results"), PathBuf::from),
@@ -228,6 +260,12 @@ impl RunArgs {
     /// Throughput-gate override, with a machine-derived default.
     pub fn min_speedup(&self, default: f64) -> f64 {
         self.min_speedup.unwrap_or(default)
+    }
+
+    /// AS-topology seed (`--topology`/`ENCORE_TOPOLOGY`), with a
+    /// per-binary default. `None` default = flat un-routed network.
+    pub fn topology(&self, default: Option<u64>) -> Option<u64> {
+        self.topology.or(default)
     }
 
     /// Directory JSON artifacts are written to (default `results/`).
@@ -422,6 +460,34 @@ mod tests {
         assert_eq!(try_args(&["--days", "0"], &[]).unwrap().days(30), 0);
         // Genuinely unparseable garbage keeps the warn-and-default path.
         assert_eq!(try_args(&["--days", "soon"], &[]).unwrap().days(30), 30);
+    }
+
+    #[test]
+    fn run_args_topology_accepts_seeds_and_hard_rejects_garbage() {
+        // Absent everywhere → the binary's default.
+        let a = try_args(&[], &[]).unwrap();
+        assert_eq!(a.topology(None), None);
+        assert_eq!(a.topology(Some(9)), Some(9));
+
+        // CLI decimal and the 0x-hex form the binaries print; CLI
+        // overrides env, env overrides the default.
+        let a = try_args(&["--topology", "42"], &[]).unwrap();
+        assert_eq!(a.topology(None), Some(42));
+        let a = try_args(&["--topology=0x2A"], &[("ENCORE_TOPOLOGY", "7")]).unwrap();
+        assert_eq!(a.topology(None), Some(42));
+        let a = try_args(&[], &[("ENCORE_TOPOLOGY", "0XBEEF")]).unwrap();
+        assert_eq!(a.topology(None), Some(0xBEEF));
+
+        // Malformed topology seeds are hard errors, not warn-and-default
+        // like --seed: defaulting would benchmark a flat un-routed world
+        // under a flag that promised a routed one.
+        let err = try_args(&["--topology", "lattice"], &[]).unwrap_err();
+        assert!(err.contains("--topology/ENCORE_TOPOLOGY"), "unclear: {err}");
+        assert!(err.contains("lattice"), "error must echo the value: {err}");
+        let err = try_args(&[], &[("ENCORE_TOPOLOGY", "-3")]).unwrap_err();
+        assert!(err.contains("topology seed"), "unclear: {err}");
+        let err = try_args(&["--topology", "0xZZ"], &[]).unwrap_err();
+        assert!(err.contains("0xZZ"), "error must echo the value: {err}");
     }
 
     #[test]

@@ -464,6 +464,126 @@ pub mod adaptive_fixture {
     }
 }
 
+/// The shared congestion-vs-censorship fixture: a 30-day **routed**
+/// world (scale-free AS topology, Turkey's path to the US-hosted target
+/// forced across a transit hotspot) where a week-long transit brownout
+/// (days [`BROWNOUT_START`]..[`BROWNOUT_END`]) brackets a real DNS
+/// block (days [`BLOCK_ONSET`]..[`BLOCK_LIFT`]). The two brownout-only
+/// days before the block are the trap: a detector that reads shed
+/// fetches as censorship advances the onset to day 8; the
+/// congestion-aware detector must localise onset exactly at
+/// [`BLOCK_ONSET`] and never flag days 8–9.
+///
+/// One definition serves `tests/congested_world.rs` (golden snapshot +
+/// 1-vs-2-shard verdict check) and the `topology_scale` bench binary,
+/// so the scenario CI gates on is provably the scenario the harness
+/// checks.
+pub mod congested_fixture {
+    use censor::policy::{CensorPolicy, Mechanism};
+    use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
+    use encore::system::EncoreSystem;
+    use netsim::geo::{country, CountryCode};
+    use netsim::network::Network;
+    use netsim::scenario::NetworkScenario;
+    use netsim::TopologySpec;
+    use population::shard::ShardContext;
+    use population::{DeploymentConfig, WorldRecipe};
+    use sim_core::{SimDuration, SimTime};
+
+    /// The measured (and blocked) domain — shared with the timeline
+    /// fixture so the scenarios stay comparable.
+    pub use crate::world_fixture::TARGET;
+
+    /// Seed of the scale-free AS topology the fixture routes over.
+    pub const TOPOLOGY_SEED: u64 = 7;
+    /// Day the transit brownout begins (background load jumps to
+    /// [`BROWNOUT_LEVEL`] on every hotspot link).
+    pub const BROWNOUT_START: u64 = 8;
+    /// Day the brownout clears.
+    pub const BROWNOUT_END: u64 = 14;
+    /// Day the real DNS block lands — two days *into* the brownout.
+    pub const BLOCK_ONSET: u64 = 10;
+    /// Day the block lifts (with the brownout still fading the same day).
+    pub const BLOCK_LIFT: u64 = 14;
+    /// Brownout background utilisation: above the 0.7 shed threshold,
+    /// below collapse — the congestion-class generator's powered range.
+    pub const BROWNOUT_LEVEL: f64 = 0.82;
+
+    /// The censoring country, whose route to the US target crosses the
+    /// browned-out hotspot.
+    pub fn censor_country() -> CountryCode {
+        country("TR")
+    }
+
+    /// The substrate scenario: the timeline fixture's world routed over
+    /// the seeded AS topology, with the censored country's path to the
+    /// target forced across a transit hotspot link.
+    pub fn scenario() -> NetworkScenario {
+        crate::world_fixture::scenario().with_topology(
+            TopologySpec::with_seed(TOPOLOGY_SEED)
+                .with_hotspot_between(censor_country(), country("US")),
+        )
+    }
+
+    /// The day-10 block as a policy timeline (DNS NXDOMAIN, the
+    /// March-2014 mechanism).
+    pub fn block_timeline() -> PolicyTimeline {
+        PolicyTimeline::new()
+            .at(
+                day(BLOCK_ONSET),
+                PolicyChange::Install(CensorSpec::new(
+                    censor_country(),
+                    CensorPolicy::named("tr-congested-block")
+                        .block_domain(TARGET, Mechanism::DnsNxDomain),
+                )),
+            )
+            .at(
+                day(BLOCK_LIFT),
+                PolicyChange::Lift {
+                    name: "tr-congested-block".into(),
+                },
+            )
+    }
+
+    /// The full longitudinal recipe: `days` of Poisson arrivals, the
+    /// day-10 block, and the transit brownout as a pair of **shared
+    /// world mutations** — data-plane only, so congestion never counts
+    /// as a control signal and never recompiles the middlebox pipeline.
+    pub fn recipe(days: u64, visits_per_day_per_weight: f64) -> WorldRecipe {
+        WorldRecipe::deployment(DeploymentConfig {
+            duration: SimDuration::from_days(days),
+            visits_per_day_per_weight,
+            repeat_visitor_rate: 0.05,
+            ..DeploymentConfig::default()
+        })
+        .with_timeline(block_timeline())
+        .mutate_at(day(BROWNOUT_START), |net, _| {
+            if let Some(topo) = net.topology_mut() {
+                topo.set_hotspot_background(BROWNOUT_LEVEL);
+            }
+        })
+        .mutate_at(day(BROWNOUT_END), |net, _| {
+            if let Some(topo) = net.topology_mut() {
+                topo.set_hotspot_background(0.0);
+            }
+        })
+        .with_rollups(SimDuration::from_days(1))
+        .with_maintenance(SimDuration::from_secs(3_600))
+    }
+
+    /// Shard builder for the routed fixture world. `build_shard` scales
+    /// hotspot capacity by the shard count, keeping utilisation — and
+    /// thus verdicts — invariant in how the offered load is split.
+    pub fn build(ctx: ShardContext) -> (Network, EncoreSystem) {
+        crate::world_fixture::deploy(scenario().build_shard(ctx.index, ctx.shards))
+    }
+
+    /// Convert a day number to simulated time.
+    pub fn day(d: u64) -> SimTime {
+        SimTime::from_secs(d * 86_400)
+    }
+}
+
 /// Write an experiment's JSON artifact under `results/`. Binaries should
 /// prefer [`fixtures::RunArgs::write_results`], which honours `--out`.
 pub fn write_results<T: Serialize>(name: &str, value: &T) {

@@ -40,6 +40,12 @@ pub struct ResourceLoad {
     /// from an untrusted origin (the §4.3.2 security hazard motivating
     /// Chrome-only deployment of the script task).
     pub executed_untrusted: bool,
+    /// Whether the failure carried a near-source congestion signal (the
+    /// fetch was shed at an overloaded transit link rather than
+    /// censored) — observable client-side as a distinct fast
+    /// connection-stage error, like `NS_ERROR_NET_RESET` vs a timeout.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub congestion_signaled: bool,
 }
 
 /// Result of an iframe load. Note the absence of a success event:
@@ -53,6 +59,10 @@ pub struct IframeLoad {
     /// How many subresources were fetched into the cache (observable only
     /// indirectly, via timing).
     pub subresources_fetched: usize,
+    /// Whether the frame's own fetch failed with a near-source
+    /// congestion signal (see [`ResourceLoad::congestion_signaled`]).
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub congestion_signaled: bool,
 }
 
 /// Maximum redirect hops a loader follows.
@@ -157,6 +167,7 @@ impl BrowserClient {
                 elapsed: self.cached_load_time(cached.body_bytes),
                 from_cache: true,
                 executed_untrusted: false,
+                congestion_signaled: false,
             };
         }
         let (result, net_time) = self.fetch_following_redirects(net, url, None, now);
@@ -172,6 +183,7 @@ impl BrowserClient {
                         elapsed: net_time + self.render_time(resp.body_bytes),
                         from_cache: false,
                         executed_untrusted: false,
+                        congestion_signaled: false,
                     }
                 } else {
                     ResourceLoad {
@@ -179,14 +191,16 @@ impl BrowserClient {
                         elapsed: net_time + self.render_time(256),
                         from_cache: false,
                         executed_untrusted: false,
+                        congestion_signaled: false,
                     }
                 }
             }
-            Err(_) => ResourceLoad {
+            Err(e) => ResourceLoad {
                 event: LoadEvent::OnError,
                 elapsed: net_time,
                 from_cache: false,
                 executed_untrusted: false,
+                congestion_signaled: matches!(e, netsim::network::FetchError::Congested),
             },
         }
     }
@@ -208,6 +222,7 @@ impl BrowserClient {
                 elapsed: self.cached_load_time(cached.body_bytes),
                 from_cache: true,
                 executed_untrusted: false,
+                congestion_signaled: false,
             };
         }
         let (result, net_time) = self.fetch_following_redirects(net, url, None, now);
@@ -229,13 +244,15 @@ impl BrowserClient {
                     elapsed: net_time + self.render_time(resp.body_bytes.min(4_096)),
                     from_cache: false,
                     executed_untrusted: false,
+                    congestion_signaled: false,
                 }
             }
-            Err(_) => ResourceLoad {
+            Err(e) => ResourceLoad {
                 event: LoadEvent::OnError,
                 elapsed: net_time,
                 from_cache: false,
                 executed_untrusted: false,
+                congestion_signaled: matches!(e, netsim::network::FetchError::Congested),
             },
         }
     }
@@ -284,13 +301,15 @@ impl BrowserClient {
                     elapsed: net_time + self.render_time(resp.body_bytes.min(65_536)),
                     from_cache: false,
                     executed_untrusted: executed,
+                    congestion_signaled: false,
                 }
             }
-            Err(_) => ResourceLoad {
+            Err(e) => ResourceLoad {
                 event: LoadEvent::OnError,
                 elapsed: net_time,
                 from_cache: false,
                 executed_untrusted: false,
+                congestion_signaled: matches!(e, netsim::network::FetchError::Congested),
             },
         }
     }
@@ -301,6 +320,7 @@ impl BrowserClient {
     /// timing.
     pub fn load_iframe(&mut self, net: &mut Network, url: &str, now: SimTime) -> IframeLoad {
         let (result, mut elapsed) = self.fetch_following_redirects(net, url, None, now);
+        let congestion_signaled = matches!(result, Err(netsim::network::FetchError::Congested));
         let mut fetched = 0usize;
         if let Ok(resp) = result {
             if resp.status.is_success() && resp.content_type == ContentType::Html {
@@ -332,6 +352,7 @@ impl BrowserClient {
         IframeLoad {
             elapsed,
             subresources_fetched: fetched,
+            congestion_signaled,
         }
     }
 }

@@ -52,6 +52,12 @@ pub struct Submission {
     pub target_url: String,
     /// Browser user agent family (crawlers announce themselves).
     pub user_agent: String,
+    /// Whether the client observed a near-source congestion signal on a
+    /// failed task (the fetch was shed at an overloaded transit link).
+    /// Serialized and wire-encoded only when set, so pre-congestion
+    /// submissions keep their exact bytes.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub congested: bool,
 }
 
 /// Append `s` percent-encoded (minimal query-value encoding). The byte
@@ -205,6 +211,8 @@ pub struct SubmissionParts<'a> {
     pub target_url: &'a str,
     /// Browser user agent family.
     pub user_agent: &'a str,
+    /// Near-source congestion signal observed (failures only).
+    pub congested: bool,
 }
 
 impl SubmissionParts<'_> {
@@ -229,6 +237,13 @@ impl SubmissionParts<'_> {
         push_pct_encoded(out, self.target_url);
         out.push_str("&cmh-ua=");
         push_pct_encoded(out, self.user_agent);
+        if self.congested {
+            // Appended last, and only when set: uncongested submissions
+            // keep the exact six-key byte shape (and its fast parse);
+            // the trailing '&' in the UA field makes the wire fast path
+            // fall back to the general parser, which knows the key.
+            out.push_str("&cmh-cong=1");
+        }
     }
 
     /// [`SubmissionParts::write_query`] with the two percent-encoded
@@ -254,6 +269,9 @@ impl SubmissionParts<'_> {
         out.push_str(cache.encoded(self.target_url));
         out.push_str("&cmh-ua=");
         out.push_str(cache.encoded(self.user_agent));
+        if self.congested {
+            out.push_str("&cmh-cong=1");
+        }
     }
 }
 
@@ -289,6 +307,7 @@ impl Submission {
             task_type: self.task_type,
             target_url: &self.target_url,
             user_agent: &self.user_agent,
+            congested: self.congested,
         }
     }
 
@@ -312,6 +331,7 @@ impl Submission {
             task_type: parsed.task_type,
             target_url: pct_decode_cow(parsed.target_url_raw).into_owned(),
             user_agent: pct_decode_cow(parsed.user_agent_raw).into_owned(),
+            congested: parsed.congested,
         })
     }
 }
@@ -329,6 +349,7 @@ struct ParsedSubmission<'a> {
     task_type: TaskType,
     target_url_raw: &'a str,
     user_agent_raw: &'a str,
+    congested: bool,
 }
 
 /// Fast path for the exact wire shape [`SubmissionParts::write_query`]
@@ -398,6 +419,10 @@ fn parse_submission_wire(q: &str) -> Option<ParsedSubmission<'_>> {
         task_type,
         target_url_raw,
         user_agent_raw,
+        // The congested wire shape carries '&cmh-cong=1' after the UA,
+        // which the no-'&'-in-UA rule above already rejects into the
+        // general parser — this fast path only sees uncongested queries.
+        congested: false,
     })
 }
 
@@ -428,6 +453,7 @@ fn parse_submission(url: &str) -> Option<ParsedSubmission<'_>> {
     let mut ty = None;
     let mut target = None;
     let mut ua = None;
+    let mut cong = None;
     // Single pass: each query byte is examined exactly once. Pair and
     // '=' boundaries are tracked as the scan goes; a pair is processed
     // when its terminating '&' (or the end of the query) is reached.
@@ -456,6 +482,7 @@ fn parse_submission(url: &str) -> Option<ParsedSubmission<'_>> {
                     "cmh-type" => ty = Some(pct_decode_cow(v)),
                     "cmh-target" => target = Some(v),
                     "cmh-ua" => ua = Some(v),
+                    "cmh-cong" => cong = Some(pct_decode_cow(v)),
                     _ => {}
                 }
             }
@@ -493,6 +520,7 @@ fn parse_submission(url: &str) -> Option<ParsedSubmission<'_>> {
         task_type,
         target_url_raw: target?,
         user_agent_raw: ua.unwrap_or(""),
+        congested: cong.as_deref() == Some("1"),
     })
 }
 
@@ -560,6 +588,7 @@ fn canonical_cmp(a: &StoredMeasurement, b: &StoredMeasurement) -> std::cmp::Orde
             s.target_url.as_str(),
             s.user_agent.as_str(),
             r.referer.as_deref(),
+            s.congested,
         )
     }
     key(a).cmp(&key(b))
@@ -638,6 +667,7 @@ struct RawRecord {
     outcome: Option<TaskOutcome>,
     elapsed_ms: u64,
     task_type: TaskType,
+    congested: bool,
     target_url: Sym,
     user_agent: Sym,
     client_ip: Ipv4Addr,
@@ -687,6 +717,7 @@ impl Store {
                 task_type: r.task_type,
                 target_url: self.strings.resolve(r.target_url).to_string(),
                 user_agent: self.strings.resolve(r.user_agent).to_string(),
+                congested: r.congested,
             },
             client_ip: r.client_ip,
             referer: r.referer.map(|s| self.strings.resolve(s).to_string()),
@@ -724,6 +755,7 @@ impl HttpHandler for CollectorHandler {
                     outcome: parsed.outcome,
                     elapsed_ms: parsed.elapsed_ms,
                     task_type: parsed.task_type,
+                    congested: parsed.congested,
                     target_url,
                     user_agent,
                     client_ip,
@@ -857,6 +889,7 @@ mod tests {
             task_type: TaskType::Image,
             target_url: "http://youtube.com/favicon.ico".into(),
             user_agent: "Chrome".into(),
+            congested: false,
         }
     }
 
@@ -881,6 +914,40 @@ mod tests {
             Submission::from_url(&url).unwrap().phase,
             SubmissionPhase::Init
         );
+    }
+
+    #[test]
+    fn congested_submission_roundtrips_and_plain_wire_is_unchanged() {
+        let plain = submission();
+        assert!(
+            !plain.to_query().contains("cmh-cong"),
+            "uncongested submissions must keep the pre-congestion bytes"
+        );
+        let congested = Submission {
+            congested: true,
+            ..submission()
+        };
+        let q = congested.to_query();
+        assert!(q.ends_with("&cmh-cong=1"));
+        let back = Submission::from_url(&format!("http://c/submit?{q}")).unwrap();
+        assert_eq!(congested, back);
+    }
+
+    #[test]
+    fn server_stores_congested_flag() {
+        let mut net = Network::ideal(World::builtin());
+        let server = CollectionServer::new("collector.example");
+        server.install(&mut net, country("US"));
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let sub = Submission {
+            congested: true,
+            ..submission()
+        };
+        let url = server.submit_url(&sub);
+        net.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+        assert_eq!(server.len(), 1);
+        assert!(server.records()[0].submission.congested);
     }
 
     #[test]

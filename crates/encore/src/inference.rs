@@ -39,6 +39,19 @@ pub struct DetectorConfig {
     /// control many addresses, not just flood from one. `None` disables
     /// the cap.
     pub max_per_ip: Option<u64>,
+    /// Discount failures carrying a near-source congestion signal (the
+    /// fetch was shed at an overloaded transit link, and the link said
+    /// so). Such failures are evidence about the *path*, not the
+    /// *resource*: counting them as censorship evidence would let every
+    /// transit brownout masquerade as a regional block. Signaled
+    /// failures are excluded from the Bernoulli count entirely — they
+    /// are neither a success nor censorship evidence.
+    #[serde(default = "default_true")]
+    pub discount_congestion: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for DetectorConfig {
@@ -48,6 +61,7 @@ impl Default for DetectorConfig {
             min_measurements: 5,
             exclude_crawlers: true,
             max_per_ip: Some(10),
+            discount_congestion: true,
         }
     }
 }
@@ -118,6 +132,15 @@ impl FilteringDetector {
             let Some(outcome) = rec.submission.outcome else {
                 continue;
             };
+            if self.config.discount_congestion
+                && outcome == TaskOutcome::Failure
+                && rec.submission.congested
+            {
+                // Near-source congestion signal: the transit link shed
+                // this fetch and said so. Path evidence, not resource
+                // evidence — see `DetectorConfig::discount_congestion`.
+                continue;
+            }
             let Some(domain) = rec.target_domain() else {
                 continue;
             };
@@ -193,6 +216,103 @@ impl FilteringDetector {
         }
         detections
     }
+}
+
+/// Per-region congestion evidence: how much of the observed loss carries
+/// near-source congestion signals, and how it spreads across origins.
+///
+/// Two properties distinguish congestion collapse from censorship:
+///
+/// * **loss-pattern shape** — shed failures arrive *signaled* (the
+///   transit link says "congested"), whereas a censor's forged NXDOMAIN
+///   / RST / drop is silent about its cause;
+/// * **cross-origin correlation** — a congested transit link degrades
+///   *every* host routed across it, so signaled failures spread over
+///   most measured domains; censorship targets specific resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionAssessment {
+    /// The region assessed.
+    pub country: CountryCode,
+    /// Result-phase failures carrying the congestion signal.
+    pub signaled_failures: u64,
+    /// All result-phase failures from the region.
+    pub total_failures: u64,
+    /// Distinct domains with at least one signaled failure.
+    pub domains_signaled: usize,
+    /// Distinct domains measured from the region.
+    pub domains_measured: usize,
+}
+
+impl CongestionAssessment {
+    /// Fraction of the region's failures that are congestion-signaled
+    /// (0.0 when there are no failures).
+    pub fn signaled_share(&self) -> f64 {
+        if self.total_failures == 0 {
+            0.0
+        } else {
+            self.signaled_failures as f64 / self.total_failures as f64
+        }
+    }
+
+    /// Whether signaled loss correlates across co-routed origins —
+    /// congestion hits every host behind the hot link, so signaled
+    /// failures on the majority of measured domains (and more than one)
+    /// point at the path rather than any single resource.
+    pub fn cross_origin_correlated(&self) -> bool {
+        self.domains_signaled > 1 && self.domains_signaled * 2 > self.domains_measured
+    }
+}
+
+/// Aggregate congestion evidence per client region (deterministic order:
+/// sorted by country code). Complements [`FilteringDetector::detect`]:
+/// where the detector *discounts* signaled failures, this surfaces them,
+/// so a report can say "region X wasn't censored, its transit was
+/// melting" instead of silently dropping the loss.
+pub fn congestion_evidence(
+    records: &[StoredMeasurement],
+    geo: &GeoDb,
+) -> Vec<CongestionAssessment> {
+    let mut by_country: BTreeMap<CountryCode, CongestionAssessment> = BTreeMap::new();
+    let mut domains: BTreeMap<CountryCode, BTreeMap<String, bool>> = BTreeMap::new();
+    for rec in records {
+        if rec.submission.phase != SubmissionPhase::Result {
+            continue;
+        }
+        let Some(domain) = rec.target_domain() else {
+            continue;
+        };
+        let Some(country) = geo.lookup(rec.client_ip) else {
+            continue;
+        };
+        let entry = by_country
+            .entry(country)
+            .or_insert_with(|| CongestionAssessment {
+                country,
+                signaled_failures: 0,
+                total_failures: 0,
+                domains_signaled: 0,
+                domains_measured: 0,
+            });
+        let signaled = domains
+            .entry(country)
+            .or_default()
+            .entry(domain)
+            .or_default();
+        if rec.submission.outcome == Some(TaskOutcome::Failure) {
+            entry.total_failures += 1;
+            if rec.submission.congested {
+                entry.signaled_failures += 1;
+                *signaled = true;
+            }
+        }
+    }
+    let mut out: Vec<CongestionAssessment> = by_country.into_values().collect();
+    for a in &mut out {
+        let doms = &domains[&a.country];
+        a.domains_measured = doms.len();
+        a.domains_signaled = doms.values().filter(|&&s| s).count();
+    }
+    out
 }
 
 /// One window of a longitudinal analysis.
@@ -312,6 +432,7 @@ mod tests {
                     task_type: TaskType::Image,
                     target_url: format!("http://{domain}/favicon.ico"),
                     user_agent: ua.into(),
+                    congested: false,
                 },
                 client_ip: ip,
                 referer: None,
@@ -525,6 +646,7 @@ mod tests {
                     task_type: TaskType::Image,
                     target_url: "http://victim.com/favicon.ico".into(),
                     user_agent: "Chrome".into(),
+                    congested: false,
                 },
                 client_ip: attacker_ip,
                 referer: None,
@@ -565,6 +687,7 @@ mod tests {
                     task_type: TaskType::Image,
                     target_url: "http://a.com/favicon.ico".into(),
                     user_agent: "Chrome".into(),
+                    congested: false,
                 },
                 client_ip: ip,
                 referer: None,
@@ -577,6 +700,90 @@ mod tests {
         });
         let m = det.build_matrix(&f.records, &f.geo());
         assert_eq!(m[&("a.com".to_string(), country("CN"))].n, 7);
+    }
+
+    impl Fixture {
+        fn add_congested(&mut self, domain: &str, cc: &str) {
+            self.add(domain, cc, TaskOutcome::Failure);
+            self.records.last_mut().unwrap().submission.congested = true;
+        }
+    }
+
+    #[test]
+    fn congestion_signaled_failures_are_discounted() {
+        let mut f = Fixture::new();
+        // A transit brownout sheds 20 fetches in TR — all signaled.
+        for _ in 0..20 {
+            f.add_congested("news.com", "TR");
+        }
+        for _ in 0..30 {
+            f.add("news.com", "US", TaskOutcome::Success);
+        }
+        assert!(
+            detector().detect(&f.records, &f.geo()).is_empty(),
+            "signaled congestion loss must not read as censorship"
+        );
+        // The discount is what saves it: counting signaled failures as
+        // censorship evidence forges the detection (mutation check —
+        // removing the skip in build_matrix fails this assert).
+        let naive = FilteringDetector::new(DetectorConfig {
+            discount_congestion: false,
+            ..DetectorConfig::default()
+        });
+        assert_eq!(naive.detect(&f.records, &f.geo()).len(), 1);
+    }
+
+    #[test]
+    fn unsignaled_censorship_still_flags_on_a_congested_path() {
+        let mut f = Fixture::new();
+        // Real block: forged failures carry no congestion signal…
+        for _ in 0..20 {
+            f.add("twitter.com", "TR", TaskOutcome::Failure);
+        }
+        // …amid signaled congestion loss on a co-routed domain.
+        for _ in 0..20 {
+            f.add_congested("news.com", "TR");
+        }
+        for d in ["twitter.com", "news.com"] {
+            for _ in 0..30 {
+                f.add(d, "US", TaskOutcome::Success);
+            }
+        }
+        let dets = detector().detect(&f.records, &f.geo());
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].domain, "twitter.com");
+        assert_eq!(dets[0].country, country("TR"));
+    }
+
+    #[test]
+    fn congestion_evidence_separates_path_from_resource() {
+        let mut f = Fixture::new();
+        // Congestion: signaled loss across both co-routed domains.
+        for d in ["a.com", "b.com"] {
+            for _ in 0..10 {
+                f.add_congested(d, "TR");
+            }
+            for _ in 0..10 {
+                f.add(d, "TR", TaskOutcome::Success);
+            }
+        }
+        // Censorship: silent loss on one domain only.
+        for _ in 0..10 {
+            f.add("x.com", "IR", TaskOutcome::Failure);
+        }
+        for _ in 0..10 {
+            f.add("y.com", "IR", TaskOutcome::Success);
+        }
+        let ev = congestion_evidence(&f.records, &f.geo());
+        let tr = ev.iter().find(|a| a.country == country("TR")).unwrap();
+        assert_eq!(tr.signaled_failures, 20);
+        assert_eq!(tr.total_failures, 20);
+        assert!(tr.signaled_share() > 0.99);
+        assert!(tr.cross_origin_correlated(), "both co-routed hosts shed");
+        let ir = ev.iter().find(|a| a.country == country("IR")).unwrap();
+        assert_eq!(ir.signaled_failures, 0);
+        assert!(!ir.cross_origin_correlated());
+        assert_eq!(ir.domains_measured, 2);
     }
 
     #[test]

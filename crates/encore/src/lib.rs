@@ -45,7 +45,10 @@ pub use collection::{
 pub use coordination::{ClientProfile, CoordinationServer, SchedulingStrategy};
 pub use delivery::{InstallMethod, OriginSite, SNIPPET_BYTES};
 pub use geo::GeoDb;
-pub use inference::{localise_transitions, Detection, DetectorConfig, FilteringDetector};
+pub use inference::{
+    congestion_evidence, localise_transitions, CongestionAssessment, Detection, DetectorConfig,
+    FilteringDetector,
+};
 pub use pipeline::{GenerationConfig, HarAnalysis, PatternExpander, TargetFetcher, TaskGenerator};
 pub use reports::{country_reports, render_markdown, CountryReport};
 pub use system::{EncoreSystem, VisitOutcome};

@@ -206,6 +206,7 @@ mod tests {
                     task_type: TaskType::Image,
                     target_url: format!("http://{domain}/favicon.ico"),
                     user_agent: "Chrome".into(),
+                    congested: false,
                 },
                 client_ip: alloc.allocate(country(cc)),
                 referer: None,

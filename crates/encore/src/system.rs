@@ -248,6 +248,7 @@ impl EncoreSystem {
                 task_type: task.spec.task_type(),
                 target_url: task.spec.target_url(),
                 user_agent,
+                congested: false,
             };
             if self.deliver(net, client, &init, referer, t) {
                 outcome.inits_delivered += 1;
@@ -266,6 +267,7 @@ impl EncoreSystem {
                 task_type: task.spec.task_type(),
                 target_url: task.spec.target_url(),
                 user_agent,
+                congested: exec.congested,
             };
             if self.deliver(net, client, &result, referer, t) {
                 outcome.results_delivered += 1;

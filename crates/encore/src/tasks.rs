@@ -176,6 +176,11 @@ pub struct TaskExecution {
     /// (should be impossible when the Task Generator and scheduler do
     /// their jobs; asserted on in the soundness tests).
     pub executed_untrusted_code: bool,
+    /// Whether a failure carried a near-source congestion signal — the
+    /// load was shed at an overloaded transit link, not censored. The
+    /// client reports this alongside the outcome so the collection side
+    /// can discount congestion-shaped failures.
+    pub congested: bool,
 }
 
 /// Run `task` on `client` at time `now`, exactly as the delivered
@@ -197,6 +202,7 @@ pub fn execute_task(
                 },
                 elapsed: load.elapsed,
                 executed_untrusted_code: false,
+                congested: load.congestion_signaled,
             }
         }
         TaskSpec::Stylesheet { url } => {
@@ -209,6 +215,7 @@ pub fn execute_task(
                 },
                 elapsed: load.elapsed,
                 executed_untrusted_code: false,
+                congested: load.congestion_signaled,
             }
         }
         TaskSpec::Script { url } => {
@@ -221,6 +228,7 @@ pub fn execute_task(
                 },
                 elapsed: load.elapsed,
                 executed_untrusted_code: load.executed_untrusted,
+                congested: load.congestion_signaled,
             }
         }
         TaskSpec::Iframe {
@@ -242,6 +250,7 @@ pub fn execute_task(
                 },
                 elapsed: frame.elapsed + probe.elapsed,
                 executed_untrusted_code: false,
+                congested: frame.congestion_signaled || probe.congestion_signaled,
             }
         }
     }

@@ -36,6 +36,9 @@
 //! * [`network`] — the composed network (hosts, servers, middleboxes).
 //! * [`session`] — the session-layer fetch engine (pipeline, caches,
 //!   keep-alive) that all traffic flows through.
+//! * [`topology`] — seeded scale-free AS graph, deterministic routing,
+//!   and congested transit links (betweenness hotspots that delay or
+//!   shed under load with near-source signaling).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -52,6 +55,7 @@ pub mod path;
 pub mod scenario;
 pub mod session;
 pub mod tcp;
+pub mod topology;
 
 pub use dns::{DnsAnswer, DnsOutcome, DnsSystem};
 pub use fault::FaultInjector;
@@ -62,6 +66,8 @@ pub use ip::{IpAllocator, Ipv4Net};
 pub use middlebox::{DnsAction, HttpAction, Middlebox, StageContext, TcpAction};
 pub use network::{FailureStage, FetchError, FetchOutcome, FetchTimings, HttpHandler, Network};
 pub use path::{PathModel, PathQuality};
+pub use scenario::TopologySpec;
 pub use scenario::{MiddleboxFactory, NetworkScenario, ServerSpec, WorldScenario, WorldSpec};
 pub use session::{FetchSession, SessionConfig, SessionStats};
 pub use tcp::{TcpAttempt, TcpOutcome};
+pub use topology::{AsTopology, TopologyConfig, TransitDecision};

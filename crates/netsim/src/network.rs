@@ -18,6 +18,7 @@ use crate::ip::IpAllocator;
 use crate::middlebox::Middlebox;
 use crate::path::{PathModel, PathQuality};
 use crate::session::{FetchSession, SessionConfig};
+use crate::topology::{AsTopology, TransitDecision, HOP_MS};
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimRng, SimTime, Trace, TraceLevel};
 use std::collections::BTreeMap;
@@ -72,6 +73,11 @@ pub enum FetchError {
     ResponseTimeout,
     /// Response arrived but was garbled in transit.
     CorruptResponse,
+    /// Shed at a congested transit link, with a near-source congestion
+    /// signal back along the path (see [`crate::topology`]). Fails fast
+    /// during connection establishment — the signal is what lets
+    /// measurement distinguish congestion collapse from censorship.
+    Congested,
 }
 
 impl FetchError {
@@ -83,6 +89,7 @@ impl FetchError {
             }
             FetchError::ConnectTimeout => FailureStage::Tcp,
             FetchError::ConnectionReset => FailureStage::Tcp,
+            FetchError::Congested => FailureStage::Tcp,
             FetchError::ResponseTimeout | FetchError::CorruptResponse => FailureStage::Http,
         }
     }
@@ -162,6 +169,10 @@ struct QualityMemo {
     servers_len: usize,
     alloc_blocks: usize,
     world_len: usize,
+    /// Generation of the routed topology the memo was computed under (0
+    /// when no topology is attached) — regeneration reroutes, which
+    /// changes hop counts and therefore RTTs.
+    topology_generation: u64,
     map: std::collections::HashMap<
         (CountryCode, IspClass, Ipv4Addr),
         PathQuality,
@@ -197,6 +208,10 @@ pub struct Network {
     /// heavier pipeline rebuild a set change triggers. Starts at 1 to
     /// match the middlebox generation convention.
     behavior_generation: u64,
+    /// Routed AS topology with congested transit links; `None` (the
+    /// default) preserves the flat path model exactly — no extra RNG
+    /// draws, no RTT changes, byte-identical worlds.
+    topology: Option<AsTopology>,
     next_host_id: u64,
 }
 
@@ -215,6 +230,7 @@ impl Network {
             middleboxes: Vec::new(),
             middlebox_generation: 1,
             behavior_generation: 1,
+            topology: None,
             next_host_id: 0,
         }
     }
@@ -373,6 +389,69 @@ impl Network {
         self.behavior_generation
     }
 
+    /// Attach a routed AS topology. Fetches now cross precomputed AS
+    /// routes: hop counts lengthen RTTs, and congested hotspot links
+    /// delay or shed traffic (see [`crate::topology`]).
+    pub fn set_topology(&mut self, topology: AsTopology) {
+        self.topology = Some(topology);
+    }
+
+    /// The attached topology, if any.
+    pub fn topology(&self) -> Option<&AsTopology> {
+        self.topology.as_ref()
+    }
+
+    /// Mutable access to the attached topology (brownout control events
+    /// flip link background load through this).
+    pub fn topology_mut(&mut self) -> Option<&mut AsTopology> {
+        self.topology.as_mut()
+    }
+
+    /// Generation counter of the routed topology: 0 with no topology
+    /// attached, otherwise the topology's own counter (starts at 1, so
+    /// fresh sessions — which start at 0 — always revalidate once).
+    pub fn topology_generation(&self) -> u64 {
+        self.topology.as_ref().map_or(0, |t| t.generation())
+    }
+
+    /// The country a fetch to `server_ip` terminates in, resolved the
+    /// same way path quality resolves it: the server registry first,
+    /// then the address plan, then the client's own country.
+    fn server_country(&self, client: &Host, server_ip: Ipv4Addr) -> CountryCode {
+        self.servers
+            .get(&server_ip)
+            .map(|e| e.host.country)
+            .or_else(|| self.allocator.country_of(server_ip))
+            .unwrap_or(client.country)
+    }
+
+    /// Route one fetch across the topology's transit links and decide
+    /// its fate. Without a topology this is a constant [`Pass`] and
+    /// consumes no RNG draws; with one, it consumes at most a single
+    /// draw, and zero while every link on the route is under threshold
+    /// (see [`AsTopology::transit`]).
+    ///
+    /// [`Pass`]: TransitDecision::Pass
+    pub(crate) fn transit_decision(
+        &mut self,
+        client: &Host,
+        server_ip: Ipv4Addr,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> TransitDecision {
+        match self.topology {
+            None => TransitDecision::Pass,
+            Some(_) => {
+                let dst = self.server_country(client, server_ip);
+                let src = client.country;
+                self.topology
+                    .as_mut()
+                    .expect("checked above")
+                    .transit(src, dst, now, rng)
+            }
+        }
+    }
+
     /// Whether a server is listening at `ip`.
     pub fn has_server(&self, ip: Ipv4Addr) -> bool {
         self.servers.contains_key(&ip)
@@ -427,12 +506,14 @@ impl Network {
             || memo.servers_len != self.servers.len()
             || memo.alloc_blocks != self.allocator.block_count()
             || memo.world_len != self.world.len()
+            || memo.topology_generation != self.topology_generation()
         {
             memo.map.clear();
             memo.model = Some(self.path_model);
             memo.servers_len = self.servers.len();
             memo.alloc_blocks = self.allocator.block_count();
             memo.world_len = self.world.len();
+            memo.topology_generation = self.topology_generation();
         }
         let key = (client.country, client.isp, server_ip);
         if let Some(&q) = memo.map.get(&key) {
@@ -445,16 +526,11 @@ impl Network {
 
     /// The raw path-quality computation behind the memo.
     fn quality_between_uncached(&self, client: &Host, server_ip: Ipv4Addr) -> PathQuality {
-        let server_country = self
-            .servers
-            .get(&server_ip)
-            .map(|e| e.host.country)
-            .or_else(|| self.allocator.country_of(server_ip))
-            .unwrap_or(client.country);
+        let server_country = self.server_country(client, server_ip);
         // Borrow the world records when present (the overwhelmingly common
         // case) instead of cloning them; fall back to the synthesised
         // default only for hand-built worlds missing a code.
-        match (
+        let mut q = match (
             self.world.get(client.country),
             self.world.get(server_country),
         ) {
@@ -464,7 +540,13 @@ impl Network {
                 let sc = self.country_record(server_country);
                 self.path_model.quality(client, &cc, &sc)
             }
+        };
+        // Routed paths pay per-AS-hop transit latency on top of the flat
+        // model's access/backbone terms.
+        if let Some(topo) = &self.topology {
+            q.rtt_median_ms += HOP_MS * topo.hops_between(client.country, server_country) as f64;
         }
+        q
     }
 
     /// Perform one HTTP fetch from `client` at time `now`.

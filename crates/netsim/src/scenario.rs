@@ -27,6 +27,7 @@ use crate::ip::IpAllocator;
 use crate::middlebox::Middlebox;
 use crate::network::{ConstHandler, Network};
 use crate::path::PathModel;
+use crate::topology::{AsTopology, TopologyConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -61,6 +62,50 @@ pub struct ServerSpec {
     pub response: HttpResponse,
 }
 
+/// Plain-data recipe for a routed AS topology: the graph configuration
+/// plus the country pairs whose routes must cross a congestible hotspot
+/// link (so scenarios can guarantee a measurement path is exposed to
+/// transit congestion regardless of where betweenness concentrated
+/// under this seed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Graph generation parameters (seed, size, degree exponent,
+    /// hotspot count/capacity, shed threshold).
+    pub config: TopologyConfig,
+    /// Country pairs forced onto hotspot routes via
+    /// [`AsTopology::ensure_hotspot_between`], in order.
+    pub hotspot_pairs: Vec<(CountryCode, CountryCode)>,
+}
+
+impl TopologySpec {
+    /// A spec with the default graph under `seed` and no forced pairs.
+    pub fn with_seed(seed: u64) -> TopologySpec {
+        TopologySpec {
+            config: TopologyConfig::with_seed(seed),
+            hotspot_pairs: Vec::new(),
+        }
+    }
+
+    /// Builder: force the route between two countries across a hotspot.
+    pub fn with_hotspot_between(mut self, a: CountryCode, b: CountryCode) -> TopologySpec {
+        self.hotspot_pairs.push((a, b));
+        self
+    }
+
+    /// Materialise the topology for shard `index` of `shards`: identical
+    /// graph and routes on every shard, with hotspot capacities divided
+    /// by the shard count so N shards each carrying 1/N of the offered
+    /// load reproduce the serial run's utilisation.
+    pub fn build_shard(&self, shards: usize) -> AsTopology {
+        let mut topo = AsTopology::generate(self.config);
+        for &(a, b) in &self.hotspot_pairs {
+            topo.ensure_hotspot_between(a, b);
+        }
+        topo.scale_capacity(shards);
+        topo
+    }
+}
+
 /// A plain-data, thread-shareable recipe for building a [`Network`].
 ///
 /// Richer deployments (stateful handlers, censor middleboxes, Encore
@@ -77,6 +122,11 @@ pub struct NetworkScenario {
     pub fault: FaultInjector,
     /// Constant-response servers to install, in order.
     pub servers: Vec<ServerSpec>,
+    /// Routed AS topology to attach; `None` (the default, and the value
+    /// for every pre-topology scenario) keeps the flat path model with
+    /// byte-identical behaviour.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub topology: Option<TopologySpec>,
 }
 
 impl NetworkScenario {
@@ -88,7 +138,14 @@ impl NetworkScenario {
             ideal_paths: false,
             fault: FaultInjector::none(),
             servers: Vec::new(),
+            topology: None,
         }
+    }
+
+    /// Builder: attach a routed AS topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> NetworkScenario {
+        self.topology = Some(topology);
+        self
     }
 
     /// Builder: switch to the jitter/loss-free path model.
@@ -141,6 +198,9 @@ impl NetworkScenario {
                 s.country,
                 Box::new(ConstHandler(s.response.clone())),
             );
+        }
+        if let Some(spec) = &self.topology {
+            net.set_topology(spec.build_shard(shards));
         }
         net
     }

@@ -41,6 +41,7 @@ use crate::middlebox::{DnsAction, HttpAction, StageContext, TcpAction};
 use crate::network::{FetchError, FetchOutcome, FetchTimings, Network};
 use crate::path::PathQuality;
 use crate::tcp::{TcpAttempt, CONNECT_TIMEOUT, DNS_TIMEOUT, HTTP_TIMEOUT};
+use crate::topology::TransitDecision;
 use sim_core::{SimDuration, SimRng, SimTime, TraceLevel};
 use std::net::Ipv4Addr;
 
@@ -140,8 +141,13 @@ pub struct FetchSession {
     /// small (bounded by `max_connections` / distinct origins), so a
     /// linear scan over a flat vector beats a tree.
     connections: Vec<(Ipv4Addr, SimTime)>,
-    /// (destination, path quality) — static per client/destination pair.
+    /// (destination, path quality) — static per client/destination pair
+    /// for a given topology generation.
     quality_cache: Vec<(Ipv4Addr, PathQuality)>,
+    /// Topology generation `quality_cache` was filled under (0 = the
+    /// flat model / no topology). Regeneration reroutes, so hop-derived
+    /// RTTs go stale and the cache must clear.
+    topology_generation: u64,
     /// Resolver RTT, a pure function of the client's (fixed) country —
     /// computed on first use so the per-fetch country-record clone the
     /// legacy path paid is gone.
@@ -170,6 +176,7 @@ impl FetchSession {
             dns_cache: Vec::new(),
             connections: Vec::new(),
             quality_cache: Vec::new(),
+            topology_generation: 0,
             resolver_rtt: None,
             stats: SessionStats::default(),
         }
@@ -278,6 +285,13 @@ impl FetchSession {
             self.behavior_generation = net.behavior_generation();
             self.dns_verdicts.clear();
         }
+        if self.topology_generation != net.topology_generation() {
+            // A regenerated topology reroutes: hop-derived RTTs in the
+            // quality cache are stale. Data-plane only — the pipeline
+            // and DNS verdicts are untouched.
+            self.topology_generation = net.topology_generation();
+            self.quality_cache.clear();
+        }
         if self.pipeline_generation == net.middlebox_generation() {
             return;
         }
@@ -355,6 +369,25 @@ impl FetchSession {
         };
 
         let quality = self.quality_to(net, server_ip);
+
+        // -------------- Transit links (topology) --------------
+        // Cross the routed AS path's hotspot links. Without a topology —
+        // or with every link on the route under threshold — this is a
+        // no-op that consumes no RNG draws, preserving flat-model worlds
+        // byte-for-byte.
+        match net.transit_decision(&self.client, server_ip, now, rng) {
+            TransitDecision::Pass => {}
+            TransitDecision::Delay(d) => timings.connect += d,
+            TransitDecision::Shed => {
+                // Near-source congestion signal: the overloaded transit
+                // link sheds the flow and the failure propagates back
+                // fast — one RTT, like a reset, not a timeout. The shed
+                // flow's connection (if pooled) is gone.
+                timings.connect += net.path_model.sample_rtt(&quality, rng);
+                self.connections.retain(|&(ip, _)| ip != server_ip);
+                return FetchOutcome::fail(FetchError::Congested, timings, Some(server_ip));
+            }
+        }
 
         // ---------------- Stage 2: TCP ----------------
         let reused =

@@ -364,6 +364,7 @@ mod tests {
                     outcome: encore::tasks::TaskOutcome::Success,
                     elapsed: SimDuration::from_millis(200),
                     executed_untrusted_code: false,
+                    congested: false,
                 },
             ));
         }

@@ -39,6 +39,7 @@ use netsim::geo::{country, CountryCode};
 use netsim::http::{ContentType, HttpResponse};
 use netsim::network::Network;
 use netsim::scenario::{NetworkScenario, WorldScenario, WorldSpec};
+use netsim::TopologyConfig;
 use population::shard::ShardContext;
 use population::{BatchConfig, DeploymentConfig, WorldRecipe};
 use proptest::{Strategy, TestRng};
@@ -60,6 +61,11 @@ pub enum CaseClass {
     Equivalence,
     /// Statistical oracles over detector-powered worlds.
     Detector,
+    /// Routed detector-powered worlds with a transit-link brownout:
+    /// exact-replay oracles plus the congestion-soundness oracles
+    /// (verdict invariance, false-positive freedom on congested but
+    /// uncensored worlds, localisation despite congestion).
+    Congestion,
 }
 
 /// The generated arrival process.
@@ -167,6 +173,38 @@ pub enum CensorModel {
     },
 }
 
+/// The three congestion-vs-censorship scenario shapes (the soundness
+/// cases the detector must tell apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CongestionShape {
+    /// A transit brownout and no censor anywhere: the detector must
+    /// stay completely silent.
+    CongestedUncensored,
+    /// A real DNS-stage block whose whole window rides a congested
+    /// path: the detector must still localise onset and lift.
+    CensoredOnCongestedPath,
+    /// The brownout opens well before the block lands: congestion must
+    /// neither advance the detected onset into the brownout-only days
+    /// nor mask the true onset.
+    MaskingOnset,
+}
+
+/// The routed-congestion layer of a [`CaseClass::Congestion`] case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CongestionSpec {
+    /// Scenario shape (which soundness property this world exercises).
+    pub shape: CongestionShape,
+    /// AS-topology seed, pre-validated so the censored country and the
+    /// target country map to distinct ASes with a markable transit link
+    /// between them.
+    pub topology_seed: u64,
+    /// Background utilisation forced onto hotspot links during the
+    /// brownout (above the shed threshold, below total collapse).
+    pub level: f64,
+    /// Day-aligned brownout window `[start_day, end_day)`.
+    pub brownout_days: (u64, u64),
+}
+
 /// One generated world: the full reproduction recipe for a simcheck
 /// case.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -189,6 +227,10 @@ pub struct WorldCase {
     pub repeat_rate: f64,
     /// Number of volunteer origins (each popularity 5.0).
     pub origins: usize,
+    /// Routed-congestion layer (`None` for every non-congestion class,
+    /// which keeps those cases byte-identical to their pre-topology
+    /// form).
+    pub congestion: Option<CongestionSpec>,
 }
 
 /// Countries with enough audience share in the builtin world table that
@@ -215,6 +257,115 @@ impl WorldCase {
         match class {
             CaseClass::Detector => WorldCase::detector_case(seed, &mut rng),
             CaseClass::Equivalence => WorldCase::equivalence_case(seed, &mut rng),
+            CaseClass::Congestion => WorldCase::congestion_case(seed, &mut rng),
+        }
+    }
+
+    /// A topology seed under which `cc` and the target country (US) map
+    /// to distinct ASes with a markable transit link between them, so
+    /// the forced hotspot actually sits on the measured path. Walks
+    /// deterministically from the case's draw until one validates.
+    fn validated_topology_seed(mut seed: u64, cc: CountryCode) -> u64 {
+        loop {
+            let mut topo = netsim::AsTopology::generate(TopologyConfig::with_seed(seed));
+            if topo.ensure_hotspot_between(cc, country("US")).is_some() {
+                return seed;
+            }
+            seed = sim_core::splitmix_mix(seed ^ 0x00C0_4657);
+        }
+    }
+
+    /// Congestion-class cases: detector-powered routed worlds with a
+    /// day-aligned transit brownout, in one of the three
+    /// [`CongestionShape`]s. Censors, when present, are DNS-stage hard
+    /// blocks — the censorship fires before the congested transit hop,
+    /// so the block keeps full failure visibility and localisation
+    /// stays a pure detector-soundness question.
+    fn congestion_case(seed: u64, rng: &mut TestRng) -> WorldCase {
+        let days = rng.range_u64(6, 10); // 6..=9
+                                         // Congestion-class worlds need roughly double the detector-class
+                                         // arrival rate: during a brownout the result *submissions* ride
+                                         // the same congested transit hop as the measurements, so a
+                                         // censored-day cell loses a shed-probability fraction of its
+                                         // records before the detector ever sees them. The rate must keep
+                                         // the surviving cell decisively above `min_measurements` for
+                                         // every per-shard arrival draw, or shard-count invariance decays
+                                         // into a coin flip at the min-n guard.
+        let rate = 320.0 + rng.unit() * 80.0;
+        let cc = country(pick(rng, &DETECTOR_COUNTRIES));
+        let shapes = [
+            CongestionShape::CongestedUncensored,
+            CongestionShape::CensoredOnCongestedPath,
+            CongestionShape::MaskingOnset,
+        ];
+        let shape = shapes[rng.index(shapes.len())];
+        let dns_kinds = [
+            BlockKind::DnsNxDomain,
+            BlockKind::DnsDrop,
+            BlockKind::DnsSinkhole,
+        ];
+        let (censor, brownout_days) = match shape {
+            CongestionShape::CongestedUncensored => {
+                let b0 = rng.range_u64(1, days - 1);
+                let b1 = rng.range_u64(b0 + 1, days);
+                (CensorModel::None, (b0, b1))
+            }
+            CongestionShape::CensoredOnCongestedPath => {
+                // The detector-class block window, with the brownout
+                // covering it entirely.
+                let onset_day = rng.range_u64(1, days - 3);
+                let lift_day = rng.range_u64(onset_day + 2, days - 1);
+                let b0 = rng.range_u64(0, onset_day + 1);
+                let b1 = rng.range_u64(lift_day, days + 1);
+                (
+                    CensorModel::Scheduled {
+                        kind: pick(rng, &dns_kinds),
+                        onset: SimTime::from_secs(onset_day * 86_400),
+                        lift: SimTime::from_secs(lift_day * 86_400),
+                    },
+                    (b0, b1),
+                )
+            }
+            CongestionShape::MaskingOnset => {
+                // At least two brownout-only days before the block
+                // lands, so an onset advanced by congestion would be
+                // unambiguously wrong.
+                let onset_day = rng.range_u64(2, (days - 3).max(3));
+                let lift_day = rng.range_u64(onset_day + 2, days - 1);
+                let b0 = rng.range_u64(0, onset_day - 1);
+                let b1 = rng.range_u64(onset_day + 1, days + 1);
+                (
+                    CensorModel::Scheduled {
+                        kind: pick(rng, &dns_kinds),
+                        onset: SimTime::from_secs(onset_day * 86_400),
+                        lift: SimTime::from_secs(lift_day * 86_400),
+                    },
+                    (b0, b1),
+                )
+            }
+        };
+        let congestion = CongestionSpec {
+            shape,
+            topology_seed: WorldCase::validated_topology_seed(rng.next_u64(), cc),
+            // Above the default shed threshold (0.7), below collapse:
+            // enough shedding to forge a censorship-like signature if
+            // the detector were naive, enough survivors (per-link pass
+            // probability ≥ ~0.55) that censored cells stay decisively
+            // powered after submission loss.
+            level: 0.76 + rng.unit() * 0.10,
+            brownout_days,
+        };
+        WorldCase {
+            seed,
+            class: CaseClass::Congestion,
+            arrival: ArrivalMode::Deployment { days, rate },
+            censor,
+            country: cc,
+            rollup_secs: 86_400,
+            maintenance_secs: if rng.bool() { Some(3_600) } else { None },
+            repeat_rate: rng.unit() * 0.08,
+            origins: 2,
+            congestion: Some(congestion),
         }
     }
 
@@ -282,6 +433,7 @@ impl WorldCase {
             // decisive. (Equivalence-class cases explore up to 0.5.)
             repeat_rate: rng.unit() * 0.08,
             origins: 2,
+            congestion: None,
         }
     }
 
@@ -362,6 +514,7 @@ impl WorldCase {
             },
             repeat_rate: rng.unit() * 0.5,
             origins: 1 + rng.index(3),
+            congestion: None,
         }
     }
 
@@ -387,7 +540,7 @@ impl WorldCase {
         if let Some(m) = self.maintenance_secs {
             recipe = recipe.with_maintenance(SimDuration::from_secs(m));
         }
-        match self.censor {
+        recipe = match self.censor {
             CensorModel::None | CensorModel::Reactive { .. } => recipe,
             CensorModel::Scheduled { kind, onset, lift } => {
                 let mut spec = CensorSpec::new(
@@ -415,7 +568,28 @@ impl WorldCase {
                     .at(onset, Reaction::SetStage(stage))
                     .at(lift, Reaction::StandDown),
             ),
+        };
+        if let Some(cong) = self.congestion {
+            // The brownout is a pair of shared world mutations: raise the
+            // hotspot background at the window open, drop it at the
+            // close. Data-plane only — no policy change, no control
+            // signal, no pipeline recompile — so the control-plane
+            // conservation oracle is untouched by congestion events.
+            let (b0, b1) = cong.brownout_days;
+            let level = cong.level;
+            recipe = recipe
+                .mutate_at(SimTime::from_secs(b0 * 86_400), move |net, _| {
+                    if let Some(topo) = net.topology_mut() {
+                        topo.set_hotspot_background(level);
+                    }
+                })
+                .mutate_at(SimTime::from_secs(b1 * 86_400), move |net, _| {
+                    if let Some(topo) = net.topology_mut() {
+                        topo.set_hotspot_background(0.0);
+                    }
+                });
         }
+        recipe
     }
 
     /// The standing adaptive spec this case pre-installs, if any.
@@ -434,13 +608,24 @@ impl WorldCase {
     /// measurement target, a standing adaptive censor when the model
     /// calls for one) plus an Encore deployment.
     pub fn build(&self, ctx: ShardContext) -> (Network, EncoreSystem) {
-        let scenario = NetworkScenario::new(WorldSpec::Builtin)
+        let mut scenario = NetworkScenario::new(WorldSpec::Builtin)
             .with_ideal_paths()
             .with_server(
                 TARGET,
                 country("US"),
                 HttpResponse::ok(ContentType::Image, 500),
             );
+        if let Some(cong) = self.congestion {
+            // Routed worlds: attach the AS topology with the censored
+            // country's path to the (US-hosted) target forced across a
+            // hotspot transit link. `build_shard` scales hotspot
+            // capacity by the shard count, keeping utilisation — and
+            // thus verdicts — invariant in how the load is split.
+            scenario = scenario.with_topology(
+                netsim::TopologySpec::with_seed(cong.topology_seed)
+                    .with_hotspot_between(self.country, country("US")),
+            );
+        }
         let mut net = match self.standing_adaptive() {
             Some(spec) => WorldScenario::new(scenario)
                 .with_middlebox(Arc::new(spec))
@@ -487,7 +672,7 @@ impl WorldCase {
     /// The day-aligned hard-block window `(onset_day, lift_day)` the
     /// detector must localise, if this case has one.
     pub fn hard_window_days(&self) -> Option<(u64, u64)> {
-        if self.class != CaseClass::Detector {
+        if !matches!(self.class, CaseClass::Detector | CaseClass::Congestion) {
             return None;
         }
         match self.censor {
@@ -528,13 +713,95 @@ mod tests {
     #[test]
     fn case_generation_is_deterministic_in_the_seed() {
         for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
-            for class in [CaseClass::Equivalence, CaseClass::Detector] {
+            for class in [
+                CaseClass::Equivalence,
+                CaseClass::Detector,
+                CaseClass::Congestion,
+            ] {
                 assert_eq!(
                     WorldCase::from_seed(class, seed),
                     WorldCase::from_seed(class, seed)
                 );
             }
         }
+    }
+
+    #[test]
+    fn congestion_cases_keep_their_statistical_guarantees() {
+        let mut shapes_seen = [false; 3];
+        for seed in 0..150u64 {
+            let case = WorldCase::from_seed(CaseClass::Congestion, seed);
+            let ArrivalMode::Deployment { days, rate } = case.arrival else {
+                panic!("congestion cases must be deployment worlds");
+            };
+            assert!((6..=9).contains(&days));
+            assert!(rate >= 300.0, "under-powered rate {rate}");
+            assert_eq!(case.rollup_secs, 86_400, "windows must match rollups");
+            assert!(DETECTOR_COUNTRIES.contains(&case.country.as_str()));
+            let cong = case.congestion.expect("congestion layer present");
+            assert!(
+                cong.level > 0.7 && cong.level < 0.87,
+                "brownout level {} must exceed the shed threshold without collapsing",
+                cong.level
+            );
+            let (b0, b1) = cong.brownout_days;
+            assert!(b0 < b1 && b1 <= days, "bad brownout window ({b0}, {b1})");
+            match cong.shape {
+                CongestionShape::CongestedUncensored => {
+                    shapes_seen[0] = true;
+                    assert!(case.is_uncensored(), "shape promises no censor");
+                }
+                CongestionShape::CensoredOnCongestedPath => {
+                    shapes_seen[1] = true;
+                    let (onset, lift) = case.hard_window_days().expect("block window");
+                    assert!(
+                        b0 <= onset && lift <= b1,
+                        "brownout ({b0}, {b1}) must cover the block ({onset}, {lift})"
+                    );
+                }
+                CongestionShape::MaskingOnset => {
+                    shapes_seen[2] = true;
+                    let (onset, _) = case.hard_window_days().expect("block window");
+                    assert!(
+                        b0 + 2 <= onset,
+                        "need >=2 brownout-only days before onset ({b0}, onset {onset})"
+                    );
+                    assert!(b1 > onset, "brownout must still be open at onset");
+                }
+            }
+            match case.censor {
+                CensorModel::None => {
+                    assert_eq!(cong.shape, CongestionShape::CongestedUncensored)
+                }
+                CensorModel::Scheduled { kind, .. } => assert!(
+                    matches!(
+                        kind,
+                        BlockKind::DnsNxDomain | BlockKind::DnsDrop | BlockKind::DnsSinkhole
+                    ),
+                    "congestion-class blocks must fire at the DNS stage, got {kind:?}"
+                ),
+                other => panic!("unexpected censor model {other:?}"),
+            }
+            if let Some((onset, lift)) = case.hard_window_days() {
+                assert!(onset >= 1, "need a clear day before onset");
+                assert!(lift >= onset + 2, "window too short to flag");
+                assert!(lift < days, "need a clear day after lift");
+            }
+            // The validated topology seed really does give the censored
+            // country a hotspot on its path to the target.
+            let mut topo =
+                netsim::AsTopology::generate(TopologyConfig::with_seed(cong.topology_seed));
+            assert!(
+                topo.ensure_hotspot_between(case.country, country("US"))
+                    .is_some(),
+                "topology seed {} has no markable path",
+                cong.topology_seed
+            );
+        }
+        assert!(
+            shapes_seen.iter().all(|s| *s),
+            "all three shapes generated: {shapes_seen:?}"
+        );
     }
 
     #[test]
@@ -631,7 +898,11 @@ mod tests {
         // Every case yields a recipe and a buildable world, and the
         // ground-truth accessors are consistent with the model.
         for seed in 0..40u64 {
-            for class in [CaseClass::Equivalence, CaseClass::Detector] {
+            for class in [
+                CaseClass::Equivalence,
+                CaseClass::Detector,
+                CaseClass::Congestion,
+            ] {
                 let case = WorldCase::from_seed(class, seed);
                 let recipe = case.recipe();
                 match case.censor {
@@ -659,6 +930,11 @@ mod tests {
                     CensorModel::Adaptive { .. } | CensorModel::Reactive { .. }
                 );
                 assert_eq!(net.middleboxes().len(), usize::from(expects_standing));
+                assert_eq!(
+                    net.topology().is_some(),
+                    case.congestion.is_some(),
+                    "routed worlds carry a topology, flat worlds none"
+                );
             }
         }
     }

@@ -24,6 +24,12 @@
 //!    worlds; on censored ones, onset and lift localise within one
 //!    rollup period of the generated ground truth (the case's own
 //!    censor schedule playing the role of the censor registry).
+//! 6. **Congestion soundness** — routed worlds with a transit-link
+//!    brownout keep the whole exact-replay algebra, and the detector
+//!    tells censorship from congestion: congested-but-uncensored worlds
+//!    yield zero detections, DNS blocks riding congested paths still
+//!    localise exactly, and a brownout opening before the block neither
+//!    advances nor masks the detected onset.
 //!
 //! The [`runner`] executes a bounded case budget (CI: ≥ 200 worlds),
 //! and on failure writes a regression seed file so a failing case can
@@ -36,6 +42,9 @@ pub mod generator;
 pub mod oracle;
 pub mod runner;
 
-pub use generator::{ArrivalMode, BlockKind, CaseClass, CensorModel, WorldCase, TARGET};
+pub use generator::{
+    ArrivalMode, BlockKind, CaseClass, CensorModel, CongestionShape, CongestionSpec, WorldCase,
+    TARGET,
+};
 pub use oracle::{check_case, localise_transitions, Violation};
 pub use runner::{replay, run_budget, SimCheckConfig, SimCheckReport};

@@ -8,9 +8,9 @@
 //! run only on [`CaseClass::Detector`] cases, whose generator keeps the
 //! detector away from decision boundaries.
 
-use crate::generator::{CaseClass, WorldCase, TARGET};
+use crate::generator::{CaseClass, CongestionShape, WorldCase, TARGET};
 use encore::geo::GeoDb;
-use encore::inference::FilteringDetector;
+use encore::inference::{congestion_evidence, FilteringDetector};
 use encore::StoredMeasurement;
 use netsim::geo::{CountryCode, World};
 use population::shard::{shard_rngs, ShardContext};
@@ -257,12 +257,10 @@ impl<'a> CaseChecker<'a> {
         }
     }
 
-    /// Oracles 4–5 — detector statistics: verdict invariance across
-    /// {1, 2, 4} shards, onset/lift localisation within one rollup
-    /// period of the generated ground truth, and zero detections on
-    /// uncensored worlds.
-    fn check_detector(&mut self, one: &ShardedWorldRun) {
-        let window = SimDuration::from_secs(self.case.rollup_secs);
+    /// Shared statistical oracle: verdict invariance across {1, 2, 4}
+    /// shards. Returns the 1-shard baseline judgment the shape checks
+    /// run against.
+    fn check_verdict_invariance(&mut self, one: &ShardedWorldRun, window: SimDuration) -> Judgment {
         let judgments: Vec<(usize, Judgment, ShardedWorldRun)> = [2usize, 4]
             .into_iter()
             .map(|shards| {
@@ -286,58 +284,142 @@ impl<'a> CaseChecker<'a> {
                 );
             }
         }
+        baseline
+    }
 
-        if self.case.is_uncensored() {
-            // False-positive freedom: not just for the case's country —
-            // nothing anywhere may be flagged on an uncensored world.
-            let whole_run = FilteringDetector::default().detect(&one.collection.records, &one.geo);
-            if !whole_run.is_empty() {
-                self.fail(
-                    "detector-fp",
-                    format!("uncensored world produced detections: {whole_run:?}"),
-                );
-            }
-            let windowed = FilteringDetector::default().detect_windows(
-                &one.collection.records,
-                &one.geo,
-                window,
+    /// Shared statistical oracle: nothing anywhere — no country, no
+    /// domain, whole-run or windowed — may be flagged on an uncensored
+    /// world.
+    fn check_fp_freedom(&mut self, one: &ShardedWorldRun, window: SimDuration) {
+        let whole_run = FilteringDetector::default().detect(&one.collection.records, &one.geo);
+        if !whole_run.is_empty() {
+            self.fail(
+                "detector-fp",
+                format!("uncensored world produced detections: {whole_run:?}"),
             );
-            if windowed.iter().any(|w| !w.detections.is_empty()) {
+        }
+        let windowed =
+            FilteringDetector::default().detect_windows(&one.collection.records, &one.geo, window);
+        if windowed.iter().any(|w| !w.detections.is_empty()) {
+            self.fail(
+                "detector-fp",
+                "uncensored world produced windowed detections".to_string(),
+            );
+        }
+    }
+
+    /// Shared statistical oracle: the baseline judgment localises the
+    /// ground-truth block window within one rollup period at each
+    /// boundary, and flags nothing outside it.
+    fn check_localisation(&mut self, baseline: &Judgment, onset_day: u64, lift_day: u64) {
+        match baseline.onset {
+            Some(d) if (onset_day..=onset_day + 1).contains(&d) => {}
+            other => self.fail(
+                "localisation",
+                format!("onset detected at {other:?}, ground truth day {onset_day}"),
+            ),
+        }
+        match baseline.lift {
+            Some(d) if (lift_day..=lift_day + 1).contains(&d) => {}
+            other => self.fail(
+                "localisation",
+                format!("lift detected at {other:?}, ground truth day {lift_day}"),
+            ),
+        }
+        // And nothing outside the window (±1 rollup period of slop at
+        // each boundary) may be flagged.
+        for (w, flagged) in &baseline.windows {
+            let censored_core = (onset_day + 1..lift_day).contains(w);
+            let boundary = *w == onset_day || *w == lift_day;
+            if *flagged && !censored_core && !boundary {
                 self.fail(
-                    "detector-fp",
-                    "uncensored world produced windowed detections".to_string(),
+                    "localisation",
+                    format!("clear window {w} flagged outside the censored span"),
                 );
             }
+            if !*flagged && censored_core {
+                self.fail("localisation", format!("censored window {w} not flagged"));
+            }
+        }
+    }
+
+    /// Oracles 4–5 — detector statistics: verdict invariance across
+    /// {1, 2, 4} shards, onset/lift localisation within one rollup
+    /// period of the generated ground truth, and zero detections on
+    /// uncensored worlds.
+    fn check_detector(&mut self, one: &ShardedWorldRun) {
+        let window = SimDuration::from_secs(self.case.rollup_secs);
+        let baseline = self.check_verdict_invariance(one, window);
+        if self.case.is_uncensored() {
+            self.check_fp_freedom(one, window);
         } else if let Some((onset_day, lift_day)) = self.case.hard_window_days() {
-            // Localisation within one rollup period of ground truth.
-            match baseline.onset {
-                Some(d) if (onset_day..=onset_day + 1).contains(&d) => {}
-                other => self.fail(
-                    "localisation",
-                    format!("onset detected at {other:?}, ground truth day {onset_day}"),
-                ),
-            }
-            match baseline.lift {
-                Some(d) if (lift_day..=lift_day + 1).contains(&d) => {}
-                other => self.fail(
-                    "localisation",
-                    format!("lift detected at {other:?}, ground truth day {lift_day}"),
-                ),
-            }
-            // And nothing outside the window (±1 rollup period of slop
-            // at each boundary) may be flagged.
-            for (w, flagged) in &baseline.windows {
-                let censored_core = (onset_day + 1..lift_day).contains(w);
-                let boundary = *w == onset_day || *w == lift_day;
-                if *flagged && !censored_core && !boundary {
-                    self.fail(
-                        "localisation",
-                        format!("clear window {w} flagged outside the censored span"),
-                    );
+            self.check_localisation(&baseline, onset_day, lift_day);
+        }
+    }
+
+    /// Oracles 6–8 — congestion soundness, per [`CongestionShape`]:
+    ///
+    /// * `CongestedUncensored` — a transit brownout alone must never be
+    ///   read as censorship, anywhere.
+    /// * `CensoredOnCongestedPath` — a DNS-stage block riding a
+    ///   congested path must still localise exactly.
+    /// * `MaskingOnset` — a brownout opening days before the block must
+    ///   neither advance the detected onset into its brownout-only days
+    ///   nor mask the true onset.
+    ///
+    /// Plus the evidence channel itself: on worlds with censor-free
+    /// brownout days, the collection must actually carry near-source
+    /// congestion signals (otherwise the FP check would pass vacuously,
+    /// with nothing to discount).
+    fn check_congestion(&mut self, one: &ShardedWorldRun) {
+        let Some(cong) = self.case.congestion else {
+            self.fail(
+                "congestion-shape",
+                "congestion-class case without a congestion spec".to_string(),
+            );
+            return;
+        };
+        let window = SimDuration::from_secs(self.case.rollup_secs);
+        let baseline = self.check_verdict_invariance(one, window);
+        match cong.shape {
+            CongestionShape::CongestedUncensored => self.check_fp_freedom(one, window),
+            CongestionShape::CensoredOnCongestedPath | CongestionShape::MaskingOnset => {
+                let (onset_day, lift_day) = self
+                    .case
+                    .hard_window_days()
+                    .expect("censored congestion shapes carry a block window");
+                self.check_localisation(&baseline, onset_day, lift_day);
+                if cong.shape == CongestionShape::MaskingOnset {
+                    // The brownout-only days before onset are the trap:
+                    // a congestion-credulous detector flags them.
+                    let (b0, _) = cong.brownout_days;
+                    for (w, flagged) in &baseline.windows {
+                        if *flagged && (b0..onset_day).contains(w) {
+                            self.fail(
+                                "congestion-masking",
+                                format!(
+                                    "brownout-only window {w} flagged before the true onset \
+                                     (brownout from {b0}, block from {onset_day})"
+                                ),
+                            );
+                        }
+                    }
                 }
-                if !*flagged && censored_core {
-                    self.fail("localisation", format!("censored window {w} not flagged"));
-                }
+            }
+        }
+        if matches!(
+            cong.shape,
+            CongestionShape::CongestedUncensored | CongestionShape::MaskingOnset
+        ) {
+            // Censor-free brownout days exist, so the censored country
+            // reaches the congested transit hop and some of its sheds
+            // must come back as signaled, submitted failures.
+            let evidence = congestion_evidence(&one.collection.records, &one.geo);
+            if !evidence.iter().any(|a| a.signaled_failures > 0) {
+                self.fail(
+                    "congestion-evidence",
+                    "brownout world carried no near-source congestion signals".to_string(),
+                );
             }
         }
     }
@@ -360,6 +442,12 @@ pub fn check_case(case: &WorldCase) -> Vec<Violation> {
         }
         CaseClass::Detector => {
             checker.check_detector(&one);
+        }
+        CaseClass::Congestion => {
+            // Routed worlds must keep the whole exact-replay algebra
+            // *and* pass the congestion-vs-censorship soundness oracles.
+            checker.check_merge_algebra();
+            checker.check_congestion(&one);
         }
     }
     checker.violations

@@ -21,6 +21,9 @@ pub struct SimCheckConfig {
     /// Every n-th case is a detector-class world (0 disables the
     /// detector class entirely).
     pub detector_every: usize,
+    /// Every n-th case (that is not already detector-class) is a
+    /// congestion-class routed world (0 disables the class).
+    pub congestion_every: usize,
     /// Root seed; case seeds derive from it deterministically.
     pub root_seed: u64,
     /// Where to write the regression seed file on failure (`None`
@@ -33,6 +36,7 @@ impl Default for SimCheckConfig {
         SimCheckConfig {
             cases: 200,
             detector_every: 5,
+            congestion_every: 6,
             root_seed: 0x51AC_4EC4,
             regression_path: Some(PathBuf::from("results/simcheck-regressions.txt")),
         }
@@ -49,6 +53,8 @@ pub struct SimCheckReport {
     pub equivalence_cases: usize,
     /// Of which detector-class.
     pub detector_cases: usize,
+    /// Of which congestion-class.
+    pub congestion_cases: usize,
     /// Of which carried some censor model.
     pub censored_cases: usize,
     /// Every violation found (empty = all invariants upheld).
@@ -72,6 +78,8 @@ fn case_seed(root: u64, index: usize) -> u64 {
 fn class_for(config: &SimCheckConfig, index: usize) -> CaseClass {
     if config.detector_every > 0 && index.is_multiple_of(config.detector_every) {
         CaseClass::Detector
+    } else if config.congestion_every > 0 && index.is_multiple_of(config.congestion_every) {
+        CaseClass::Congestion
     } else {
         CaseClass::Equivalence
     }
@@ -95,6 +103,7 @@ pub fn run_budget(config: &SimCheckConfig) -> SimCheckReport {
         match class {
             CaseClass::Detector => report.detector_cases += 1,
             CaseClass::Equivalence => report.equivalence_cases += 1,
+            CaseClass::Congestion => report.congestion_cases += 1,
         }
         if !case.is_uncensored() {
             report.censored_cases += 1;
@@ -137,6 +146,7 @@ fn write_regressions(path: &Path, violations: &[Violation]) {
         let class = match v.class {
             CaseClass::Equivalence => "equivalence",
             CaseClass::Detector => "detector",
+            CaseClass::Congestion => "congestion",
         };
         if seen.insert((class, v.seed)) {
             lines.push(format!(
@@ -172,23 +182,35 @@ mod tests {
     #[test]
     fn class_schedule_interleaves() {
         let config = SimCheckConfig {
-            cases: 10,
+            cases: 12,
             detector_every: 5,
+            congestion_every: 6,
             ..SimCheckConfig::default()
         };
-        let classes: Vec<CaseClass> = (0..10).map(|i| class_for(&config, i)).collect();
+        let classes: Vec<CaseClass> = (0..12).map(|i| class_for(&config, i)).collect();
         assert_eq!(
             classes
                 .iter()
                 .filter(|c| **c == CaseClass::Detector)
                 .count(),
-            2
+            3, // indices 0, 5, 10
         );
+        // Detector wins shared multiples (index 0); congestion takes the
+        // rest of its schedule (indices 6 here).
+        assert_eq!(
+            classes
+                .iter()
+                .filter(|c| **c == CaseClass::Congestion)
+                .count(),
+            1,
+        );
+        assert_eq!(classes[6], CaseClass::Congestion);
         let none = SimCheckConfig {
             detector_every: 0,
+            congestion_every: 0,
             ..config
         };
-        assert!((0..10).all(|i| class_for(&none, i) == CaseClass::Equivalence));
+        assert!((0..12).all(|i| class_for(&none, i) == CaseClass::Equivalence));
     }
 
     #[test]

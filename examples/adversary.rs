@@ -156,6 +156,7 @@ fn main() {
             task_type: TaskType::Image,
             target_url: "http://target.example/favicon.ico".into(),
             user_agent: "Chrome".into(),
+            congested: false,
         };
         let url = sys.collection.submit_url(&forged);
         net.fetch(

@@ -137,6 +137,7 @@ proptest! {
     fn submission_roundtrips(
         id in 0u64..u64::MAX,
         success in proptest::bool::ANY,
+        congested in proptest::bool::ANY,
         elapsed in 0u64..1_000_000,
         ttype in 0usize..4,
         target in "http://[a-z]{1,12}\\.(com|org)/[a-zA-Z0-9/._%-]{0,40}",
@@ -150,6 +151,7 @@ proptest! {
             task_type: TaskType::ALL[ttype],
             target_url: target,
             user_agent: ua,
+            congested,
         };
         let url = format!("http://collector.example/submit?{}", sub.to_query());
         let back = Submission::from_url(&url).expect("roundtrip parse");

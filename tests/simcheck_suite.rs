@@ -12,18 +12,22 @@ use simcheck::{check_case, run_budget, SimCheckConfig};
 
 #[test]
 fn small_budget_upholds_all_invariants() {
-    // 10 worlds (2 detector-class): enough to execute every oracle on
-    // every run without dominating tier-1 time. The root seed differs
-    // from the CI bin's default so the two sweeps cover disjoint cases.
+    // 12 worlds (3 detector-class, 1 congestion-class): enough to
+    // execute every oracle — including the routed congestion oracles —
+    // on every run without dominating tier-1 time. The root seed
+    // differs from the CI bin's default so the two sweeps cover
+    // disjoint cases.
     let config = SimCheckConfig {
-        cases: 10,
+        cases: 12,
         detector_every: 5,
+        congestion_every: 6,
         root_seed: 0x7157_C0DE,
         regression_path: None,
     };
     let report = run_budget(&config);
-    assert_eq!(report.cases_run, 10);
-    assert_eq!(report.detector_cases, 2);
+    assert_eq!(report.cases_run, 12);
+    assert_eq!(report.detector_cases, 3);
+    assert_eq!(report.congestion_cases, 1);
     assert!(
         report.censored_cases >= 3,
         "the generator should censor most worlds ({} of 10)",
@@ -62,5 +66,20 @@ proptest! {
         case in CaseStrategy { class: CaseClass::Detector },
     ) {
         prop_assert_eq!(WorldCase::from_seed(case.class, case.seed), case);
+    }
+
+    // Each drawn routed congestion world upholds the full oracle stack:
+    // the exact-replay algebra plus congestion soundness (no false
+    // positive from a brownout, exact localisation through one).
+    #[test]
+    fn arbitrary_congestion_worlds_uphold_their_oracles(
+        case in CaseStrategy { class: CaseClass::Congestion },
+    ) {
+        let violations = check_case(&case);
+        prop_assert!(
+            violations.is_empty(),
+            "case seed {:#x}: {violations:#?}",
+            case.seed
+        );
     }
 }

@@ -126,6 +126,18 @@ pub mod json {
         }
     }
 
+    /// Like [`field`], but an absent key is `Ok(None)` instead of an
+    /// error — the lookup behind `#[serde(default)]` fields.
+    pub fn opt_field<T: crate::Deserialize>(
+        obj: &[(String, Value)],
+        name: &str,
+    ) -> Result<Option<T>, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// Append a JSON string literal (with escaping).
     pub fn push_string(out: &mut String, s: &str) {
         out.push('"');

@@ -1,0 +1,75 @@
+//! Schema-growth attributes: `#[serde(default)]` / `#[serde(default =
+//! "path")]` make a field optional on the wire, and
+//! `#[serde(skip_serializing_if = "path")]` suppresses it on output when
+//! the predicate holds. Together they let a struct grow fields without
+//! changing the bytes of documents that never set them — the contract the
+//! workspace's golden files rely on.
+//!
+//! These live in an integration test (not the crate's unit tests) because
+//! the derive expands to `::serde::...` paths, which only resolve where
+//! `serde` is an external crate.
+
+use serde::json;
+use serde::{Deserialize, Serialize};
+
+fn yes() -> bool {
+    true
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Grown {
+    id: u32,
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    flag: bool,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    extra: Option<u32>,
+    #[serde(default = "yes")]
+    enabled: bool,
+}
+
+#[test]
+fn default_fields_are_optional_on_the_wire() {
+    // An old document that predates every grown field still parses, with
+    // `default = "path"` calling the named fn for the missing value.
+    let v = json::parse("{\"id\":7}").unwrap();
+    let g = Grown::from_value(&v).unwrap();
+    assert_eq!(
+        g,
+        Grown {
+            id: 7,
+            flag: false,
+            extra: None,
+            enabled: true
+        }
+    );
+}
+
+#[test]
+fn skip_serializing_if_preserves_old_bytes() {
+    // Unset grown fields vanish from output, so pre-growth documents keep
+    // their exact bytes; set fields appear and round-trip.
+    let quiet = Grown {
+        id: 7,
+        flag: false,
+        extra: None,
+        enabled: true,
+    };
+    let mut out = String::new();
+    quiet.write_json(&mut out);
+    assert_eq!(out, "{\"id\":7,\"enabled\":true}");
+
+    let loud = Grown {
+        id: 7,
+        flag: true,
+        extra: Some(9),
+        enabled: false,
+    };
+    out.clear();
+    loud.write_json(&mut out);
+    assert_eq!(
+        out,
+        "{\"id\":7,\"flag\":true,\"extra\":9,\"enabled\":false}"
+    );
+    let back = Grown::from_value(&json::parse(&out).unwrap()).unwrap();
+    assert_eq!(back, loud);
+}

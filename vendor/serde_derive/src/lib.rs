@@ -5,10 +5,18 @@
 //! `Deserialize` traits defined by the sibling `vendor/serde` crate. It
 //! supports exactly the shapes this workspace uses:
 //!
-//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * structs with named fields (honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` / `#[serde(default = "path")]`, and
+//!   `#[serde(skip_serializing_if = "path")]`),
 //! * tuple structs (newtype = transparent, n-tuple = JSON array),
 //! * enums with unit, tuple, and struct variants (externally tagged, as
 //!   real serde would emit them).
+//!
+//! `default` makes a field optional on the wire (absent → the default),
+//! and `skip_serializing_if` suppresses it on output when the named
+//! predicate holds — together they let a struct grow fields without
+//! changing the bytes of documents that never set them, which is how the
+//! golden-file byte-identity contract survives schema growth.
 //!
 //! Generics are intentionally unsupported — no derived type in this
 //! workspace is generic, and keeping the parser simple keeps it auditable.
@@ -34,6 +42,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    /// `Some(None)` = `#[serde(default)]` (use `Default::default()`),
+    /// `Some(Some(path))` = `#[serde(default = "path")]` (call `path()`).
+    default: Option<Option<String>>,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`.
+    skip_serializing_if: Option<String>,
 }
 
 enum Shape {
@@ -58,19 +71,50 @@ enum Item {
     },
 }
 
-/// Does an attribute token group (the `[...]` part) say `serde(skip)`?
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// The field-level serde options this shim understands.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+/// Strip the surrounding quotes from a string-literal token.
+fn lit_str(lit: &proc_macro::Literal) -> String {
+    let s = lit.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Merge any recognised options from one `#[serde(...)]` attribute group
+/// (the `[...]` part) into `attrs`. Non-serde attributes and unknown
+/// options are ignored, as before.
+fn collect_serde_attrs(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match tokens.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+    let Some(TokenTree::Group(inner)) = tokens.next() else {
+        return;
+    };
+    let mut it = inner.stream().into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let TokenTree::Ident(i) = tt else { continue };
+        let key = i.to_string();
+        // Consume an optional `= "literal"` payload.
+        let mut value = None;
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            let _ = it.next();
+            if let Some(TokenTree::Literal(lit)) = it.next() {
+                value = Some(lit_str(&lit));
+            }
+        }
+        match key.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            _ => {}
+        }
     }
 }
 
@@ -166,14 +210,12 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
-    let mut pending_skip = false;
+    let mut pending = SerdeAttrs::default();
     while let Some(tt) = iter.next() {
         match tt {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    if attr_is_serde_skip(&g) {
-                        pending_skip = true;
-                    }
+                    collect_serde_attrs(&g, &mut pending);
                 }
             }
             TokenTree::Ident(i) if i.to_string() == "pub" => {
@@ -185,9 +227,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 // Field name; expect `:` then skip the type to the comma.
                 fields.push(Field {
                     name: i.to_string(),
-                    skip: pending_skip,
+                    skip: pending.skip,
+                    default: pending.default.take(),
+                    skip_serializing_if: pending.skip_serializing_if.take(),
                 });
-                pending_skip = false;
+                pending = SerdeAttrs::default();
                 match iter.next() {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
                     other => panic!("expected ':' after field name, got {other:?}"),
@@ -336,25 +380,65 @@ fn gen_serialize(item: &Item) -> String {
 /// name), `amp` lets struct fields take a reference.
 fn ser_named_body(fields: &[Field], prefix: &str, _amp: &str) -> String {
     let mut s = String::from("__out.push('{');");
+    let conditional = fields
+        .iter()
+        .any(|f| !f.skip && f.skip_serializing_if.is_some());
+    if conditional {
+        // Some fields may be suppressed at runtime, so the comma between
+        // entries must be decided at runtime too.
+        s.push_str("let mut __first = true;");
+    }
     let mut first = true;
     for f in fields.iter().filter(|f| !f.skip) {
-        if !first {
-            s.push_str("__out.push(',');");
-        }
-        first = false;
         let fname = &f.name;
         let access = if prefix.is_empty() {
             fname.clone()
         } else {
             format!("&{prefix}{fname}")
         };
-        s.push_str(&format!(
+        let mut entry = String::new();
+        if conditional {
+            entry.push_str("if !__first { __out.push(','); } __first = false;");
+        } else if !first {
+            entry.push_str("__out.push(',');");
+        }
+        first = false;
+        entry.push_str(&format!(
             "::serde::json::push_key(__out, \"{fname}\");\
              ::serde::Serialize::write_json({access}, __out);"
         ));
+        if let Some(pred) = &f.skip_serializing_if {
+            s.push_str(&format!("if !({pred})({access}) {{ {entry} }}"));
+        } else {
+            s.push_str(&entry);
+        }
     }
     s.push_str("__out.push('}');");
     s
+}
+
+/// One `name: <expr>,` initialiser for a named field being deserialised
+/// from the object bound to `__obj`.
+fn de_named_field(f: &Field) -> String {
+    let fname = &f.name;
+    if f.skip {
+        return format!("{fname}: ::std::default::Default::default(),");
+    }
+    match &f.default {
+        None => format!("{fname}: ::serde::json::field(__obj, \"{fname}\")?,"),
+        Some(path) => {
+            let fallback = match path {
+                None => "::std::default::Default::default()".to_string(),
+                Some(p) => format!("{p}()"),
+            };
+            format!(
+                "{fname}: match ::serde::json::opt_field(__obj, \"{fname}\")? {{\
+                 ::std::option::Option::Some(__f) => __f,\
+                 ::std::option::Option::None => {fallback},\
+                 }},"
+            )
+        }
+    }
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -386,14 +470,7 @@ fn gen_deserialize(item: &Item) -> String {
                          Ok({name} {{"
                     );
                     for f in fields {
-                        let fname = &f.name;
-                        if f.skip {
-                            s.push_str(&format!("{fname}: ::std::default::Default::default(),"));
-                        } else {
-                            s.push_str(&format!(
-                                "{fname}: ::serde::json::field(__obj, \"{fname}\")?,"
-                            ));
-                        }
+                        s.push_str(&de_named_field(f));
                     }
                     s.push_str("})");
                     s
@@ -444,16 +521,7 @@ fn gen_deserialize(item: &Item) -> String {
                              return Ok({name}::{vn} {{"
                         );
                         for f in fields {
-                            let fname = &f.name;
-                            if f.skip {
-                                arm.push_str(&format!(
-                                    "{fname}: ::std::default::Default::default(),"
-                                ));
-                            } else {
-                                arm.push_str(&format!(
-                                    "{fname}: ::serde::json::field(__obj, \"{fname}\")?,"
-                                ));
-                            }
+                            arm.push_str(&de_named_field(f));
                         }
                         arm.push_str("}); }\n");
                         tagged_arms.push_str(&arm);
