@@ -1,0 +1,15 @@
+//! Shard worker process for simcheck's generated worlds.
+//!
+//! Spawned by the transport oracle's `ProcessTransport`: reads a
+//! broadcast [`simcheck::CaseSpec`] frame and a job frame on stdin,
+//! regenerates the coordinator's generated world from its
+//! `(class, seed)` pair, runs its shard, and streams the outcome back
+//! over stdout in bounded frame chunks under the credit window. Exit
+//! code 0 on success; on failure an ERROR frame plus exit code 1.
+
+use population::transport::worker_main;
+use simcheck::CaseSpec;
+
+fn main() {
+    std::process::exit(worker_main::<CaseSpec>());
+}

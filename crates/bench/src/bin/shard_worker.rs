@@ -1,0 +1,15 @@
+//! Shard worker process for the bench fixture worlds.
+//!
+//! Spawned by `population::transport::ProcessTransport`: reads a
+//! broadcast [`bench::specs::BenchWorldSpec`] frame and a job frame on
+//! stdin, rebuilds its shard's world, runs it, and streams the outcome
+//! back over stdout in bounded frame chunks under the credit window.
+//! Exit code 0 on success; on failure an ERROR frame plus exit code 1
+//! (never a bare panic across the pipe).
+
+use bench::specs::BenchWorldSpec;
+use population::transport::worker_main;
+
+fn main() {
+    std::process::exit(worker_main::<BenchWorldSpec>());
+}

@@ -16,6 +16,11 @@
 //! * `--replay CLASS:SEED` — regenerate exactly one world from a
 //!   regression-file line (e.g. `--replay detector:0x1b2c`) and re-run
 //!   its oracles, instead of a budgeted sweep.
+//! * `--require-transport` — fail the run if the transport-equivalence
+//!   oracle checked zero cases (the `case_worker` binary was missing).
+//!   The sweep otherwise degrades gracefully so local `cargo run`
+//!   without the worker built still works; CI passes this flag so the
+//!   process backend can never silently drop out of the gate.
 //!
 //! Writes `results/simcheck.json` and, on failure, the regression seed
 //! file `results/simcheck-regressions.txt` (uploaded as a CI artifact),
@@ -26,11 +31,12 @@ use simcheck::{run_budget, CaseClass, SimCheckConfig};
 
 /// Parse `--cases`/`ENCORE_SIMCHECK_CASES` and `--replay` from the raw
 /// argument list (RunArgs ignores flags it does not know).
-fn extra_flags() -> (Option<usize>, Option<(CaseClass, u64)>) {
+fn extra_flags() -> (Option<usize>, Option<(CaseClass, u64)>, bool) {
     let mut cases = std::env::var("ENCORE_SIMCHECK_CASES")
         .ok()
         .and_then(|v| v.parse().ok());
     let mut replay = None;
+    let mut require_transport = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -54,9 +60,11 @@ fn extra_flags() -> (Option<usize>, Option<(CaseClass, u64)>) {
             replay = parse_replay(&value(&mut it));
         } else if let Some(v) = arg.strip_prefix("--replay=") {
             replay = parse_replay(v);
+        } else if arg == "--require-transport" {
+            require_transport = true;
         }
     }
-    (cases, replay)
+    (cases, replay, require_transport)
 }
 
 /// A supplied-but-unparseable `--cases` value is warned about, never
@@ -86,7 +94,7 @@ fn parse_replay(spec: &str) -> Option<(CaseClass, u64)> {
 
 fn main() {
     let args = RunArgs::parse();
-    let (cases, replay) = extra_flags();
+    let (cases, replay, require_transport) = extra_flags();
 
     if let Some((class, seed)) = replay {
         println!("=== simcheck: replaying {class:?} case {seed:#x} ===");
@@ -113,16 +121,24 @@ fn main() {
     );
     let report = run_budget(&config);
     println!(
-        "{} worlds checked ({} equivalence, {} detector, {} congestion; {} censored): {} \
-         violation(s)",
+        "{} worlds checked ({} equivalence, {} detector, {} congestion; {} censored, {} \
+         transport-differenced): {} violation(s)",
         report.cases_run,
         report.equivalence_cases,
         report.detector_cases,
         report.congestion_cases,
         report.censored_cases,
+        report.transport_cases,
         report.violations.len()
     );
     args.write_results("simcheck", &report);
+    if require_transport && report.transport_cases == 0 {
+        eprintln!(
+            "simcheck FAILED — --require-transport set but the transport oracle checked zero \
+             cases (is the `case_worker` binary built next to this executable?)"
+        );
+        std::process::exit(1);
+    }
     if !report.passed() {
         eprintln!(
             "simcheck FAILED — regression seeds in {:?}",

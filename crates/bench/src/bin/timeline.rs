@@ -14,11 +14,15 @@
 //! per-day world rebuilds — and the windowed detector localises both
 //! transitions to the correct day.
 //!
-//! `--shards N` (or `ENCORE_SHARDS`) runs the same recipe across N OS
-//! threads via `population::run_sharded_world`: the timeline broadcasts
-//! to every shard, arrivals thin 1/N, and the merged collection feeds
-//! one detector. At one shard the run is byte-identical to the serial
-//! engine (CI diffs `results/timeline.json` against
+//! `--shards N` (or `ENCORE_SHARDS`) runs the same recipe across N
+//! shards: the timeline broadcasts to every shard, arrivals thin 1/N,
+//! and the merged collection feeds one detector. `--transport
+//! {threads,process}` (or `ENCORE_TRANSPORT`) picks the shard backend —
+//! in-process OS threads (the default) or worker processes speaking the
+//! length-prefixed frame protocol via `bench`'s `shard_worker` binary;
+//! both are byte-identical, so every check below is
+//! transport-independent. At one shard the run is byte-identical to the
+//! serial engine (CI diffs `results/timeline.json` against
 //! `tests/golden/timeline.json`); at more shards the *verdict* — onset
 //! day, lift day — must still match the serial golden, which this
 //! binary checks itself when `--golden PATH`-less CI hands it
@@ -26,9 +30,11 @@
 
 use bench::fixtures::RunArgs;
 use bench::print_table;
+use bench::specs::{BenchWorldSpec, SHARD_WORKER};
 use bench::world_fixture::{self, TimelineJudgment, LIFT_DAY, ONSET_DAY, TARGET};
-use netsim::geo::{country, World};
-use population::{run_sharded_world, Audience, RollupSeries};
+use netsim::geo::country;
+use population::transport::TransportKind;
+use population::RollupSeries;
 use serde::{Deserialize, Serialize};
 
 #[derive(Serialize)]
@@ -54,12 +60,18 @@ fn main() {
     let args = RunArgs::parse();
     let shards = args.shards(1);
     let days = args.days(30);
+    let transport = args.transport(TransportKind::Threads);
 
     // High enough that Turkey's daily measurement cell clears the
     // detector's minimum-n guard with day-level statistical power.
-    let recipe = world_fixture::recipe(days, 150.0);
-    let audience = Audience::world(&World::builtin());
-    let run = run_sharded_world(&world_fixture::build, &audience, &recipe, shards, args.seed);
+    let spec = BenchWorldSpec::Timeline { days, rate: 150.0 };
+    let run = match transport.run(SHARD_WORKER, &spec, shards, args.seed) {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("timeline: {transport} transport failed: {err}");
+            std::process::exit(1);
+        }
+    };
 
     let TimelineJudgment {
         days: day_rows,
@@ -74,8 +86,8 @@ fn main() {
     // variable (or flag) is immediately visible when a golden diff
     // fails.
     println!(
-        "({} visits over {days} days, seed {:#x}, across {} shard(s); {} policy events; \
-         one detector window per day)\n",
+        "({} visits over {days} days, seed {:#x}, across {} shard(s) on the {transport} \
+         transport; {} policy events; one detector window per day)\n",
         run.outcome.report.visits, args.seed, shards, run.outcome.policy_changes_applied
     );
     print_table(

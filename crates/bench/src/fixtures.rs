@@ -15,6 +15,7 @@ use encore::tasks::{MeasurementId, MeasurementTask, TaskSpec};
 use netsim::geo::{country, CountryCode};
 use netsim::http::{ContentType, HttpResponse};
 use netsim::network::{ConstHandler, Network};
+use population::transport::TransportKind;
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -31,10 +32,11 @@ use std::path::PathBuf;
 /// Unknown flags are ignored so harness wrappers can pass extra
 /// arguments through; supplied-but-unparseable values warn on stderr
 /// before falling back. Seeds accept both decimal and the `0x…` hex
-/// form the binaries print. `--topology` is stricter: a malformed
-/// topology seed is a hard error (exit 2), because silently dropping it
-/// would run the benchmark on a flat un-routed world and report numbers
-/// for an experiment nobody asked for.
+/// form the binaries print. `--topology` and `--transport
+/// {threads,process}` (`ENCORE_TRANSPORT`) are stricter: a malformed
+/// value is a hard error (exit 2), because silently dropping it would
+/// run the benchmark on a flat un-routed world — or on the wrong shard
+/// backend — and report numbers for an experiment nobody asked for.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Root experiment seed.
@@ -45,6 +47,7 @@ pub struct RunArgs {
     reps: Option<usize>,
     min_speedup: Option<f64>,
     topology: Option<u64>,
+    transport: Option<TransportKind>,
     out_dir: PathBuf,
 }
 
@@ -78,6 +81,7 @@ impl RunArgs {
             ("--reps", "reps"),
             ("--min-speedup", "min_speedup"),
             ("--topology", "topology"),
+            ("--transport", "transport"),
             ("--out", "out"),
         ];
         let mut it = args.into_iter().peekable();
@@ -107,6 +111,7 @@ impl RunArgs {
             ("ENCORE_REPS", "reps"),
             ("ENCORE_MIN_SPEEDUP", "min_speedup"),
             ("ENCORE_TOPOLOGY", "topology"),
+            ("ENCORE_TRANSPORT", "transport"),
             ("ENCORE_OUT", "out"),
         ];
         for (var, key) in envs {
@@ -219,6 +224,22 @@ impl RunArgs {
                 }
             }
         };
+        // Like --topology, a malformed transport must not warn-and-
+        // default: the whole point of the flag is to pin *which* shard
+        // backend produced the numbers. Running threads under a
+        // misspelled `--transport proces` would gate the wrong backend.
+        let transport = match values.get("transport") {
+            None => None,
+            Some(raw) => match raw.parse::<TransportKind>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    return Err(format!(
+                        "--transport/ENCORE_TRANSPORT must be \"threads\" or \"process\" \
+                         (got {raw:?}): a malformed transport cannot select a shard backend"
+                    ));
+                }
+            },
+        };
         Ok(RunArgs {
             seed: seed.unwrap_or(crate::DEFAULT_SEED),
             visits: parsed(&values, "visits"),
@@ -227,6 +248,7 @@ impl RunArgs {
             reps,
             min_speedup: parsed(&values, "min_speedup"),
             topology,
+            transport,
             out_dir: values
                 .get("out")
                 .map_or_else(|| PathBuf::from("results"), PathBuf::from),
@@ -266,6 +288,13 @@ impl RunArgs {
     /// per-binary default. `None` default = flat un-routed network.
     pub fn topology(&self, default: Option<u64>) -> Option<u64> {
         self.topology.or(default)
+    }
+
+    /// Shard backend (`--transport`/`ENCORE_TRANSPORT`), with a
+    /// per-binary default (the world bins default to
+    /// [`TransportKind::Threads`]).
+    pub fn transport(&self, default: TransportKind) -> TransportKind {
+        self.transport.unwrap_or(default)
     }
 
     /// Directory JSON artifacts are written to (default `results/`).
@@ -488,6 +517,35 @@ mod tests {
         assert!(err.contains("topology seed"), "unclear: {err}");
         let err = try_args(&["--topology", "0xZZ"], &[]).unwrap_err();
         assert!(err.contains("0xZZ"), "error must echo the value: {err}");
+    }
+
+    #[test]
+    fn run_args_transport_accepts_backends_and_hard_rejects_garbage() {
+        // Absent everywhere → the binary's default.
+        let a = try_args(&[], &[]).unwrap();
+        assert_eq!(a.transport(TransportKind::Threads), TransportKind::Threads);
+        assert_eq!(a.transport(TransportKind::Process), TransportKind::Process);
+
+        // Both spellings, CLI over env.
+        let a = try_args(&["--transport", "process"], &[]).unwrap();
+        assert_eq!(a.transport(TransportKind::Threads), TransportKind::Process);
+        let a = try_args(&["--transport=threads"], &[("ENCORE_TRANSPORT", "process")]).unwrap();
+        assert_eq!(a.transport(TransportKind::Process), TransportKind::Threads);
+        let a = try_args(&[], &[("ENCORE_TRANSPORT", "process")]).unwrap();
+        assert_eq!(a.transport(TransportKind::Threads), TransportKind::Process);
+
+        // Malformed backends are hard errors, matching --topology: a
+        // typo must not silently gate the default backend.
+        let err = try_args(&["--transport", "proces"], &[]).unwrap_err();
+        assert!(
+            err.contains("--transport/ENCORE_TRANSPORT"),
+            "unclear: {err}"
+        );
+        assert!(err.contains("proces"), "error must echo the value: {err}");
+        let err = try_args(&[], &[("ENCORE_TRANSPORT", "Threads")]).unwrap_err();
+        assert!(err.contains("Threads"), "error must echo the value: {err}");
+        let err = try_args(&["--transport=sockets"], &[]).unwrap_err();
+        assert!(err.contains("sockets"), "error must echo the value: {err}");
     }
 
     #[test]

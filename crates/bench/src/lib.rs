@@ -7,6 +7,7 @@
 //! under `results/`, so EXPERIMENTS.md can be regenerated and diffed.
 
 pub mod fixtures;
+pub mod specs;
 
 use browser::{BrowserClient, Engine};
 use censor::registry::SAFE_TARGETS;

@@ -1,0 +1,113 @@
+//! Serializable world specs for the experiment binaries — the
+//! process-transport counterpart of the fixture modules.
+//!
+//! A [`population::transport::WorldSpec`] must cross a process boundary
+//! as bytes, so it cannot carry the fixture closures directly. Instead
+//! [`BenchWorldSpec`] names a fixture plus its parameters; the worker
+//! process (`src/bin/shard_worker.rs`) rebuilds exactly the world the
+//! coordinator described by calling the same deterministic fixture
+//! functions. Both transport backends therefore execute identical
+//! worlds — the byte-equivalence the transport suite and simcheck's
+//! transport oracle prove.
+
+use crate::{adaptive_fixture, congested_fixture, world_fixture};
+use encore::system::EncoreSystem;
+use netsim::geo::World;
+use netsim::network::Network;
+use population::transport::WorldSpec;
+use population::{Audience, ShardContext, WorldRecipe};
+use serde::{Deserialize, Serialize};
+
+/// Which fixture world a distributed run executes, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BenchWorldSpec {
+    /// The §1-motivated Turkey onset/lift timeline
+    /// ([`world_fixture`]).
+    Timeline {
+        /// Simulated days.
+        days: u64,
+        /// Visits per day per audience weight.
+        rate: f64,
+    },
+    /// The escalating adaptive-censor ladder ([`adaptive_fixture`]).
+    Adaptive {
+        /// Simulated days.
+        days: u64,
+        /// Visits per day per audience weight.
+        rate: f64,
+    },
+    /// The routed brownout-plus-block world ([`congested_fixture`]).
+    Congested {
+        /// Simulated days.
+        days: u64,
+        /// Visits per day per audience weight.
+        rate: f64,
+    },
+}
+
+impl WorldSpec for BenchWorldSpec {
+    fn audience(&self) -> Audience {
+        Audience::world(&World::builtin())
+    }
+
+    fn recipe(&self) -> WorldRecipe {
+        match *self {
+            BenchWorldSpec::Timeline { days, rate } => world_fixture::recipe(days, rate),
+            BenchWorldSpec::Adaptive { days, rate } => adaptive_fixture::recipe(days, rate),
+            BenchWorldSpec::Congested { days, rate } => congested_fixture::recipe(days, rate),
+        }
+    }
+
+    fn build(&self, ctx: ShardContext) -> (Network, EncoreSystem) {
+        match self {
+            BenchWorldSpec::Timeline { .. } => world_fixture::build(ctx),
+            BenchWorldSpec::Adaptive { .. } => adaptive_fixture::build(ctx),
+            BenchWorldSpec::Congested { .. } => congested_fixture::build(ctx),
+        }
+    }
+}
+
+/// The worker-binary name [`BenchWorldSpec`] runs are dispatched to.
+pub const SHARD_WORKER: &str = "shard_worker";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in [
+            BenchWorldSpec::Timeline {
+                days: 30,
+                rate: 150.0,
+            },
+            BenchWorldSpec::Adaptive {
+                days: 30,
+                rate: 160.5,
+            },
+            BenchWorldSpec::Congested {
+                days: 18,
+                rate: 150.0,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: BenchWorldSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "spec drifted through the wire: {json}");
+        }
+    }
+
+    #[test]
+    fn spec_recipe_matches_fixture_recipe() {
+        // The spec is only honest if it rebuilds exactly the fixture
+        // world the closures build. Recipes have no PartialEq (they
+        // carry closures), so compare their debug structure.
+        let spec = BenchWorldSpec::Timeline {
+            days: 12,
+            rate: 150.0,
+        };
+        assert_eq!(
+            format!("{:?}", spec.recipe()),
+            format!("{:?}", world_fixture::recipe(12, 150.0))
+        );
+    }
+}

@@ -611,6 +611,32 @@ impl CollectionSnapshot {
         self
     }
 
+    /// [`merge`](Self::merge) without the clone: consumes `other`,
+    /// moving its records. Prefer this wherever the other snapshot is
+    /// owned — on transport-sized stores the record clone costs more
+    /// than the binary codec that delivered them.
+    pub fn merge_owned(mut self, other: CollectionSnapshot) -> CollectionSnapshot {
+        self.malformed += other.malformed;
+        // Ordered-append fast path: both inputs are canonical (the
+        // documented precondition), so when all of `other` sorts
+        // at-or-after all of `self` — every chunk of a shard's in-order
+        // record stream — concatenation IS the canonical order and the
+        // re-sort is skipped. Keeps the streaming coordinator's
+        // per-chunk fold linear instead of sorting per chunk.
+        match (self.records.last(), other.records.first()) {
+            (Some(a), Some(b)) if canonical_cmp(a, b) != std::cmp::Ordering::Greater => {
+                self.records.extend(other.records);
+            }
+            (None, _) => self.records = other.records,
+            (_, None) => {}
+            _ => {
+                self.records.extend(other.records);
+                self.canonicalize();
+            }
+        }
+        self
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -10,10 +10,11 @@
 use netsim::geo::CountryCode;
 use netsim::ip::IpAllocator;
 use netsim::Ipv4Net;
+use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// An IP → country database.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeoDb {
     ranges: Vec<(Ipv4Net, CountryCode)>,
     /// Fraction of lookups that return a wrong country.

@@ -22,6 +22,10 @@ impl Serialize for CountryCode {
     fn write_json(&self, out: &mut String) {
         serde::json::push_string(out, self.as_str());
     }
+    // Binary form: the two raw ASCII bytes (hot in streamed visit logs).
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
 }
 
 impl Deserialize for CountryCode {
@@ -30,6 +34,14 @@ impl Deserialize for CountryCode {
             .as_str()
             .ok_or_else(|| serde::json::Error::new("expected country code string"))?;
         <Self as serde::JsonKey>::from_json_key(s)
+    }
+    fn read_bin(input: &mut serde::bin::Reader<'_>) -> Result<Self, serde::json::Error> {
+        let bytes = input.take(2)?;
+        if bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            Ok(CountryCode([bytes[0], bytes[1]]))
+        } else {
+            Err(serde::json::Error::new("bad country code bytes"))
+        }
     }
 }
 

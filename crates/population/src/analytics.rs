@@ -241,7 +241,7 @@ impl Merge for WorldOutcome {
 
 impl Merge for CollectionSnapshot {
     fn merge(self, other: CollectionSnapshot) -> CollectionSnapshot {
-        CollectionSnapshot::merge(self, &other)
+        CollectionSnapshot::merge_owned(self, other)
     }
 }
 

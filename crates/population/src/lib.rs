@@ -32,6 +32,13 @@
 //!   shared visit-outcome classification every driver tallies with, and
 //!   the single merge path ([`analytics::Merge`]) every sharded output
 //!   folds through.
+//! * [`reorder`] — the canonical reorder buffer: shard outputs fold in
+//!   *arrival* order while producing exactly the shard-index-order
+//!   merge, keeping coordinator memory O(1) folded aggregates.
+//! * [`transport`] — the distributed backends behind
+//!   [`transport::ShardTransport`]: in-process threads, or worker
+//!   *processes* speaking the length-prefixed [`sim_core::frame`]
+//!   protocol over OS pipes with streaming incremental merge.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,7 +47,9 @@ pub mod analytics;
 pub mod audience;
 pub mod batch;
 pub mod driver;
+pub mod reorder;
 pub mod shard;
+pub mod transport;
 pub mod world;
 
 pub use analytics::{
@@ -49,8 +58,13 @@ pub use analytics::{
 pub use audience::Audience;
 pub use batch::{run_visit_batch, BatchConfig, BatchReport};
 pub use driver::{run_deployment, DeploymentConfig, VisitRecord};
+pub use reorder::ReorderBuffer;
 pub use shard::{
     run_sharded_batch, run_sharded_world, shard_recipe, ShardContext, ShardedBatchConfig,
     ShardedRun, ShardedWorldRun,
+};
+pub use transport::{
+    sibling_worker, worker_main, ProcessTransport, ShardTransport, ThreadTransport, TransportError,
+    TransportKind, TransportStats, WorldSpec,
 };
 pub use world::{RunMode, WorldEngine, WorldEvent, WorldOutcome, WorldRecipe};

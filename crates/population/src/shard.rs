@@ -33,10 +33,11 @@
 //! byte-stable regardless of thread scheduling, and the §7.2 detector
 //! runs once over the union.
 
-use crate::analytics::merge_in_order;
+use crate::analytics::Merge;
 use crate::audience::Audience;
 use crate::batch::{BatchConfig, BatchReport};
 use crate::driver::DeploymentConfig;
+use crate::reorder::ReorderBuffer;
 use crate::world::{RunMode, WorldEngine, WorldOutcome, WorldRecipe};
 use encore::collection::CollectionSnapshot;
 use encore::geo::GeoDb;
@@ -44,6 +45,7 @@ use encore::system::EncoreSystem;
 use netsim::network::Network;
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimRng};
+use std::sync::mpsc;
 use std::thread;
 
 /// Which slice of a sharded run a builder is materialising.
@@ -168,10 +170,22 @@ pub fn shard_rngs(seed: u64, shards: usize) -> Vec<SimRng> {
 }
 
 /// One shard's thread-portable output.
-struct ShardOutput {
-    outcome: WorldOutcome,
-    collection: CollectionSnapshot,
-    geo: GeoDb,
+pub(crate) struct ShardOutput {
+    pub(crate) outcome: WorldOutcome,
+    pub(crate) collection: CollectionSnapshot,
+    pub(crate) geo: GeoDb,
+}
+
+impl Merge for ShardOutput {
+    /// Piecewise fold through each component's associative merge, so a
+    /// whole shard output can ride the streaming reorder buffer.
+    fn merge(self, other: ShardOutput) -> ShardOutput {
+        ShardOutput {
+            outcome: self.outcome.merge(other.outcome),
+            collection: Merge::merge(self.collection, other.collection),
+            geo: Merge::merge(self.geo, other.geo),
+        }
+    }
 }
 
 /// The merged outcome of a sharded world run.
@@ -226,50 +240,56 @@ where
     assert!(shards >= 1, "shard count must be at least 1");
     let rngs = shard_rngs(seed, shards);
 
-    let outputs: Vec<ShardOutput> = thread::scope(|scope| {
-        let handles: Vec<_> = rngs
-            .into_iter()
-            .enumerate()
-            .map(|(index, mut rng)| {
-                scope.spawn(move || {
-                    let ctx = ShardContext { index, shards };
-                    let (mut net, mut sys) = build(ctx);
-                    let shard_cfg = shard_recipe(recipe, shards, index);
-                    let outcome = WorldEngine::from_recipe(
-                        &mut net, &mut sys, audience, &shard_cfg, &mut rng,
-                    )
-                    .run();
-                    ShardOutput {
-                        outcome,
-                        collection: sys.collection.snapshot(),
-                        geo: GeoDb::from_allocator(&net.allocator),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+    // Streaming merge: shard outputs fold in *arrival* order through a
+    // canonical reorder buffer on this (coordinator) thread, so resident
+    // state is one folded aggregate per discontiguous completion run —
+    // O(1) in the common case — instead of one buffered output per
+    // shard. Associativity of the `Merge` path (simcheck's merge-algebra
+    // oracle; `reorder` property tests) guarantees the result is exactly
+    // the shard-index-order fold the old collect-then-merge path
+    // computed.
+    let (tx, rx) = mpsc::channel::<(usize, ShardOutput)>();
+    let (merged, mut per_shard) = thread::scope(|scope| {
+        for (index, mut rng) in rngs.into_iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let ctx = ShardContext { index, shards };
+                let (mut net, mut sys) = build(ctx);
+                let shard_cfg = shard_recipe(recipe, shards, index);
+                let outcome =
+                    WorldEngine::from_recipe(&mut net, &mut sys, audience, &shard_cfg, &mut rng)
+                        .run();
+                let output = ShardOutput {
+                    outcome,
+                    collection: sys.collection.snapshot(),
+                    geo: GeoDb::from_allocator(&net.allocator),
+                };
+                // A disconnected receiver means the coordinator already
+                // gave up (a sibling panicked); nothing left to report.
+                let _ = tx.send((index, output));
+            });
+        }
+        drop(tx);
+
+        let mut buffer: ReorderBuffer<ShardOutput> = ReorderBuffer::new(shards);
+        let mut per_shard: Vec<(usize, BatchReport)> = Vec::with_capacity(shards);
+        for (index, output) in rx {
+            per_shard.push((index, output.outcome.report));
+            buffer.accept(index, output);
+        }
+        (buffer.finish(), per_shard)
     });
+    // A missing output means a shard thread panicked before sending;
+    // `thread::scope` re-raises that panic on join, so this expect is
+    // only reachable on a double-fault — keep the old message for it.
+    let merged = merged.expect("shard thread panicked");
 
-    let per_shard: Vec<BatchReport> = outputs.iter().map(|o| o.outcome.report).collect();
-    let (outcomes, stores): (Vec<_>, Vec<_>) = outputs
-        .into_iter()
-        .map(|o| (o.outcome, (o.collection, o.geo)))
-        .unzip();
-    let (collections, geos): (Vec<_>, Vec<_>) = stores.into_iter().unzip();
-
-    // Shard-index-order folds through the one associative merge path.
-    let outcome = merge_in_order(outcomes).expect("at least one shard");
-    let collection = merge_in_order(collections).expect("at least one shard");
-    let geo = merge_in_order(geos).expect("at least one shard");
-
+    per_shard.sort_by_key(|&(index, _)| index);
     ShardedWorldRun {
-        outcome,
-        per_shard,
-        collection,
-        geo,
+        outcome: merged.outcome,
+        per_shard: per_shard.into_iter().map(|(_, report)| report).collect(),
+        collection: merged.collection,
+        geo: merged.geo,
     }
 }
 

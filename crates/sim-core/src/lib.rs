@@ -15,6 +15,10 @@
 //! * [`rng`] — a seedable random-number source ([`SimRng`]) with labelled
 //!   forking, so independent subsystems draw from independent streams and
 //!   adding randomness to one subsystem never perturbs another.
+//! * [`frame`] — the versioned, length-prefixed, CRC-checksummed binary
+//!   frame codec ([`frame::read_frame`]) the distributed shard engine
+//!   speaks over OS pipes; every malformation is a typed
+//!   [`frame::FrameError`], never a panic or over-read.
 //! * [`intern`] — dense string interning ([`Interner`]), so hot-path
 //!   structures key on `u32` symbols instead of owned strings.
 //! * [`dist`] — the handful of distributions the simulation needs
@@ -39,6 +43,7 @@
 
 pub mod bytes;
 pub mod dist;
+pub mod frame;
 pub mod intern;
 pub mod merge;
 pub mod queue;
@@ -49,6 +54,10 @@ pub mod trace;
 
 pub use bytes::{contains_byte, find_any3, find_byte, find_either};
 pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, FRAME_HEADER_LEN,
+    FRAME_MAGIC, FRAME_VERSION,
+};
 pub use intern::{FxBuildHasher, Interner, Sym};
 pub use merge::merge_time_ordered;
 pub use queue::EventQueue;

@@ -18,7 +18,21 @@ use crate::time::SimTime;
 /// input, relative order is preserved. Folding shards left-to-right in
 /// shard-index order therefore yields a global `(time, shard, intra
 /// -shard order)` ordering, independent of how the inputs were grouped.
-pub fn merge_time_ordered<T>(a: Vec<T>, b: Vec<T>, key: impl Fn(&T) -> SimTime) -> Vec<T> {
+pub fn merge_time_ordered<T>(mut a: Vec<T>, b: Vec<T>, key: impl Fn(&T) -> SimTime) -> Vec<T> {
+    // Ordered-append fast path: when all of `b` is at-or-after all of
+    // `a` (every chunk of a shard's in-order stream lands here), the
+    // stable merge degenerates to concatenation — same output, no walk
+    // of `a`. This is what keeps the coordinator's per-chunk fold
+    // linear in stream length rather than quadratic in chunk count.
+    match (a.last(), b.first()) {
+        (Some(last_a), Some(first_b)) if key(last_a) <= key(first_b) => {
+            a.extend(b);
+            return a;
+        }
+        (_, None) => return a,
+        (None, _) => return b,
+        _ => {}
+    }
     let mut out = Vec::with_capacity(a.len() + b.len());
     let mut b_iter = b.into_iter().peekable();
     for item in a {

@@ -43,7 +43,7 @@ use netsim::TopologyConfig;
 use population::shard::ShardContext;
 use population::{BatchConfig, DeploymentConfig, WorldRecipe};
 use proptest::{Strategy, TestRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -55,7 +55,7 @@ pub const TARGET: &str = "probe-target.example";
 pub const CENSOR_NAME: &str = "simcheck-censor";
 
 /// Which oracle family a case feeds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CaseClass {
     /// Exact-replay oracles over the widest recipe space.
     Equivalence,

@@ -30,6 +30,10 @@
 //!    yield zero detections, DNS blocks riding congested paths still
 //!    localise exactly, and a brownout opening before the block neither
 //!    advances nor masks the detected onset.
+//! 7. **Transport equivalence** ([`transport`]) — the frame-protocol
+//!    process backend reproduces the in-process thread backend byte for
+//!    byte (outcome, collection, per-shard reports, and serialized
+//!    JSON) at {1, 3} shards, over every generated class.
 //!
 //! The [`runner`] executes a bounded case budget (CI: ≥ 200 worlds),
 //! and on failure writes a regression seed file so a failing case can
@@ -41,6 +45,7 @@
 pub mod generator;
 pub mod oracle;
 pub mod runner;
+pub mod transport;
 
 pub use generator::{
     ArrivalMode, BlockKind, CaseClass, CensorModel, CongestionShape, CongestionSpec, WorldCase,
@@ -48,3 +53,4 @@ pub use generator::{
 };
 pub use oracle::{check_case, localise_transitions, Violation};
 pub use runner::{replay, run_budget, SimCheckConfig, SimCheckReport};
+pub use transport::{check_transport, CaseSpec, CASE_WORKER};

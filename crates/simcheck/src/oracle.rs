@@ -101,8 +101,8 @@ impl Judgment {
 }
 
 /// The serialized byte-image of a run's outputs — what "byte-identical"
-/// means across every oracle here.
-fn byte_image(
+/// means across every oracle here (and in the transport oracle).
+pub(crate) fn byte_image(
     outcome: &WorldOutcome,
     collection: &encore::CollectionSnapshot,
 ) -> (String, String, String) {

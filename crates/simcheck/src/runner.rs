@@ -10,6 +10,7 @@
 
 use crate::generator::{CaseClass, WorldCase};
 use crate::oracle::{check_case, Violation};
+use crate::transport::{check_transport, CASE_WORKER};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +30,11 @@ pub struct SimCheckConfig {
     /// Where to write the regression seed file on failure (`None`
     /// disables).
     pub regression_path: Option<PathBuf>,
+    /// Every n-th case additionally runs the transport-equivalence
+    /// oracle — thread vs process backend, byte-identical — when the
+    /// `case_worker` binary is resolvable next to the running
+    /// executable (0 disables).
+    pub transport_every: usize,
 }
 
 impl Default for SimCheckConfig {
@@ -39,6 +45,7 @@ impl Default for SimCheckConfig {
             congestion_every: 6,
             root_seed: 0x51AC_4EC4,
             regression_path: Some(PathBuf::from("results/simcheck-regressions.txt")),
+            transport_every: 4,
         }
     }
 }
@@ -57,6 +64,10 @@ pub struct SimCheckReport {
     pub congestion_cases: usize,
     /// Of which carried some censor model.
     pub censored_cases: usize,
+    /// Of which also ran the transport-equivalence oracle (0 when the
+    /// `case_worker` binary was not resolvable or the schedule disabled
+    /// it).
+    pub transport_cases: usize,
     /// Every violation found (empty = all invariants upheld).
     pub violations: Vec<Violation>,
 }
@@ -86,9 +97,21 @@ fn class_for(config: &SimCheckConfig, index: usize) -> CaseClass {
 }
 
 /// Replay one `(class, seed)` pair from a regression file: regenerate
-/// exactly that world and re-run its oracles.
+/// exactly that world and re-run its oracles. When the `case_worker`
+/// binary is resolvable the transport-equivalence oracle re-runs too,
+/// so transport regressions replay with the same command as the rest.
 pub fn replay(class: CaseClass, seed: u64) -> Vec<Violation> {
-    check_case(&WorldCase::from_seed(class, seed))
+    let case = WorldCase::from_seed(class, seed);
+    let mut violations = check_case(&case);
+    if let Some(worker) = population::transport::sibling_worker(CASE_WORKER) {
+        violations.extend(check_transport(&case, &worker));
+    } else {
+        eprintln!(
+            "[simcheck] replay: {CASE_WORKER} binary not found next to this executable; \
+             skipping the transport oracle"
+        );
+    }
+    violations
 }
 
 /// Run a bounded case budget and aggregate the report. Progress goes to
@@ -96,6 +119,18 @@ pub fn replay(class: CaseClass, seed: u64) -> Vec<Violation> {
 /// found so a long CI run fails loudly, not silently at the end.
 pub fn run_budget(config: &SimCheckConfig) -> SimCheckReport {
     let mut report = SimCheckReport::default();
+    let worker = if config.transport_every > 0 {
+        let resolved = population::transport::sibling_worker(CASE_WORKER);
+        if resolved.is_none() {
+            eprintln!(
+                "[simcheck] {CASE_WORKER} binary not found next to this executable; \
+                 transport oracle disabled for this run"
+            );
+        }
+        resolved
+    } else {
+        None
+    };
     for i in 0..config.cases {
         let class = class_for(config, i);
         let seed = case_seed(config.root_seed, i);
@@ -108,7 +143,13 @@ pub fn run_budget(config: &SimCheckConfig) -> SimCheckReport {
         if !case.is_uncensored() {
             report.censored_cases += 1;
         }
-        let violations = check_case(&case);
+        let mut violations = check_case(&case);
+        if let Some(worker) = &worker {
+            if config.transport_every > 0 && i.is_multiple_of(config.transport_every) {
+                violations.extend(check_transport(&case, worker));
+                report.transport_cases += 1;
+            }
+        }
         for v in &violations {
             eprintln!(
                 "[simcheck] VIOLATION case {i} (class {:?}, seed {:#x}) oracle {}: {}",

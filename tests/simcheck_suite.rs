@@ -12,15 +12,17 @@ use simcheck::{check_case, run_budget, SimCheckConfig};
 
 #[test]
 fn small_budget_upholds_all_invariants() {
-    // 12 worlds (3 detector-class, 1 congestion-class): enough to
-    // execute every oracle — including the routed congestion oracles —
-    // on every run without dominating tier-1 time. The root seed
-    // differs from the CI bin's default so the two sweeps cover
+    // 12 worlds (3 detector-class, 1 congestion-class, 3 transport-
+    // differenced): enough to execute every oracle — including the
+    // routed congestion oracles and the threads-vs-process transport
+    // oracle — on every run without dominating tier-1 time. The root
+    // seed differs from the CI bin's default so the two sweeps cover
     // disjoint cases.
     let config = SimCheckConfig {
         cases: 12,
         detector_every: 5,
         congestion_every: 6,
+        transport_every: 4,
         root_seed: 0x7157_C0DE,
         regression_path: None,
     };
@@ -28,6 +30,10 @@ fn small_budget_upholds_all_invariants() {
     assert_eq!(report.cases_run, 12);
     assert_eq!(report.detector_cases, 3);
     assert_eq!(report.congestion_cases, 1);
+    assert_eq!(
+        report.transport_cases, 3,
+        "the transport oracle must run (is the case_worker binary built?)"
+    );
     assert!(
         report.censored_cases >= 3,
         "the generator should censor most worlds ({} of 10)",

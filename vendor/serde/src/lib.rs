@@ -1,4 +1,5 @@
-//! Offline stand-in for `serde`, specialised to JSON.
+//! Offline stand-in for `serde`, specialised to JSON plus a compact
+//! binary row format.
 //!
 //! This workspace must build without network access, so the real serde is
 //! unavailable. The codebase only ever serialises to / deserialises from
@@ -8,6 +9,16 @@
 //! [`Deserialize`] reads from a parsed [`json::Value`] tree. The derive
 //! macros (see `vendor/serde_derive`) emit serde-compatible shapes:
 //! structs as objects, newtypes transparently, enums externally tagged.
+//!
+//! Both traits additionally carry a **positional binary codec**
+//! ([`Serialize::write_bin`] / [`Deserialize::read_bin`], see [`bin`])
+//! for hot inter-process payloads where JSON's repeated field names and
+//! text numbers are too slow. Derived impls emit fields positionally;
+//! hand-written impls inherit a default that tunnels the JSON encoding
+//! as one length-prefixed string, so every type is automatically
+//! self-consistent on the wire — the binary form is an internal transport
+//! encoding, never a stored artifact, and carries no cross-version
+//! compatibility promise (frames are versioned at the protocol layer).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -15,12 +26,34 @@ pub use serde_derive::{Deserialize, Serialize};
 pub trait Serialize {
     /// Append this value's JSON encoding to `out`.
     fn write_json(&self, out: &mut String);
+
+    /// Append this value's binary encoding to `out`.
+    ///
+    /// The default tunnels the JSON encoding as a length-prefixed
+    /// string, which [`Deserialize::read_bin`]'s default reverses —
+    /// hand-written JSON-only impls stay wire-consistent for free.
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        bin::put_bytes(out, s.as_bytes());
+    }
 }
 
 /// Reconstruct `Self` from a parsed JSON value.
 pub trait Deserialize: Sized {
     /// Build `Self` from `v`, or explain why it has the wrong shape.
     fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+
+    /// Read `Self` from the binary encoding.
+    ///
+    /// The default reverses [`Serialize::write_bin`]'s default: read one
+    /// length-prefixed JSON string and parse it.
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let bytes = input.take_len_prefixed()?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| json::Error::new("invalid utf8 in tunneled json"))?;
+        Self::from_value(&json::parse(s)?)
+    }
 }
 
 pub mod json {
@@ -242,18 +275,26 @@ pub mod json {
         fn parse_string(&mut self) -> Result<String, Error> {
             self.expect(b'"')?;
             let mut s = String::new();
+            // Scan raw bytes for the next `"` or `\` and copy whole
+            // unescaped segments at once, validating UTF-8 per segment.
+            // Both delimiters are ASCII, so they can never appear inside
+            // a multi-byte UTF-8 sequence (continuation bytes are
+            // >= 0x80) — byte-wise scanning is exact.
+            let mut seg_start = self.pos;
             loop {
-                let rest = &self.bytes[self.pos..];
-                let text =
-                    std::str::from_utf8(rest).map_err(|_| Error::new("invalid utf8 in string"))?;
-                let mut chars = text.char_indices();
-                match chars.next() {
+                match self.bytes.get(self.pos) {
                     None => return Err(Error::new("unterminated string")),
-                    Some((_, '"')) => {
+                    Some(b'"') => {
+                        let seg = std::str::from_utf8(&self.bytes[seg_start..self.pos])
+                            .map_err(|_| Error::new("invalid utf8 in string"))?;
+                        s.push_str(seg);
                         self.pos += 1;
                         return Ok(s);
                     }
-                    Some((_, '\\')) => {
+                    Some(b'\\') => {
+                        let seg = std::str::from_utf8(&self.bytes[seg_start..self.pos])
+                            .map_err(|_| Error::new("invalid utf8 in string"))?;
+                        s.push_str(seg);
                         self.pos += 1;
                         match self.peek() {
                             Some(b'"') => s.push('"'),
@@ -283,11 +324,9 @@ pub mod json {
                             other => return Err(Error::new(format!("bad escape {other:?}"))),
                         }
                         self.pos += 1;
+                        seg_start = self.pos;
                     }
-                    Some((i, c)) => {
-                        s.push(c);
-                        self.pos += c.len_utf8() + i;
-                    }
+                    Some(_) => self.pos += 1,
                 }
             }
         }
@@ -407,32 +446,234 @@ pub mod json {
     }
 }
 
+pub mod bin {
+    //! The positional binary row format behind [`crate::Serialize::write_bin`].
+    //!
+    //! Primitives: unsigned integers are LEB128 varints, signed integers
+    //! zigzag first, floats are fixed-width little-endian IEEE bits,
+    //! `bool` one byte. Strings and byte blobs are varint-length-prefixed.
+    //! Containers carry a varint element count; struct fields and tuple
+    //! elements are positional (no names, no tags); enum variants are a
+    //! varint declaration-order index. Errors reuse [`crate::json::Error`]
+    //! so both codecs surface through one error type.
+
+    use super::json::Error;
+
+    /// Append `v` as a LEB128 varint.
+    #[inline]
+    pub fn put_uvarint(out: &mut Vec<u8>, mut v: u128) {
+        // Single-byte fast path: most wire integers (field counts,
+        // enum indexes, small counters) fit in 7 bits.
+        if v < 0x80 {
+            out.push(v as u8);
+            return;
+        }
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Append a varint-length-prefixed byte blob.
+    pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        put_uvarint(out, bytes.len() as u128);
+        out.extend_from_slice(bytes);
+    }
+
+    /// A bounds-checked cursor over a binary payload.
+    pub struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// A reader over `bytes`, positioned at the start.
+        pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        /// Take the next `n` bytes, or fail without over-reading.
+        #[inline]
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+            match self.bytes.get(self.pos..self.pos + n) {
+                Some(slice) => {
+                    self.pos += n;
+                    Ok(slice)
+                }
+                None => Err(Error::new(format!(
+                    "binary payload truncated: wanted {n} byte(s), {} left",
+                    self.remaining()
+                ))),
+            }
+        }
+
+        /// Take one byte.
+        #[inline]
+        pub fn byte(&mut self) -> Result<u8, Error> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Read a LEB128 varint.
+        #[inline]
+        pub fn uvarint(&mut self) -> Result<u128, Error> {
+            // Single-byte fast path, mirroring `put_uvarint`.
+            let first = self.byte()?;
+            if first & 0x80 == 0 {
+                return Ok(u128::from(first));
+            }
+            let mut v = u128::from(first & 0x7f);
+            let mut shift = 7u32;
+            loop {
+                let byte = self.byte()?;
+                if shift >= 128 {
+                    return Err(Error::new("varint longer than 128 bits"));
+                }
+                v |= u128::from(byte & 0x7f)
+                    .checked_shl(shift)
+                    .ok_or_else(|| Error::new("varint overflows 128 bits"))?;
+                if byte & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+            }
+        }
+
+        /// Read an element count and sanity-check it against the bytes
+        /// actually left (every element costs at least one byte), so a
+        /// corrupt length can never drive a huge allocation.
+        pub fn count(&mut self) -> Result<usize, Error> {
+            let n = self.uvarint()?;
+            let n = usize::try_from(n).map_err(|_| Error::new("count overflows usize"))?;
+            if n > self.remaining() {
+                return Err(Error::new(format!(
+                    "count {n} exceeds {} remaining payload byte(s)",
+                    self.remaining()
+                )));
+            }
+            Ok(n)
+        }
+
+        /// Read a varint-length-prefixed byte blob.
+        pub fn take_len_prefixed(&mut self) -> Result<&'a [u8], Error> {
+            let n = self.count()?;
+            self.take(n)
+        }
+
+        /// Read a length-prefixed UTF-8 string slice.
+        pub fn str_slice(&mut self) -> Result<&'a str, Error> {
+            std::str::from_utf8(self.take_len_prefixed()?)
+                .map_err(|_| Error::new("invalid utf8 in binary string"))
+        }
+
+        /// Fail unless every byte was consumed.
+        pub fn finish(&self) -> Result<(), Error> {
+            if self.remaining() == 0 {
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "{} trailing byte(s) after binary value",
+                    self.remaining()
+                )))
+            }
+        }
+    }
+
+    /// Encode `value` to a fresh buffer.
+    pub fn to_vec<T: crate::Serialize + ?Sized>(value: &T) -> Vec<u8> {
+        let mut out = Vec::new();
+        value.write_bin(&mut out);
+        out
+    }
+
+    /// Decode a `T` from `bytes`, requiring the value to span them exactly.
+    pub fn from_slice<T: crate::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+        let mut reader = Reader::new(bytes);
+        let value = T::read_bin(&mut reader)?;
+        reader.finish()?;
+        Ok(value)
+    }
+}
+
 // ------------------------------------------------------ primitive impls
 
-macro_rules! int_impls {
+macro_rules! int_json_impls {
+    ($t:ty) => {
+        fn write_json(&self, out: &mut String) {
+            out.push_str(&self.to_string());
+        }
+    };
+}
+
+macro_rules! int_json_de {
+    ($t:ty) => {
+        fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+            let tok = v
+                .num_token()
+                .ok_or_else(|| json::Error::new(concat!("expected number for ", stringify!($t))))?;
+            tok.parse::<$t>().map_err(|_| {
+                json::Error::new(format!(
+                    "number `{tok}` out of range for {}",
+                    stringify!($t)
+                ))
+            })
+        }
+    };
+}
+
+macro_rules! uint_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
-            fn write_json(&self, out: &mut String) {
-                out.push_str(&self.to_string());
+            int_json_impls!($t);
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                bin::put_uvarint(out, *self as u128);
             }
         }
         impl Deserialize for $t {
-            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
-                let tok = v.num_token().ok_or_else(|| {
-                    json::Error::new(concat!("expected number for ", stringify!($t)))
-                })?;
-                tok.parse::<$t>().map_err(|_| {
-                    json::Error::new(format!(
-                        "number `{tok}` out of range for {}",
-                        stringify!($t)
-                    ))
+            int_json_de!($t);
+            fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+                <$t>::try_from(input.uvarint()?).map_err(|_| {
+                    json::Error::new(concat!("varint out of range for ", stringify!($t)))
                 })
             }
         }
     )*};
 }
 
-int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            int_json_impls!($t);
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                // Zigzag so small magnitudes stay short.
+                let v = *self as i128;
+                bin::put_uvarint(out, ((v << 1) ^ (v >> 127)) as u128);
+            }
+        }
+        impl Deserialize for $t {
+            int_json_de!($t);
+            fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+                let raw = input.uvarint()?;
+                let v = ((raw >> 1) as i128) ^ -((raw & 1) as i128);
+                <$t>::try_from(v).map_err(|_| {
+                    json::Error::new(concat!("varint out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, u128, usize);
+sint_impls!(i8, i16, i32, i64, i128, isize);
 
 macro_rules! float_impls {
     ($($t:ty),*) => {$(
@@ -450,6 +691,11 @@ macro_rules! float_impls {
                     out.push_str("null");
                 }
             }
+            // Binary floats are exact IEEE bits — unlike JSON, non-finite
+            // values round-trip.
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_bits().to_le_bytes());
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &json::Value) -> Result<Self, json::Error> {
@@ -462,6 +708,14 @@ macro_rules! float_impls {
                 tok.parse::<$t>()
                     .map_err(|_| json::Error::new(format!("bad float `{tok}`")))
             }
+            fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+                const WIDTH: usize = std::mem::size_of::<$t>();
+                let bytes: [u8; WIDTH] = input
+                    .take(WIDTH)?
+                    .try_into()
+                    .expect("take() returned the exact width");
+                Ok(<$t>::from_le_bytes(bytes))
+            }
         }
     )*};
 }
@@ -472,17 +726,30 @@ impl Serialize for bool {
     fn write_json(&self, out: &mut String) {
         out.push_str(if *self { "true" } else { "false" });
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
 }
 
 impl Deserialize for bool {
     fn from_value(v: &json::Value) -> Result<Self, json::Error> {
         v.as_bool().ok_or_else(|| json::Error::new("expected bool"))
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        match input.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(json::Error::new(format!("bad bool byte {other}"))),
+        }
+    }
 }
 
 impl Serialize for String {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, self);
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_bytes(out, self.as_bytes());
     }
 }
 
@@ -492,17 +759,26 @@ impl Deserialize for String {
             .map(str::to_string)
             .ok_or_else(|| json::Error::new("expected string"))
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        Ok(input.str_slice()?.to_string())
+    }
 }
 
 impl Serialize for str {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, self);
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_bytes(out, self.as_bytes());
+    }
 }
 
 impl Serialize for std::borrow::Cow<'_, str> {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, self);
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_bytes(out, self.as_bytes());
     }
 }
 
@@ -512,11 +788,17 @@ impl Deserialize for std::borrow::Cow<'_, str> {
             .map(|s| std::borrow::Cow::Owned(s.to_string()))
             .ok_or_else(|| json::Error::new("expected string"))
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        Ok(std::borrow::Cow::Owned(input.str_slice()?.to_string()))
+    }
 }
 
 impl Serialize for char {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, &self.to_string());
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_uvarint(out, *self as u128);
     }
 }
 
@@ -531,11 +813,19 @@ impl Deserialize for char {
             _ => Err(json::Error::new("expected single-char string")),
         }
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let cp = u32::try_from(input.uvarint()?)
+            .map_err(|_| json::Error::new("char codepoint overflows u32"))?;
+        char::from_u32(cp).ok_or_else(|| json::Error::new(format!("bad char codepoint {cp}")))
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn write_json(&self, out: &mut String) {
         (**self).write_json(out);
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        (**self).write_bin(out);
     }
 }
 
@@ -544,6 +834,15 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             None => out.push_str("null"),
             Some(v) => v.write_json(out),
+        }
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.write_bin(out);
+            }
         }
     }
 }
@@ -555,11 +854,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => Ok(Some(T::from_value(other)?)),
         }
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        match input.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::read_bin(input)?)),
+            other => Err(json::Error::new(format!("bad option tag {other}"))),
+        }
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn write_json(&self, out: &mut String) {
         self.as_slice().write_json(out);
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_bin(out);
     }
 }
 
@@ -574,6 +883,12 @@ impl<T: Serialize> Serialize for [T] {
         }
         out.push(']');
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_uvarint(out, self.len() as u128);
+        for item in self {
+            item.write_bin(out);
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
@@ -582,6 +897,14 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .as_array()
             .ok_or_else(|| json::Error::new("expected array"))?;
         arr.iter().map(T::from_value).collect()
+    }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let n = input.count()?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(T::read_bin(input)?);
+        }
+        Ok(items)
     }
 }
 
@@ -599,6 +922,9 @@ macro_rules! tuple_impls {
                 let _ = first;
                 out.push(']');
             }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                $( self.$idx.write_bin(out); )+
+            }
         }
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
             fn from_value(v: &json::Value) -> Result<Self, json::Error> {
@@ -611,6 +937,9 @@ macro_rules! tuple_impls {
                     )));
                 }
                 Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+            fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+                Ok(($($t::read_bin(input)?,)+))
             }
         }
     )*};
@@ -639,6 +968,18 @@ impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
         }
         out.push('}');
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(v) => {
+                out.push(0);
+                v.write_bin(out);
+            }
+            Err(e) => {
+                out.push(1);
+                e.write_bin(out);
+            }
+        }
+    }
 }
 
 impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
@@ -649,17 +990,33 @@ impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
             _ => Err(json::Error::new("expected {\"Ok\": ..} or {\"Err\": ..}")),
         }
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        match input.byte()? {
+            0 => Ok(Ok(T::read_bin(input)?)),
+            1 => Ok(Err(E::read_bin(input)?)),
+            other => Err(json::Error::new(format!("bad result tag {other}"))),
+        }
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn write_json(&self, out: &mut String) {
         self.as_slice().write_json(out);
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_bin(out);
+    }
 }
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &json::Value) -> Result<Self, json::Error> {
         let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| json::Error::new(format!("expected array of length {N}")))
+    }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let items: Vec<T> = Vec::read_bin(input)?;
         items
             .try_into()
             .map_err(|_| json::Error::new(format!("expected array of length {N}")))
@@ -713,6 +1070,13 @@ impl<K: JsonKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K,
         }
         out.push('}');
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        bin::put_uvarint(out, self.len() as u128);
+        for (k, v) in self {
+            bin::put_bytes(out, k.to_json_key().as_bytes());
+            v.write_bin(out);
+        }
+    }
 }
 
 impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
@@ -724,11 +1088,24 @@ impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMa
             .map(|(k, val)| Ok((K::from_json_key(k)?, V::from_value(val)?)))
             .collect()
     }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let n = input.count()?;
+        let mut map = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let k = K::from_json_key(input.str_slice()?)?;
+            let v = V::read_bin(input)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
 }
 
 impl Serialize for std::net::Ipv4Addr {
     fn write_json(&self, out: &mut String) {
         json::push_string(out, &self.to_string());
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.octets());
     }
 }
 
@@ -739,6 +1116,13 @@ impl Deserialize for std::net::Ipv4Addr {
             .ok_or_else(|| json::Error::new("expected ip string"))?;
         s.parse()
             .map_err(|_| json::Error::new(format!("bad ipv4 address `{s}`")))
+    }
+    fn read_bin(input: &mut bin::Reader<'_>) -> Result<Self, json::Error> {
+        let octets: [u8; 4] = input
+            .take(4)?
+            .try_into()
+            .expect("take() returned exactly 4 bytes");
+        Ok(std::net::Ipv4Addr::from(octets))
     }
 }
 
@@ -788,5 +1172,157 @@ mod tests {
         let v = json::parse("{\"a\":[1,2],\"b\":{\"c\":null}}").unwrap();
         let p = json::pretty(&v);
         assert_eq!(json::parse(&p).unwrap(), v);
+    }
+
+    /// Round-trip `value` through the binary codec and assert equality.
+    fn bin_roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = bin::to_vec(&value);
+        let back: T = bin::from_slice(&bytes).unwrap_or_else(|e| {
+            panic!("decoding {value:?} from {bytes:02x?}: {e:?}");
+        });
+        assert_eq!(back, value, "through {bytes:02x?}");
+    }
+
+    #[test]
+    fn bin_integer_extremes_roundtrip() {
+        bin_roundtrip(0u8);
+        bin_roundtrip(u8::MAX);
+        bin_roundtrip(u16::MAX);
+        bin_roundtrip(u32::MAX);
+        bin_roundtrip(u64::MAX);
+        bin_roundtrip(u128::MAX);
+        bin_roundtrip(usize::MAX);
+        bin_roundtrip(i8::MIN);
+        bin_roundtrip(i8::MAX);
+        bin_roundtrip(i64::MIN);
+        bin_roundtrip(i64::MAX);
+        bin_roundtrip(i128::MIN);
+        bin_roundtrip(i128::MAX);
+        bin_roundtrip(-1isize);
+        bin_roundtrip(0i64);
+    }
+
+    #[test]
+    fn bin_zigzag_keeps_small_magnitudes_small() {
+        // Signed values near zero must stay one byte — the point of
+        // zigzag over sign-extension.
+        for v in [-64i64, -1, 0, 1, 63] {
+            assert_eq!(bin::to_vec(&v).len(), 1, "{v}");
+        }
+    }
+
+    #[test]
+    fn bin_floats_roundtrip_bit_exact() {
+        bin_roundtrip(0.0f64);
+        bin_roundtrip(-0.0f64);
+        bin_roundtrip(std::f64::consts::PI);
+        bin_roundtrip(f64::MIN_POSITIVE);
+        bin_roundtrip(f64::INFINITY);
+        bin_roundtrip(f64::NEG_INFINITY);
+        bin_roundtrip(f32::INFINITY);
+        bin_roundtrip(1.5e-40f32); // subnormal
+                                   // NaN != NaN, so compare bit patterns directly.
+        let bytes = bin::to_vec(&f64::NAN);
+        let back: f64 = bin::from_slice(&bytes).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn bin_strings_and_chars_roundtrip() {
+        bin_roundtrip(String::new());
+        bin_roundtrip("plain ascii".to_string());
+        bin_roundtrip("ünïcódé — \u{1F980} \"quoted\\escaped\"\n".to_string());
+        bin_roundtrip('a');
+        bin_roundtrip('\u{1F980}');
+        bin_roundtrip('\0');
+    }
+
+    #[test]
+    fn bin_containers_roundtrip() {
+        bin_roundtrip(Option::<u32>::None);
+        bin_roundtrip(Some(7u32));
+        bin_roundtrip(Vec::<u64>::new());
+        bin_roundtrip(vec![1u64, u64::MAX, 0]);
+        bin_roundtrip((true, -9i32, "t".to_string()));
+        bin_roundtrip(Result::<u32, String>::Ok(5));
+        bin_roundtrip(Result::<u32, String>::Err("boom".into()));
+        bin_roundtrip([3u16, 1, 4]);
+        let map: std::collections::BTreeMap<String, Vec<i64>> = [
+            ("a".to_string(), vec![-1, 2]),
+            ("b".to_string(), Vec::new()),
+        ]
+        .into_iter()
+        .collect();
+        bin_roundtrip(map);
+        bin_roundtrip("10.20.30.40".parse::<std::net::Ipv4Addr>().unwrap());
+        bin_roundtrip(vec![None, Some((u32::MAX, "nested".to_string()))]);
+    }
+
+    #[test]
+    fn bin_truncation_is_a_typed_error() {
+        // Every prefix of a valid encoding must decode to Err, never
+        // panic or succeed (positional codecs have no delimiters to
+        // resynchronise on).
+        let full = bin::to_vec(&vec![(u64::MAX, "hello".to_string()), (0, String::new())]);
+        for len in 0..full.len() {
+            let r: Result<Vec<(u64, String)>, _> = bin::from_slice(&full[..len]);
+            assert!(r.is_err(), "prefix of {len} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bin_trailing_bytes_rejected() {
+        let mut bytes = bin::to_vec(&42u64);
+        bytes.push(0);
+        let r: Result<u64, _> = bin::from_slice(&bytes);
+        assert!(r.is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn bin_corrupt_lengths_never_overallocate() {
+        // A length prefix claiming more elements than bytes remain must
+        // fail before allocating, not abort on OOM.
+        let mut bytes = Vec::new();
+        bin::put_uvarint(&mut bytes, u64::MAX as u128);
+        let r: Result<Vec<u8>, _> = bin::from_slice(&bytes);
+        assert!(r.is_err());
+        let r: Result<String, _> = bin::from_slice(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bin_bool_rejects_non_boolean_bytes() {
+        assert!(!bin::from_slice::<bool>(&[0]).unwrap());
+        assert!(bin::from_slice::<bool>(&[1]).unwrap());
+        assert!(bin::from_slice::<bool>(&[2]).is_err());
+    }
+
+    #[test]
+    fn bin_uvarint_overflow_rejected() {
+        // 19 continuation bytes exceeds the 128-bit accumulator.
+        let bytes = [0xffu8; 19];
+        let mut r = bin::Reader::new(&bytes);
+        assert!(r.uvarint().is_err());
+    }
+
+    #[test]
+    fn bin_default_methods_tunnel_json() {
+        // A type relying on the default write_bin/read_bin (JSON
+        // tunnelled as one length-prefixed string) must round-trip
+        // through the same entry points as native binary impls.
+        struct JsonOnly(u64);
+        impl Serialize for JsonOnly {
+            fn write_json(&self, out: &mut String) {
+                self.0.write_json(out);
+            }
+        }
+        impl Deserialize for JsonOnly {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                Ok(JsonOnly(u64::from_value(v)?))
+            }
+        }
+        let bytes = bin::to_vec(&JsonOnly(u64::MAX));
+        let back: JsonOnly = bin::from_slice(&bytes).unwrap();
+        assert_eq!(back.0, u64::MAX);
     }
 }

@@ -1,9 +1,14 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! The workspace builds without network access, so the real serde cannot be
-//! fetched. This proc-macro crate derives the JSON-only `Serialize` /
-//! `Deserialize` traits defined by the sibling `vendor/serde` crate. It
-//! supports exactly the shapes this workspace uses:
+//! fetched. This proc-macro crate derives the `Serialize` / `Deserialize`
+//! traits defined by the sibling `vendor/serde` crate — both their JSON
+//! codec and the positional binary codec (`write_bin` / `read_bin`:
+//! fields in declaration order, enum variants as a declaration-order
+//! varint index; `skip` fields are omitted and restored via `Default`,
+//! while `default` / `skip_serializing_if` only shape the JSON form,
+//! since binary fields are always present positionally). It supports
+//! exactly the shapes this workspace uses:
 //!
 //! * structs with named fields (honouring `#[serde(skip)]`,
 //!   `#[serde(default)]` / `#[serde(default = "path")]`, and
@@ -318,9 +323,17 @@ fn gen_serialize(item: &Item) -> String {
                 }
                 Shape::Named(fields) => ser_named_body(fields, "self.", ""),
             };
+            let bin_body = match shape {
+                Shape::Unit => String::new(),
+                Shape::Tuple(n) => (0..*n)
+                    .map(|i| format!("::serde::Serialize::write_bin(&self.{i}, __out);"))
+                    .collect(),
+                Shape::Named(fields) => ser_bin_named_body(fields, "self."),
+            };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                  fn write_json(&self, __out: &mut ::std::string::String) {{ {body} }}\n\
+                 fn write_bin(&self, __out: &mut ::std::vec::Vec<u8>) {{ let _ = &__out; {bin_body} }}\n\
                  }}"
             )
         }
@@ -365,14 +378,64 @@ fn gen_serialize(item: &Item) -> String {
                     }
                 }
             }
+            let mut bin_arms = String::new();
+            for (index, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                let tag = format!("::serde::bin::put_uvarint(__out, {index});");
+                match &v.shape {
+                    Shape::Unit => {
+                        bin_arms.push_str(&format!("{name}::{vn} => {{ {tag} }}\n"));
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let writes: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::write_bin({b}, __out);"))
+                            .collect();
+                        bin_arms
+                            .push_str(&format!("{name}::{vn}({pat}) => {{ {tag} {writes} }}\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pat = pat.join(", ");
+                        let writes = ser_bin_named_body(fields, "");
+                        bin_arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ {tag} {writes} }}\n"
+                        ));
+                    }
+                }
+            }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                  fn write_json(&self, __out: &mut ::std::string::String) {{\n\
                  match self {{ {arms} }}\n\
+                 }}\n\
+                 fn write_bin(&self, __out: &mut ::std::vec::Vec<u8>) {{\n\
+                 match self {{ {bin_arms} }}\n\
                  }}\n}}"
             )
         }
     }
+}
+
+/// Binary body writing named fields positionally (declaration order).
+/// `skip` fields are omitted; `skip_serializing_if` is deliberately
+/// ignored — the binary format is positional, so presence can never be
+/// conditional.
+fn ser_bin_named_body(fields: &[Field], prefix: &str) -> String {
+    fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let access = if prefix.is_empty() {
+                f.name.clone()
+            } else {
+                format!("&{prefix}{}", f.name)
+            };
+            format!("::serde::Serialize::write_bin({access}, __out);")
+        })
+        .collect()
 }
 
 /// Body serialising named fields as a JSON object. `prefix` is `self.` for
@@ -476,10 +539,42 @@ fn gen_deserialize(item: &Item) -> String {
                     s
                 }
             };
+            let bin_body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(n) => {
+                    let mut s = String::new();
+                    for i in 0..*n {
+                        s.push_str(&format!(
+                            "let __f{i} = ::serde::Deserialize::read_bin(__input)?;"
+                        ));
+                    }
+                    let args: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    format!("{s} Ok({name}({}))", args.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut s = String::new();
+                    let mut inits = String::new();
+                    for f in fields {
+                        let fname = &f.name;
+                        if f.skip {
+                            inits
+                                .push_str(&format!("{fname}: ::std::default::Default::default(),"));
+                        } else {
+                            s.push_str(&format!(
+                                "let __b_{fname} = ::serde::Deserialize::read_bin(__input)?;"
+                            ));
+                            inits.push_str(&format!("{fname}: __b_{fname},"));
+                        }
+                    }
+                    format!("{s} Ok({name} {{ {inits} }})")
+                }
+            };
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(__v: &::serde::json::Value) -> \
                  ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+                 fn read_bin(__input: &mut ::serde::bin::Reader<'_>) -> \
+                 ::std::result::Result<Self, ::serde::json::Error> {{ let _ = &__input; {bin_body} }}\n\
                  }}"
             )
         }
@@ -528,6 +623,48 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                 }
             }
+            let mut bin_arms = String::new();
+            for (index, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        bin_arms.push_str(&format!("{index} => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(n) => {
+                        let mut reads = String::new();
+                        for i in 0..*n {
+                            reads.push_str(&format!(
+                                "let __f{i} = ::serde::Deserialize::read_bin(__input)?;"
+                            ));
+                        }
+                        let args: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        bin_arms.push_str(&format!(
+                            "{index} => {{ {reads} Ok({name}::{vn}({})) }}\n",
+                            args.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut reads = String::new();
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::std::default::Default::default(),"
+                                ));
+                            } else {
+                                reads.push_str(&format!(
+                                    "let __b_{fname} = ::serde::Deserialize::read_bin(__input)?;"
+                                ));
+                                inits.push_str(&format!("{fname}: __b_{fname},"));
+                            }
+                        }
+                        bin_arms.push_str(&format!(
+                            "{index} => {{ {reads} Ok({name}::{vn} {{ {inits} }}) }}\n"
+                        ));
+                    }
+                }
+            }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(__v: &::serde::json::Value) -> \
@@ -537,7 +674,13 @@ fn gen_deserialize(item: &Item) -> String {
                  if let Some((__tag, __inner)) = __v.as_tagged() {{\
                  match __tag {{ {tagged_arms} _ => {{}} }} }}\n\
                  Err(::serde::json::Error::new(\"no matching variant of {name}\"))\n\
-                 }}\n}}"
+                 }}\n\
+                 fn read_bin(__input: &mut ::serde::bin::Reader<'_>) -> \
+                 ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 match __input.uvarint()? {{ {bin_arms} __other => \
+                 Err(::serde::json::Error::new(format!(\
+                 \"bad variant index {{__other}} for {name}\")))\n\
+                 }}\n}}\n}}"
             )
         }
     }
