@@ -1,0 +1,309 @@
+//! `memory_scale` — resident analytics footprint vs traffic volume.
+//!
+//! The exact-mode collection server keeps every record, so analytics
+//! memory grows linearly with traffic. Streaming mode replaces the
+//! record log with a count-min sketch, a bottom-k reservoir, and
+//! per-window count matrices — all bounded by key space and simulated
+//! time, not by visit volume. This gate proves that claim on the §7.2
+//! censored-world fixture at two traffic sizes a decade apart
+//! (`visits/10` and `visits`, arrival gaps scaled 10× so the simulated
+//! span — and with it the number of detection windows — stays
+//! constant), and re-checks correctness while measuring: the streamed
+//! verdicts at the large size must equal exact windowed detection over
+//! the full record log.
+//!
+//! Gates (exit non-zero on any failure):
+//!
+//! * **bounded** — streaming resident analytics bytes at the large
+//!   size stay under a fixed budget (8 MiB);
+//! * **flat** — the large size costs at most 1.5× the small size
+//!   (plus 64 KiB of slack), i.e. the curve is flat where exact mode
+//!   grows 10×;
+//! * **equivalent** — zero drops, streamed accepted count == exact
+//!   record count, and identical window verdicts;
+//! * **throughput** — streaming visits/s at the large size within
+//!   1.15× of exact mode (override: `--min-speedup`/
+//!   `ENCORE_MIN_SPEEDUP`, as a required streaming/exact ratio).
+//!
+//! Deduplication is disabled for the measurement: the per-open-window
+//! dedup set is the one knob whose memory scales with accepted traffic
+//! (documented in DESIGN.md), and the fixture generates no duplicates.
+//!
+//! Output: a table plus `results/memory_scale.json`. Overrides:
+//! `--visits`/`ENCORE_VISITS` (large size, default 1,000,000),
+//! `--window`/`ENCORE_WINDOW` (detection window in days, default 1),
+//! `--seed`/`ENCORE_SEED`.
+
+use bench::fixtures::RunArgs;
+use bench::print_table;
+use bench::shard_fixture;
+use encore::FilteringDetector;
+use netsim::geo::World;
+use population::{run_sharded_world, Audience, ShardedWorldRun, StreamingSpec, WorldRecipe};
+use serde::Serialize;
+use sim_core::SimDuration;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Serialize)]
+struct MemoryPoint {
+    visits: u64,
+    streaming: bool,
+    visits_per_sec: f64,
+    resident_bytes: usize,
+    accepted: u64,
+    dropped: u64,
+}
+
+#[derive(Serialize)]
+struct MemoryScaleResult {
+    window_days: u64,
+    points: Vec<MemoryPoint>,
+    /// Peak RSS (Linux VmHWM) right after the two streaming runs —
+    /// before exact mode inflates the high-water mark with its record
+    /// log. `None` off Linux.
+    streaming_peak_rss_bytes: Option<u64>,
+    /// Peak RSS at process end, exact runs included.
+    final_peak_rss_bytes: Option<u64>,
+    bounded_ok: bool,
+    flat_ok: bool,
+    equivalent_ok: bool,
+    throughput_ok: bool,
+}
+
+/// Streaming resident budget at the large size.
+const MAX_STREAMING_BYTES: usize = 8 * 1024 * 1024;
+/// Allowed large/small resident growth for the "flat" gate.
+const FLAT_FACTOR: f64 = 1.5;
+const FLAT_SLACK: usize = 64 * 1024;
+
+/// Peak RSS of this process from `/proc/self/status` (`VmHWM`).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The fixture recipe: `visits` batch arrivals over a constant
+/// simulated span (gap shrinks as visits grow), daily rollups.
+fn recipe(visits: u64, gap_ms: u64, window: SimDuration, streaming: bool) -> WorldRecipe {
+    let mut batch = shard_fixture::batch(visits);
+    batch.mean_gap = SimDuration::from_millis(gap_ms);
+    let mut recipe = WorldRecipe::batch(batch).with_rollups(window);
+    if streaming {
+        let mut spec = StreamingSpec::with_window(window);
+        // The open-window dedup set is the one analytics structure
+        // whose memory scales with accepted traffic; the fixture
+        // produces no wire duplicates, so measure without it.
+        spec.config.dedup = false;
+        recipe = recipe.with_streaming(spec);
+    }
+    recipe
+}
+
+fn run(
+    visits: u64,
+    gap_ms: u64,
+    window: SimDuration,
+    streaming: bool,
+    seed: u64,
+) -> (ShardedWorldRun, f64) {
+    let audience = Audience::world(&World::builtin());
+    let recipe = recipe(visits, gap_ms, window, streaming);
+    let t = Instant::now();
+    let run = run_sharded_world(&shard_fixture::build_censored, &audience, &recipe, 1, seed);
+    let secs = t.elapsed().as_secs_f64();
+    (run, visits as f64 / secs)
+}
+
+/// Approximate resident bytes of the exact-mode record log (snapshot
+/// form: struct + owned strings per record).
+fn exact_resident_bytes(run: &ShardedWorldRun) -> usize {
+    run.collection
+        .records
+        .iter()
+        .map(|r| {
+            std::mem::size_of_val(r)
+                + r.submission.target_url.len()
+                + r.submission.user_agent.len()
+                + r.referer.as_ref().map_or(0, String::len)
+        })
+        .sum()
+}
+
+fn main() {
+    let args = RunArgs::parse();
+    let hi = args.visits(1_000_000);
+    let lo = (hi / 10).max(1);
+    let window_days = args.window_days(1);
+    let window = SimDuration::from_days(window_days);
+    let seed = args.seed;
+    // Gap scales inversely with visits so both sizes simulate the same
+    // span — the window count must not vary with traffic volume, or
+    // the flat gate would compare different analytics shapes.
+    let (lo_gap, hi_gap) = (1_200u64, 120u64);
+
+    println!(
+        "Resident analytics vs traffic — {lo} and {hi} visits over a constant simulated span, \
+         {window_days}-day window, seed {seed:#x}"
+    );
+
+    // Streaming runs first: the process high-water mark read after
+    // them reflects streaming mode alone, before exact mode's record
+    // log inflates it for good.
+    let (s_lo, s_lo_vps) = run(lo, lo_gap, window, true, seed);
+    let (s_hi, s_hi_vps) = run(hi, hi_gap, window, true, seed);
+    let streaming_peak = peak_rss_bytes();
+    let (e_lo, e_lo_vps) = run(lo, lo_gap, window, false, seed);
+    let (e_hi, e_hi_vps) = run(hi, hi_gap, window, false, seed);
+    let final_peak = peak_rss_bytes();
+
+    let stats = |r: &ShardedWorldRun| r.collection.streaming.clone().expect("streaming stats");
+    let (st_lo, st_hi) = (stats(&s_lo), stats(&s_hi));
+
+    // Correctness while measuring: identical visit streams, full
+    // accounting, identical verdicts at the large size.
+    let mut equivalent_ok = true;
+    for (streamed, exact, label) in [(&s_lo, &e_lo, "small"), (&s_hi, &e_hi, "large")] {
+        if streamed.outcome.log != exact.outcome.log {
+            eprintln!("EQUIVALENCE VIOLATION: {label} streaming run perturbed the visit stream");
+            equivalent_ok = false;
+        }
+    }
+    if st_hi.drops.total() != 0 || st_hi.accepted != e_hi.collection.records.len() as u64 {
+        eprintln!(
+            "EQUIVALENCE VIOLATION: accepted {} / dropped {} vs {} exact records",
+            st_hi.accepted,
+            st_hi.drops.total(),
+            e_hi.collection.records.len()
+        );
+        equivalent_ok = false;
+    }
+    let det = FilteringDetector::default();
+    let streamed_verdicts = det.judge_streamed(&st_hi);
+    let exact_verdicts = det.detect_windows(&e_hi.collection.records, &e_hi.geo, window);
+    if streamed_verdicts != exact_verdicts {
+        eprintln!("EQUIVALENCE VIOLATION: streamed window verdicts differ from exact detection");
+        equivalent_ok = false;
+    }
+    let flagged = streamed_verdicts
+        .iter()
+        .map(|w| w.detections.len())
+        .sum::<usize>();
+
+    let points = vec![
+        MemoryPoint {
+            visits: lo,
+            streaming: true,
+            visits_per_sec: s_lo_vps,
+            resident_bytes: st_lo.resident_bytes(),
+            accepted: st_lo.accepted,
+            dropped: st_lo.drops.total(),
+        },
+        MemoryPoint {
+            visits: hi,
+            streaming: true,
+            visits_per_sec: s_hi_vps,
+            resident_bytes: st_hi.resident_bytes(),
+            accepted: st_hi.accepted,
+            dropped: st_hi.drops.total(),
+        },
+        MemoryPoint {
+            visits: lo,
+            streaming: false,
+            visits_per_sec: e_lo_vps,
+            resident_bytes: exact_resident_bytes(&e_lo),
+            accepted: e_lo.collection.records.len() as u64,
+            dropped: 0,
+        },
+        MemoryPoint {
+            visits: hi,
+            streaming: false,
+            visits_per_sec: e_hi_vps,
+            resident_bytes: exact_resident_bytes(&e_hi),
+            accepted: e_hi.collection.records.len() as u64,
+            dropped: 0,
+        },
+    ];
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.visits.to_string(),
+                if p.streaming { "streaming" } else { "exact" }.to_string(),
+                format!("{:.0}", p.visits_per_sec),
+                format!("{:.1} KiB", p.resident_bytes as f64 / 1024.0),
+                p.accepted.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "visits",
+            "mode",
+            "visits/s",
+            "analytics resident",
+            "records",
+        ],
+        &rows,
+    );
+    if let Some(rss) = streaming_peak {
+        println!(
+            "peak RSS after streaming runs: {:.1} MiB (process end: {:.1} MiB)",
+            rss as f64 / (1024.0 * 1024.0),
+            final_peak.unwrap_or(rss) as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!("window verdicts at {hi} visits: {flagged} detection(s), matched exact mode");
+
+    let bounded_ok = st_hi.resident_bytes() <= MAX_STREAMING_BYTES;
+    if !bounded_ok {
+        eprintln!(
+            "MEMORY REGRESSION: streaming resident {} bytes exceeds the {} byte budget",
+            st_hi.resident_bytes(),
+            MAX_STREAMING_BYTES
+        );
+    }
+    let flat_ok = (st_hi.resident_bytes() as f64)
+        <= FLAT_FACTOR * st_lo.resident_bytes() as f64 + FLAT_SLACK as f64;
+    if !flat_ok {
+        eprintln!(
+            "MEMORY REGRESSION: streaming resident grew {} -> {} bytes over a 10x traffic \
+             increase (gate: {FLAT_FACTOR}x + {FLAT_SLACK})",
+            st_lo.resident_bytes(),
+            st_hi.resident_bytes()
+        );
+    }
+    // Streaming must not tax the hot path: required ratio of streaming
+    // to exact visits/s at the large size (default 1/1.15).
+    let required = args.min_speedup(1.0 / 1.15);
+    let ratio = s_hi_vps / e_hi_vps;
+    let throughput_ok = ratio >= required;
+    if !throughput_ok {
+        eprintln!(
+            "THROUGHPUT REGRESSION: streaming at {:.0} visits/s is {ratio:.2}x exact \
+             ({:.0} visits/s); gate requires >= {required:.2}x",
+            s_hi_vps, e_hi_vps
+        );
+    }
+
+    args.write_results(
+        "memory_scale",
+        &MemoryScaleResult {
+            window_days,
+            points,
+            streaming_peak_rss_bytes: streaming_peak,
+            final_peak_rss_bytes: final_peak,
+            bounded_ok,
+            flat_ok,
+            equivalent_ok,
+            throughput_ok,
+        },
+    );
+
+    if !(bounded_ok && flat_ok && equivalent_ok && throughput_ok) {
+        std::process::exit(1);
+    }
+}

@@ -122,13 +122,15 @@ fn main() {
     let report = run_budget(&config);
     println!(
         "{} worlds checked ({} equivalence, {} detector, {} congestion; {} censored, {} \
-         transport-differenced): {} violation(s)",
+         transport-differenced, {} streaming-differenced of which {} shed): {} violation(s)",
         report.cases_run,
         report.equivalence_cases,
         report.detector_cases,
         report.congestion_cases,
         report.censored_cases,
         report.transport_cases,
+        report.streaming_cases,
+        report.streaming_drop_cases,
         report.violations.len()
     );
     args.write_results("simcheck", &report);

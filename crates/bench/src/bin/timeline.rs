@@ -27,6 +27,14 @@
 //! day, lift day — must still match the serial golden, which this
 //! binary checks itself when `--golden PATH`-less CI hands it
 //! `tests/golden/timeline.json` via the default path.
+//!
+//! `--streaming` (or `ENCORE_STREAMING`) re-runs the same recipe with
+//! bounded-memory analytics: workers ship one count-min/reservoir/
+//! window-matrix sketch frame each instead of record chunks, the
+//! verdict is judged from the merged matrices, and the same
+//! serial-golden gate applies — streaming may change memory, never the
+//! verdict. Results are written under `timeline_streaming*` so exact
+//! golden diffs are untouched.
 
 use bench::fixtures::RunArgs;
 use bench::print_table;
@@ -61,10 +69,15 @@ fn main() {
     let shards = args.shards(1);
     let days = args.days(30);
     let transport = args.transport(TransportKind::Threads);
+    let streaming = args.streaming(false);
 
     // High enough that Turkey's daily measurement cell clears the
     // detector's minimum-n guard with day-level statistical power.
-    let spec = BenchWorldSpec::Timeline { days, rate: 150.0 };
+    let spec = BenchWorldSpec::Timeline {
+        days,
+        rate: 150.0,
+        streaming,
+    };
     let run = match transport.run(SHARD_WORKER, &spec, shards, args.seed) {
         Ok(run) => run,
         Err(err) => {
@@ -77,7 +90,31 @@ fn main() {
         days: day_rows,
         onset_day,
         lift_day,
-    } = world_fixture::judge_timeline(&run.collection.records, &run.geo, country("TR"), TARGET);
+    } = if streaming {
+        // Bounded-memory mode: no record log crosses the wire; the
+        // verdict is judged from the merged per-window count matrices.
+        if !run.collection.records.is_empty() {
+            eprintln!(
+                "STREAMING VIOLATION: {} exact records kept in streaming mode",
+                run.collection.records.len()
+            );
+            std::process::exit(1);
+        }
+        let Some(stats) = run.collection.streaming.as_ref() else {
+            eprintln!("STREAMING VIOLATION: streaming run carried no analytics sketch");
+            std::process::exit(1);
+        };
+        if stats.drops.total() != 0 {
+            eprintln!(
+                "STREAMING VIOLATION: {} submissions dropped on the default ingest queue",
+                stats.drops.total()
+            );
+            std::process::exit(1);
+        }
+        world_fixture::judge_timeline_streamed(stats, country("TR"), TARGET)
+    } else {
+        world_fixture::judge_timeline(&run.collection.records, &run.geo, country("TR"), TARGET)
+    };
 
     println!(
         "=== timeline: Turkey blocks {TARGET} on day {ONSET_DAY}, lifts on day {LIFT_DAY} ==="
@@ -87,8 +124,12 @@ fn main() {
     // fails.
     println!(
         "({} visits over {days} days, seed {:#x}, across {} shard(s) on the {transport} \
-         transport; {} policy events; one detector window per day)\n",
-        run.outcome.report.visits, args.seed, shards, run.outcome.policy_changes_applied
+         transport, {} analytics; {} policy events; one detector window per day)\n",
+        run.outcome.report.visits,
+        args.seed,
+        shards,
+        if streaming { "streaming" } else { "exact" },
+        run.outcome.policy_changes_applied
     );
     print_table(
         &["day", "measurements", "TR flagged"],
@@ -128,10 +169,11 @@ fn main() {
         ],
     );
 
-    let name = if shards == 1 {
-        "timeline".to_string()
-    } else {
-        format!("timeline_shards{shards}")
+    let name = match (streaming, shards) {
+        (false, 1) => "timeline".to_string(),
+        (false, n) => format!("timeline_shards{n}"),
+        (true, 1) => "timeline_streaming".to_string(),
+        (true, n) => format!("timeline_streaming_shards{n}"),
     };
     args.write_results(
         &name,
@@ -146,21 +188,24 @@ fn main() {
         },
     );
 
-    // Sharded runs gate themselves against the serial golden: detector
-    // verdicts (onset/lift localisation) are required to be
-    // shard-count-invariant even though the sampled visit stream is not.
-    // The golden was recorded at the default (days, seed), so the gate
-    // only engages there — a `--days 5` run legitimately never sees the
-    // day-10 onset and must not be reported as drift.
+    // Sharded and streaming runs gate themselves against the serial
+    // golden: detector verdicts (onset/lift localisation) are required
+    // to be invariant across shard counts *and* analytics modes, even
+    // though the sampled visit stream (sharding) and the retained state
+    // (streaming) are not. The golden was recorded at the default
+    // (days, seed), so the gate only engages there — a `--days 5` run
+    // legitimately never sees the day-10 onset and must not be reported
+    // as drift.
     let golden_parameters = days == 30 && args.seed == bench::DEFAULT_SEED;
-    if shards > 1 && !golden_parameters {
+    let gated = shards > 1 || streaming;
+    if gated && !golden_parameters {
         eprintln!(
             "[non-default days/seed: skipping the serial-golden verdict check, \
              which is only meaningful at days=30, seed={:#x}]",
             bench::DEFAULT_SEED
         );
     }
-    if shards > 1 && golden_parameters {
+    if gated && golden_parameters {
         let golden_path = std::path::Path::new("tests/golden/timeline.json");
         match std::fs::read_to_string(golden_path) {
             Ok(json) => match serde_json::from_str::<GoldenVerdict>(&json) {

@@ -92,7 +92,11 @@ fn main() {
     let seed = args.seed;
     let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let spec = BenchWorldSpec::Timeline { days, rate: 150.0 };
+    let spec = BenchWorldSpec::Timeline {
+        days,
+        rate: 150.0,
+        streaming: false,
+    };
     let process = match ProcessTransport::for_worker(SHARD_WORKER) {
         Ok(t) => t,
         Err(err) => {

@@ -32,11 +32,17 @@ use std::path::PathBuf;
 /// Unknown flags are ignored so harness wrappers can pass extra
 /// arguments through; supplied-but-unparseable values warn on stderr
 /// before falling back. Seeds accept both decimal and the `0x…` hex
-/// form the binaries print. `--topology` and `--transport
-/// {threads,process}` (`ENCORE_TRANSPORT`) are stricter: a malformed
-/// value is a hard error (exit 2), because silently dropping it would
-/// run the benchmark on a flat un-routed world — or on the wrong shard
-/// backend — and report numbers for an experiment nobody asked for.
+/// form the binaries print. `--topology`, `--transport
+/// {threads,process}` (`ENCORE_TRANSPORT`), `--streaming[=BOOL]`
+/// (`ENCORE_STREAMING`), and `--window DAYS` (`ENCORE_WINDOW`) are
+/// stricter: a malformed value is a hard error (exit 2), because
+/// silently dropping it would run the benchmark on a flat un-routed
+/// world, the wrong shard backend, or the wrong analytics pipeline —
+/// and report numbers for an experiment nobody asked for.
+///
+/// `--streaming` is a presence flag: bare it means `true`, and an
+/// explicit value uses the `--streaming=false` spelling (a
+/// space-separated value would be ambiguous with the next flag).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Root experiment seed.
@@ -48,6 +54,8 @@ pub struct RunArgs {
     min_speedup: Option<f64>,
     topology: Option<u64>,
     transport: Option<TransportKind>,
+    streaming: Option<bool>,
+    window_days: Option<u64>,
     out_dir: PathBuf,
 }
 
@@ -82,10 +90,22 @@ impl RunArgs {
             ("--min-speedup", "min_speedup"),
             ("--topology", "topology"),
             ("--transport", "transport"),
+            ("--window", "window"),
             ("--out", "out"),
         ];
         let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
+            // --streaming is a presence flag: bare means true; an
+            // explicit value must use the `=` spelling so it can never
+            // swallow the next flag.
+            if arg == "--streaming" {
+                values.insert("streaming", "true".to_string());
+                continue;
+            }
+            if let Some(v) = arg.strip_prefix("--streaming=") {
+                values.insert("streaming", v.to_string());
+                continue;
+            }
             for (flag, key) in flags {
                 if arg == flag {
                     // Never consume another flag as this flag's value —
@@ -112,6 +132,8 @@ impl RunArgs {
             ("ENCORE_MIN_SPEEDUP", "min_speedup"),
             ("ENCORE_TOPOLOGY", "topology"),
             ("ENCORE_TRANSPORT", "transport"),
+            ("ENCORE_STREAMING", "streaming"),
+            ("ENCORE_WINDOW", "window"),
             ("ENCORE_OUT", "out"),
         ];
         for (var, key) in envs {
@@ -240,6 +262,43 @@ impl RunArgs {
                 }
             },
         };
+        // Streaming selects an entire analytics pipeline; like the
+        // transport, a malformed value must not silently run the other
+        // pipeline and report its numbers.
+        let streaming = match values.get("streaming") {
+            None => None,
+            Some(raw) => match raw.as_str() {
+                "true" | "1" | "on" | "yes" => Some(true),
+                "false" | "0" | "off" | "no" => Some(false),
+                _ => {
+                    return Err(format!(
+                        "--streaming/ENCORE_STREAMING must be a boolean (got {raw:?}): \
+                         it selects between the exact and constant-memory analytics \
+                         pipelines"
+                    ));
+                }
+            },
+        };
+        // The analytics window sizes every streaming structure, so a
+        // malformed or zero span is a hard error, not a warn-and-default.
+        let window_days = match values.get("window") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(0) => {
+                    return Err("--window/ENCORE_WINDOW must be at least 1 day (got 0): a \
+                         zero-width analytics window can never close"
+                        .to_string());
+                }
+                Ok(v) => Some(v),
+                Err(_) => {
+                    return Err(format!(
+                        "--window/ENCORE_WINDOW must be a whole number of days \
+                         (got {raw:?}): the analytics window sizes every streaming \
+                         structure"
+                    ));
+                }
+            },
+        };
         Ok(RunArgs {
             seed: seed.unwrap_or(crate::DEFAULT_SEED),
             visits: parsed(&values, "visits"),
@@ -249,6 +308,8 @@ impl RunArgs {
             min_speedup: parsed(&values, "min_speedup"),
             topology,
             transport,
+            streaming,
+            window_days,
             out_dir: values
                 .get("out")
                 .map_or_else(|| PathBuf::from("results"), PathBuf::from),
@@ -295,6 +356,19 @@ impl RunArgs {
     /// [`TransportKind::Threads`]).
     pub fn transport(&self, default: TransportKind) -> TransportKind {
         self.transport.unwrap_or(default)
+    }
+
+    /// Constant-memory streaming analytics
+    /// (`--streaming[=BOOL]`/`ENCORE_STREAMING`), with a per-binary
+    /// default (the world bins default to exact mode).
+    pub fn streaming(&self, default: bool) -> bool {
+        self.streaming.unwrap_or(default)
+    }
+
+    /// Streaming analytics window in days
+    /// (`--window DAYS`/`ENCORE_WINDOW`), with a per-binary default.
+    pub fn window_days(&self, default: u64) -> u64 {
+        self.window_days.unwrap_or(default)
     }
 
     /// Directory JSON artifacts are written to (default `results/`).
@@ -546,6 +620,67 @@ mod tests {
         assert!(err.contains("Threads"), "error must echo the value: {err}");
         let err = try_args(&["--transport=sockets"], &[]).unwrap_err();
         assert!(err.contains("sockets"), "error must echo the value: {err}");
+    }
+
+    #[test]
+    fn run_args_streaming_flag_parses_and_hard_rejects_garbage() {
+        // Absent everywhere → the binary's default.
+        let a = try_args(&[], &[]).unwrap();
+        assert!(!a.streaming(false));
+        assert!(a.streaming(true));
+
+        // Bare presence flag means true — and never swallows the next
+        // flag as its value.
+        let a = try_args(&["--streaming", "--shards", "4"], &[]).unwrap();
+        assert!(a.streaming(false));
+        assert_eq!(a.shards(1), 4);
+
+        // Explicit value via the `=` spelling; CLI over env.
+        let a = try_args(&["--streaming=false"], &[("ENCORE_STREAMING", "true")]).unwrap();
+        assert!(!a.streaming(true));
+        let a = try_args(&[], &[("ENCORE_STREAMING", "1")]).unwrap();
+        assert!(a.streaming(false));
+        let a = try_args(&[], &[("ENCORE_STREAMING", "off")]).unwrap();
+        assert!(!a.streaming(true));
+
+        // A malformed boolean is a hard error: it must not silently
+        // benchmark the other analytics pipeline.
+        let err = try_args(&["--streaming=maybe"], &[]).unwrap_err();
+        assert!(
+            err.contains("--streaming/ENCORE_STREAMING"),
+            "unclear: {err}"
+        );
+        assert!(err.contains("maybe"), "error must echo the value: {err}");
+        let err = try_args(&[], &[("ENCORE_STREAMING", "2")]).unwrap_err();
+        assert!(err.contains("\"2\""), "error must echo the value: {err}");
+    }
+
+    #[test]
+    fn run_args_window_parses_days_and_hard_rejects_garbage() {
+        // Absent everywhere → the binary's default.
+        let a = try_args(&[], &[]).unwrap();
+        assert_eq!(a.window_days(7), 7);
+
+        // Both spellings; CLI over env.
+        let a = try_args(&["--window", "3"], &[("ENCORE_WINDOW", "9")]).unwrap();
+        assert_eq!(a.window_days(7), 3);
+        let a = try_args(&["--window=14"], &[]).unwrap();
+        assert_eq!(a.window_days(7), 14);
+        let a = try_args(&[], &[("ENCORE_WINDOW", "2")]).unwrap();
+        assert_eq!(a.window_days(7), 2);
+
+        // Zero, negative, and garbage windows are hard errors — the
+        // window sizes every streaming structure.
+        let err = try_args(&["--window", "0"], &[]).unwrap_err();
+        assert!(err.contains("at least 1 day"), "unclear: {err}");
+        let err = try_args(&["--window", "-2"], &[]).unwrap_err();
+        assert!(err.contains("-2"), "error must echo the value: {err}");
+        let err = try_args(&[], &[("ENCORE_WINDOW", "fortnight")]).unwrap_err();
+        assert!(err.contains("--window/ENCORE_WINDOW"), "unclear: {err}");
+        assert!(
+            err.contains("fortnight"),
+            "error must echo the value: {err}"
+        );
     }
 
     #[test]

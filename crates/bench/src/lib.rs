@@ -365,6 +365,35 @@ pub mod world_fixture {
             lift_day: lift,
         }
     }
+
+    /// The same verdict as [`judge_timeline`], judged from merged
+    /// bounded-memory streaming analytics instead of a record log —
+    /// what a `--streaming` run's windows are localised from. Both
+    /// paths share the detector and [`encore::localise_transitions`],
+    /// so "onset" and "lift" mean the same thing in either mode.
+    pub fn judge_timeline_streamed(
+        stats: &encore::streaming::StreamingStats,
+        cc: CountryCode,
+        domain: &str,
+    ) -> TimelineJudgment {
+        let reports = FilteringDetector::default().judge_streamed(stats);
+        let days: Vec<(u64, usize, bool)> = reports
+            .iter()
+            .map(|r| {
+                let flagged = r
+                    .detections
+                    .iter()
+                    .any(|d| d.country == cc && d.domain == domain);
+                (r.window, r.measurements, flagged)
+            })
+            .collect();
+        let (onset, lift) = encore::localise_transitions(days.iter().map(|&(w, _, f)| (w, f)));
+        TimelineJudgment {
+            days,
+            onset_day: onset,
+            lift_day: lift,
+        }
+    }
 }
 
 /// The shared adversarial-world fixture: a 30-day world under an

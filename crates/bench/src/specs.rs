@@ -28,6 +28,12 @@ pub enum BenchWorldSpec {
         days: u64,
         /// Visits per day per audience weight.
         rate: f64,
+        /// Run with bounded-memory streaming analytics (sketch +
+        /// reservoir + windowed fold-and-evict) instead of the exact
+        /// record log. Absent on the wire for exact runs, so
+        /// pre-streaming coordinators and workers interoperate.
+        #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+        streaming: bool,
     },
     /// The escalating adaptive-censor ladder ([`adaptive_fixture`]).
     Adaptive {
@@ -52,7 +58,22 @@ impl WorldSpec for BenchWorldSpec {
 
     fn recipe(&self) -> WorldRecipe {
         match *self {
-            BenchWorldSpec::Timeline { days, rate } => world_fixture::recipe(days, rate),
+            BenchWorldSpec::Timeline {
+                days,
+                rate,
+                streaming,
+            } => {
+                let recipe = world_fixture::recipe(days, rate);
+                if streaming {
+                    // Window = the fixture's daily rollup cadence, so
+                    // windows close exactly as rollups fire.
+                    recipe.with_streaming(population::StreamingSpec::with_window(
+                        sim_core::SimDuration::from_days(1),
+                    ))
+                } else {
+                    recipe
+                }
+            }
             BenchWorldSpec::Adaptive { days, rate } => adaptive_fixture::recipe(days, rate),
             BenchWorldSpec::Congested { days, rate } => congested_fixture::recipe(days, rate),
         }
@@ -80,6 +101,12 @@ mod tests {
             BenchWorldSpec::Timeline {
                 days: 30,
                 rate: 150.0,
+                streaming: false,
+            },
+            BenchWorldSpec::Timeline {
+                days: 30,
+                rate: 150.0,
+                streaming: true,
             },
             BenchWorldSpec::Adaptive {
                 days: 30,
@@ -97,6 +124,23 @@ mod tests {
     }
 
     #[test]
+    fn exact_timeline_spec_wire_bytes_are_pre_streaming() {
+        // Exact-mode specs must serialize without the streaming field
+        // at all, so a coordinator built at this revision can drive a
+        // pre-streaming worker (and vice versa via serde(default)).
+        let spec = BenchWorldSpec::Timeline {
+            days: 30,
+            rate: 150.0,
+            streaming: false,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !json.contains("streaming"),
+            "exact spec leaked the flag: {json}"
+        );
+    }
+
+    #[test]
     fn spec_recipe_matches_fixture_recipe() {
         // The spec is only honest if it rebuilds exactly the fixture
         // world the closures build. Recipes have no PartialEq (they
@@ -104,6 +148,7 @@ mod tests {
         let spec = BenchWorldSpec::Timeline {
             days: 12,
             rate: 150.0,
+            streaming: false,
         };
         assert_eq!(
             format!("{:?}", spec.recipe()),

@@ -14,14 +14,21 @@
 //! "after excluding erroneously contributed measurements (e.g., from Web
 //! crawlers)").
 
+use crate::streaming::{
+    CellEntry, CountMinSketch, DropCounters, IngestQueue, ReservoirEntry, ReservoirSample,
+    StreamingConfig, StreamingStats, WindowCells,
+};
 use crate::tasks::{MeasurementId, TaskOutcome, TaskType};
 use netsim::geo::CountryCode;
-use netsim::http::{ContentType, HttpRequest, HttpResponse};
+use netsim::http::{ContentType, HttpRequest, HttpResponse, StatusCode};
 use netsim::network::{HttpHandler, Network};
 use serde::{Deserialize, Serialize};
-use sim_core::{find_byte, find_either, FxBuildHasher, Interner, SimTime, Sym};
+use sim_core::{
+    find_byte, find_either, seeded_hash, splitmix_mix, FxBuildHasher, Interner, SimRng, SimTime,
+    Sym,
+};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -563,10 +570,32 @@ impl StoredMeasurement {
 /// record vector.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CollectionSnapshot {
-    /// Stored records, in canonical order.
+    /// Stored records, in canonical order. Empty in streaming mode —
+    /// the bounded [`StreamingStats`] state stands in for the record
+    /// log (the reservoir holds a uniform sample of what the log would
+    /// have contained).
     pub records: Vec<StoredMeasurement>,
     /// Malformed submissions dropped server-side.
     pub malformed: u64,
+    /// Streaming-mode analytics state. `None` in exact mode, and
+    /// skipped from the serialized form, so exact snapshots keep their
+    /// exact bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming: Option<StreamingStats>,
+}
+
+/// Merge two optional streaming states (associative; `None` is identity).
+fn merge_streaming_opt(
+    a: Option<StreamingStats>,
+    b: Option<StreamingStats>,
+) -> Option<StreamingStats> {
+    match (a, b) {
+        (Some(mut x), Some(y)) => {
+            x.merge(y);
+            Some(x)
+        }
+        (x, y) => x.or(y),
+    }
 }
 
 /// The canonical total order on stored measurements: received time first
@@ -574,7 +603,7 @@ pub struct CollectionSnapshot {
 /// tie-break so the order is deterministic for any record multiset.
 /// Compares by reference — no allocation per comparison, which keeps
 /// canonicalisation cheap on the hot merge path.
-fn canonical_cmp(a: &StoredMeasurement, b: &StoredMeasurement) -> std::cmp::Ordering {
+pub(crate) fn canonical_cmp(a: &StoredMeasurement, b: &StoredMeasurement) -> std::cmp::Ordering {
     fn key(r: &StoredMeasurement) -> impl Ord + '_ {
         let s = &r.submission;
         (
@@ -607,6 +636,7 @@ impl CollectionSnapshot {
     pub fn merge(mut self, other: &CollectionSnapshot) -> CollectionSnapshot {
         self.records.extend(other.records.iter().cloned());
         self.malformed += other.malformed;
+        self.streaming = merge_streaming_opt(self.streaming.take(), other.streaming.clone());
         self.canonicalize();
         self
     }
@@ -617,6 +647,7 @@ impl CollectionSnapshot {
     /// than the binary codec that delivered them.
     pub fn merge_owned(mut self, other: CollectionSnapshot) -> CollectionSnapshot {
         self.malformed += other.malformed;
+        self.streaming = merge_streaming_opt(self.streaming.take(), other.streaming);
         // Ordered-append fast path: both inputs are canonical (the
         // documented precondition), so when all of `other` sorts
         // at-or-after all of `self` — every chunk of a shard's in-order
@@ -701,6 +732,154 @@ struct RawRecord {
     received_at: SimTime,
 }
 
+/// Per-`(domain, client_ip)` counting state of one open window: the
+/// streaming form of `build_matrix`'s `per_ip` map plus the cell the
+/// capped records fold into.
+#[derive(Debug, Default, Clone, Copy)]
+struct IpCell {
+    /// Countable records seen (stops advancing at the per-ip cap, like
+    /// the exact detector's first-k rule).
+    seen: u64,
+    /// Records counted (≤ cap).
+    n: u64,
+    /// Successes among `n`.
+    x: u64,
+}
+
+/// One still-open detection window: submissions fold in as they arrive;
+/// IPs resolve to countries only when the window closes (the engine
+/// passes the allocator's resolver at rollup time).
+#[derive(Debug)]
+struct OpenWindow {
+    window: u64,
+    /// Result-phase submissions, before filters.
+    measurements: u64,
+    cells: HashMap<(Sym, Ipv4Addr), IpCell, FxBuildHasher>,
+    /// Hashes of exact wire tuples already accepted this window.
+    dedup: HashSet<u64, FxBuildHasher>,
+}
+
+/// The collection server's bounded streaming state (`Store.streaming`).
+#[derive(Debug)]
+struct StreamingState {
+    window_micros: u64,
+    dedup: bool,
+    exclude_crawlers: bool,
+    max_per_ip: Option<u64>,
+    discount_congestion: bool,
+    /// Priority stream for the reservoir (split per shard; the sample
+    /// merge is a union, so streams need not match across shards).
+    rng: SimRng,
+    sketch: CountMinSketch,
+    reservoir_capacity: u64,
+    reservoir_seen: u64,
+    /// Kept ascending by priority (ties broken by receive order).
+    reservoir: Vec<(u64, RawRecord)>,
+    queue: IngestQueue,
+    drops: DropCounters,
+    accepted: u64,
+    /// Windows below this index are closed and folded; late submissions
+    /// for them are dropped as `expired`.
+    watermark: u64,
+    /// Open windows, sorted by index (at most ~2 between rollups).
+    open: Vec<OpenWindow>,
+    /// Closed windows, sorted by index.
+    closed: Vec<WindowCells>,
+    /// Memo: target-URL sym → its domain's sym (None if the URL has no
+    /// host). Bounded by distinct target URLs.
+    domain_of: HashMap<Sym, Option<Sym>, FxBuildHasher>,
+    /// Memo: user-agent sym → crawler flag. Bounded by distinct UAs.
+    crawler_of: HashMap<Sym, bool, FxBuildHasher>,
+}
+
+impl StreamingState {
+    fn new(cfg: &StreamingConfig, sketch_seed: u64, rng: SimRng) -> StreamingState {
+        StreamingState {
+            window_micros: cfg.window.as_micros().max(1),
+            dedup: cfg.dedup,
+            exclude_crawlers: cfg.exclude_crawlers,
+            max_per_ip: cfg.max_per_ip,
+            discount_congestion: cfg.discount_congestion,
+            rng,
+            sketch: CountMinSketch::new(cfg.sketch_depth, cfg.sketch_width, sketch_seed),
+            reservoir_capacity: cfg.reservoir,
+            reservoir_seen: 0,
+            reservoir: Vec::new(),
+            queue: IngestQueue::new(cfg.queue_capacity, cfg.drain_per_sec),
+            drops: DropCounters::default(),
+            accepted: 0,
+            watermark: 0,
+            open: Vec::new(),
+            closed: Vec::new(),
+            domain_of: HashMap::default(),
+            crawler_of: HashMap::default(),
+        }
+    }
+
+    fn open_window_mut(&mut self, window: u64) -> &mut OpenWindow {
+        let i = match self.open.binary_search_by_key(&window, |w| w.window) {
+            Ok(i) => i,
+            Err(i) => {
+                self.open.insert(
+                    i,
+                    OpenWindow {
+                        window,
+                        measurements: 0,
+                        cells: HashMap::default(),
+                        dedup: HashSet::default(),
+                    },
+                );
+                i
+            }
+        };
+        &mut self.open[i]
+    }
+}
+
+/// Hash of a submission's full wire identity (every parsed field plus
+/// connection metadata), computed on the borrowed view — the duplicate
+/// gate compares these without allocating. A 64-bit collision silently
+/// drops one submission; at sim scales (≪ 2³²) that is beyond
+/// vanishing, and dedup is switchable off.
+fn dedup_key(parsed: &ParsedSubmission<'_>, ip: Ipv4Addr, now: SimTime) -> u64 {
+    let mut h = seeded_hash(0x00D5_D00D_F00D_0001, parsed.target_url_raw.as_bytes());
+    h = seeded_hash(h, parsed.user_agent_raw.as_bytes());
+    h = splitmix_mix(h ^ parsed.measurement_id.0);
+    h = splitmix_mix(h ^ u64::from(u32::from(ip)));
+    h = splitmix_mix(h ^ now.as_micros());
+    h = splitmix_mix(h ^ parsed.elapsed_ms);
+    let outcome_tag = match parsed.outcome {
+        None => 0u64,
+        Some(TaskOutcome::Success) => 1,
+        Some(TaskOutcome::Failure) => 2,
+    };
+    let tag = (parsed.phase as u64)
+        | ((parsed.task_type as u64) << 8)
+        | (outcome_tag << 16)
+        | ((parsed.congested as u64) << 24);
+    splitmix_mix(h ^ tag)
+}
+
+/// The tiny CORS-permissive response every accepted submission gets
+/// (shared by the exact and streaming paths so opting into streaming
+/// cannot change response bytes or timing for accepted traffic).
+fn accepted_response() -> HttpResponse {
+    let mut resp = HttpResponse::ok(ContentType::Other, 2).no_store();
+    resp.extra_headers
+        .push(("Access-Control-Allow-Origin".into(), "*".into()));
+    resp
+}
+
+/// 503 backpressure: the ingest queue is full and this submission is
+/// shed. Clients react exactly as to any failed submit — they try the
+/// collector mirrors, which share the store (and therefore the queue),
+/// so a saturated collector sheds deterministically.
+fn overloaded_response() -> HttpResponse {
+    let mut resp = HttpResponse::ok(ContentType::Other, 2).no_store();
+    resp.status = StatusCode(503);
+    resp
+}
+
 #[derive(Debug, Default)]
 struct Store {
     strings: Interner,
@@ -714,6 +893,27 @@ struct Store {
     /// of its decoded form — repeat submissions skip the decode and the
     /// intern hash of the longer decoded string entirely.
     raw_syms: HashMap<Box<str>, Sym, FxBuildHasher>,
+    /// Bounded-memory mode: when set, accepted submissions fold into
+    /// sketches/reservoirs/window cells instead of `records`.
+    streaming: Option<Box<StreamingState>>,
+}
+
+/// [`Store::sym_for_raw`] over destructured fields, so the streaming
+/// ingest path can hold the streaming state and the interner borrowed
+/// at once.
+fn sym_for_raw_in(
+    strings: &mut Interner,
+    decode_scratch: &mut String,
+    raw_syms: &mut HashMap<Box<str>, Sym, FxBuildHasher>,
+    raw: &str,
+) -> Sym {
+    if let Some(&sym) = raw_syms.get(raw) {
+        return sym;
+    }
+    pct_decode_into(decode_scratch, raw);
+    let sym = strings.intern(decode_scratch);
+    raw_syms.insert(raw.into(), sym);
+    sym
 }
 
 impl Store {
@@ -723,13 +923,243 @@ impl Store {
     /// spellings of the same decoded string still collapse to one sym
     /// via the interner.
     fn sym_for_raw(&mut self, raw: &str) -> Sym {
-        if let Some(&sym) = self.raw_syms.get(raw) {
-            return sym;
+        sym_for_raw_in(
+            &mut self.strings,
+            &mut self.decode_scratch,
+            &mut self.raw_syms,
+            raw,
+        )
+    }
+
+    /// Streaming-mode ingest. The rejection gates (queue admission,
+    /// parse, expiry, dedup) all run on the borrowed wire view — no
+    /// interning, decoding into owned strings, or record construction
+    /// happens until a submission is definitely accepted, so rejected
+    /// and duplicate traffic allocates nothing and grows nothing.
+    fn ingest_streaming(
+        &mut self,
+        req: &HttpRequest,
+        client_ip: Ipv4Addr,
+        now: SimTime,
+    ) -> HttpResponse {
+        {
+            let st = self.streaming.as_mut().expect("streaming enabled");
+            // Gate 1: bounded queue. On overload the server sheds with
+            // a 503 before even parsing; the congestion split peeks at
+            // the raw query (the flag's wire form is unambiguous).
+            if !st.queue.admit(now) {
+                st.drops.queue_full += 1;
+                if req.url.contains("cmh-cong=1") {
+                    st.drops.queue_full_congested += 1;
+                }
+                return overloaded_response();
+            }
         }
-        pct_decode_into(&mut self.decode_scratch, raw);
-        let sym = self.strings.intern(&self.decode_scratch);
-        self.raw_syms.insert(raw.into(), sym);
-        sym
+        // Gate 2: parse (borrowed view; same acceptance set as exact).
+        let Some(parsed) = parse_submission(&req.url) else {
+            self.malformed += 1;
+            return HttpResponse::not_found();
+        };
+        {
+            let st = self.streaming.as_mut().expect("streaming enabled");
+            let window = now.as_micros() / st.window_micros;
+            // Gate 3: expired — the window was already closed and
+            // folded. Acknowledged (the client did nothing wrong and
+            // must not retry mirrors) but counted and discarded.
+            if window < st.watermark {
+                st.drops.expired += 1;
+                return accepted_response();
+            }
+            // Gate 4: exact wire duplicate within its open window.
+            // Idempotent-accept semantics: acknowledged, not re-counted.
+            if st.dedup {
+                let key = dedup_key(&parsed, client_ip, now);
+                if !st.open_window_mut(window).dedup.insert(key) {
+                    st.drops.duplicate += 1;
+                    return accepted_response();
+                }
+            }
+        }
+        // Accepted: from here on interning/allocation is fine.
+        let Store {
+            strings,
+            decode_scratch,
+            raw_syms,
+            streaming,
+            ..
+        } = self;
+        let st = streaming.as_mut().expect("streaming enabled");
+        let target_url = sym_for_raw_in(strings, decode_scratch, raw_syms, parsed.target_url_raw);
+        let user_agent = sym_for_raw_in(strings, decode_scratch, raw_syms, parsed.user_agent_raw);
+        let referer = req.referer.as_deref().map(|r| strings.intern(r));
+        st.accepted += 1;
+
+        // Per-URL / per-origin tallies.
+        st.sketch.add_ns(
+            CountMinSketch::NS_URL,
+            strings.resolve(target_url).as_bytes(),
+            1,
+        );
+        if let Some(origin) = referer {
+            st.sketch.add_ns(
+                CountMinSketch::NS_ORIGIN,
+                strings.resolve(origin).as_bytes(),
+                1,
+            );
+        }
+
+        // Detector-equivalent window fold: the filter cascade below is
+        // `FilteringDetector::build_matrix` verbatim (phase → crawler →
+        // outcome → congestion discount → domain → per-ip cap), applied
+        // at ingest because the raw record will not exist at detect
+        // time. Country resolution (which exact mode applies just
+        // before the cap) is deferred to window close; with the
+        // engine's zero-error GeoDb the two orderings count the same
+        // records.
+        let domain = *st.domain_of.entry(target_url).or_insert_with(|| {
+            netsim::http::host_of(strings.resolve(target_url)).map(|d| strings.intern(&d))
+        });
+        let crawler = *st.crawler_of.entry(user_agent).or_insert_with(|| {
+            let ua = strings.resolve(user_agent).to_ascii_lowercase();
+            ua.contains("bot") || ua.contains("crawler") || ua.contains("scanner")
+        });
+        let window = now.as_micros() / st.window_micros;
+        let exclude_crawlers = st.exclude_crawlers;
+        let discount_congestion = st.discount_congestion;
+        let max_per_ip = st.max_per_ip;
+        let open = st.open_window_mut(window);
+        if parsed.phase == SubmissionPhase::Result {
+            open.measurements += 1;
+        }
+        let countable = parsed.phase == SubmissionPhase::Result
+            && !(exclude_crawlers && crawler)
+            && parsed.outcome.is_some()
+            && !(discount_congestion
+                && parsed.outcome == Some(TaskOutcome::Failure)
+                && parsed.congested);
+        if countable {
+            if let Some(domain) = domain {
+                let cell = open.cells.entry((domain, client_ip)).or_default();
+                let under_cap = max_per_ip.is_none_or(|cap| cell.seen < cap);
+                if under_cap {
+                    cell.seen += 1;
+                    cell.n += 1;
+                    if parsed.outcome == Some(TaskOutcome::Success) {
+                        cell.x += 1;
+                    }
+                }
+            }
+        }
+
+        // Reservoir: one priority draw per accepted submission; the
+        // record is only materialised if it enters the sample.
+        st.reservoir_seen += 1;
+        let priority = st.rng.next_u64();
+        let full = st.reservoir.len() as u64 >= st.reservoir_capacity;
+        let admit = !full || st.reservoir.last().is_some_and(|(max, _)| priority < *max);
+        if admit && st.reservoir_capacity > 0 {
+            let record = RawRecord {
+                measurement_id: parsed.measurement_id,
+                phase: parsed.phase,
+                outcome: parsed.outcome,
+                elapsed_ms: parsed.elapsed_ms,
+                task_type: parsed.task_type,
+                congested: parsed.congested,
+                target_url,
+                user_agent,
+                client_ip,
+                referer,
+                received_at: now,
+            };
+            let at = st.reservoir.partition_point(|(p, _)| *p <= priority);
+            st.reservoir.insert(at, (priority, record));
+            st.reservoir.truncate(st.reservoir_capacity as usize);
+        }
+        accepted_response()
+    }
+
+    /// Close every open window below `boundary`, resolving client IPs
+    /// to countries with `resolve` and folding the per-ip cells into
+    /// the sorted `(domain, country)` matrix the detector consumes.
+    /// Folding is additive, so the hash-map iteration order cannot
+    /// affect the result.
+    fn close_windows_below(
+        &mut self,
+        boundary: u64,
+        resolve: &mut dyn FnMut(Ipv4Addr) -> Option<CountryCode>,
+    ) {
+        let Store {
+            strings, streaming, ..
+        } = self;
+        let Some(st) = streaming.as_mut() else {
+            return;
+        };
+        st.watermark = st.watermark.max(boundary);
+        while let Some(pos) = st.open.iter().position(|w| w.window < boundary) {
+            let ow = st.open.remove(pos);
+            let mut folded: BTreeMap<(String, CountryCode), (u64, u64)> = BTreeMap::new();
+            for ((domain, ip), cell) in ow.cells {
+                if cell.n == 0 {
+                    continue;
+                }
+                let Some(country) = resolve(ip) else {
+                    continue;
+                };
+                let entry = folded
+                    .entry((strings.resolve(domain).to_string(), country))
+                    .or_default();
+                entry.0 += cell.n;
+                entry.1 += cell.x;
+            }
+            let wc = WindowCells {
+                window: ow.window,
+                measurements: ow.measurements,
+                cells: folded
+                    .into_iter()
+                    .map(|((domain, country), (n, x))| CellEntry {
+                        domain,
+                        country,
+                        n,
+                        x,
+                    })
+                    .collect(),
+            };
+            match st.closed.binary_search_by_key(&wc.window, |c| c.window) {
+                Ok(i) => st.closed[i].merge(wc),
+                Err(i) => st.closed.insert(i, wc),
+            }
+        }
+    }
+
+    /// The serialisable streaming state (closed windows only — callers
+    /// close open windows first; the engine does so in `finish`).
+    fn streaming_stats(&self) -> Option<StreamingStats> {
+        let st = self.streaming.as_deref()?;
+        let mut entries: Vec<ReservoirEntry> = st
+            .reservoir
+            .iter()
+            .map(|(priority, r)| ReservoirEntry {
+                priority: *priority,
+                record: self.resolve(r),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.priority
+                .cmp(&b.priority)
+                .then_with(|| canonical_cmp(&a.record, &b.record))
+        });
+        Some(StreamingStats {
+            window_micros: st.window_micros,
+            accepted: st.accepted,
+            sketch: st.sketch.clone(),
+            reservoir: ReservoirSample {
+                capacity: st.reservoir_capacity,
+                seen: st.reservoir_seen,
+                entries,
+            },
+            windows: st.closed.clone(),
+            drops: st.drops,
+        })
     }
 
     /// Rehydrate an interned record into the public owned form.
@@ -769,6 +1199,12 @@ impl HttpHandler for CollectorHandler {
         if !req.path().starts_with("/submit") {
             return HttpResponse::not_found();
         }
+        if self.store.borrow().streaming.is_some() {
+            return self
+                .store
+                .borrow_mut()
+                .ingest_streaming(req, client_ip, now);
+        }
         match parse_submission(&req.url) {
             Some(parsed) => {
                 let mut store = self.store.borrow_mut();
@@ -789,10 +1225,7 @@ impl HttpHandler for CollectorHandler {
                     received_at: now,
                 });
                 // Tiny CORS-permissive 204-ish response.
-                let mut resp = HttpResponse::ok(ContentType::Other, 2).no_store();
-                resp.extra_headers
-                    .push(("Access-Control-Allow-Origin".into(), "*".into()));
-                resp
+                accepted_response()
             }
             None => {
                 self.store.borrow_mut().malformed += 1;
@@ -849,29 +1282,146 @@ impl CollectionServer {
         url
     }
 
+    /// Switch this server into bounded streaming mode. Must be called
+    /// before any submission arrives; `sketch_seed` must be identical
+    /// on every shard (it defines the sketch's hash functions, which
+    /// element-wise merging relies on), while `rng` should be a
+    /// per-shard fork (reservoir priority streams merge by union).
+    pub fn enable_streaming(&self, cfg: &StreamingConfig, sketch_seed: u64, rng: SimRng) {
+        let mut store = self.store.borrow_mut();
+        assert!(
+            store.records.is_empty(),
+            "enable_streaming must precede ingest"
+        );
+        store.streaming = Some(Box::new(StreamingState::new(cfg, sketch_seed, rng)));
+    }
+
+    /// Whether this server is in streaming mode.
+    pub fn streaming_enabled(&self) -> bool {
+        self.store.borrow().streaming.is_some()
+    }
+
+    /// Close all detection windows that end at or before `up_to`,
+    /// resolving client IPs to countries with `resolve`. The engine
+    /// calls this as sim time crosses rollup boundaries; submissions
+    /// arriving for a closed window afterwards are dropped as expired.
+    /// No-op in exact mode.
+    pub fn close_windows(
+        &self,
+        up_to: SimTime,
+        mut resolve: impl FnMut(Ipv4Addr) -> Option<CountryCode>,
+    ) {
+        let mut store = self.store.borrow_mut();
+        let Some(st) = store.streaming.as_deref() else {
+            return;
+        };
+        let boundary = up_to.as_micros() / st.window_micros;
+        store.close_windows_below(boundary, &mut resolve);
+    }
+
+    /// Close every window, open or not (end of run). No-op in exact mode.
+    pub fn close_all_windows(&self, mut resolve: impl FnMut(Ipv4Addr) -> Option<CountryCode>) {
+        self.store
+            .borrow_mut()
+            .close_windows_below(u64::MAX, &mut resolve);
+    }
+
+    /// Per-cause drop counters (zero in exact mode, which never drops).
+    pub fn drops(&self) -> DropCounters {
+        self.store
+            .borrow()
+            .streaming
+            .as_deref()
+            .map(|st| st.drops)
+            .unwrap_or_default()
+    }
+
+    /// Approximate resident bytes of the analytics state: in exact mode
+    /// the record log (which grows with every visit); in streaming mode
+    /// the sketch + reservoir + window cells + open-window state (which
+    /// do not). The `memory_scale` gate graphs this across visit counts.
+    pub fn resident_analytics_bytes(&self) -> usize {
+        let store = self.store.borrow();
+        match store.streaming.as_deref() {
+            None => store.records.capacity() * std::mem::size_of::<RawRecord>(),
+            Some(st) => {
+                let open: usize = st
+                    .open
+                    .iter()
+                    .map(|w| {
+                        w.cells.len()
+                            * (std::mem::size_of::<(Sym, Ipv4Addr)>()
+                                + std::mem::size_of::<IpCell>())
+                            + w.dedup.len() * std::mem::size_of::<u64>()
+                    })
+                    .sum();
+                let closed: usize = st
+                    .closed
+                    .iter()
+                    .map(|w| {
+                        std::mem::size_of::<WindowCells>()
+                            + w.cells
+                                .iter()
+                                .map(|c| std::mem::size_of::<CellEntry>() + c.domain.len())
+                                .sum::<usize>()
+                    })
+                    .sum();
+                st.sketch.resident_bytes()
+                    + st.reservoir.capacity() * std::mem::size_of::<(u64, RawRecord)>()
+                    + open
+                    + closed
+            }
+        }
+    }
+
     /// Snapshot of all stored records (resolving interned strings back to
     /// owned form — serialization and analysis see the same bytes as the
-    /// pre-interning store produced).
+    /// pre-interning store produced). In streaming mode the record log
+    /// does not exist; this returns the reservoir sample's records in
+    /// canonical order.
     pub fn records(&self) -> Vec<StoredMeasurement> {
         let store = self.store.borrow();
+        if let Some(st) = store.streaming.as_deref() {
+            let mut records: Vec<StoredMeasurement> =
+                st.reservoir.iter().map(|(_, r)| store.resolve(r)).collect();
+            records.sort_by(canonical_cmp);
+            return records;
+        }
         store.records.iter().map(|r| store.resolve(r)).collect()
     }
 
     /// Detach a canonical, thread-portable snapshot of the store (records
-    /// plus the malformed counter) for merging and analysis.
+    /// plus the malformed counter) for merging and analysis. In streaming
+    /// mode `records` is empty and `streaming` carries the bounded state;
+    /// only windows already closed are included, so callers close windows
+    /// (the engine's `finish` does) before snapshotting.
     pub fn snapshot(&self) -> CollectionSnapshot {
         let store = self.store.borrow();
+        if let Some(stats) = store.streaming_stats() {
+            return CollectionSnapshot {
+                records: Vec::new(),
+                malformed: store.malformed,
+                streaming: Some(stats),
+            };
+        }
         let mut snap = CollectionSnapshot {
             records: store.records.iter().map(|r| store.resolve(r)).collect(),
             malformed: store.malformed,
+            streaming: None,
         };
         snap.canonicalize();
         snap
     }
 
-    /// Number of stored records.
+    /// Number of stored records; in streaming mode, the number of
+    /// accepted submissions (the record log's length had it existed,
+    /// minus drops — identical whenever nothing was dropped).
     pub fn len(&self) -> usize {
-        self.store.borrow().records.len()
+        let store = self.store.borrow();
+        match store.streaming.as_deref() {
+            Some(st) => st.accepted as usize,
+            None => store.records.len(),
+        }
     }
 
     /// Whether nothing has been stored.
@@ -1083,10 +1633,12 @@ mod tests {
         let a = CollectionSnapshot {
             records: vec![stored(2, [100, 0, 0, 9], 5), stored(1, [100, 0, 0, 9], 5)],
             malformed: 1,
+            streaming: None,
         };
         let b = CollectionSnapshot {
             records: vec![stored(3, [100, 1, 0, 9], 2)],
             malformed: 2,
+            streaming: None,
         };
         let ab = a.clone().merge(&b);
         let ba = b.clone().merge(&a);
@@ -1122,6 +1674,274 @@ mod tests {
             received_at: SimTime::ZERO,
         };
         assert!(!human.is_crawler());
+    }
+
+    fn streaming_server(net: &mut Network, cfg: &StreamingConfig) -> CollectionServer {
+        let server = CollectionServer::new("collector.example");
+        server.install(net, country("US"));
+        server.enable_streaming(cfg, 0x00C0_FFEE, SimRng::new(99));
+        server
+    }
+
+    #[test]
+    fn streaming_counts_accepted_and_samples() {
+        let mut net = Network::ideal(World::builtin());
+        let server = streaming_server(&mut net, &StreamingConfig::default());
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        for i in 0..5u64 {
+            let sub = Submission {
+                measurement_id: MeasurementId(i),
+                ..submission()
+            };
+            let url = server.submit_url(&sub);
+            net.fetch(
+                &client,
+                &HttpRequest::get(&url),
+                SimTime::from_secs(i),
+                &mut rng,
+            );
+        }
+        assert!(server.streaming_enabled());
+        assert_eq!(server.len(), 5, "len() counts accepted submissions");
+        assert_eq!(server.records().len(), 5, "reservoir holds the sample");
+        let snap = server.snapshot();
+        let stats = snap.streaming.expect("streaming stats");
+        assert_eq!(stats.accepted, 5);
+        assert_eq!(stats.reservoir.seen, 5);
+        assert_eq!(
+            stats
+                .sketch
+                .estimate_ns(CountMinSketch::NS_URL, b"http://youtube.com/favicon.ico"),
+            5
+        );
+        assert!(snap.records.is_empty(), "no record log in streaming mode");
+        assert_eq!(stats.drops.total(), 0);
+    }
+
+    #[test]
+    fn streaming_duplicate_rejected_without_growth() {
+        let mut net = Network::ideal(World::builtin());
+        let server = streaming_server(&mut net, &StreamingConfig::default());
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let url = server.submit_url(&submission());
+        // Same wire tuple, same instant, same ip: the second is an exact
+        // duplicate and must be acknowledged but not re-counted.
+        net.fetch(
+            &client,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(3),
+            &mut rng,
+        );
+        let before = server.snapshot();
+        let out = net.fetch(
+            &client,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(3),
+            &mut rng,
+        );
+        assert!(out.result.is_ok_and(|r| r.status.is_success()));
+        let after = server.snapshot();
+        assert_eq!(server.drops().duplicate, 1);
+        assert_eq!(after.streaming.as_ref().unwrap().accepted, 1);
+        assert_eq!(
+            before.streaming.as_ref().unwrap().sketch,
+            after.streaming.as_ref().unwrap().sketch,
+            "a rejected duplicate must not touch the analytics state"
+        );
+        // A later identical tuple at a different instant is NOT a
+        // duplicate (received_at is part of the wire identity).
+        net.fetch(
+            &client,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(4),
+            &mut rng,
+        );
+        assert_eq!(server.len(), 2);
+    }
+
+    #[test]
+    fn streaming_expired_submissions_dropped() {
+        let mut net = Network::ideal(World::builtin());
+        let cfg = StreamingConfig::with_window(sim_core::SimDuration::from_secs(10));
+        let server = streaming_server(&mut net, &cfg);
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let url = server.submit_url(&submission());
+        net.fetch(
+            &client,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(5),
+            &mut rng,
+        );
+        // Close windows [0, 10): watermark advances past window 0.
+        server.close_windows(SimTime::from_secs(10), |_| Some(country("US")));
+        // A straggler for the closed window arrives afterwards.
+        net.fetch(
+            &client,
+            &HttpRequest::get(&url),
+            SimTime::from_secs(9),
+            &mut rng,
+        );
+        assert_eq!(server.drops().expired, 1);
+        assert_eq!(server.len(), 1);
+        let stats = server.snapshot().streaming.unwrap();
+        assert_eq!(stats.windows.len(), 1);
+        assert_eq!(stats.windows[0].measurements, 1);
+    }
+
+    #[test]
+    fn streaming_queue_full_sheds_with_backpressure() {
+        let mut net = Network::ideal(World::builtin());
+        let cfg = StreamingConfig {
+            queue_capacity: 1,
+            drain_per_sec: 0,
+            ..StreamingConfig::default()
+        };
+        let server = streaming_server(&mut net, &cfg);
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let url = server.submit_url(&submission());
+        let first = net.fetch(&client, &HttpRequest::get(&url), SimTime::ZERO, &mut rng);
+        assert!(first.result.is_ok_and(|r| r.status.is_success()));
+        let congested_url = server.submit_url(&Submission {
+            congested: true,
+            ..submission()
+        });
+        let shed = net.fetch(
+            &client,
+            &HttpRequest::get(&congested_url),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(
+            shed.result.is_ok_and(|r| r.status == StatusCode(503)),
+            "overload must answer 503, not silently accept"
+        );
+        let drops = server.drops();
+        assert_eq!(drops.queue_full, 1);
+        assert_eq!(drops.queue_full_congested, 1);
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn streaming_verdicts_match_exact_on_identical_traffic() {
+        use crate::geo::GeoDb;
+        use crate::inference::FilteringDetector;
+        let window = sim_core::SimDuration::from_secs(100);
+        let mut net = Network::ideal(World::builtin());
+        let exact = CollectionServer::new("exact.example");
+        exact.install(&mut net, country("US"));
+        let streaming = CollectionServer::new("collector.example");
+        streaming.install(&mut net, country("US"));
+        streaming.enable_streaming(
+            &StreamingConfig::with_window(window),
+            0x00C0_FFEE,
+            SimRng::new(99),
+        );
+        let mut rng = SimRng::new(2);
+        let mut clients = Vec::new();
+        for cc in ["TR", "TR", "TR", "US", "US", "US"] {
+            clients.push(net.add_client(country(cc), IspClass::Residential));
+        }
+        let mut id = 0u64;
+        let submit = |net: &mut Network, c: usize, sub: Submission, at: u64, rng: &mut SimRng| {
+            for domain in ["exact.example", "collector.example"] {
+                let mut url = String::new();
+                write_submit_url(&mut url, domain, &sub.parts());
+                let req = HttpRequest::get(&url).with_referer("http://origin.example/");
+                net.fetch(&clients[c], &req, SimTime::from_secs(at), rng);
+            }
+        };
+        // Two windows: TR fails in the second window only; US always
+        // succeeds; crawler + congested noise sprinkled in; one TR
+        // client floods past the per-ip cap.
+        for w in 0..2u64 {
+            for rep in 0..12u64 {
+                for c in 0..clients.len() {
+                    id += 1;
+                    let tr = c < 3;
+                    let outcome = if tr && w == 1 {
+                        TaskOutcome::Failure
+                    } else {
+                        TaskOutcome::Success
+                    };
+                    let sub = Submission {
+                        measurement_id: MeasurementId(id),
+                        outcome: Some(outcome),
+                        user_agent: if rep == 7 {
+                            "GoogleBot".into()
+                        } else {
+                            "Chrome".into()
+                        },
+                        congested: rep == 5 && outcome == TaskOutcome::Failure,
+                        ..submission()
+                    };
+                    submit(&mut net, c, sub, w * 100 + rep * 3, &mut rng);
+                }
+            }
+            // Flood: one TR client repeats far past the cap of 10.
+            for _ in 0..40 {
+                id += 1;
+                let sub = Submission {
+                    measurement_id: MeasurementId(id),
+                    outcome: Some(TaskOutcome::Failure),
+                    ..submission()
+                };
+                submit(&mut net, 0, sub, w * 100 + 50, &mut rng);
+            }
+        }
+        let geo = GeoDb::from_allocator(&net.allocator);
+        let detector = FilteringDetector::default();
+        let exact_reports = detector.detect_windows(&exact.records(), &geo, window);
+        let alloc = net.allocator.clone();
+        streaming.close_all_windows(|ip| alloc.country_of(ip));
+        let stats = streaming.snapshot().streaming.unwrap();
+        let streamed_reports = detector.judge_streamed(&stats);
+        assert_eq!(
+            exact_reports, streamed_reports,
+            "streamed fold must reproduce the exact per-window verdicts"
+        );
+        assert!(
+            !streamed_reports[1].detections.is_empty(),
+            "fixture should actually detect the TR block"
+        );
+    }
+
+    #[test]
+    fn streaming_resident_bytes_do_not_scale_with_accepted() {
+        let mut net = Network::ideal(World::builtin());
+        let server = streaming_server(&mut net, &StreamingConfig::default());
+        let client = net.add_client(country("US"), IspClass::Residential);
+        let mut rng = SimRng::new(1);
+        let mut feed = |n: u64, base: u64, server: &CollectionServer| {
+            for i in 0..n {
+                let sub = Submission {
+                    measurement_id: MeasurementId(base + i),
+                    elapsed_ms: i,
+                    ..submission()
+                };
+                let url = server.submit_url(&sub);
+                net.fetch(
+                    &client,
+                    &HttpRequest::get(&url),
+                    SimTime::from_secs(base + i),
+                    &mut rng,
+                );
+            }
+        };
+        feed(600, 0, &server);
+        let at_600 = server.resident_analytics_bytes();
+        feed(3000, 600, &server);
+        let at_3600 = server.resident_analytics_bytes();
+        // Reservoir is full by 600; further growth is only open-window
+        // cell state (bounded by distinct (domain, ip) pairs — one here)
+        // plus dedup hashes for the open window.
+        assert!(
+            at_3600 < at_600 + 64 * 1024,
+            "streaming state must stay bounded: {at_600} -> {at_3600}"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   stripping.
 //! * [`inference`] — the §7.2 detection algorithm: a one-sided binomial
 //!   hypothesis test per (resource, region) with cross-region control.
+//! * [`streaming`] — bounded-memory analytics (count-min sketches,
+//!   mergeable reservoir samples, windowed success matrices, bounded
+//!   ingest with drop accounting) for heavy-traffic runs.
 //! * [`system`] — the assembled deployment: origin sites, servers, and
 //!   the full visit flow of Figure 2.
 
@@ -35,6 +38,7 @@ pub mod geo;
 pub mod inference;
 pub mod pipeline;
 pub mod reports;
+pub mod streaming;
 pub mod system;
 pub mod targets;
 pub mod tasks;
@@ -51,6 +55,10 @@ pub use inference::{
 };
 pub use pipeline::{GenerationConfig, HarAnalysis, PatternExpander, TargetFetcher, TaskGenerator};
 pub use reports::{country_reports, render_markdown, CountryReport};
+pub use streaming::{
+    merge_window_cells, CellEntry, CountMinSketch, DropCounters, IngestQueue, ReservoirEntry,
+    ReservoirSample, StreamingConfig, StreamingStats, WindowCells,
+};
 pub use system::{EncoreSystem, VisitOutcome};
 pub use targets::{EthicsStage, TargetList};
 pub use tasks::{execute_task, MeasurementId, MeasurementTask, TaskOutcome, TaskSpec, TaskType};

@@ -114,3 +114,185 @@ proptest! {
         prop_assert!(js.contains("success"));
     }
 }
+
+/// Laws the streaming analytics structures must satisfy for the
+/// bounded-memory pipeline to be sound: the sketch never under-counts
+/// (serially or across shard merges) and stays inside the ε·N error
+/// envelope, and the reservoir's bottom-k merge is a commutative
+/// monoid that agrees with serial sampling under any stream split.
+mod streaming_props {
+    use super::*;
+    use encore::collection::{StoredMeasurement, Submission, SubmissionPhase};
+    use encore::streaming::{CountMinSketch, ReservoirSample};
+    use encore::tasks::{TaskOutcome, TaskType};
+    use std::collections::BTreeMap;
+    use std::net::Ipv4Addr;
+
+    /// An arbitrary workload of (namespace, key, count) additions drawn
+    /// from a small key universe so streams genuinely revisit keys.
+    fn arb_workload() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+        proptest::collection::vec((0u8..2, 0u64..24, 1u64..50), 1..40).prop_map(|v| {
+            v.into_iter()
+                .map(|(ns, key, count)| ([b'u', b'o'][ns as usize], key, count))
+                .collect()
+        })
+    }
+
+    fn exact_counts(workload: &[(u8, u64, u64)]) -> BTreeMap<(u8, u64), u64> {
+        let mut exact = BTreeMap::new();
+        for &(ns, key, count) in workload {
+            *exact.entry((ns, key)).or_insert(0u64) += count;
+        }
+        exact
+    }
+
+    /// A structurally arbitrary record (the reservoir treats records as
+    /// opaque payloads; only the canonical tie-break order ever looks
+    /// inside).
+    fn meas(id: u64) -> StoredMeasurement {
+        StoredMeasurement {
+            submission: Submission {
+                measurement_id: MeasurementId(id),
+                phase: SubmissionPhase::Result,
+                outcome: Some(TaskOutcome::Success),
+                elapsed_ms: id % 900,
+                task_type: TaskType::Image,
+                target_url: format!("http://d{}.example/favicon.ico", id % 7),
+                user_agent: "Firefox".into(),
+                congested: false,
+            },
+            client_ip: Ipv4Addr::new(10, (id >> 16) as u8, (id >> 8) as u8, id as u8),
+            referer: None,
+            received_at: SimTime::from_millis(id),
+        }
+    }
+
+    /// Distinct priorities for `n` offers — unique by construction so
+    /// the split/serial comparison cannot hinge on tie-break order.
+    fn priorities(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SimRng::new(seed);
+        (0..n as u64)
+            .map(|i| (rng.range_u64(0, 1 << 40) << 12) | i)
+            .collect()
+    }
+
+    proptest! {
+        /// Count-min never under-counts, and over-counts by at most
+        /// ε·N with ε = e/width (the classic bound; conservative
+        /// update only tightens it).
+        #[test]
+        fn sketch_never_undercounts_and_respects_epsilon_n(
+            workload in arb_workload(),
+            seed in any::<u64>(),
+        ) {
+            let mut sketch = CountMinSketch::new(4, 1024, seed);
+            for &(ns, key, count) in &workload {
+                sketch.add_ns(ns, &key.to_le_bytes(), count);
+            }
+            let exact = exact_counts(&workload);
+            let n: u64 = exact.values().sum();
+            prop_assert_eq!(sketch.items(), n);
+            let slack = (std::f64::consts::E / f64::from(sketch.width()) * n as f64).ceil() as u64;
+            for (&(ns, key), &true_count) in &exact {
+                let est = sketch.estimate_ns(ns, &key.to_le_bytes());
+                prop_assert!(est >= true_count, "undercount: {est} < {true_count}");
+                prop_assert!(
+                    est <= true_count + slack,
+                    "over ε·N: {est} > {true_count} + {slack}"
+                );
+            }
+        }
+
+        /// Splitting a stream across shards and merging the per-shard
+        /// sketches keeps the no-undercount guarantee and the exact
+        /// item total, and the element-wise merge is associative and
+        /// commutative with the empty sketch as identity.
+        #[test]
+        fn sketch_merge_is_sound_and_monoidal(
+            workload in arb_workload(),
+            mask in any::<u64>(),
+            seed in any::<u64>(),
+        ) {
+            let dims = |w: &[(u8, u64, u64)]| {
+                let mut s = CountMinSketch::new(4, 1024, seed);
+                for &(ns, key, count) in w {
+                    s.add_ns(ns, &key.to_le_bytes(), count);
+                }
+                s
+            };
+            let (a, b): (Vec<_>, Vec<_>) = workload
+                .iter()
+                .enumerate()
+                .partition(|(i, _)| mask >> (i % 64) & 1 == 0);
+            let strip = |v: Vec<(usize, &(u8, u64, u64))>| {
+                v.into_iter().map(|(_, e)| *e).collect::<Vec<_>>()
+            };
+            let (sa, sb) = (dims(&strip(a)), dims(&strip(b)));
+            let mut merged = sa.clone();
+            merged.merge(&sb);
+            let exact = exact_counts(&workload);
+            prop_assert_eq!(merged.items(), exact.values().sum::<u64>());
+            for (&(ns, key), &true_count) in &exact {
+                prop_assert!(merged.estimate_ns(ns, &key.to_le_bytes()) >= true_count);
+            }
+            // Monoid laws on the counter arrays themselves.
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(&ab, &ba, "commutativity");
+            let sc = dims(&workload);
+            let mut left = ab.clone();
+            left.merge(&sc);
+            let mut bc = sb.clone();
+            bc.merge(&sc);
+            let mut right = sa.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right, "associativity");
+            let mut with_id = sa.clone();
+            with_id.merge(&CountMinSketch::new(4, 1024, seed));
+            prop_assert_eq!(&with_id, &sa, "identity");
+        }
+
+        /// Bottom-k reservoir merge is associative and commutative with
+        /// the empty sample as identity, and merging per-shard samples
+        /// of any stream split reproduces the serial sample exactly.
+        #[test]
+        fn reservoir_merge_is_monoidal_and_split_invariant(
+            n in 1usize..60,
+            capacity in 1u64..12,
+            mask in any::<u64>(),
+            seed in any::<u64>(),
+        ) {
+            let prio = priorities(seed, n);
+            let mut serial = ReservoirSample::new(capacity);
+            let mut parts = [ReservoirSample::new(capacity), ReservoirSample::new(capacity)];
+            for i in 0..n {
+                serial.offer(prio[i], meas(i as u64));
+                parts[(mask >> (i % 64) & 1) as usize].offer(prio[i], meas(i as u64));
+            }
+            let [pa, pb] = parts;
+            let mut split = pa.clone();
+            split.merge(pb.clone());
+            prop_assert_eq!(&split, &serial, "split == serial");
+            prop_assert_eq!(serial.seen, n as u64);
+            prop_assert!(serial.len() as u64 <= capacity);
+            // Monoid laws.
+            let mut ab = pa.clone();
+            ab.merge(pb.clone());
+            let mut ba = pb.clone();
+            ba.merge(pa.clone());
+            prop_assert_eq!(&ab, &ba, "commutativity");
+            let mut left = ab.clone();
+            left.merge(serial.clone());
+            let mut bc = pb.clone();
+            bc.merge(serial.clone());
+            let mut right = pa.clone();
+            right.merge(bc);
+            prop_assert_eq!(&left, &right, "associativity");
+            let mut with_id = pa.clone();
+            with_id.merge(ReservoirSample::new(capacity));
+            prop_assert_eq!(&with_id, &pa, "identity");
+        }
+    }
+}

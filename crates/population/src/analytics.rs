@@ -136,6 +136,149 @@ impl<'a> IntoIterator for &'a RollupSeries {
     }
 }
 
+/// The fold of a set of evicted (closed) rollup points — what remains
+/// of a rollup series after windowed eviction. Rollup counters are
+/// cumulative, so the fold needs only the number of points folded away
+/// and the last point's values; prepending the fold's `last` to the
+/// resident tail reconstructs the step function the full series would
+/// have sampled from that point on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RollupFold {
+    /// Rollup points folded (evicted) into this summary.
+    pub points: u64,
+    /// The most recent evicted point.
+    pub last: Option<Rollup>,
+}
+
+impl RollupFold {
+    /// Fold one more (later) rollup point in.
+    pub fn absorb(&mut self, r: Rollup) {
+        debug_assert!(
+            self.last.is_none_or(|l| l.at <= r.at),
+            "folds are time-ordered"
+        );
+        self.points += 1;
+        self.last = Some(r);
+    }
+
+    /// Fold an entire series (the end-of-run equivalent the windowed
+    /// fold-and-evict is property-tested against).
+    pub fn of_series(rollups: &[Rollup]) -> RollupFold {
+        let mut fold = RollupFold::default();
+        for &r in rollups {
+            fold.absorb(r);
+        }
+        fold
+    }
+}
+
+impl Merge for RollupFold {
+    /// Shards evict on the same broadcast rollup schedule, so `points`
+    /// agree and merge by max; `last` values are cumulative per-shard
+    /// counters sampled at the latest evicted instant, so they sum (a
+    /// shard whose arrivals ran out early carries its final value
+    /// forward, matching [`RollupSeries`]'s step-function merge).
+    fn merge(self, other: RollupFold) -> RollupFold {
+        let last = match (self.last, other.last) {
+            (Some(a), Some(b)) => Some(Rollup {
+                at: a.at.max(b.at),
+                visits: a.visits + b.visits,
+                collected: a.collected + b.collected,
+            }),
+            (a, b) => a.or(b),
+        };
+        RollupFold {
+            points: self.points.max(other.points),
+            last,
+        }
+    }
+}
+
+/// A rollup series that keeps only the trailing `window` points
+/// resident, folding older points into a [`RollupFold`] as new ones
+/// arrive — the engine's streaming-mode replacement for the unbounded
+/// [`RollupSeries`], making peak resident rollups O(window) instead of
+/// O(days).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowedRollups {
+    window: usize,
+    resident: std::collections::VecDeque<Rollup>,
+    folded: RollupFold,
+}
+
+impl WindowedRollups {
+    /// Keep at most `window` rollup points resident (min 1).
+    pub fn new(window: usize) -> WindowedRollups {
+        WindowedRollups {
+            window: window.max(1),
+            resident: std::collections::VecDeque::new(),
+            folded: RollupFold::default(),
+        }
+    }
+
+    /// Append a rollup, evicting the oldest resident point into the
+    /// fold if the window is full.
+    pub fn push(&mut self, r: Rollup) {
+        self.resident.push_back(r);
+        while self.resident.len() > self.window {
+            let evicted = self.resident.pop_front().expect("non-empty");
+            self.folded.absorb(evicted);
+        }
+    }
+
+    /// The resident (most recent) points, oldest first.
+    pub fn resident(&self) -> impl Iterator<Item = &Rollup> {
+        self.resident.iter()
+    }
+
+    /// Resident point count (≤ window).
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// The fold of everything evicted so far.
+    pub fn folded(&self) -> RollupFold {
+        self.folded
+    }
+
+    /// Decompose into the resident tail (as a series) and the fold.
+    pub fn into_parts(self) -> (RollupSeries, RollupFold) {
+        (
+            RollupSeries(self.resident.into_iter().collect()),
+            self.folded,
+        )
+    }
+}
+
+/// Streaming-mode summary of a world run: what the engine reports
+/// instead of unbounded per-day state. Rides the `FINAL` transport
+/// frame next to the exact-mode counters; absent (and unserialized) in
+/// exact mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Resident rollup window (points kept in full).
+    pub window: u64,
+    /// Fold of the evicted rollup points.
+    pub evicted: RollupFold,
+    /// Collection-server per-cause drop accounting.
+    pub drops: encore::streaming::DropCounters,
+    /// Submissions the collection server accepted.
+    pub accepted: u64,
+}
+
+impl Merge for StreamSummary {
+    fn merge(self, other: StreamSummary) -> StreamSummary {
+        let mut drops = self.drops;
+        drops.merge(&other.drops);
+        StreamSummary {
+            window: self.window.max(other.window),
+            evicted: self.evicted.merge(other.evicted),
+            drops,
+            accepted: self.accepted + other.accepted,
+        }
+    }
+}
+
 /// An associative combine for shard outputs.
 ///
 /// Laws (property-tested in `crates/population/tests/prop.rs`):
@@ -223,8 +366,13 @@ impl Merge for WorldOutcome {
     /// `policy_changes_applied` and `control_signals_applied` —
     /// *control-plane* facts replicated on every shard by the broadcast,
     /// not additive counters — merge by maximum (shards agree on them
-    /// whenever they replayed the same control schedule).
+    /// whenever they replayed the same control schedule). Streaming
+    /// summaries, when present, merge through [`StreamSummary`]'s impl.
     fn merge(self, other: WorldOutcome) -> WorldOutcome {
+        let streaming = match (self.streaming, other.streaming) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            (a, b) => a.or(b),
+        };
         WorldOutcome {
             log: merge_time_ordered(self.log, other.log, |v| v.at),
             report: self.report.merge(&other.report),
@@ -235,6 +383,7 @@ impl Merge for WorldOutcome {
             control_signals_applied: self
                 .control_signals_applied
                 .max(other.control_signals_applied),
+            streaming,
         }
     }
 }
@@ -511,6 +660,7 @@ mod tests {
             rollups: RollupSeries(vec![roll(10, 2, 0)]),
             policy_changes_applied: 2,
             control_signals_applied: 3,
+            streaming: None,
         };
         let b = WorldOutcome {
             log: vec![v(3, "TR")],
@@ -518,6 +668,7 @@ mod tests {
             rollups: RollupSeries(vec![roll(10, 1, 0)]),
             policy_changes_applied: 2,
             control_signals_applied: 3,
+            streaming: None,
         };
         let m = a.merge(b);
         let order: Vec<u64> = m.log.iter().map(|r| r.at.as_secs()).collect();
@@ -534,5 +685,91 @@ mod tests {
         assert_eq!(a.total_visits, 0);
         assert_eq!(a.frac_over_10s, 0.0);
         assert_eq!(a.fraction_from(&[country("US")]), 0.0);
+    }
+
+    #[test]
+    fn windowed_rollups_fold_equals_end_of_run_fold() {
+        let points: Vec<Rollup> = (1..=10).map(|i| roll(i * 5, i * 3, i as usize)).collect();
+        let mut windowed = WindowedRollups::new(3);
+        for &r in &points {
+            windowed.push(r);
+        }
+        assert_eq!(windowed.resident_len(), 3);
+        let (resident, fold) = windowed.clone().into_parts();
+        assert_eq!(resident.0, points[7..]);
+        // Fold of the evicted prefix == folding those same points
+        // directly: eviction order is arrival order.
+        assert_eq!(fold, RollupFold::of_series(&points[..7]));
+        // Resident tail + fold reconstructs the full series' fold.
+        let mut total = fold;
+        for r in windowed.resident() {
+            total.absorb(*r);
+        }
+        assert_eq!(total, RollupFold::of_series(&points));
+    }
+
+    #[test]
+    fn rollup_fold_merge_is_associative_with_identity() {
+        let f = |points: &[Rollup]| RollupFold::of_series(points);
+        let a = f(&[roll(10, 4, 1), roll(20, 9, 3)]);
+        let b = f(&[roll(10, 2, 0), roll(20, 5, 1)]);
+        let c = f(&[roll(10, 1, 1)]);
+        assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        let id = RollupFold::default();
+        assert_eq!(a.merge(id), a);
+        assert_eq!(id.merge(a), a);
+        // Same rollup schedule on both shards: points agree (max), the
+        // last evicted point's cumulative counters sum.
+        let m = a.merge(b);
+        assert_eq!(m.points, 2);
+        assert_eq!(m.last, Some(roll(20, 14, 4)));
+        // A shard that stopped evicting earlier carries its last value
+        // forward, like RollupSeries' step-function merge tail.
+        let m = a.merge(c);
+        assert_eq!(m.points, 2);
+        assert_eq!(m.last, Some(roll(20, 10, 4)));
+    }
+
+    #[test]
+    fn stream_summary_merges_drops_and_accepted_additively() {
+        let a = StreamSummary {
+            window: 8,
+            evicted: RollupFold::of_series(&[roll(5, 2, 1)]),
+            drops: encore::streaming::DropCounters {
+                queue_full: 3,
+                queue_full_congested: 1,
+                expired: 2,
+                duplicate: 4,
+            },
+            accepted: 100,
+        };
+        let b = StreamSummary {
+            window: 8,
+            evicted: RollupFold::of_series(&[roll(5, 1, 0)]),
+            drops: encore::streaming::DropCounters {
+                queue_full: 1,
+                ..Default::default()
+            },
+            accepted: 50,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.accepted, 150);
+        assert_eq!(m.drops.queue_full, 4);
+        assert_eq!(m.drops.duplicate, 4);
+        assert_eq!(m.evicted.last, Some(roll(5, 3, 1)));
+        // Option<StreamSummary> on WorldOutcome: one-sided summaries
+        // survive a merge with an exact-mode shard.
+        let out = |s: Option<StreamSummary>| WorldOutcome {
+            log: Vec::new(),
+            report: BatchReport::default(),
+            rollups: RollupSeries::default(),
+            policy_changes_applied: 0,
+            control_signals_applied: 0,
+            streaming: s,
+        };
+        let merged = out(Some(a)).merge(out(None));
+        assert_eq!(merged.streaming, Some(a));
+        let merged = out(Some(a)).merge(out(Some(b)));
+        assert_eq!(merged.streaming, Some(m));
     }
 }

@@ -53,7 +53,8 @@ pub mod transport;
 pub mod world;
 
 pub use analytics::{
-    merge_in_order, tally_outcome, Analytics, Merge, Rollup, RollupSeries, VisitTally,
+    merge_in_order, tally_outcome, Analytics, Merge, Rollup, RollupFold, RollupSeries,
+    StreamSummary, VisitTally, WindowedRollups,
 };
 pub use audience::Audience;
 pub use batch::{run_visit_batch, BatchConfig, BatchReport};
@@ -67,4 +68,4 @@ pub use transport::{
     sibling_worker, worker_main, ProcessTransport, ShardTransport, ThreadTransport, TransportError,
     TransportKind, TransportStats, WorldSpec,
 };
-pub use world::{RunMode, WorldEngine, WorldEvent, WorldOutcome, WorldRecipe};
+pub use world::{RunMode, StreamingSpec, WorldEngine, WorldEvent, WorldOutcome, WorldRecipe};

@@ -32,9 +32,19 @@
 //!                        ACK   (one credit, after each data frame folds)
 //! worker → coordinator   LOG_CHUNK*    (≤ chunk VisitRecords each)
 //!                        RECORD_CHUNK* (≤ chunk StoredMeasurements each)
+//!                        SKETCH?       (streaming mode: bounded analytics)
 //!                        FINAL (report, rollups, counters, geo)
 //!                        ERROR (human-readable failure, then exit 1)
 //! ```
+//!
+//! In streaming mode the record log never materialises, so the
+//! RECORD_CHUNK stream is empty and the shard's entire collection-side
+//! analytics — count-min sketch, reservoir sample, closed-window count
+//! matrices, drop counters — crosses as **one** bounded SKETCH frame
+//! whose size is fixed by the [`encore::streaming::StreamingConfig`],
+//! not by traffic volume. SKETCH frames fold into the per-shard partial
+//! like any data frame, so the coordinator still holds at most the
+//! running accumulator plus one shard's partial.
 //!
 //! **Backpressure:** a worker may have at most `window` unacknowledged
 //! data frames in flight; past that it blocks until the coordinator
@@ -44,7 +54,7 @@
 //! path — never a panic), and the coordinator kills the remaining
 //! workers before returning.
 
-use crate::analytics::Merge;
+use crate::analytics::{Merge, StreamSummary};
 use crate::audience::Audience;
 use crate::batch::BatchReport;
 use crate::driver::VisitRecord;
@@ -76,6 +86,10 @@ pub const KIND_FINAL: u8 = 5;
 pub const KIND_ACK: u8 = 6;
 /// Frame kind: a worker-side failure description (worker exits 1 after).
 pub const KIND_ERROR: u8 = 7;
+/// Frame kind: the shard's bounded streaming analytics
+/// ([`encore::streaming::StreamingStats`]) — sent at most once, before
+/// FINAL, only by streaming-mode shards.
+pub const KIND_SKETCH: u8 = 8;
 
 /// Default records per streamed data frame. Sized so a frame is a few
 /// hundred kilobytes of payload: large enough that per-frame costs
@@ -141,6 +155,10 @@ pub struct FinalPayload {
     pub control_signals_applied: usize,
     /// Malformed submissions the shard's collection server dropped.
     pub malformed: u64,
+    /// Streaming-mode run summary (evicted-rollup fold + drop
+    /// accounting); absent — and absent from the wire — in exact mode.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming: Option<StreamSummary>,
     /// The shard's striped GeoIP database.
     pub geo: GeoDb,
 }
@@ -534,6 +552,7 @@ impl ProcessTransport {
                             rollups: crate::analytics::RollupSeries::default(),
                             policy_changes_applied: 0,
                             control_signals_applied: 0,
+                            streaming: None,
                         };
                         stats.peak_resident_outcomes = stats
                             .peak_resident_outcomes
@@ -553,6 +572,20 @@ impl ProcessTransport {
                         shard_collection = shard_collection.merge_owned(CollectionSnapshot {
                             records,
                             malformed: 0,
+                            streaming: None,
+                        });
+                        stats.data_frames += 1;
+                        stats.streamed_payload_bytes += payload_len;
+                        stats.largest_payload_bytes = stats.largest_payload_bytes.max(payload_len);
+                        ack(child, shard);
+                    }
+                    KIND_SKETCH => {
+                        let sketch: encore::streaming::StreamingStats =
+                            decode_payload(&frame.payload, "sketch")?;
+                        shard_collection = shard_collection.merge_owned(CollectionSnapshot {
+                            records: Vec::new(),
+                            malformed: 0,
+                            streaming: Some(sketch),
                         });
                         stats.data_frames += 1;
                         stats.streamed_payload_bytes += payload_len;
@@ -568,6 +601,7 @@ impl ProcessTransport {
                             rollups: crate::analytics::RollupSeries(fin.rollups),
                             policy_changes_applied: fin.policy_changes_applied,
                             control_signals_applied: fin.control_signals_applied,
+                            streaming: fin.streaming,
                         };
                         stats.peak_resident_outcomes = stats
                             .peak_resident_outcomes
@@ -780,7 +814,7 @@ pub fn run_worker<S: WorldSpec, R: Read, W: Write>(
         .expect("index validated above");
     let outcome =
         WorldEngine::from_recipe(&mut net, &mut sys, &audience, &shard_cfg, &mut rng).run();
-    let collection = sys.collection.snapshot();
+    let mut collection = sys.collection.snapshot();
     let geo = GeoDb::from_allocator(&net.allocator);
 
     let chunk = job.chunk.max(1);
@@ -795,12 +829,18 @@ pub fn run_worker<S: WorldSpec, R: Read, W: Write>(
     for piece in collection.records.chunks(chunk) {
         sender.send(KIND_RECORD_CHUNK, &encode_payload(piece)?)?;
     }
+    // Streaming mode: the whole bounded analytics state is one frame,
+    // sized by configuration rather than traffic.
+    if let Some(sketch) = collection.streaming.take() {
+        sender.send(KIND_SKETCH, &encode_payload(&sketch)?)?;
+    }
     let fin = FinalPayload {
         report: outcome.report,
         rollups: outcome.rollups.0,
         policy_changes_applied: outcome.policy_changes_applied,
         control_signals_applied: outcome.control_signals_applied,
         malformed: collection.malformed,
+        streaming: outcome.streaming,
         geo,
     };
     write_frame(output, KIND_FINAL, &encode_payload(&fin)?).map_err(|error| {
@@ -869,6 +909,17 @@ mod tests {
     #[derive(Debug, Clone, Serialize, Deserialize)]
     struct TinySpec {
         visits: u64,
+        #[serde(default)]
+        streaming: bool,
+    }
+
+    impl TinySpec {
+        fn exact(visits: u64) -> TinySpec {
+            TinySpec {
+                visits,
+                streaming: false,
+            }
+        }
     }
 
     impl WorldSpec for TinySpec {
@@ -877,10 +928,17 @@ mod tests {
         }
 
         fn recipe(&self) -> WorldRecipe {
-            WorldRecipe::batch(BatchConfig {
+            let recipe = WorldRecipe::batch(BatchConfig {
                 visits: self.visits,
                 ..BatchConfig::default()
-            })
+            });
+            if self.streaming {
+                recipe.with_streaming(crate::world::StreamingSpec::with_window(
+                    sim_core::SimDuration::from_secs(60),
+                ))
+            } else {
+                recipe
+            }
         }
 
         fn build(&self, ctx: ShardContext) -> (Network, EncoreSystem) {
@@ -927,7 +985,7 @@ mod tests {
 
     #[test]
     fn thread_transport_matches_run_sharded_world() {
-        let spec = TinySpec { visits: 300 };
+        let spec = TinySpec::exact(300);
         let via_trait = ThreadTransport.run(&spec, 2, 41).expect("threads run");
         let audience = spec.audience();
         let recipe = spec.recipe();
@@ -943,7 +1001,7 @@ mod tests {
     /// through the same partial-outcome path `ProcessTransport` uses.
     #[test]
     fn in_process_worker_stream_folds_to_thread_result() {
-        let spec = TinySpec { visits: 240 };
+        let spec = TinySpec::exact(240);
         let (shards, seed) = (2usize, 97u64);
 
         let expected = ThreadTransport.run(&spec, shards, seed).expect("threads");
@@ -981,6 +1039,7 @@ mod tests {
                             rollups: crate::analytics::RollupSeries::default(),
                             policy_changes_applied: 0,
                             control_signals_applied: 0,
+                            streaming: None,
                         };
                         outcome_acc = Some(match outcome_acc.take() {
                             Some(acc) => acc.merge(partial),
@@ -993,6 +1052,7 @@ mod tests {
                         collection_acc = collection_acc.merge(&CollectionSnapshot {
                             records,
                             malformed: 0,
+                            streaming: None,
                         });
                     }
                     KIND_FINAL => {
@@ -1004,6 +1064,7 @@ mod tests {
                             rollups: crate::analytics::RollupSeries(fin.rollups),
                             policy_changes_applied: fin.policy_changes_applied,
                             control_signals_applied: fin.control_signals_applied,
+                            streaming: fin.streaming,
                         };
                         outcome_acc = Some(match outcome_acc.take() {
                             Some(acc) => acc.merge(partial),
@@ -1012,6 +1073,7 @@ mod tests {
                         collection_acc = collection_acc.merge(&CollectionSnapshot {
                             records: Vec::new(),
                             malformed: fin.malformed,
+                            streaming: None,
                         });
                         break;
                     }
@@ -1030,12 +1092,135 @@ mod tests {
         assert_eq!(per_shard, expected.per_shard);
     }
 
+    /// Streaming vs exact over the *same* 2-shard traffic (same seed,
+    /// and streaming's RNG forks are pure, so the visit streams are
+    /// byte-identical): the merged window matrices must judge exactly
+    /// like the merged exact record log.
+    #[test]
+    fn sharded_streaming_verdicts_match_sharded_exact() {
+        let window = sim_core::SimDuration::from_secs(60);
+        let exact = ThreadTransport
+            .run(&TinySpec::exact(400), 2, 77)
+            .expect("exact run");
+        let streamed = ThreadTransport
+            .run(
+                &TinySpec {
+                    visits: 400,
+                    streaming: true,
+                },
+                2,
+                77,
+            )
+            .expect("streaming run");
+
+        // Enabling streaming never perturbs the traffic.
+        assert_eq!(exact.outcome.report, streamed.outcome.report);
+        assert_eq!(exact.per_shard, streamed.per_shard);
+
+        // The record log never materialises in streaming mode; the
+        // bounded stats carry everything the detector needs.
+        assert!(streamed.collection.records.is_empty());
+        let stats = streamed.collection.streaming.as_ref().expect("stats");
+        assert!(!stats.windows.is_empty(), "windows closed");
+        assert_eq!(stats.accepted as usize, exact.collection.records.len());
+
+        let det = encore::inference::FilteringDetector::default();
+        let exact_reports = det.detect_windows(&exact.collection.records, &exact.geo, window);
+        assert_eq!(det.judge_streamed(stats), exact_reports);
+
+        // Outcome-side summary: merged across shards, no shedding in
+        // this gentle world.
+        let summary = streamed.outcome.streaming.expect("merged summary");
+        assert_eq!(summary.accepted, stats.accepted);
+        assert_eq!(summary.drops.total(), 0);
+    }
+
+    /// Streaming mode on the wire: the worker sends zero RECORD_CHUNK
+    /// frames and exactly one SKETCH frame, and folding its stream
+    /// reproduces the thread backend's merged run.
+    #[test]
+    fn in_process_streaming_worker_sends_one_bounded_sketch_frame() {
+        let spec = TinySpec {
+            visits: 240,
+            streaming: true,
+        };
+        let (shards, seed) = (2usize, 97u64);
+        let expected = ThreadTransport.run(&spec, shards, seed).expect("threads");
+
+        let mut outcome_acc: Option<WorldOutcome> = None;
+        let mut collection_acc = CollectionSnapshot::default();
+        for index in 0..shards {
+            let mut script = Vec::new();
+            write_frame(&mut script, KIND_SPEC, &encode_payload(&spec).unwrap()).unwrap();
+            let job = WorkerJob {
+                index,
+                shards,
+                seed,
+                chunk: 7,
+                window: usize::MAX,
+            };
+            write_frame(&mut script, KIND_JOB, &encode_payload(&job).unwrap()).unwrap();
+            let mut input: &[u8] = &script;
+            let mut wire = Vec::new();
+            run_worker::<TinySpec, _, _>(&mut input, &mut wire).expect("worker runs");
+
+            let (mut sketches, mut record_chunks) = (0, 0);
+            let mut stream: &[u8] = &wire;
+            loop {
+                let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)
+                    .expect("valid frame")
+                    .expect("stream ends with FINAL");
+                match frame.kind {
+                    KIND_RECORD_CHUNK => record_chunks += 1,
+                    KIND_SKETCH => {
+                        sketches += 1;
+                        let stats: encore::streaming::StreamingStats =
+                            decode_payload(&frame.payload, "sketch").unwrap();
+                        collection_acc = collection_acc.merge_owned(CollectionSnapshot {
+                            records: Vec::new(),
+                            malformed: 0,
+                            streaming: Some(stats),
+                        });
+                    }
+                    KIND_FINAL => {
+                        let fin: FinalPayload = decode_payload(&frame.payload, "final").unwrap();
+                        let partial = WorldOutcome {
+                            log: Vec::new(),
+                            report: fin.report,
+                            rollups: crate::analytics::RollupSeries(fin.rollups),
+                            policy_changes_applied: fin.policy_changes_applied,
+                            control_signals_applied: fin.control_signals_applied,
+                            streaming: fin.streaming,
+                        };
+                        outcome_acc = Some(match outcome_acc.take() {
+                            Some(acc) => acc.merge(partial),
+                            None => partial,
+                        });
+                        collection_acc = collection_acc.merge_owned(CollectionSnapshot {
+                            records: Vec::new(),
+                            malformed: fin.malformed,
+                            streaming: None,
+                        });
+                        break;
+                    }
+                    KIND_LOG_CHUNK => {} // batch mode: none expected, tolerated
+                    other => panic!("unexpected frame kind {other}"),
+                }
+            }
+            assert_eq!(record_chunks, 0, "no record chunks in streaming mode");
+            assert_eq!(sketches, 1, "exactly one bounded sketch frame");
+        }
+
+        assert_eq!(outcome_acc.expect("folded"), expected.outcome);
+        assert_eq!(collection_acc, expected.collection);
+    }
+
     #[test]
     fn worker_without_credits_errors_instead_of_hanging() {
         // window 1 and a tiny chunk size forces the worker to need
         // credits, but the scripted input has none: the worker must
         // surface a typed error, not block or panic.
-        let spec = TinySpec { visits: 200 };
+        let spec = TinySpec::exact(200);
         let mut script = Vec::new();
         write_frame(&mut script, KIND_SPEC, &encode_payload(&spec).unwrap()).unwrap();
         let job = WorkerJob {
@@ -1075,7 +1260,7 @@ mod tests {
         write_frame(
             &mut script,
             KIND_SPEC,
-            &encode_payload(&TinySpec { visits: 1 }).unwrap(),
+            &encode_payload(&TinySpec::exact(1)).unwrap(),
         )
         .unwrap();
         script.truncate(script.len() - 3);
@@ -1105,7 +1290,7 @@ mod tests {
         write_frame(
             &mut script,
             KIND_SPEC,
-            &encode_payload(&TinySpec { visits: 1 }).unwrap(),
+            &encode_payload(&TinySpec::exact(1)).unwrap(),
         )
         .unwrap();
         write_frame(&mut script, KIND_JOB, &encode_payload(&bad_job).unwrap()).unwrap();
@@ -1120,7 +1305,7 @@ mod tests {
         let transport = ProcessTransport::new(PathBuf::from(
             "/nonexistent/encore-shard-worker-for-this-test",
         ));
-        let spec = TinySpec { visits: 10 };
+        let spec = TinySpec::exact(10);
         match transport.run(&spec, 1, 1) {
             Err(TransportError::Spawn { .. }) => {}
             other => panic!("expected Spawn error, got {other:?}"),

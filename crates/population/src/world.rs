@@ -55,7 +55,7 @@
 //! block installed "at day 10" is in force for the first visit of
 //! day 10.
 
-use crate::analytics::{tally_outcome, Rollup, RollupSeries};
+use crate::analytics::{tally_outcome, Rollup, RollupSeries, StreamSummary, WindowedRollups};
 use crate::audience::{Audience, Visitor};
 use crate::batch::{BatchConfig, BatchReport};
 use crate::driver::{DeploymentConfig, VisitRecord};
@@ -168,6 +168,46 @@ pub struct WorldOutcome {
     /// and applied (signals addressed to an uninstalled name, unknown
     /// vocabulary, or a no-op transition are not counted).
     pub control_signals_applied: usize,
+    /// Streaming-mode summary — the evicted-rollup fold and the
+    /// collection server's drop accounting. `None` in exact mode.
+    pub streaming: Option<StreamSummary>,
+}
+
+/// Opt-in streaming analytics for a world run — the recipe half of the
+/// constant-memory pipeline. The collection server trades its unbounded
+/// record log for a count-min sketch, a bounded reservoir sample, and
+/// per-window count matrices ([`encore::streaming`]), and the engine
+/// keeps only the trailing `resident_rollups` rollup points resident,
+/// folding older ones away as new ones fire.
+///
+/// The spec is broadcast verbatim to every shard, so `sketch_seed` —
+/// which defines the sketch's hash functions and must be identical for
+/// shard sketches to merge — is shard-invariant by construction. Each
+/// shard's reservoir draws priorities from its own forked RNG stream;
+/// reservoir merge is a union, so per-shard streams are fine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSpec {
+    /// Collection-side knobs: detection window, sketch dimensions,
+    /// reservoir capacity, ingest-queue bounds, filter toggles. The
+    /// window should equal the rollup cadence so windows close exactly
+    /// as rollups fire.
+    pub config: encore::streaming::StreamingConfig,
+    /// Seed defining the sketch hash functions (shard-invariant).
+    pub sketch_seed: u64,
+    /// Rollup points kept resident; older points fold-and-evict.
+    pub resident_rollups: usize,
+}
+
+impl StreamingSpec {
+    /// A spec whose analytics window matches the given rollup cadence,
+    /// with default sketch/reservoir/queue parameters.
+    pub fn with_window(window: SimDuration) -> StreamingSpec {
+        StreamingSpec {
+            config: encore::streaming::StreamingConfig::with_window(window),
+            sketch_seed: 0x5EED_5EED,
+            resident_rollups: 8,
+        }
+    }
 }
 
 /// A `Send + Sync + Clone` description of an entire world run: the
@@ -194,6 +234,7 @@ pub struct WorldRecipe {
     pub(crate) reprioritizations: Vec<(SimTime, SchedulingStrategy)>,
     pub(crate) maintenance: Option<SimDuration>,
     pub(crate) rollups: Option<SimDuration>,
+    pub(crate) streaming: Option<StreamingSpec>,
 }
 
 impl std::fmt::Debug for WorldRecipe {
@@ -206,6 +247,7 @@ impl std::fmt::Debug for WorldRecipe {
             .field("reprioritizations", &self.reprioritizations)
             .field("maintenance", &self.maintenance)
             .field("rollups", &self.rollups)
+            .field("streaming", &self.streaming)
             .finish()
     }
 }
@@ -220,6 +262,7 @@ impl WorldRecipe {
             reprioritizations: Vec::new(),
             maintenance: None,
             rollups: None,
+            streaming: None,
         }
     }
 
@@ -292,6 +335,23 @@ impl WorldRecipe {
         self.rollups = Some(period);
         self
     }
+
+    /// The streaming-analytics spec, if this recipe opts in.
+    pub fn streaming(&self) -> Option<&StreamingSpec> {
+        self.streaming.as_ref()
+    }
+
+    /// Builder: run with constant-memory streaming analytics. Also sets
+    /// the rollup cadence to the spec's window if no cadence was chosen
+    /// yet — streaming windows close as rollups fire, so a streaming run
+    /// without rollups would only fold at the very end.
+    pub fn with_streaming(mut self, spec: StreamingSpec) -> WorldRecipe {
+        if self.rollups.is_none() {
+            self.rollups = Some(spec.config.window);
+        }
+        self.streaming = Some(spec);
+        self
+    }
 }
 
 /// Mode-specific driver state.
@@ -338,6 +398,9 @@ pub struct WorldEngine<'a> {
     signals_applied: usize,
     mutations: Vec<Option<WorldMutation>>,
     rollups: Vec<Rollup>,
+    /// Streaming mode: the spec plus the bounded rollup window that
+    /// replaces `rollups`. `None` in exact mode.
+    streaming: Option<(StreamingSpec, WindowedRollups)>,
     report: BatchReport,
     /// Arrival events currently in the queue; periodic events stop
     /// rescheduling once traffic is exhausted, which is what terminates
@@ -364,6 +427,7 @@ impl<'a> WorldEngine<'a> {
             signals_applied: 0,
             mutations: Vec::new(),
             rollups: Vec::new(),
+            streaming: None,
             report: BatchReport::default(),
             arrivals_pending: 0,
         }
@@ -466,7 +530,27 @@ impl<'a> WorldEngine<'a> {
         if let Some(period) = recipe.rollups {
             engine.schedule_rollups(period);
         }
+        if let Some(spec) = &recipe.streaming {
+            engine.enable_streaming(spec.clone(), rng);
+        }
         engine
+    }
+
+    /// Switch this run to constant-memory streaming analytics: the
+    /// collection server starts sketching instead of logging, and the
+    /// engine keeps only the spec's resident rollup window, folding
+    /// older points away. Must be called before any traffic arrives.
+    ///
+    /// `rng.fork` is a pure derivation (it consumes no parent state), so
+    /// enabling streaming never perturbs the exact-mode visit streams.
+    pub fn enable_streaming(&mut self, spec: StreamingSpec, rng: &mut SimRng) {
+        self.system.collection.enable_streaming(
+            &spec.config,
+            spec.sketch_seed,
+            rng.fork("streaming-reservoir"),
+        );
+        let windowed = WindowedRollups::new(spec.resident_rollups);
+        self.streaming = Some((spec, windowed));
     }
 
     /// Schedule every **not-yet-applied** change of a [`PolicyTimeline`]
@@ -609,11 +693,25 @@ impl<'a> WorldEngine<'a> {
                     }
                 }
                 WorldEvent::CollectionRollup { period } => {
-                    self.rollups.push(Rollup {
+                    // Streaming mode folds as time advances: every
+                    // analytics window that closed before this rollup is
+                    // reduced to its count matrix now, so peak resident
+                    // collection state stays O(open window), not O(run).
+                    if self.streaming.is_some() {
+                        let alloc = &self.net.allocator;
+                        self.system
+                            .collection
+                            .close_windows(now, |ip| alloc.country_of(ip));
+                    }
+                    let rollup = Rollup {
                         at: now,
                         visits: self.report.visits,
                         collected: self.system.collection.len(),
-                    });
+                    };
+                    match &mut self.streaming {
+                        Some((_, windowed)) => windowed.push(rollup),
+                        None => self.rollups.push(rollup),
+                    }
                     if self.arrivals_pending > 0 {
                         self.queue
                             .schedule(now + period, WorldEvent::CollectionRollup { period });
@@ -777,6 +875,26 @@ impl<'a> WorldEngine<'a> {
     }
 
     fn finish(self) -> WorldOutcome {
+        // Streaming mode: close every still-open analytics window (the
+        // tail past the last rollup) before snapshotting, then decompose
+        // the bounded rollup window into its resident tail + fold.
+        let (rollups, streaming) = match self.streaming {
+            Some((spec, windowed)) => {
+                let alloc = &self.net.allocator;
+                self.system
+                    .collection
+                    .close_all_windows(|ip| alloc.country_of(ip));
+                let (resident, evicted) = windowed.into_parts();
+                let summary = StreamSummary {
+                    window: spec.resident_rollups as u64,
+                    evicted,
+                    drops: self.system.collection.drops(),
+                    accepted: self.system.collection.len() as u64,
+                };
+                (resident, Some(summary))
+            }
+            None => (RollupSeries(self.rollups), None),
+        };
         let mut report = self.report;
         let log = match self.mode {
             Mode::Deployment { returning, log, .. } => {
@@ -795,9 +913,10 @@ impl<'a> WorldEngine<'a> {
         WorldOutcome {
             log,
             report,
-            rollups: RollupSeries(self.rollups),
+            rollups,
             policy_changes_applied: self.policy_applied,
             control_signals_applied: self.signals_applied,
+            streaming,
         }
     }
 }
@@ -860,6 +979,7 @@ fn execute_arrival(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analytics::RollupFold;
     use censor::policy::{CensorPolicy, Mechanism};
     use censor::timeline::CensorSpec;
     use encore::coordination::SchedulingStrategy;
@@ -1260,6 +1380,58 @@ mod tests {
             WorldEngine::from_recipe(&mut net, &mut sys, &audience, &recipe, &mut rng).run()
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn streaming_recipe_bounds_rollups_and_matches_exact() {
+        let audience = Audience::academic();
+        let exact_recipe = WorldRecipe::deployment(week()).with_rollups(SimDuration::from_days(1));
+        // with_streaming inherits the spec's window as the rollup
+        // cadence, so both runs roll up daily.
+        let streaming_recipe = WorldRecipe::deployment(week()).with_streaming(StreamingSpec {
+            resident_rollups: 2,
+            ..StreamingSpec::with_window(SimDuration::from_days(1))
+        });
+        let go = |recipe: &WorldRecipe| {
+            let (mut net, mut sys) = deployment_world();
+            let mut rng = SimRng::new(0xFEED);
+            let out =
+                WorldEngine::from_recipe(&mut net, &mut sys, &audience, recipe, &mut rng).run();
+            (out, sys.collection.len())
+        };
+        let (exact, exact_collected) = go(&exact_recipe);
+        let (streamed, _) = go(&streaming_recipe);
+
+        // Enabling streaming never perturbs the visit stream: same
+        // arrivals, same outcomes, same report, byte for byte.
+        assert_eq!(exact.log, streamed.log);
+        assert_eq!(exact.report, streamed.report);
+
+        // Rollups stay bounded; the resident tail is the exact series'
+        // tail, and fold + tail reconstructs the full series' fold.
+        let summary = streamed.streaming.expect("streaming summary present");
+        assert!(exact.rollups.len() >= 6, "need evictions to test against");
+        assert_eq!(streamed.rollups.len(), 2);
+        let tail_start = exact.rollups.len() - streamed.rollups.len();
+        assert_eq!(streamed.rollups.0, exact.rollups.0[tail_start..]);
+        assert_eq!(
+            summary.evicted,
+            RollupFold::of_series(&exact.rollups.0[..tail_start])
+        );
+        let mut total = summary.evicted;
+        for r in &streamed.rollups.0 {
+            total.absorb(*r);
+        }
+        assert_eq!(total, RollupFold::of_series(&exact.rollups.0));
+
+        // This gentle world never sheds: every submission the exact
+        // store logged was accepted by the streaming store.
+        assert_eq!(summary.drops.total(), 0);
+        assert_eq!(summary.accepted as usize, exact_collected);
+        assert!(exact_collected > 0);
+
+        // Exact mode carries no summary.
+        assert_eq!(exact.streaming, None);
     }
 
     #[test]

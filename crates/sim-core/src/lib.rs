@@ -61,7 +61,7 @@ pub use frame::{
 pub use intern::{FxBuildHasher, Interner, Sym};
 pub use merge::merge_time_ordered;
 pub use queue::EventQueue;
-pub use rng::{splitmix_mix, SimRng};
+pub use rng::{seeded_hash, splitmix_mix, SimRng};
 pub use stats::{binomial_sf, Cdf, FiveNumber, OneSidedBinomialTest, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceLevel};

@@ -43,6 +43,22 @@ pub fn splitmix_mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seeded byte-string hash: FNV-1a folded over `bytes` starting from a
+/// mix of `seed`, finalized through [`splitmix_mix`] for full avalanche.
+/// This is the row-hash primitive behind the count-min sketches in
+/// `encore` — each sketch row uses a different seed, and two sketches
+/// built with the same seed hash identically on every shard, which is
+/// what makes element-wise sketch merging sound. Not cryptographic;
+/// stable across platforms and runs.
+pub fn seeded_hash(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ splitmix_mix(seed);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix_mix(h)
+}
+
 /// Splitmix64 step — expands a seed into well-mixed state words.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

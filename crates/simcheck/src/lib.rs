@@ -34,6 +34,12 @@
 //!    process backend reproduces the in-process thread backend byte for
 //!    byte (outcome, collection, per-shard reports, and serialized
 //!    JSON) at {1, 3} shards, over every generated class.
+//! 8. **Streaming equivalence** — re-running the same world with
+//!    bounded-memory analytics (count-min sketch + reservoir + windowed
+//!    fold-and-evict) leaves the simulation byte-identical and every
+//!    detector verdict unchanged at {1, 2} shards, and an uncensored
+//!    world whose under-provisioned ingest queue sheds submissions
+//!    still yields zero false positives.
 //!
 //! The [`runner`] executes a bounded case budget (CI: ≥ 200 worlds),
 //! and on failure writes a regression seed file so a failing case can
@@ -51,6 +57,6 @@ pub use generator::{
     ArrivalMode, BlockKind, CaseClass, CensorModel, CongestionShape, CongestionSpec, WorldCase,
     TARGET,
 };
-pub use oracle::{check_case, localise_transitions, Violation};
+pub use oracle::{check_case, check_streaming_case, localise_transitions, Violation};
 pub use runner::{replay, run_budget, SimCheckConfig, SimCheckReport};
 pub use transport::{check_transport, CaseSpec, CASE_WORKER};

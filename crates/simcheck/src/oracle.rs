@@ -15,8 +15,8 @@ use encore::StoredMeasurement;
 use netsim::geo::{CountryCode, World};
 use population::shard::{shard_rngs, ShardContext};
 use population::{
-    merge_in_order, run_sharded_world, shard_recipe, Audience, Merge, ShardedWorldRun, WorldEngine,
-    WorldOutcome, WorldRecipe,
+    merge_in_order, run_sharded_world, shard_recipe, Audience, Merge, ShardedWorldRun,
+    StreamingSpec, WorldEngine, WorldOutcome, WorldRecipe,
 };
 use serde::Serialize;
 use sim_core::{SimDuration, SimRng};
@@ -132,10 +132,14 @@ impl<'a> CaseChecker<'a> {
     }
 
     fn sharded(&self, shards: usize) -> ShardedWorldRun {
+        self.sharded_with(&self.recipe, shards)
+    }
+
+    fn sharded_with(&self, recipe: &WorldRecipe, shards: usize) -> ShardedWorldRun {
         run_sharded_world(
             &|ctx| self.case.build(ctx),
             &self.audience,
-            &self.recipe,
+            recipe,
             shards,
             self.case.seed,
         )
@@ -423,6 +427,116 @@ impl<'a> CaseChecker<'a> {
             }
         }
     }
+    /// Oracle 9 — streaming equivalence: re-running the same generated
+    /// world with bounded-memory analytics (sketch + reservoir +
+    /// windowed fold-and-evict) must neither perturb the simulation
+    /// (log and report byte-identical at each shard count) nor change a
+    /// single detector verdict: the window reports judged from the
+    /// merged streaming matrices equal exact windowed detection over
+    /// the full record log. A second, deliberately under-provisioned
+    /// ingest queue then sheds traffic on uncensored worlds — lost
+    /// records may cost power, but must never invent censorship.
+    /// Returns whether the shed variant actually dropped something (so
+    /// the runner can report how often that check was non-vacuous).
+    fn check_streaming(&mut self) -> bool {
+        let window = SimDuration::from_secs(self.case.rollup_secs);
+        let streaming_recipe = self
+            .recipe
+            .clone()
+            .with_streaming(StreamingSpec::with_window(window));
+        let det = FilteringDetector::default();
+        for shards in [1usize, 2] {
+            let exact = self.sharded(shards);
+            let streamed = self.sharded_with(&streaming_recipe, shards);
+            if streamed.outcome.log != exact.outcome.log
+                || streamed.outcome.report != exact.outcome.report
+            {
+                self.fail(
+                    "streaming-lockstep",
+                    format!("{shards}-shard streaming run perturbed the visit stream or report"),
+                );
+            }
+            if !streamed.collection.records.is_empty() {
+                self.fail(
+                    "streaming-bounded",
+                    format!(
+                        "{shards}-shard streaming run kept {} exact records",
+                        streamed.collection.records.len()
+                    ),
+                );
+            }
+            let Some(stats) = streamed.collection.streaming.as_ref() else {
+                self.fail(
+                    "streaming-stats",
+                    format!("{shards}-shard streaming run carried no StreamingStats"),
+                );
+                continue;
+            };
+            if stats.accepted != exact.collection.records.len() as u64 || stats.drops.total() != 0 {
+                self.fail(
+                    "streaming-accounting",
+                    format!(
+                        "{shards}-shard: accepted {} / dropped {} vs {} exact records",
+                        stats.accepted,
+                        stats.drops.total(),
+                        exact.collection.records.len(),
+                    ),
+                );
+            }
+            if det.judge_streamed(stats)
+                != det.detect_windows(&exact.collection.records, &exact.geo, window)
+            {
+                self.fail(
+                    "streaming-verdict",
+                    format!("{shards}-shard streamed window reports differ from exact detection"),
+                );
+            }
+        }
+        let mut drops_active = false;
+        if self.case.is_uncensored() {
+            let mut spec = StreamingSpec::with_window(window);
+            spec.config.queue_capacity = 4;
+            spec.config.drain_per_sec = 1;
+            let shed = self.sharded_with(&self.recipe.clone().with_streaming(spec), 2);
+            match shed.collection.streaming.as_ref() {
+                Some(stats) => {
+                    drops_active = stats.drops.total() > 0;
+                    let reports = det.judge_streamed(stats);
+                    if reports.iter().any(|r| !r.detections.is_empty()) {
+                        self.fail(
+                            "streaming-shed-fp",
+                            format!(
+                                "uncensored world under ingest shedding ({} drops) produced \
+                                 detections",
+                                stats.drops.total()
+                            ),
+                        );
+                    }
+                }
+                None => self.fail(
+                    "streaming-stats",
+                    "shed streaming run carried no StreamingStats".to_string(),
+                ),
+            }
+        }
+        drops_active
+    }
+}
+
+/// Run the streaming-equivalence oracle on one generated world (the
+/// runner schedules this on every `streaming_every`-th case). Returns
+/// the violations plus whether the shedding variant actually dropped
+/// submissions (i.e. the zero-false-positive-under-drops check was
+/// exercised, not vacuous).
+pub fn check_streaming_case(case: &WorldCase) -> (Vec<Violation>, bool) {
+    let mut checker = CaseChecker {
+        case,
+        recipe: case.recipe(),
+        audience: audience(),
+        violations: Vec::new(),
+    };
+    let drops_active = checker.check_streaming();
+    (checker.violations, drops_active)
 }
 
 /// Check one generated world against every applicable oracle. Returns

@@ -9,7 +9,7 @@
 //! artifact, so a red run is a one-command local repro.
 
 use crate::generator::{CaseClass, WorldCase};
-use crate::oracle::{check_case, Violation};
+use crate::oracle::{check_case, check_streaming_case, Violation};
 use crate::transport::{check_transport, CASE_WORKER};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -35,6 +35,11 @@ pub struct SimCheckConfig {
     /// `case_worker` binary is resolvable next to the running
     /// executable (0 disables).
     pub transport_every: usize,
+    /// Every n-th case additionally runs the streaming-equivalence
+    /// oracle — exact vs bounded-memory analytics at {1, 2} shards,
+    /// identical verdicts, plus zero false positives on uncensored
+    /// worlds under ingest shedding (0 disables).
+    pub streaming_every: usize,
 }
 
 impl Default for SimCheckConfig {
@@ -46,6 +51,7 @@ impl Default for SimCheckConfig {
             root_seed: 0x51AC_4EC4,
             regression_path: Some(PathBuf::from("results/simcheck-regressions.txt")),
             transport_every: 4,
+            streaming_every: 5,
         }
     }
 }
@@ -68,6 +74,12 @@ pub struct SimCheckReport {
     /// `case_worker` binary was not resolvable or the schedule disabled
     /// it).
     pub transport_cases: usize,
+    /// Of which also ran the streaming-equivalence oracle.
+    pub streaming_cases: usize,
+    /// Streaming cases whose shedding variant actually dropped
+    /// submissions — how often the zero-false-positive-under-drops
+    /// check was exercised rather than vacuous.
+    pub streaming_drop_cases: usize,
     /// Every violation found (empty = all invariants upheld).
     pub violations: Vec<Violation>,
 }
@@ -111,6 +123,7 @@ pub fn replay(class: CaseClass, seed: u64) -> Vec<Violation> {
              skipping the transport oracle"
         );
     }
+    violations.extend(check_streaming_case(&case).0);
     violations
 }
 
@@ -148,6 +161,14 @@ pub fn run_budget(config: &SimCheckConfig) -> SimCheckReport {
             if config.transport_every > 0 && i.is_multiple_of(config.transport_every) {
                 violations.extend(check_transport(&case, worker));
                 report.transport_cases += 1;
+            }
+        }
+        if config.streaming_every > 0 && i.is_multiple_of(config.streaming_every) {
+            let (streaming_violations, drops_active) = check_streaming_case(&case);
+            violations.extend(streaming_violations);
+            report.streaming_cases += 1;
+            if drops_active {
+                report.streaming_drop_cases += 1;
             }
         }
         for v in &violations {

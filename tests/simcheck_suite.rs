@@ -13,16 +13,18 @@ use simcheck::{check_case, run_budget, SimCheckConfig};
 #[test]
 fn small_budget_upholds_all_invariants() {
     // 12 worlds (3 detector-class, 1 congestion-class, 3 transport-
-    // differenced): enough to execute every oracle — including the
-    // routed congestion oracles and the threads-vs-process transport
-    // oracle — on every run without dominating tier-1 time. The root
-    // seed differs from the CI bin's default so the two sweeps cover
-    // disjoint cases.
+    // differenced, 3 streaming-differenced): enough to execute every
+    // oracle — including the routed congestion oracles, the
+    // threads-vs-process transport oracle, and the exact-vs-streaming
+    // analytics oracle — on every run without dominating tier-1 time.
+    // The root seed differs from the CI bin's default so the two
+    // sweeps cover disjoint cases.
     let config = SimCheckConfig {
         cases: 12,
         detector_every: 5,
         congestion_every: 6,
         transport_every: 4,
+        streaming_every: 4,
         root_seed: 0x7157_C0DE,
         regression_path: None,
     };
@@ -30,6 +32,10 @@ fn small_budget_upholds_all_invariants() {
     assert_eq!(report.cases_run, 12);
     assert_eq!(report.detector_cases, 3);
     assert_eq!(report.congestion_cases, 1);
+    assert_eq!(
+        report.streaming_cases, 3,
+        "the streaming oracle must run on every 4th case"
+    );
     assert_eq!(
         report.transport_cases, 3,
         "the transport oracle must run (is the case_worker binary built?)"

@@ -38,6 +38,7 @@ fn spec() -> BenchWorldSpec {
     BenchWorldSpec::Timeline {
         days: DAYS,
         rate: 150.0,
+        streaming: false,
     }
 }
 
