@@ -7,7 +7,9 @@
 //! detector verdict invariance across {1, 2, 4} shards, detector
 //! soundness against each generated world's own ground truth, and
 //! congestion soundness on routed worlds with transit brownouts
-//! (censorship stays detectable, congestion never masquerades as it).
+//! (censorship stays detectable, congestion never masquerades as it),
+//! and corpus soundness on generative-web worlds (benign origin
+//! outages on a measured corpus site never read as censorship).
 //! See `crates/simcheck` for the generator and oracle definitions.
 //!
 //! Flags (on top of the shared `RunArgs` set):
@@ -83,6 +85,7 @@ fn parse_replay(spec: &str) -> Option<(CaseClass, u64)> {
         "equivalence" => CaseClass::Equivalence,
         "detector" => CaseClass::Detector,
         "congestion" => CaseClass::Congestion,
+        "corpus" => CaseClass::Corpus,
         _ => return None,
     };
     let seed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
@@ -121,12 +124,13 @@ fn main() {
     );
     let report = run_budget(&config);
     println!(
-        "{} worlds checked ({} equivalence, {} detector, {} congestion; {} censored, {} \
-         transport-differenced, {} streaming-differenced of which {} shed): {} violation(s)",
+        "{} worlds checked ({} equivalence, {} detector, {} congestion, {} corpus; {} censored, \
+         {} transport-differenced, {} streaming-differenced of which {} shed): {} violation(s)",
         report.cases_run,
         report.equivalence_cases,
         report.detector_cases,
         report.congestion_cases,
+        report.corpus_cases,
         report.censored_cases,
         report.transport_cases,
         report.streaming_cases,

@@ -56,7 +56,7 @@ impl PaperWorld {
         // The high-collateral social sites.
         let mut social_rng = rng.fork("social-sites");
         for domain in SAFE_TARGETS {
-            let site = std::rc::Rc::new(social_site(domain, &mut social_rng));
+            let site = std::sync::Arc::new(social_site(domain, &mut social_rng));
             net.add_server(
                 domain,
                 country("US"),
@@ -611,6 +611,448 @@ pub mod congested_fixture {
     /// Convert a day number to simulated time.
     pub fn day(d: u64) -> SimTime {
         SimTime::from_secs(d * 86_400)
+    }
+}
+
+/// The flagship generative-corpus fixture: a 90-day multi-country "world
+/// report" over a seeded [`websim::corpus::Corpus`] — Zipf-popularity
+/// sites with scale-free cross-links installed on every shard — under
+/// four censor stories at once:
+///
+/// * **Standing registry regimes** ([`censor::registry`]): China, Iran,
+///   and Pakistan filter the social targets for the whole run.
+/// * **A scheduled block**: Turkey blocks twitter.com days
+///   [`TR_BLOCK_ONSET`]..[`TR_BLOCK_LIFT`] (policy timeline).
+/// * **An adaptive censor**: Russia watches the corpus' rank-0 domain
+///   from day 0, escalates RST → DNS poison → IP block, and stands down
+///   (reaction schedule, [`censor::adaptive::AdaptiveCensor`]).
+/// * **Benign disruptions** ([`websim::corpus::Disruption`]): the rank-1
+///   domain — also measured — suffers an origin outage, a botched cert
+///   rotation, and a permanent redesign, each failing *globally*. The
+///   detector's cross-region control must keep all of them out of the
+///   verdicts.
+///
+/// The audience is a [`websim::corpus::CountryMix`] demographic over ten
+/// countries, pairing each censoring country with enough healthy regions
+/// for the cross-region control to work.
+///
+/// One definition serves the `world_report` binary and
+/// `tests/world_report.rs` (golden byte-pin + 2-shard verdict check), so
+/// the scenario CI gates on is provably the scenario the harness checks.
+pub mod corpus_fixture {
+    use browser::Engine;
+    use censor::adaptive::{AdaptiveSpec, Reaction, ReactionPolicy, Stage};
+    use censor::policy::{CensorPolicy, Mechanism};
+    use censor::registry::{install_world_censors, SAFE_TARGETS};
+    use censor::timeline::{CensorSpec, PolicyChange, PolicyTimeline};
+    use encore::coordination::SchedulingStrategy;
+    use encore::delivery::OriginSite;
+    use encore::system::EncoreSystem;
+    use encore::tasks::TaskOutcome;
+    use encore::{FilteringDetector, GeoDb, StoredMeasurement, SubmissionPhase};
+    use netsim::geo::{country, IspClass};
+    use netsim::http::{ContentType, HttpResponse};
+    use netsim::network::Network;
+    use netsim::scenario::{NetworkScenario, WorldScenario, WorldSpec};
+    use population::shard::ShardContext;
+    use population::{Audience, DeploymentConfig, WorldRecipe};
+    use serde::Serialize;
+    use sim_core::{Empirical, SimDuration, SimRng, SimTime};
+    use websim::corpus::{Corpus, CorpusConfig, CountryMix, Disruption, DisruptionKind};
+    use websim::generator::WebConfig;
+
+    /// Length of the flagship run.
+    pub const DAYS: u64 = 90;
+    /// Arrival rate (visits/day/origin-weight). Four round-robin tasks
+    /// over origin weight 10 put ~1,000 visits/day on each task — the
+    /// per-task power the timeline and adaptive goldens are proven at.
+    pub const RATE: f64 = 400.0;
+    /// Seed of the corpus itself (content, links, hosting) — independent
+    /// of the run seed so re-seeding a run keeps the same web.
+    pub const CORPUS_SEED: u64 = 0x0C0_7075;
+
+    /// Turkey blocks twitter.com at this day…
+    pub const TR_BLOCK_ONSET: u64 = 30;
+    /// …and lifts the block here.
+    pub const TR_BLOCK_LIFT: u64 = 60;
+    /// Russia's adaptive censor escalates to RST injection…
+    pub const RU_RST_DAY: u64 = 20;
+    /// …then DNS poisoning (1-hour lying TTL)…
+    pub const RU_POISON_DAY: u64 = 35;
+    /// …then IP null-routing…
+    pub const RU_IP_BLOCK_DAY: u64 = 50;
+    /// …and stands down here.
+    pub const RU_STAND_DOWN_DAY: u64 = 75;
+    /// The rank-1 origin goes dark at this day…
+    pub const OUTAGE_START: u64 = 40;
+    /// …and is restored here.
+    pub const OUTAGE_END: u64 = 42;
+    /// A one-day botched cert rotation on the rank-1 origin.
+    pub const CERT_ROTATION_DAY: u64 = 55;
+    /// The rank-1 site's permanent redesign breaks its favicon task.
+    pub const REDESIGN_DAY: u64 = 70;
+
+    /// The Russian adaptive censor's diagnostic name.
+    pub const RU_CENSOR: &str = "ru-adaptive";
+
+    /// Corpus knobs: 12 Zipf-ranked sites, scale-free cross-links.
+    pub fn corpus_config() -> CorpusConfig {
+        CorpusConfig {
+            web: WebConfig {
+                num_domains: 12,
+                median_pages_per_domain: 8.0,
+                ..WebConfig::default()
+            },
+            zipf_exponent: 1.1,
+            cross_links_per_site: 2,
+        }
+    }
+
+    /// The fixture corpus — a pure function of [`CORPUS_SEED`], so every
+    /// shard (and every recipe mutation closure) sees identical content.
+    pub fn corpus() -> Corpus {
+        Corpus::generate(&corpus_config(), &mut SimRng::new(CORPUS_SEED))
+            .expect("fixture corpus config is valid")
+    }
+
+    /// The adaptive censor's watched domain: the corpus' rank-0 site.
+    pub fn adaptive_target(corpus: &Corpus) -> String {
+        corpus.domain(0).to_string()
+    }
+
+    /// The benignly disrupted (but measured) domain: the rank-1 site.
+    pub fn disrupted_domain(corpus: &Corpus) -> String {
+        corpus.domain(1).to_string()
+    }
+
+    /// The ten-country demographic mix (Zipf 0.6 — flat enough that the
+    /// tail countries keep statistical power).
+    pub fn demographics() -> CountryMix {
+        CountryMix::zipf(
+            &["US", "CN", "IN", "BR", "RU", "TR", "PK", "IR", "DE", "ID"],
+            0.6,
+        )
+        .expect("non-empty country list")
+    }
+
+    /// The audience built from [`demographics`].
+    pub fn audience() -> Audience {
+        let mix = demographics();
+        Audience {
+            countries: Empirical::new(
+                mix.weights
+                    .iter()
+                    .map(|(cc, w)| (country(cc), *w))
+                    .collect(),
+            ),
+            isps: Empirical::new(vec![
+                (IspClass::Residential, 0.62),
+                (IspClass::Mobile, 0.28),
+                (IspClass::Academic, 0.07),
+                (IspClass::Datacenter, 0.03),
+            ]),
+            engines: Engine::market_distribution(),
+            bounce_fraction: 0.50,
+            long_stay_fraction: 0.30,
+            crawler_fraction: 0.04,
+        }
+    }
+
+    /// The substrate scenario: built-in world, ideal paths, favicon-
+    /// serving social targets (the corpus sites are installed per shard
+    /// in [`build`], since stateful [`websim::SiteHandler`]s cannot ride
+    /// a const-response [`NetworkScenario`]).
+    pub fn scenario() -> NetworkScenario {
+        let mut spec = NetworkScenario::new(WorldSpec::Builtin).with_ideal_paths();
+        for d in SAFE_TARGETS {
+            spec = spec.with_server(d, country("US"), HttpResponse::ok(ContentType::Image, 500));
+        }
+        spec
+    }
+
+    /// The standing Russian adaptive censor (a middlebox factory, so it
+    /// is rebuilt identically on every shard thread).
+    pub fn ru_adaptive_spec(corpus: &Corpus) -> AdaptiveSpec {
+        AdaptiveSpec::new(RU_CENSOR, country("RU"), vec![adaptive_target(corpus)])
+            .with_poison_ttl(SimDuration::from_secs(3_600))
+    }
+
+    /// Russia's escalation schedule as broadcast control events.
+    pub fn ru_reactions() -> ReactionPolicy {
+        ReactionPolicy::new(RU_CENSOR)
+            .at(day(RU_RST_DAY), Reaction::SetStage(Stage::RstInjection))
+            .at(day(RU_POISON_DAY), Reaction::SetStage(Stage::DnsPoison))
+            .at(day(RU_IP_BLOCK_DAY), Reaction::SetStage(Stage::IpBlock))
+            .at(day(RU_STAND_DOWN_DAY), Reaction::StandDown)
+    }
+
+    /// Turkey's scheduled twitter.com block.
+    pub fn tr_timeline() -> PolicyTimeline {
+        PolicyTimeline::new()
+            .at(
+                day(TR_BLOCK_ONSET),
+                PolicyChange::Install(CensorSpec::new(
+                    country("TR"),
+                    CensorPolicy::named("tr-world-block")
+                        .block_domain("twitter.com", Mechanism::DnsNxDomain),
+                )),
+            )
+            .at(
+                day(TR_BLOCK_LIFT),
+                PolicyChange::Lift {
+                    name: "tr-world-block".into(),
+                },
+            )
+    }
+
+    /// The three benign disruptions, all against the rank-1 site.
+    pub fn disruptions() -> [Disruption; 3] {
+        [
+            Disruption {
+                day: OUTAGE_START,
+                duration_days: OUTAGE_END - OUTAGE_START,
+                site: 1,
+                kind: DisruptionKind::OriginOutage,
+            },
+            Disruption {
+                day: CERT_ROTATION_DAY,
+                duration_days: 1,
+                site: 1,
+                kind: DisruptionKind::CertRotation,
+            },
+            Disruption {
+                day: REDESIGN_DAY,
+                duration_days: 0,
+                site: 1,
+                kind: DisruptionKind::Redesign,
+            },
+        ]
+    }
+
+    /// Shard builder: substrate scenario, then the corpus installed from
+    /// its own fixed seed (identical on every shard), then the standing
+    /// RU adaptive censor — built *after* the corpus so its watched
+    /// domain resolves to real addresses for the address-matched stages
+    /// (RST injection, IP block) — then the 2014 registry regimes, then
+    /// deployment.
+    pub fn build(ctx: ShardContext) -> (Network, EncoreSystem) {
+        let corpus = corpus();
+        let mut net = WorldScenario::new(scenario()).build_shard(ctx.index, ctx.shards);
+        corpus.install(&mut net, &mut SimRng::new(CORPUS_SEED ^ 1));
+        let ru = ru_adaptive_spec(&corpus).build(&net.dns);
+        net.add_middlebox(Box::new(ru));
+        install_world_censors(&mut net);
+
+        let tasks = crate::fixtures::favicon_tasks(&[
+            "twitter.com",
+            "youtube.com",
+            &adaptive_target(&corpus),
+            &disrupted_domain(&corpus),
+        ]);
+        let origins = vec![
+            OriginSite::academic("world-origin-a.example").with_popularity(5.0),
+            OriginSite::academic("world-origin-b.example").with_popularity(5.0),
+        ];
+        let sys =
+            crate::fixtures::deploy_us(&mut net, tasks, SchedulingStrategy::RoundRobin, origins);
+        (net, sys)
+    }
+
+    /// The full 90-day recipe: Poisson arrivals, the Turkish timeline,
+    /// the Russian escalation schedule, and the benign disruptions as
+    /// shared world mutations capturing the (`Send + Sync`, `Arc`-shared)
+    /// corpus — the payoff of the `Rc`→`Arc` fix.
+    pub fn recipe(days: u64, visits_per_day_per_weight: f64) -> WorldRecipe {
+        let corpus = corpus();
+        let mut recipe = WorldRecipe::deployment(DeploymentConfig {
+            duration: SimDuration::from_days(days),
+            visits_per_day_per_weight,
+            repeat_visitor_rate: 0.05,
+            ..DeploymentConfig::default()
+        })
+        .with_timeline(tr_timeline())
+        .with_reaction(ru_reactions())
+        .with_rollups(SimDuration::from_days(1))
+        .with_maintenance(SimDuration::from_secs(3_600));
+        for d in disruptions() {
+            if d.day >= days {
+                continue;
+            }
+            let c = corpus.clone();
+            recipe = recipe.mutate_at(day(d.day), move |net, _| {
+                d.apply(&c, net);
+            });
+            if let Some(end) = d.end_day().filter(|&end| end < days) {
+                let c = corpus.clone();
+                recipe = recipe.mutate_at(day(end), move |net, _| {
+                    d.revert(&c, net);
+                });
+            }
+        }
+        recipe
+    }
+
+    /// Convert a day number to simulated time.
+    pub fn day(d: u64) -> SimTime {
+        SimTime::from_secs(d * 86_400)
+    }
+
+    /// One tracked `(country, domain)` verdict in the world report.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, serde::Deserialize)]
+    pub struct PairVerdict {
+        /// Censoring (or control) country code.
+        pub country: String,
+        /// Measured domain.
+        pub domain: String,
+        /// Localised block onset, if any.
+        pub onset_day: Option<u64>,
+        /// Localised block lift, if any.
+        pub lift_day: Option<u64>,
+        /// Every flagged detector window (day numbers).
+        pub flagged_days: Vec<u64>,
+    }
+
+    /// The world-report verdict set over one run's records.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, serde::Deserialize)]
+    pub struct WorldVerdicts {
+        /// Tracked censor stories.
+        pub pairs: Vec<PairVerdict>,
+        /// The benignly disrupted domain.
+        pub disrupted_domain: String,
+        /// Days where the disrupted domain failed globally (>50% of its
+        /// result-phase measurements) — the outage/rotation/redesign
+        /// signature.
+        pub disrupted_failure_days: Vec<u64>,
+        /// Detections against the disrupted domain anywhere in the run.
+        /// The cross-region control must keep this at **zero**.
+        pub disrupted_detections: usize,
+    }
+
+    /// Judge a run: the four censor stories plus the disruption
+    /// soundness counts, all through the shared windowed detector and
+    /// localisation rule. Windows at or past `days` are dropped before
+    /// localisation: a visit arriving just before the horizon can land
+    /// its submission in a partial trailing window, and *whether* that
+    /// window exists depends on the thinned per-shard arrival sample —
+    /// an artifact of the run length, not a verdict, so it must not be
+    /// allowed to turn a standing block into a phantom "lift".
+    pub fn judge(records: &[StoredMeasurement], geo: &GeoDb, days: u64) -> WorldVerdicts {
+        let corpus = corpus();
+        let rank0 = adaptive_target(&corpus);
+        let rank1 = disrupted_domain(&corpus);
+        let tracked = [
+            ("CN", "twitter.com"),
+            ("IR", "twitter.com"),
+            ("TR", "twitter.com"),
+            ("CN", "youtube.com"),
+            ("PK", "youtube.com"),
+            ("RU", rank0.as_str()),
+            ("RU", rank1.as_str()),
+        ];
+        let pairs = tracked
+            .iter()
+            .map(|&(cc, domain)| {
+                let j = crate::world_fixture::judge_timeline(records, geo, country(cc), domain);
+                let rows: Vec<(u64, bool)> = j
+                    .days
+                    .iter()
+                    .filter(|&&(d, _, _)| d < days)
+                    .map(|&(d, _, f)| (d, f))
+                    .collect();
+                let (onset_day, lift_day) = encore::localise_transitions(rows.iter().copied());
+                PairVerdict {
+                    country: cc.to_string(),
+                    domain: domain.to_string(),
+                    onset_day,
+                    lift_day,
+                    flagged_days: rows.iter().filter(|&&(_, f)| f).map(|&(d, _)| d).collect(),
+                }
+            })
+            .collect();
+
+        let window = SimDuration::from_days(1);
+        let disrupted_detections = FilteringDetector::default()
+            .detect_windows(records, geo, window)
+            .iter()
+            .filter(|r| r.window < days)
+            .flat_map(|r| r.detections.iter())
+            .filter(|d| d.domain == rank1)
+            .count();
+
+        // Per-day global failure rate on the disrupted domain.
+        let host = format!("http://{rank1}/");
+        let mut per_day: std::collections::BTreeMap<u64, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for rec in records {
+            if rec.submission.phase != SubmissionPhase::Result
+                || !rec.submission.target_url.starts_with(&host)
+            {
+                continue;
+            }
+            let d = rec.received_at.as_micros() / window.as_micros();
+            let cell = per_day.entry(d).or_insert((0, 0));
+            cell.0 += 1;
+            if rec.submission.outcome != Some(TaskOutcome::Success) {
+                cell.1 += 1;
+            }
+        }
+        let disrupted_failure_days = per_day
+            .iter()
+            .filter(|&(&d, &(n, fails))| d < days && n > 0 && fails * 2 > n)
+            .map(|(&d, _)| d)
+            .collect();
+
+        WorldVerdicts {
+            pairs,
+            disrupted_domain: rank1,
+            disrupted_failure_days,
+            disrupted_detections,
+        }
+    }
+
+    /// The flagship golden artifact. One definition serves the
+    /// `world_report` binary (CI byte-diffs `results/world_report.json`
+    /// against `tests/golden/world_report.json`) and
+    /// `tests/world_report.rs` (which blesses and byte-pins that
+    /// golden), so the two gates can never disagree about the shape.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, serde::Deserialize)]
+    pub struct WorldReport {
+        /// Shard count of the run that produced this artifact.
+        pub shards: usize,
+        /// Root seed.
+        pub seed: u64,
+        /// Simulated days.
+        pub days: u64,
+        /// Total visits simulated.
+        pub visits: u64,
+        /// Timeline policy events applied (TR install + lift = 2).
+        pub policy_changes_applied: usize,
+        /// Adaptive-censor control signals applied (RU's four rungs).
+        pub control_signals_applied: usize,
+        /// The corpus' domains in rank (= insertion) order.
+        pub corpus_domains: Vec<String>,
+        /// Verdicts and soundness counts.
+        pub verdicts: WorldVerdicts,
+    }
+
+    /// Assemble the golden artifact from a finished run.
+    pub fn report(
+        run: &population::ShardedWorldRun,
+        shards: usize,
+        days: u64,
+        seed: u64,
+    ) -> WorldReport {
+        let corpus = corpus();
+        WorldReport {
+            shards,
+            seed,
+            days,
+            visits: run.outcome.report.visits,
+            policy_changes_applied: run.outcome.policy_changes_applied,
+            control_signals_applied: run.outcome.control_signals_applied,
+            corpus_domains: corpus.domains().iter().map(|d| d.to_string()).collect(),
+            verdicts: judge(&run.collection.records, &run.geo, days),
+        }
     }
 }
 

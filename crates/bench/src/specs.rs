@@ -10,7 +10,7 @@
 //! worlds — the byte-equivalence the transport suite and simcheck's
 //! transport oracle prove.
 
-use crate::{adaptive_fixture, congested_fixture, world_fixture};
+use crate::{adaptive_fixture, congested_fixture, corpus_fixture, world_fixture};
 use encore::system::EncoreSystem;
 use netsim::geo::World;
 use netsim::network::Network;
@@ -49,11 +49,22 @@ pub enum BenchWorldSpec {
         /// Visits per day per audience weight.
         rate: f64,
     },
+    /// The generative-corpus multi-country world report
+    /// ([`corpus_fixture`]).
+    Corpus {
+        /// Simulated days.
+        days: u64,
+        /// Visits per day per audience weight.
+        rate: f64,
+    },
 }
 
 impl WorldSpec for BenchWorldSpec {
     fn audience(&self) -> Audience {
-        Audience::world(&World::builtin())
+        match self {
+            BenchWorldSpec::Corpus { .. } => corpus_fixture::audience(),
+            _ => Audience::world(&World::builtin()),
+        }
     }
 
     fn recipe(&self) -> WorldRecipe {
@@ -76,6 +87,7 @@ impl WorldSpec for BenchWorldSpec {
             }
             BenchWorldSpec::Adaptive { days, rate } => adaptive_fixture::recipe(days, rate),
             BenchWorldSpec::Congested { days, rate } => congested_fixture::recipe(days, rate),
+            BenchWorldSpec::Corpus { days, rate } => corpus_fixture::recipe(days, rate),
         }
     }
 
@@ -84,6 +96,7 @@ impl WorldSpec for BenchWorldSpec {
             BenchWorldSpec::Timeline { .. } => world_fixture::build(ctx),
             BenchWorldSpec::Adaptive { .. } => adaptive_fixture::build(ctx),
             BenchWorldSpec::Congested { .. } => congested_fixture::build(ctx),
+            BenchWorldSpec::Corpus { .. } => corpus_fixture::build(ctx),
         }
     }
 }
@@ -115,6 +128,10 @@ mod tests {
             BenchWorldSpec::Congested {
                 days: 18,
                 rate: 150.0,
+            },
+            BenchWorldSpec::Corpus {
+                days: 90,
+                rate: 400.0,
             },
         ] {
             let json = serde_json::to_string(&spec).unwrap();

@@ -293,6 +293,30 @@ impl Network {
         self.dns.register(dns_name, ip);
     }
 
+    /// Swap the HTTP handler of the server `dns_name` resolves to, keeping
+    /// its address, host identity, and DNS record untouched. This is the
+    /// hook benign-disruption events (origin outages, cert rotations, site
+    /// redesigns) mutate a standing world through: unlike re-adding the
+    /// server, no new address is allocated, so the IP allocator state —
+    /// and with it shard determinism — is unaffected. Returns `false` and
+    /// changes nothing if the name is unregistered.
+    pub fn replace_server_handler(
+        &mut self,
+        dns_name: &str,
+        handler: Box<dyn HttpHandler>,
+    ) -> bool {
+        let Some(answer) = self.dns.authoritative(dns_name) else {
+            return false;
+        };
+        match self.servers.get_mut(&answer.ip) {
+            Some(entry) => {
+                entry.handler = handler;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Install a middlebox. Order matters: earlier middleboxes are closer
     /// to the client and win ties.
     pub fn add_middlebox(&mut self, mb: Box<dyn Middlebox>) {

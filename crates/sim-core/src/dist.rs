@@ -115,12 +115,50 @@ pub struct Zipf {
     cdf: Vec<f64>,
 }
 
+/// Why a [`Zipf`] construction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZipfError {
+    /// `n == 0`: a distribution over zero ranks cannot draw anything.
+    NoRanks,
+    /// Exponent was negative, NaN, or infinite.
+    InvalidExponent(f64),
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NoRanks => write!(f, "Zipf needs at least one rank"),
+            ZipfError::InvalidExponent(s) => {
+                write!(f, "Zipf exponent must be finite and non-negative, got {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
 impl Zipf {
     /// Construct a Zipf distribution over `n >= 1` ranks with exponent
     /// `s >= 0` (s = 0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (`n == 0`, negative/NaN/infinite
+    /// exponent). Callers with untrusted parameters should use
+    /// [`Zipf::try_new`].
     pub fn new(n: usize, s: f64) -> Self {
-        assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0, "exponent must be non-negative");
+        Zipf::try_new(n, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects `n == 0` and non-finite or negative
+    /// exponents with a typed error instead of panicking mid-generation.
+    pub fn try_new(n: usize, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NoRanks);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::InvalidExponent(s));
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -131,7 +169,7 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf }
+        Ok(Zipf { cdf })
     }
 
     /// Draw a rank in `[0, n)` (zero-based; rank 0 is the most popular).
@@ -140,6 +178,16 @@ impl Zipf {
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a zero-based rank (the share of draws that
+    /// land on it). Returns 0.0 for out-of-range ranks.
+    pub fn mass(&self, rank: usize) -> f64 {
+        match rank {
+            0 => self.cdf.first().copied().unwrap_or(0.0),
+            r if r < self.cdf.len() => self.cdf[r] - self.cdf[r - 1],
+            _ => 0.0,
         }
     }
 
@@ -312,5 +360,47 @@ mod tests {
     #[should_panic(expected = "at least one weight")]
     fn empirical_rejects_all_zero() {
         let _ = Empirical::new(vec![("a", 0.0)]);
+    }
+
+    #[test]
+    fn zipf_try_new_rejects_zero_ranks() {
+        assert_eq!(Zipf::try_new(0, 1.0).unwrap_err(), ZipfError::NoRanks);
+    }
+
+    #[test]
+    fn zipf_try_new_rejects_negative_exponent() {
+        assert_eq!(
+            Zipf::try_new(10, -0.5).unwrap_err(),
+            ZipfError::InvalidExponent(-0.5)
+        );
+    }
+
+    #[test]
+    fn zipf_try_new_rejects_nan_and_infinite_exponent() {
+        assert!(matches!(
+            Zipf::try_new(10, f64::NAN),
+            Err(ZipfError::InvalidExponent(_))
+        ));
+        assert!(matches!(
+            Zipf::try_new(10, f64::INFINITY),
+            Err(ZipfError::InvalidExponent(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_new_still_panics_on_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_mass_sums_to_one_and_decreases() {
+        let z = Zipf::new(8, 1.2);
+        let total: f64 = (0..8).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+        for r in 1..8 {
+            assert!(z.mass(r) < z.mass(r - 1), "mass must decrease with rank");
+        }
+        assert_eq!(z.mass(8), 0.0, "out-of-range rank has zero mass");
     }
 }

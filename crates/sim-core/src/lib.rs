@@ -53,7 +53,7 @@ pub mod time;
 pub mod trace;
 
 pub use bytes::{contains_byte, find_any3, find_byte, find_either};
-pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
+pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf, ZipfError};
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, FRAME_HEADER_LEN,
     FRAME_MAGIC, FRAME_VERSION,

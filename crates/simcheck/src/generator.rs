@@ -44,7 +44,7 @@ use population::shard::ShardContext;
 use population::{BatchConfig, DeploymentConfig, WorldRecipe};
 use proptest::{Strategy, TestRng};
 use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, SimTime};
+use sim_core::{SimDuration, SimRng, SimTime};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -66,6 +66,47 @@ pub enum CaseClass {
     /// (verdict invariance, false-positive freedom on congested but
     /// uncensored worlds, localisation despite congestion).
     Congestion,
+    /// Detector-powered worlds whose measured targets are sites of a
+    /// seeded generative [`websim::corpus::Corpus`] instead of the
+    /// constant probe server: the censor (when present) blocks the
+    /// corpus' rank-0 domain, a second measured rank-1 domain may
+    /// suffer a *benign* day-aligned origin outage, and the oracles add
+    /// a benignity check — the disrupted domain must never be flagged
+    /// as censored anywhere.
+    Corpus,
+}
+
+/// The generative-web layer of a [`CaseClass::Corpus`] case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CorpusCaseSpec {
+    /// Sites in the generated corpus.
+    pub num_domains: usize,
+    /// Zipf popularity exponent.
+    pub zipf_exponent: f64,
+    /// The corpus' own seed (independent of the case seed, mirroring
+    /// how a standing web outlives any one measurement campaign).
+    pub corpus_seed: u64,
+    /// Day-aligned benign origin outage `[start, end)` on the rank-1
+    /// site, if any.
+    pub disruption: Option<(u64, u64)>,
+}
+
+impl CorpusCaseSpec {
+    /// Generate this case's corpus — a pure function of the spec, so
+    /// every shard (and every oracle re-run) sees identical content.
+    pub fn corpus(&self) -> websim::corpus::Corpus {
+        let cfg = websim::corpus::CorpusConfig {
+            web: websim::generator::WebConfig {
+                num_domains: self.num_domains,
+                median_pages_per_domain: 4.0,
+                ..websim::generator::WebConfig::default()
+            },
+            zipf_exponent: self.zipf_exponent,
+            cross_links_per_site: 1,
+        };
+        websim::corpus::Corpus::generate(&cfg, &mut SimRng::new(self.corpus_seed))
+            .expect("generated corpus specs are valid")
+    }
 }
 
 /// The generated arrival process.
@@ -231,6 +272,9 @@ pub struct WorldCase {
     /// which keeps those cases byte-identical to their pre-topology
     /// form).
     pub congestion: Option<CongestionSpec>,
+    /// Generative-web layer (`None` for every non-corpus class, which
+    /// keeps those cases byte-identical to their pre-corpus form).
+    pub corpus: Option<CorpusCaseSpec>,
 }
 
 /// Countries with enough audience share in the builtin world table that
@@ -258,7 +302,106 @@ impl WorldCase {
             CaseClass::Detector => WorldCase::detector_case(seed, &mut rng),
             CaseClass::Equivalence => WorldCase::equivalence_case(seed, &mut rng),
             CaseClass::Congestion => WorldCase::congestion_case(seed, &mut rng),
+            CaseClass::Corpus => WorldCase::corpus_case(seed, &mut rng),
         }
+    }
+
+    /// Corpus-class cases: detector-powered worlds measuring two sites
+    /// of a small generated corpus. The censor model mirrors the
+    /// detector class (day-aligned hard windows against the rank-0
+    /// domain), and roughly half the cases additionally schedule a
+    /// *benign* day-aligned origin outage on the measured rank-1 domain
+    /// — globally visible, so the detector's cross-region control must
+    /// keep it out of every verdict. The arrival rate is doubled
+    /// relative to the detector class because the visit stream
+    /// round-robins over two tasks: per-task daily cells keep the same
+    /// decisive statistical power.
+    fn corpus_case(seed: u64, rng: &mut TestRng) -> WorldCase {
+        let days = rng.range_u64(6, 10); // 6..=9
+        let rate = 300.0 + rng.unit() * 80.0;
+        let onset_day = rng.range_u64(1, days - 3);
+        let lift_day = rng.range_u64(onset_day + 2, days - 1);
+        let onset = SimTime::from_secs(onset_day * 86_400);
+        let lift = SimTime::from_secs(lift_day * 86_400);
+        let censor = match rng.index(4) {
+            0 => CensorModel::None,
+            1 => {
+                let stage = if rng.bool() {
+                    Stage::DnsPoison
+                } else {
+                    Stage::IpBlock
+                };
+                CensorModel::Adaptive {
+                    stage,
+                    onset,
+                    lift,
+                    poison_ttl_secs: rng.range_u64(60, 601),
+                }
+            }
+            _ => {
+                let kinds = [
+                    BlockKind::DnsNxDomain,
+                    BlockKind::DnsDrop,
+                    BlockKind::DnsSinkhole,
+                    BlockKind::TcpReset,
+                    BlockKind::IpDrop,
+                    BlockKind::HttpDrop,
+                    BlockKind::HttpReset,
+                    BlockKind::HttpBlockPage,
+                ];
+                CensorModel::Scheduled {
+                    kind: pick(rng, &kinds),
+                    onset,
+                    lift,
+                }
+            }
+        };
+        // Benign outages stay short (1–2 days) so the disrupted domain's
+        // whole-run success rate keeps every healthy region decisively
+        // passing — long global outages degenerate into the
+        // nothing-passes-anywhere case the detector already skips.
+        let disruption = if rng.bool() {
+            let d0 = rng.range_u64(1, days - 2); // 1..=days-3
+            let d1 = d0 + rng.range_u64(1, 3); // 1–2 days, ends <= days-1
+            Some((d0, d1))
+        } else {
+            None
+        };
+        WorldCase {
+            seed,
+            class: CaseClass::Corpus,
+            arrival: ArrivalMode::Deployment { days, rate },
+            censor,
+            country: country(pick(rng, &DETECTOR_COUNTRIES)),
+            rollup_secs: 86_400,
+            maintenance_secs: if rng.bool() { Some(3_600) } else { None },
+            repeat_rate: rng.unit() * 0.08,
+            origins: 2,
+            congestion: None,
+            corpus: Some(CorpusCaseSpec {
+                num_domains: 4 + rng.index(4), // 4..=7
+                zipf_exponent: 0.8 + rng.unit() * 0.6,
+                corpus_seed: rng.next_u64(),
+                disruption,
+            }),
+        }
+    }
+
+    /// The measured (and, when censored, blocked) domain: the corpus'
+    /// rank-0 site for corpus cases, [`TARGET`] for every other class.
+    pub fn target_domain(&self) -> String {
+        match &self.corpus {
+            Some(spec) => spec.corpus().domain(0).to_string(),
+            None => TARGET.to_string(),
+        }
+    }
+
+    /// The benignly measured companion domain (the corpus' rank-1
+    /// site), for corpus cases only.
+    pub fn companion_domain(&self) -> Option<String> {
+        self.corpus
+            .as_ref()
+            .map(|spec| spec.corpus().domain(1).to_string())
     }
 
     /// A topology seed under which `cc` and the target country (US) map
@@ -366,6 +509,7 @@ impl WorldCase {
             repeat_rate: rng.unit() * 0.08,
             origins: 2,
             congestion: Some(congestion),
+            corpus: None,
         }
     }
 
@@ -434,6 +578,7 @@ impl WorldCase {
             repeat_rate: rng.unit() * 0.08,
             origins: 2,
             congestion: None,
+            corpus: None,
         }
     }
 
@@ -515,6 +660,7 @@ impl WorldCase {
             repeat_rate: rng.unit() * 0.5,
             origins: 1 + rng.index(3),
             congestion: None,
+            corpus: None,
         }
     }
 
@@ -540,12 +686,13 @@ impl WorldCase {
         if let Some(m) = self.maintenance_secs {
             recipe = recipe.with_maintenance(SimDuration::from_secs(m));
         }
+        let target = self.target_domain();
         recipe = match self.censor {
             CensorModel::None | CensorModel::Reactive { .. } => recipe,
             CensorModel::Scheduled { kind, onset, lift } => {
                 let mut spec = CensorSpec::new(
                     self.country,
-                    CensorPolicy::named(CENSOR_NAME).block_domain(TARGET, kind.mechanism()),
+                    CensorPolicy::named(CENSOR_NAME).block_domain(&target, kind.mechanism()),
                 );
                 if kind.needs_ip_resolution() {
                     spec = spec.with_ip_resolution();
@@ -589,12 +736,35 @@ impl WorldCase {
                     }
                 });
         }
+        if let Some(spec) = self.corpus {
+            if let Some((d0, d1)) = spec.disruption {
+                // The benign outage is a pair of shared world mutations
+                // swapping the rank-1 site's handler in place (no DNS or
+                // IP churn, so shard determinism is untouched) — the
+                // same vehicle the flagship world report uses.
+                let disruption = websim::corpus::Disruption {
+                    day: d0,
+                    duration_days: d1 - d0,
+                    site: 1,
+                    kind: websim::corpus::DisruptionKind::OriginOutage,
+                };
+                let apply_corpus = spec.corpus();
+                let revert_corpus = apply_corpus.clone();
+                recipe = recipe
+                    .mutate_at(SimTime::from_secs(d0 * 86_400), move |net, _| {
+                        disruption.apply(&apply_corpus, net);
+                    })
+                    .mutate_at(SimTime::from_secs(d1 * 86_400), move |net, _| {
+                        disruption.revert(&revert_corpus, net);
+                    });
+            }
+        }
         recipe
     }
 
     /// The standing adaptive spec this case pre-installs, if any.
     fn standing_adaptive(&self) -> Option<AdaptiveSpec> {
-        let base = AdaptiveSpec::new(CENSOR_NAME, self.country, vec![TARGET.to_string()]);
+        let base = AdaptiveSpec::new(CENSOR_NAME, self.country, vec![self.target_domain()]);
         match self.censor {
             CensorModel::Adaptive {
                 poison_ttl_secs, ..
@@ -605,16 +775,18 @@ impl WorldCase {
     }
 
     /// Build one shard's world: the case's scenario (ideal paths, the
-    /// measurement target, a standing adaptive censor when the model
-    /// calls for one) plus an Encore deployment.
+    /// measurement target — the constant probe server, or a generated
+    /// corpus for corpus cases — plus a standing adaptive censor when
+    /// the model calls for one) and an Encore deployment.
     pub fn build(&self, ctx: ShardContext) -> (Network, EncoreSystem) {
-        let mut scenario = NetworkScenario::new(WorldSpec::Builtin)
-            .with_ideal_paths()
-            .with_server(
+        let mut scenario = NetworkScenario::new(WorldSpec::Builtin).with_ideal_paths();
+        if self.corpus.is_none() {
+            scenario = scenario.with_server(
                 TARGET,
                 country("US"),
                 HttpResponse::ok(ContentType::Image, 500),
             );
+        }
         if let Some(cong) = self.congestion {
             // Routed worlds: attach the AS topology with the censored
             // country's path to the (US-hosted) target forced across a
@@ -626,21 +798,52 @@ impl WorldCase {
                     .with_hotspot_between(self.country, country("US")),
             );
         }
-        let mut net = match self.standing_adaptive() {
-            Some(spec) => WorldScenario::new(scenario)
+        let mut net = match (&self.corpus, self.standing_adaptive()) {
+            // Corpus worlds install the generated web *before* the
+            // adaptive censor, so the censor's watched domain resolves
+            // to real addresses for the address-matched stages (RST
+            // injection, IP block).
+            (Some(corpus_spec), standing) => {
+                let mut net = scenario.build_shard(ctx.index, ctx.shards);
+                corpus_spec
+                    .corpus()
+                    .install(&mut net, &mut SimRng::new(corpus_spec.corpus_seed ^ 1));
+                if let Some(spec) = standing {
+                    let censor = spec.build(&net.dns);
+                    net.add_middlebox(Box::new(censor));
+                }
+                net
+            }
+            (None, Some(spec)) => WorldScenario::new(scenario)
                 .with_middlebox(Arc::new(spec))
                 .build_shard(ctx.index, ctx.shards),
-            None => scenario.build_shard(ctx.index, ctx.shards),
+            (None, None) => scenario.build_shard(ctx.index, ctx.shards),
         };
         let origins = (0..self.origins)
             .map(|i| OriginSite::academic(format!("origin-{i}.example")).with_popularity(5.0))
             .collect();
-        let tasks = vec![encore::tasks::MeasurementTask {
-            id: encore::tasks::MeasurementId(0),
-            spec: encore::tasks::TaskSpec::Image {
-                url: format!("http://{TARGET}/favicon.ico"),
-            },
-        }];
+        let tasks = match self.companion_domain() {
+            Some(companion) => vec![
+                encore::tasks::MeasurementTask {
+                    id: encore::tasks::MeasurementId(0),
+                    spec: encore::tasks::TaskSpec::Image {
+                        url: format!("http://{}/favicon.ico", self.target_domain()),
+                    },
+                },
+                encore::tasks::MeasurementTask {
+                    id: encore::tasks::MeasurementId(1),
+                    spec: encore::tasks::TaskSpec::Image {
+                        url: format!("http://{companion}/favicon.ico"),
+                    },
+                },
+            ],
+            None => vec![encore::tasks::MeasurementTask {
+                id: encore::tasks::MeasurementId(0),
+                spec: encore::tasks::TaskSpec::Image {
+                    url: format!("http://{TARGET}/favicon.ico"),
+                },
+            }],
+        };
         let sys = EncoreSystem::deploy(
             &mut net,
             tasks,
@@ -672,7 +875,10 @@ impl WorldCase {
     /// The day-aligned hard-block window `(onset_day, lift_day)` the
     /// detector must localise, if this case has one.
     pub fn hard_window_days(&self) -> Option<(u64, u64)> {
-        if !matches!(self.class, CaseClass::Detector | CaseClass::Congestion) {
+        if !matches!(
+            self.class,
+            CaseClass::Detector | CaseClass::Congestion | CaseClass::Corpus
+        ) {
             return None;
         }
         match self.censor {
@@ -717,6 +923,7 @@ mod tests {
                 CaseClass::Equivalence,
                 CaseClass::Detector,
                 CaseClass::Congestion,
+                CaseClass::Corpus,
             ] {
                 assert_eq!(
                     WorldCase::from_seed(class, seed),
@@ -851,6 +1058,68 @@ mod tests {
     }
 
     #[test]
+    fn corpus_cases_keep_their_statistical_guarantees() {
+        let mut saw_disruption = false;
+        let mut saw_uncensored = false;
+        for seed in 0..200u64 {
+            let case = WorldCase::from_seed(CaseClass::Corpus, seed);
+            let ArrivalMode::Deployment { days, rate } = case.arrival else {
+                panic!("corpus cases must be deployment worlds");
+            };
+            assert!((6..=9).contains(&days));
+            assert!(
+                rate >= 300.0,
+                "under-powered rate {rate} for two round-robin tasks"
+            );
+            assert_eq!(case.rollup_secs, 86_400, "windows must match rollups");
+            assert!(DETECTOR_COUNTRIES.contains(&case.country.as_str()));
+            let spec = case.corpus.expect("corpus layer present");
+            assert!((4..=7).contains(&spec.num_domains));
+            let corpus = spec.corpus();
+            assert_eq!(corpus.len(), spec.num_domains);
+            assert_eq!(case.target_domain(), corpus.domain(0));
+            assert_eq!(case.companion_domain().as_deref(), Some(corpus.domain(1)));
+            if let Some((onset, lift)) = case.hard_window_days() {
+                assert!(onset >= 1, "need a clear day before onset");
+                assert!(lift >= onset + 2, "window too short to flag");
+                assert!(lift < days, "need a clear day after lift");
+            }
+            match case.censor {
+                CensorModel::Reactive { .. } => {
+                    panic!("traffic-reactive censors are not shard-count invariant")
+                }
+                CensorModel::Adaptive {
+                    stage,
+                    poison_ttl_secs,
+                    ..
+                } => {
+                    assert!(stage.is_hard_block(), "soft stage {stage:?} in corpus case");
+                    assert!(stage != Stage::Retaliate, "retaliation blinds the detector");
+                    assert!(
+                        poison_ttl_secs <= 600,
+                        "lying TTL too long: {poison_ttl_secs}"
+                    );
+                }
+                CensorModel::Scheduled { kind, .. } => {
+                    assert!(
+                        !matches!(kind, BlockKind::Throttle { .. }),
+                        "throttling is not a localisable hard block"
+                    );
+                }
+                CensorModel::None => saw_uncensored = true,
+            }
+            if let Some((d0, d1)) = spec.disruption {
+                saw_disruption = true;
+                assert!(d0 >= 1, "day 0 must stay healthy");
+                assert!(d1 > d0 && d1 - d0 <= 2, "benign outages stay short");
+                assert!(d1 < days, "the final day must be healthy again");
+            }
+        }
+        assert!(saw_disruption, "benign disruptions generated");
+        assert!(saw_uncensored, "uncensored corpus worlds generated");
+    }
+
+    #[test]
     fn equivalence_cases_explore_the_wide_space() {
         let mut saw_batch = false;
         let mut saw_deployment = false;
@@ -902,6 +1171,7 @@ mod tests {
                 CaseClass::Equivalence,
                 CaseClass::Detector,
                 CaseClass::Congestion,
+                CaseClass::Corpus,
             ] {
                 let case = WorldCase::from_seed(class, seed);
                 let recipe = case.recipe();

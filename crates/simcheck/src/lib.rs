@@ -40,6 +40,12 @@
 //!    detector verdict unchanged at {1, 2} shards, and an uncensored
 //!    world whose under-provisioned ingest queue sheds submissions
 //!    still yields zero false positives.
+//! 9. **Corpus soundness** — worlds measuring two sites of a seeded
+//!    generative [`websim::corpus::Corpus`] (instead of the constant
+//!    probe server) keep verdict invariance and localisation against
+//!    the censored rank-0 site, while the rank-1 site — which may
+//!    suffer a globally visible *benign* origin outage — never appears
+//!    in any windowed detection, for any country.
 //!
 //! The [`runner`] executes a bounded case budget (CI: ≥ 200 worlds),
 //! and on failure writes a regression seed file so a failing case can
@@ -54,8 +60,8 @@ pub mod runner;
 pub mod transport;
 
 pub use generator::{
-    ArrivalMode, BlockKind, CaseClass, CensorModel, CongestionShape, CongestionSpec, WorldCase,
-    TARGET,
+    ArrivalMode, BlockKind, CaseClass, CensorModel, CongestionShape, CongestionSpec,
+    CorpusCaseSpec, WorldCase, TARGET,
 };
 pub use oracle::{check_case, check_streaming_case, localise_transitions, Violation};
 pub use runner::{replay, run_budget, SimCheckConfig, SimCheckReport};

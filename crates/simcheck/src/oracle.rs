@@ -8,7 +8,7 @@
 //! run only on [`CaseClass::Detector`] cases, whose generator keeps the
 //! detector away from decision boundaries.
 
-use crate::generator::{CaseClass, CongestionShape, WorldCase, TARGET};
+use crate::generator::{ArrivalMode, CaseClass, CongestionShape, WorldCase};
 use encore::geo::GeoDb;
 use encore::inference::{congestion_evidence, FilteringDetector};
 use encore::StoredMeasurement;
@@ -40,7 +40,7 @@ fn audience() -> Audience {
     Audience::world(&World::builtin())
 }
 
-/// The §7.2 windowed verdict for the case's `(country, TARGET)` pair:
+/// The §7.2 windowed verdict for one `(country, domain)` pair:
 /// per-window flag series plus localised onset/lift windows. One
 /// rollup-period-sized window per detector run — the same judgment rule
 /// the Turkey timeline fixture uses.
@@ -56,11 +56,15 @@ pub struct Judgment {
 
 pub use encore::inference::localise_transitions;
 
-/// Run the windowed detector and localise transitions for `cc:TARGET`.
+/// Run the windowed detector and localise transitions for `cc:domain`
+/// (the constant [`crate::generator::TARGET`] for most classes, the
+/// corpus' rank-0 site
+/// for corpus cases).
 pub fn judge(
     records: &[StoredMeasurement],
     geo: &GeoDb,
     cc: CountryCode,
+    domain: &str,
     window: SimDuration,
 ) -> Judgment {
     let reports = FilteringDetector::default().detect_windows(records, geo, window);
@@ -70,7 +74,7 @@ pub fn judge(
             let flagged = r
                 .detections
                 .iter()
-                .any(|d| d.country == cc && d.domain == TARGET);
+                .any(|d| d.country == cc && d.domain == domain);
             (r.window, flagged)
         })
         .collect();
@@ -265,15 +269,28 @@ impl<'a> CaseChecker<'a> {
     /// shards. Returns the 1-shard baseline judgment the shape checks
     /// run against.
     fn check_verdict_invariance(&mut self, one: &ShardedWorldRun, window: SimDuration) -> Judgment {
+        let domain = self.case.target_domain();
         let judgments: Vec<(usize, Judgment, ShardedWorldRun)> = [2usize, 4]
             .into_iter()
             .map(|shards| {
                 let run = self.sharded(shards);
-                let j = judge(&run.collection.records, &run.geo, self.case.country, window);
+                let j = judge(
+                    &run.collection.records,
+                    &run.geo,
+                    self.case.country,
+                    &domain,
+                    window,
+                );
                 (shards, j, run)
             })
             .collect();
-        let baseline = judge(&one.collection.records, &one.geo, self.case.country, window);
+        let baseline = judge(
+            &one.collection.records,
+            &one.geo,
+            self.case.country,
+            &domain,
+            window,
+        );
 
         for (shards, j, run) in &judgments {
             self.check_control_plane("sharded control plane", &run.outcome);
@@ -427,6 +444,77 @@ impl<'a> CaseChecker<'a> {
             }
         }
     }
+    /// Oracles 10–11 — generative-corpus soundness: verdict invariance
+    /// and (when censored) localisation against the corpus' rank-0
+    /// site, plus the *benignity* oracle — the measured rank-1 site,
+    /// which may suffer a globally visible benign origin outage, must
+    /// never appear in any windowed detection, for any country. The
+    /// cross-region control is what absorbs the outage: everyone fails
+    /// together, so no country stands out.
+    ///
+    /// Disrupted-but-uncensored worlds deliberately check *windowed*
+    /// false-positive freedom only: a day-granular outage pulls a
+    /// domain's whole-run success rate right onto the detector's
+    /// decision threshold, where the whole-run aggregate verdict is not
+    /// promised either way. Windowed cells stay decisive — healthy days
+    /// pass decisively, outage days fail globally.
+    fn check_corpus(&mut self, one: &ShardedWorldRun) {
+        let Some(spec) = self.case.corpus else {
+            self.fail(
+                "corpus-shape",
+                "corpus-class case without a corpus spec".to_string(),
+            );
+            return;
+        };
+        let window = SimDuration::from_secs(self.case.rollup_secs);
+        let baseline = self.check_verdict_invariance(one, window);
+        if self.case.is_uncensored() && spec.disruption.is_none() {
+            self.check_fp_freedom(one, window);
+        } else if let Some((onset_day, lift_day)) = self.case.hard_window_days() {
+            self.check_localisation(&baseline, onset_day, lift_day);
+        }
+
+        let ArrivalMode::Deployment { days, .. } = self.case.arrival else {
+            self.fail(
+                "corpus-shape",
+                "corpus-class case without a day horizon".to_string(),
+            );
+            return;
+        };
+        let companion = self
+            .case
+            .companion_domain()
+            .expect("corpus cases measure a companion domain");
+        let windowed =
+            FilteringDetector::default().detect_windows(&one.collection.records, &one.geo, window);
+        // A trailing partial window past the horizon exists or not
+        // depending on arrival draws; the benignity contract covers the
+        // full days only (same rule the world-report fixture pins).
+        for report in windowed.iter().filter(|r| r.window < days) {
+            for d in &report.detections {
+                if d.domain == companion {
+                    self.fail(
+                        "corpus-benignity",
+                        format!(
+                            "benign companion {companion} flagged in window {} for {} \
+                             (disruption {:?})",
+                            report.window, d.country, spec.disruption
+                        ),
+                    );
+                }
+                if self.case.is_uncensored() {
+                    self.fail(
+                        "corpus-benignity",
+                        format!(
+                            "uncensored corpus world flagged {}:{} in window {}",
+                            d.country, d.domain, report.window
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     /// Oracle 9 — streaming equivalence: re-running the same generated
     /// world with bounded-memory analytics (sketch + reservoir +
     /// windowed fold-and-evict) must neither perturb the simulation
@@ -562,6 +650,9 @@ pub fn check_case(case: &WorldCase) -> Vec<Violation> {
             // *and* pass the congestion-vs-censorship soundness oracles.
             checker.check_merge_algebra();
             checker.check_congestion(&one);
+        }
+        CaseClass::Corpus => {
+            checker.check_corpus(&one);
         }
     }
     checker.violations

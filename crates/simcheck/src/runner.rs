@@ -1,7 +1,8 @@
 //! The budgeted fuzz runner.
 //!
 //! [`run_budget`] draws `cases` generated worlds (every
-//! `detector_every`-th case from the detector class, the rest from the
+//! `detector_every`-th case from the detector class, then the
+//! congestion and corpus schedules in priority order, the rest from the
 //! equivalence class), checks each against its oracles, and aggregates
 //! a [`SimCheckReport`]. On any violation it writes a **regression seed
 //! file**: one line per failing case with the `(class, seed)` pair that
@@ -25,6 +26,10 @@ pub struct SimCheckConfig {
     /// Every n-th case (that is not already detector-class) is a
     /// congestion-class routed world (0 disables the class).
     pub congestion_every: usize,
+    /// Every n-th case (that is not already detector- or
+    /// congestion-class) is a corpus-class generative-web world
+    /// (0 disables the class).
+    pub corpus_every: usize,
     /// Root seed; case seeds derive from it deterministically.
     pub root_seed: u64,
     /// Where to write the regression seed file on failure (`None`
@@ -48,6 +53,7 @@ impl Default for SimCheckConfig {
             cases: 200,
             detector_every: 5,
             congestion_every: 6,
+            corpus_every: 7,
             root_seed: 0x51AC_4EC4,
             regression_path: Some(PathBuf::from("results/simcheck-regressions.txt")),
             transport_every: 4,
@@ -68,6 +74,8 @@ pub struct SimCheckReport {
     pub detector_cases: usize,
     /// Of which congestion-class.
     pub congestion_cases: usize,
+    /// Of which corpus-class.
+    pub corpus_cases: usize,
     /// Of which carried some censor model.
     pub censored_cases: usize,
     /// Of which also ran the transport-equivalence oracle (0 when the
@@ -103,6 +111,8 @@ fn class_for(config: &SimCheckConfig, index: usize) -> CaseClass {
         CaseClass::Detector
     } else if config.congestion_every > 0 && index.is_multiple_of(config.congestion_every) {
         CaseClass::Congestion
+    } else if config.corpus_every > 0 && index.is_multiple_of(config.corpus_every) {
+        CaseClass::Corpus
     } else {
         CaseClass::Equivalence
     }
@@ -152,6 +162,7 @@ pub fn run_budget(config: &SimCheckConfig) -> SimCheckReport {
             CaseClass::Detector => report.detector_cases += 1,
             CaseClass::Equivalence => report.equivalence_cases += 1,
             CaseClass::Congestion => report.congestion_cases += 1,
+            CaseClass::Corpus => report.corpus_cases += 1,
         }
         if !case.is_uncensored() {
             report.censored_cases += 1;
@@ -209,6 +220,7 @@ fn write_regressions(path: &Path, violations: &[Violation]) {
             CaseClass::Equivalence => "equivalence",
             CaseClass::Detector => "detector",
             CaseClass::Congestion => "congestion",
+            CaseClass::Corpus => "corpus",
         };
         if seen.insert((class, v.seed)) {
             lines.push(format!(
@@ -244,12 +256,13 @@ mod tests {
     #[test]
     fn class_schedule_interleaves() {
         let config = SimCheckConfig {
-            cases: 12,
+            cases: 15,
             detector_every: 5,
             congestion_every: 6,
+            corpus_every: 7,
             ..SimCheckConfig::default()
         };
-        let classes: Vec<CaseClass> = (0..12).map(|i| class_for(&config, i)).collect();
+        let classes: Vec<CaseClass> = (0..15).map(|i| class_for(&config, i)).collect();
         assert_eq!(
             classes
                 .iter()
@@ -258,21 +271,29 @@ mod tests {
             3, // indices 0, 5, 10
         );
         // Detector wins shared multiples (index 0); congestion takes the
-        // rest of its schedule (indices 6 here).
+        // rest of its schedule (indices 6 and 12 here), and corpus the
+        // rest of its own (indices 7 and 14).
         assert_eq!(
             classes
                 .iter()
                 .filter(|c| **c == CaseClass::Congestion)
                 .count(),
-            1,
+            2,
         );
         assert_eq!(classes[6], CaseClass::Congestion);
+        assert_eq!(
+            classes.iter().filter(|c| **c == CaseClass::Corpus).count(),
+            2,
+        );
+        assert_eq!(classes[7], CaseClass::Corpus);
+        assert_eq!(classes[14], CaseClass::Corpus);
         let none = SimCheckConfig {
             detector_every: 0,
             congestion_every: 0,
+            corpus_every: 0,
             ..config
         };
-        assert!((0..12).all(|i| class_for(&none, i) == CaseClass::Equivalence));
+        assert!((0..15).all(|i| class_for(&none, i) == CaseClass::Equivalence));
     }
 
     #[test]

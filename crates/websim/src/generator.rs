@@ -22,7 +22,7 @@ use netsim::network::Network;
 use serde::{Deserialize, Serialize};
 use sim_core::dist::{LogNormal, Pareto, Sample};
 use sim_core::SimRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Site archetype, driving per-page image counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +75,44 @@ impl Default for WebConfig {
     }
 }
 
+/// Why a [`WebConfig`] was rejected by [`WebConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WebConfigError {
+    /// `num_domains == 0`: an empty corpus can host no measurements.
+    NoDomains,
+    /// `median_pages_per_domain` was non-positive, NaN, or infinite.
+    InvalidPageCount(f64),
+    /// A profile weight was negative/NaN, or all weights were zero.
+    InvalidProfileWeights([f64; 3]),
+    /// A probability knob was outside `[0, 1]` (field name, value).
+    InvalidProbability(&'static str, f64),
+}
+
+impl std::fmt::Display for WebConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WebConfigError::NoDomains => write!(f, "num_domains must be at least 1"),
+            WebConfigError::InvalidPageCount(v) => {
+                write!(
+                    f,
+                    "median_pages_per_domain must be finite and positive, got {v}"
+                )
+            }
+            WebConfigError::InvalidProfileWeights(w) => {
+                write!(
+                    f,
+                    "profile_weights must be finite, non-negative, and not all zero, got {w:?}"
+                )
+            }
+            WebConfigError::InvalidProbability(field, v) => {
+                write!(f, "{field} must be a probability in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WebConfigError {}
+
 impl WebConfig {
     /// A small corpus for fast tests.
     pub fn small() -> WebConfig {
@@ -84,15 +122,61 @@ impl WebConfig {
             ..WebConfig::default()
         }
     }
+
+    /// Reject degenerate parameters (zero sites or pages, NaN/negative
+    /// weights, out-of-range probabilities) up front with a typed error,
+    /// instead of panicking mid-generation deep inside a sampler.
+    pub fn validate(&self) -> Result<(), WebConfigError> {
+        if self.num_domains == 0 {
+            return Err(WebConfigError::NoDomains);
+        }
+        if !self.median_pages_per_domain.is_finite() || self.median_pages_per_domain <= 0.0 {
+            return Err(WebConfigError::InvalidPageCount(
+                self.median_pages_per_domain,
+            ));
+        }
+        let bad_weight = |w: f64| !w.is_finite() || w < 0.0;
+        if self.profile_weights.iter().any(|&w| bad_weight(w))
+            || self.profile_weights.iter().all(|&w| w == 0.0)
+        {
+            return Err(WebConfigError::InvalidProfileWeights(self.profile_weights));
+        }
+        for (name, v) in [
+            ("heavy_media_probability", self.heavy_media_probability),
+            (
+                "image_cacheable_probability",
+                self.image_cacheable_probability,
+            ),
+            (
+                "script_nosniff_probability",
+                self.script_nosniff_probability,
+            ),
+            ("cdn_embed_probability", self.cdn_embed_probability),
+            (
+                "page_side_effect_probability",
+                self.page_side_effect_probability,
+            ),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(WebConfigError::InvalidProbability(name, v));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The generated web: content sites plus shared CDNs.
+///
+/// Sites are `Arc`-shared so a generated web is `Send + Sync`: the same
+/// corpus can be installed on every shard of a sharded world and captured
+/// by `WorldRecipe` mutation closures.
 #[derive(Debug, Clone)]
 pub struct SyntheticWeb {
-    /// Content sites (the measurement-target corpus).
-    pub sites: Vec<Rc<SiteContent>>,
+    /// Content sites (the measurement-target corpus), in generation
+    /// (= popularity-rank) order.
+    pub sites: Vec<Arc<SiteContent>>,
     /// Shared CDN sites (bootstrap/jquery/common icons).
-    pub cdns: Vec<Rc<SiteContent>>,
+    pub cdns: Vec<Arc<SiteContent>>,
 }
 
 /// Countries where the corpus' servers live (weighted towards the US/EU,
@@ -185,7 +269,7 @@ fn build_site(
     cfg: &WebConfig,
     profile: DomainProfile,
     index: usize,
-    cdns: &[Rc<SiteContent>],
+    cdns: &[Arc<SiteContent>],
     rng: &mut SimRng,
 ) -> SiteContent {
     let mut site = SiteContent::new(domain_name(profile, index));
@@ -362,19 +446,31 @@ fn build_site(
 
 impl SyntheticWeb {
     /// Generate a web corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate [`WebConfig`]; callers with untrusted
+    /// parameters should use [`SyntheticWeb::try_generate`].
     pub fn generate(cfg: &WebConfig, rng: &mut SimRng) -> SyntheticWeb {
+        SyntheticWeb::try_generate(cfg, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generate a web corpus, rejecting degenerate configs with a typed
+    /// error instead of panicking.
+    pub fn try_generate(cfg: &WebConfig, rng: &mut SimRng) -> Result<SyntheticWeb, WebConfigError> {
+        cfg.validate()?;
         let mut rng = rng.fork("websim-generator");
-        let cdns: Vec<Rc<SiteContent>> = vec![
-            Rc::new(build_cdn("cdn-alpha.example")),
-            Rc::new(build_cdn("cdn-beta.example")),
+        let cdns: Vec<Arc<SiteContent>> = vec![
+            Arc::new(build_cdn("cdn-alpha.example")),
+            Arc::new(build_cdn("cdn-beta.example")),
         ];
         let mut sites = Vec::with_capacity(cfg.num_domains);
         for i in 0..cfg.num_domains {
             let profile = profile_of(cfg, &mut rng);
             let mut site_rng = rng.fork_indexed("site", i as u64);
-            sites.push(Rc::new(build_site(cfg, profile, i, &cdns, &mut site_rng)));
+            sites.push(Arc::new(build_site(cfg, profile, i, &cdns, &mut site_rng)));
         }
-        SyntheticWeb { sites, cdns }
+        Ok(SyntheticWeb { sites, cdns })
     }
 
     /// Install every site (and CDN) as a server in the network, hosted in
@@ -388,18 +484,24 @@ impl SyntheticWeb {
             network.add_server(
                 &site.domain,
                 cc,
-                Box::new(SiteHandler::new(Rc::clone(site))),
+                Box::new(SiteHandler::new(Arc::clone(site))),
             );
         }
     }
 
-    /// All content-site domains (not CDNs), in generation order.
+    /// All content-site domains (not CDNs).
+    ///
+    /// The order is **guaranteed deterministic**: generation (= insertion)
+    /// order, which for a corpus is also popularity-rank order. Goldens
+    /// and interned-id assignment (first-seen order in `netsim`'s DNS
+    /// interner) depend on this being byte-stable across runs — it never
+    /// reflects map iteration order.
     pub fn domains(&self) -> Vec<String> {
         self.sites.iter().map(|s| s.domain.clone()).collect()
     }
 
     /// Look up a site by domain.
-    pub fn site(&self, domain: &str) -> Option<&Rc<SiteContent>> {
+    pub fn site(&self, domain: &str) -> Option<&Arc<SiteContent>> {
         self.sites
             .iter()
             .chain(self.cdns.iter())
@@ -463,6 +565,99 @@ mod tests {
     fn corpus() -> SyntheticWeb {
         let mut rng = SimRng::new(0xFEED);
         SyntheticWeb::generate(&WebConfig::default(), &mut rng)
+    }
+
+    /// Compile-time regression guard: `SyntheticWeb`/`SiteHandler` held
+    /// `Rc<SiteContent>` until PR 10, silently cutting generated webs off
+    /// from every sharded/transported/streaming path.
+    #[test]
+    fn generated_web_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SyntheticWeb>();
+        assert_send_sync::<SiteHandler>();
+        assert_send_sync::<std::sync::Arc<SiteContent>>();
+    }
+
+    #[test]
+    fn config_rejects_zero_domains() {
+        let cfg = WebConfig {
+            num_domains: 0,
+            ..WebConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(WebConfigError::NoDomains));
+        let mut rng = SimRng::new(1);
+        assert!(SyntheticWeb::try_generate(&cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn config_rejects_degenerate_page_counts() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let cfg = WebConfig {
+                median_pages_per_domain: bad,
+                ..WebConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(WebConfigError::InvalidPageCount(_))),
+                "median_pages_per_domain = {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_profile_weights() {
+        for bad in [[0.0, 0.0, 0.0], [1.0, -1.0, 1.0], [f64::NAN, 1.0, 1.0]] {
+            let cfg = WebConfig {
+                profile_weights: bad,
+                ..WebConfig::default()
+            };
+            assert!(
+                matches!(
+                    cfg.validate(),
+                    Err(WebConfigError::InvalidProfileWeights(_))
+                ),
+                "profile_weights = {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn config_rejects_out_of_range_probabilities() {
+        let cfg = WebConfig {
+            cdn_embed_probability: 1.5,
+            ..WebConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(WebConfigError::InvalidProbability(
+                "cdn_embed_probability",
+                1.5
+            ))
+        );
+        let cfg = WebConfig {
+            heavy_media_probability: f64::NAN,
+            ..WebConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(WebConfigError::InvalidProbability(
+                "heavy_media_probability",
+                _
+            ))
+        ));
+    }
+
+    #[test]
+    fn domains_are_byte_stable_across_runs_and_calls() {
+        let gen = |seed| {
+            let mut rng = SimRng::new(seed);
+            SyntheticWeb::generate(&WebConfig::small(), &mut rng)
+        };
+        let a = gen(0xD0_0D);
+        let b = gen(0xD0_0D);
+        // Same seed → byte-identical ordered domain list, call after call.
+        let first = serde_json::to_string(&a.domains()).unwrap();
+        assert_eq!(first, serde_json::to_string(&a.domains()).unwrap());
+        assert_eq!(first, serde_json::to_string(&b.domains()).unwrap());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`generator`] — a synthetic web generator whose content-size and
 //!   cacheability distributions are calibrated so the pipeline reproduces
 //!   the shapes of Figures 4–6.
+//! * [`corpus`] — the generative corpus layer on top: Zipf rank
+//!   popularity, scale-free cross-site links, multi-country demographic
+//!   mixes, and benign-disruption events for standing worlds.
 //! * [`search`] — the stand-in for "scraping site-specific results … from
 //!   a popular search engine" used by the Pattern Expander.
 //! * [`har`] — the HTTP Archive (HAR 1.2) data model consumed by the Task
@@ -19,13 +22,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod generator;
 pub mod har;
 pub mod search;
 pub mod site;
 pub mod url;
 
-pub use generator::{SyntheticWeb, WebConfig};
+pub use corpus::{Corpus, CorpusConfig, CorpusError, CountryMix, Disruption, DisruptionKind};
+pub use generator::{SyntheticWeb, WebConfig, WebConfigError};
 pub use har::{Har, HarEntry};
 pub use search::SearchIndex;
 pub use site::{EmbedKind, EmbedRef, PageSpec, ResourceSpec, SiteContent, SiteHandler};

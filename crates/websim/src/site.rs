@@ -12,7 +12,7 @@ use netsim::network::HttpHandler;
 use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Re-export: how a page embeds a resource (defined in `netsim::http` so
 /// the embed list can travel on [`HttpResponse`]).
@@ -136,14 +136,24 @@ impl SiteContent {
 }
 
 /// Serves a [`SiteContent`] over HTTP.
+///
+/// Content is shared via [`Arc`] so the same generated site can be
+/// installed on every shard of a sharded world and captured by
+/// `Send + Sync` recipe mutations (e.g. a redesign event swapping the
+/// handler mid-run).
 pub struct SiteHandler {
-    content: Rc<SiteContent>,
+    content: Arc<SiteContent>,
 }
 
 impl SiteHandler {
     /// Wrap shared site content.
-    pub fn new(content: Rc<SiteContent>) -> SiteHandler {
+    pub fn new(content: Arc<SiteContent>) -> SiteHandler {
         SiteHandler { content }
+    }
+
+    /// The site this handler serves.
+    pub fn content(&self) -> &Arc<SiteContent> {
+        &self.content
     }
 }
 
@@ -251,7 +261,7 @@ mod tests {
 
     #[test]
     fn handler_serves_pages_and_resources() {
-        let s = Rc::new(demo_site());
+        let s = Arc::new(demo_site());
         let h = SiteHandler::new(s);
         let page = h.handle(
             &HttpRequest::get("http://demo.org/index.html"),

@@ -12,17 +12,19 @@ use simcheck::{check_case, run_budget, SimCheckConfig};
 
 #[test]
 fn small_budget_upholds_all_invariants() {
-    // 12 worlds (3 detector-class, 1 congestion-class, 3 transport-
-    // differenced, 3 streaming-differenced): enough to execute every
-    // oracle — including the routed congestion oracles, the
-    // threads-vs-process transport oracle, and the exact-vs-streaming
-    // analytics oracle — on every run without dominating tier-1 time.
-    // The root seed differs from the CI bin's default so the two
-    // sweeps cover disjoint cases.
+    // 12 worlds (3 detector-class, 1 congestion-class, 1 corpus-class,
+    // 3 transport-differenced, 3 streaming-differenced): enough to
+    // execute every oracle — including the routed congestion oracles,
+    // the generative-corpus benignity oracle, the threads-vs-process
+    // transport oracle, and the exact-vs-streaming analytics oracle —
+    // on every run without dominating tier-1 time. The root seed
+    // differs from the CI bin's default so the two sweeps cover
+    // disjoint cases.
     let config = SimCheckConfig {
         cases: 12,
         detector_every: 5,
         congestion_every: 6,
+        corpus_every: 7,
         transport_every: 4,
         streaming_every: 4,
         root_seed: 0x7157_C0DE,
@@ -32,6 +34,7 @@ fn small_budget_upholds_all_invariants() {
     assert_eq!(report.cases_run, 12);
     assert_eq!(report.detector_cases, 3);
     assert_eq!(report.congestion_cases, 1);
+    assert_eq!(report.corpus_cases, 1);
     assert_eq!(
         report.streaming_cases, 3,
         "the streaming oracle must run on every 4th case"
